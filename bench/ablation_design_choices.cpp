@@ -1,0 +1,100 @@
+// Ablation of Saiyan's design choices (beyond the paper's Fig. 25
+// mode ablation): how each engineering parameter buys its keep.
+//
+//   * comparator threshold gap G (§4.1): too tight and the sampler
+//     misses the short high run; too loose and noise arms UH early;
+//   * sampling-rate multiplier over Nyquist (§2.3 / Table 1): the
+//     paper's 1.6x (= 3.2·BW/2^(SF-K)) versus cheaper/greedier ticks;
+//   * CFS intermediate frequency Δf (§3.1): must clear the flicker
+//     skirt without folding the 2Δf image into the envelope band;
+//   * IF amplifier selectivity Q (§3.1): noise rejection versus
+//     envelope distortion.
+//
+// Each sweep measures waveform symbol error rates near the relevant
+// mode's sensitivity, where the parameter matters most.
+#include "common.hpp"
+#include "sim/pipeline.hpp"
+
+using namespace saiyan;
+
+namespace {
+
+double ser_for(const core::SaiyanConfig& cfg, double rss, std::uint64_t seed) {
+  sim::PipelineConfig pcfg;
+  pcfg.saiyan = cfg;
+  pcfg.payload_symbols = 32;
+  pcfg.seed = seed;
+  sim::WaveformPipeline wp(pcfg);
+  return wp.run_rss(rss, 3).errors.ser();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: Saiyan design parameters",
+                "gap ~6 dB, 1.6x Nyquist sampling, IF at 1 MHz, moderate "
+                "IF Q are each near a local optimum");
+
+  const lora::PhyParams phy = bench::default_phy(2);
+
+  // --- threshold gap (CFS mode, near its sensitivity) ---
+  std::printf("threshold gap G (UH below peak), freq-shifting mode @ -72 dBm:\n");
+  {
+    sim::Table t({"gap (dB)", "SER"});
+    for (double gap : {2.0, 4.0, 6.0, 9.0, 12.0}) {
+      core::SaiyanConfig cfg =
+          core::SaiyanConfig::make(phy, core::Mode::kFrequencyShifting);
+      cfg.threshold_gap_db = gap;
+      t.add_row({sim::fmt(gap, 0), sim::fmt_sci(ser_for(cfg, -72.0, 61), 1)});
+    }
+    t.print();
+  }
+
+  // --- sampling-rate multiplier (comparator path, strong signal:
+  // errors here are pure sampling loss, the Table 1 effect) ---
+  std::printf("\nsampling multiplier over Nyquist, K=4, freq-shifting @ -55 dBm:\n");
+  {
+    const lora::PhyParams phy_k4 = bench::default_phy(4);
+    sim::Table t({"multiplier", "rate (kHz)", "SER"});
+    for (double mult : {0.6, 0.8, 1.0, 1.3, 1.6, 2.4}) {
+      core::SaiyanConfig cfg =
+          core::SaiyanConfig::make(phy_k4, core::Mode::kFrequencyShifting);
+      cfg.sampling_rate_multiplier = mult;
+      t.add_row({sim::fmt(mult, 1),
+                 sim::fmt(mult * phy_k4.nyquist_sampling_rate_hz() / 1e3, 1),
+                 sim::fmt_sci(ser_for(cfg, -55.0, 62), 1)});
+    }
+    t.print();
+  }
+
+  // --- CFS intermediate frequency ---
+  std::printf("\nCFS intermediate frequency, freq-shifting mode @ -72 dBm:\n");
+  {
+    sim::Table t({"delta f (kHz)", "SER"});
+    for (double f : {250e3, 500e3, 1000e3, 1500e3}) {
+      core::SaiyanConfig cfg =
+          core::SaiyanConfig::make(phy, core::Mode::kFrequencyShifting);
+      cfg.cfs.clock.frequency_hz = f;
+      cfg.cfs.output_lpf_cutoff_hz = std::min(cfg.cfs.output_lpf_cutoff_hz, 0.4 * f);
+      cfg.envelope.lpf_cutoff_hz = cfg.cfs.output_lpf_cutoff_hz;
+      t.add_row({sim::fmt(f / 1e3, 0), sim::fmt_sci(ser_for(cfg, -72.0, 63), 1)});
+    }
+    t.print();
+  }
+
+  // --- IF amplifier selectivity ---
+  std::printf("\nIF amplifier Q, freq-shifting mode @ -76 dBm:\n");
+  {
+    sim::Table t({"Q", "IF BW (kHz)", "SER"});
+    for (double q : {1.0, 3.0, 8.0, 20.0, 50.0}) {
+      core::SaiyanConfig cfg =
+          core::SaiyanConfig::make(phy, core::Mode::kFrequencyShifting);
+      cfg.cfs.if_quality_factor = q;
+      t.add_row({sim::fmt(q, 0),
+                 sim::fmt(cfg.cfs.clock.frequency_hz / q / 1e3, 0),
+                 sim::fmt_sci(ser_for(cfg, -76.0, 64), 1)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared defaults for the figure/table reproduction harnesses.
+// Evaluation setup (paper §5): 433.5 MHz, SF 7, BW 500 kHz, 20 dBm Tx,
+// 3 dBi antennas, 32-symbol payloads.
+#pragma once
+
+#include <cstdio>
+
+#include "channel/link_budget.hpp"
+#include "core/config.hpp"
+#include "lora/params.hpp"
+#include "sim/ber_model.hpp"
+#include "sim/report.hpp"
+
+namespace saiyan::bench {
+
+inline lora::PhyParams default_phy(int k = 2, int sf = 7, double bw = 500e3) {
+  lora::PhyParams p;
+  p.spreading_factor = sf;
+  p.bandwidth_hz = bw;
+  p.sample_rate_hz = 4e6;
+  p.bits_per_symbol = k;
+  return p;
+}
+
+inline channel::LinkBudget default_link() { return channel::LinkBudget{}; }
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("=== %s ===\n", title);
+  std::printf("paper reference: %s\n\n", paper_ref);
+}
+
+}  // namespace saiyan::bench

@@ -1,0 +1,81 @@
+// Figure 10: baseband spectrum of a 24-chirp LoRa signal (SF8,
+// BW 500 kHz) down-converted with a plain envelope detector vs with
+// cyclic-frequency shifting. CFS must clean the DC/flicker pollution;
+// the paper measures ~11 dB SNR gain.
+#include "channel/awgn_channel.hpp"
+#include "common.hpp"
+#include "core/receiver_chain.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/utils.hpp"
+#include "lora/modulator.hpp"
+
+using namespace saiyan;
+
+int main() {
+  bench::banner("Figure 10: spectrum without/with cyclic-frequency shifting",
+                "24 chirps, SF8, BW500; CFS removes baseband noise, "
+                "~11 dB SNR gain");
+
+  lora::PhyParams phy = bench::default_phy(2, 8);
+  const std::vector<std::uint32_t> tx(24, 1);
+  lora::Modulator mod(phy);
+  const dsp::Signal wave = mod.modulate_payload(tx);
+  channel::AwgnChannel chan(phy.sample_rate_hz, 6.0);
+
+  auto envelope_for = [&](core::Mode mode, std::uint64_t seed) {
+    dsp::Rng rng(seed);
+    const dsp::Signal rx = chan.apply(wave, -78.0, rng);
+    core::SaiyanConfig cfg = core::SaiyanConfig::make(phy, mode);
+    const core::ReceiverChain chain(cfg);
+    return chain.envelope(rx, rng);
+  };
+
+  const dsp::RealSignal env_plain = envelope_for(core::Mode::kVanilla, 3);
+  const dsp::RealSignal env_cfs = envelope_for(core::Mode::kFrequencyShifting, 3);
+
+  // The AM envelope of the chirp stream repeats at the symbol rate.
+  const double f_sym = phy.bandwidth_hz / static_cast<double>(phy.chips());
+  const double lo = 0.8 * f_sym;
+  const double hi = 3.2 * f_sym;
+  const double snr_plain = dsp::estimate_snr_db(
+      std::span<const double>(env_plain), phy.sample_rate_hz, lo, hi, 4096);
+  const double snr_cfs = dsp::estimate_snr_db(
+      std::span<const double>(env_cfs), phy.sample_rate_hz, lo, hi, 4096);
+
+  sim::Table t({"pipeline", "envelope SNR (dB)"});
+  t.add_row({"envelope detector only", sim::fmt(snr_plain, 1)});
+  t.add_row({"with cyclic-frequency shifting", sim::fmt(snr_cfs, 1)});
+  t.print();
+  std::printf("\nSNR gain from CFS: %.1f dB (paper: ~11 dB)\n",
+              snr_cfs - snr_plain);
+
+  // Coarse spectra (dB, 16 bins up to 250 kHz) for visual comparison.
+  auto spectrum_row = [&](const dsp::RealSignal& env) {
+    const dsp::Psd psd =
+        dsp::welch_psd(std::span<const double>(env), phy.sample_rate_hz, 4096);
+    std::vector<std::string> cells;
+    for (int b = 0; b < 16; ++b) {
+      const double f_lo = b * 250e3 / 16.0;
+      const double f_hi = (b + 1) * 250e3 / 16.0;
+      double p = 0.0;
+      for (std::size_t i = 0; i < psd.frequency_hz.size(); ++i) {
+        if (psd.frequency_hz[i] >= f_lo && psd.frequency_hz[i] < f_hi) {
+          p += dsp::dbm_to_watts(psd.power_dbm[i]);
+        }
+      }
+      cells.push_back(sim::fmt(dsp::watts_to_dbm(std::max(p, 1e-30)), 0));
+    }
+    return cells;
+  };
+  std::printf("\nbinned envelope spectrum (dBm per 15.6 kHz bin, 0-250 kHz):\n");
+  sim::Table s({"pipeline", "b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8",
+                "b9", "b10", "b11", "b12", "b13", "b14", "b15"});
+  auto row_plain = spectrum_row(env_plain);
+  row_plain.insert(row_plain.begin(), "plain ED");
+  auto row_cfs = spectrum_row(env_cfs);
+  row_cfs.insert(row_cfs.begin(), "with CFS");
+  s.add_row(row_plain);
+  s.add_row(row_cfs);
+  s.print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 17: demodulation range and throughput vs spreading factor
+// (SF 7-12) for K = 1..3. Range grows 1.1-1.3x from SF7 to SF12;
+// throughput drops ~30x (symbol time scales 2^SF).
+#include "common.hpp"
+#include "sim/metrics.hpp"
+#include "sim/range_finder.hpp"
+
+using namespace saiyan;
+
+int main() {
+  bench::banner("Figure 17: range and throughput vs spreading factor",
+                "range x1.1-1.3 from SF7->SF12; throughput / ~30x");
+
+  const sim::BerModel model;
+  const channel::LinkBudget link = bench::default_link();
+
+  sim::Table t({"SF", "K", "range (m)", "throughput (Kbps)"});
+  for (int sf = 7; sf <= 12; ++sf) {
+    for (int k = 1; k <= 3; ++k) {
+      const lora::PhyParams phy = bench::default_phy(k, sf);
+      const double range = sim::model_range_m(model, core::Mode::kSuper, phy, link);
+      const double tput =
+          sim::effective_throughput_bps(phy.data_rate_bps(), 1e-4) / 1e3;
+      t.add_row({std::to_string(sf), std::to_string(k), sim::fmt(range, 1),
+                 sim::fmt(tput, 3)});
+    }
+  }
+  t.print();
+
+  // Shape check printed explicitly.
+  const lora::PhyParams p7 = bench::default_phy(2, 7);
+  const lora::PhyParams p12 = bench::default_phy(2, 12);
+  const double r7 = sim::model_range_m(model, core::Mode::kSuper, p7, link);
+  const double r12 = sim::model_range_m(model, core::Mode::kSuper, p12, link);
+  std::printf("\nrange(SF12)/range(SF7) at K=2: %.2fx (paper: 1.1-1.3x)\n",
+              r12 / r7);
+  std::printf("throughput(SF7)/throughput(SF12) at K=2: %.1fx (paper: 30.3-35.1x)\n",
+              p7.data_rate_bps() / p12.data_rate_bps());
+  return 0;
+}

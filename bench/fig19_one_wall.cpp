@@ -1,0 +1,31 @@
+// Figure 19: indoor, one concrete wall — throughput and downlink range
+// vs coding rate. Paper: range 48.8 -> 26.2 m and throughput 3.7 ->
+// 18.7 Kbps as K goes 1 -> 5.
+#include "common.hpp"
+#include "sim/metrics.hpp"
+#include "sim/range_finder.hpp"
+
+using namespace saiyan;
+
+int main() {
+  bench::banner("Figure 19: one concrete wall (indoor)",
+                "K=1..5: range 48.8 -> 26.2 m; throughput 3.7 -> 18.7 Kbps");
+
+  const sim::BerModel model;
+  const channel::LinkBudget link = bench::default_link();
+  channel::Environment env;
+  env.concrete_walls = 1;
+  env.indoor_clutter = true;
+
+  sim::Table t({"K", "range (m)", "throughput (Kbps)"});
+  for (int k = 1; k <= 5; ++k) {
+    const lora::PhyParams phy = bench::default_phy(k);
+    const double range =
+        sim::model_range_m(model, core::Mode::kSuper, phy, link, env);
+    const double tput =
+        sim::effective_throughput_bps(phy.data_rate_bps(), 1e-4) / 1e3;
+    t.add_row({std::to_string(k), sim::fmt(range, 1), sim::fmt(tput, 2)});
+  }
+  t.print();
+  return 0;
+}

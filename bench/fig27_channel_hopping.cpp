@@ -1,0 +1,31 @@
+// Figure 27: PRR CDF before/after channel hopping under jamming.
+// Paper: median PRR lifts from ~47 % to ~92 % once the AP commands the
+// PLoRa tag onto a clean channel through the Saiyan downlink.
+#include "common.hpp"
+#include "mac/network_sim.hpp"
+
+using namespace saiyan;
+
+int main() {
+  bench::banner("Figure 27: PRR CDF with channel hopping",
+                "median PRR 47 % (jammed) -> 92 % (after hop)");
+
+  mac::ChannelHoppingStudyConfig jammed;
+  jammed.hopping_enabled = false;
+  const mac::ChannelHoppingResult before = mac::channel_hopping_study(jammed);
+
+  mac::ChannelHoppingStudyConfig hopping;
+  hopping.hopping_enabled = true;
+  const mac::ChannelHoppingResult after = mac::channel_hopping_study(hopping);
+
+  sim::Table t({"quantile", "PRR jammed (%)", "PRR with hopping (%)"});
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    t.add_row({sim::fmt(q, 2), sim::fmt(100.0 * before.prr_cdf.quantile(q), 1),
+               sim::fmt(100.0 * after.prr_cdf.quantile(q), 1)});
+  }
+  t.print();
+  std::printf("\nmedian PRR: %.1f %% -> %.1f %% (paper: 47 %% -> 92 %%); hops "
+              "commanded: %zu\n", 100.0 * before.prr_cdf.median(),
+              100.0 * after.prr_cdf.median(), after.hops);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// google-benchmark micro-kernels: the hot paths of the simulation
+// stack (FFT, SAW filtering, envelope detection, full Saiyan decode).
+#include <benchmark/benchmark.h>
+
+#include "channel/awgn_channel.hpp"
+#include "core/demodulator.hpp"
+#include "dsp/fft.hpp"
+#include "frontend/envelope_detector.hpp"
+#include "dsp/noise.hpp"
+#include "lora/chirp.hpp"
+#include "frontend/saw_filter.hpp"
+#include "lora/modulator.hpp"
+
+using namespace saiyan;
+
+namespace {
+
+lora::PhyParams phy() {
+  lora::PhyParams p;
+  p.spreading_factor = 7;
+  p.bandwidth_hz = 500e3;
+  p.sample_rate_hz = 4e6;
+  p.bits_per_symbol = 2;
+  return p;
+}
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  dsp::Rng rng(1);
+  dsp::Signal x(n);
+  for (auto& v : x) v = dsp::Complex(rng.gaussian(), rng.gaussian());
+  for (auto _ : state) {
+    dsp::Signal y = x;
+    dsp::fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_SawFilter(benchmark::State& state) {
+  const lora::PhyParams p = phy();
+  const frontend::SawFilter saw;
+  const dsp::Signal chirp = lora::upchirp(p, 0);
+  for (auto _ : state) {
+    dsp::Signal y = saw.filter(chirp, p.sample_rate_hz, 433.75e6);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SawFilter);
+
+void BM_EnvelopeDetector(benchmark::State& state) {
+  frontend::EnvelopeDetectorConfig cfg;
+  cfg.sample_rate_hz = 4e6;
+  const frontend::EnvelopeDetector ed(cfg);
+  dsp::Rng rng(2);
+  const dsp::Signal x = dsp::complex_awgn(1 << 14, 1e-9, rng);
+  for (auto _ : state) {
+    dsp::RealSignal y = ed.detect(x, rng);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_EnvelopeDetector);
+
+void BM_SaiyanDemodPacket(benchmark::State& state) {
+  const auto mode = static_cast<core::Mode>(state.range(0));
+  const core::SaiyanConfig cfg = core::SaiyanConfig::make(phy(), mode);
+  const core::SaiyanDemodulator demod(cfg);
+  lora::Modulator mod(cfg.phy);
+  dsp::Rng rng(3);
+  channel::AwgnChannel chan(cfg.phy.sample_rate_hz, 6.0);
+  const std::vector<std::uint32_t> tx(32, 2);
+  const dsp::Signal rx = chan.apply(mod.modulate(tx), -55.0, rng);
+  const lora::PacketLayout lay = mod.layout(tx.size());
+  for (auto _ : state) {
+    core::DemodResult r =
+        demod.demodulate_aligned(rx, lay.payload_start, tx.size(), rng);
+    benchmark::DoNotOptimize(r.symbols.data());
+  }
+}
+BENCHMARK(BM_SaiyanDemodPacket)
+    ->Arg(static_cast<int>(core::Mode::kVanilla))
+    ->Arg(static_cast<int>(core::Mode::kFrequencyShifting))
+    ->Arg(static_cast<int>(core::Mode::kSuper));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Table 2: per-component energy (1 % duty cycling) and cost of the
+// Saiyan tag, plus the §4.3 ASIC simulation totals.
+#include "common.hpp"
+#include "core/energy_harvester.hpp"
+#include "core/power_model.hpp"
+
+using namespace saiyan;
+
+int main() {
+  bench::banner("Table 2: power and cost per component",
+                "PCB total 369.4 uW @1% duty, 27.2 USD; ASIC 93.2 uW "
+                "(74.8 % reduction)");
+
+  const core::PowerModel pcb(core::Implementation::kPcb);
+  const core::PowerModel asic(core::Implementation::kAsic);
+
+  sim::Table t({"component", "PCB energy (uW)", "cost ($)", "ASIC energy (uW)"});
+  for (core::Component c : core::kAllComponents) {
+    t.add_row({std::string(core::component_name(c)),
+               sim::fmt(pcb.component_power_uw(c), 2),
+               sim::fmt(pcb.component_cost_usd(c), 2),
+               sim::fmt(asic.component_power_uw(c), 2)});
+  }
+  t.add_row({"Total", sim::fmt(pcb.total_power_uw(core::Mode::kSuper), 2),
+             sim::fmt(pcb.total_cost_usd(), 2),
+             sim::fmt(asic.total_power_uw(core::Mode::kSuper), 2)});
+  t.print();
+
+  std::printf("\nASIC power reduction: %.1f %% (paper: 74.8 %%)\n",
+              100.0 * (1.0 - asic.total_power_uw(core::Mode::kSuper) /
+                                 pcb.total_power_uw(core::Mode::kSuper)));
+  std::printf("ASIC active area: %.3f mm^2 (TSMC 65 nm)\n",
+              core::PowerModel::kAsicAreaMm2);
+
+  const core::EnergyHarvester h;
+  std::printf("\nenergy harvester: %.1f uW average (1 mJ / 25.4 s)\n",
+              h.average_harvest_w() * 1e6);
+  std::printf("time to power one 40 mW commodity LoRa demodulation (1 s): "
+              "%.1f minutes (paper: ~17 min)\n",
+              h.time_to_accumulate_s(40e-3) / 60.0);
+  return 0;
+}

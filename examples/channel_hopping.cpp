@@ -1,0 +1,73 @@
+// Channel-hopping scenario (paper §5.3.2): a jammer camps on the home
+// channel; the AP watches the windowed PRR collapse and commands the
+// tag onto a clean channel through the Saiyan downlink. Also shows
+// the waveform-level effect of a jammer on packet detection.
+#include <cstdio>
+
+#include "channel/awgn_channel.hpp"
+#include "channel/jammer.hpp"
+#include "core/demodulator.hpp"
+#include "lora/modulator.hpp"
+#include "mac/feedback_controller.hpp"
+#include "mac/network_sim.hpp"
+
+using namespace saiyan;
+
+int main() {
+  std::printf("=== channel hopping under jamming ===\n\n");
+
+  // --- waveform level: jammer vs packet detection ---
+  lora::PhyParams phy;
+  phy.spreading_factor = 7;
+  phy.bandwidth_hz = 500e3;
+  phy.sample_rate_hz = 4e6;
+  phy.bits_per_symbol = 2;
+  const core::SaiyanConfig cfg = core::SaiyanConfig::make(phy, core::Mode::kSuper);
+  const core::SaiyanDemodulator demod(cfg);
+  lora::Modulator mod(phy);
+  channel::AwgnChannel chan(phy.sample_rate_hz, 6.0);
+  dsp::Rng rng(5);
+
+  const std::vector<std::uint32_t> tx = {0, 1, 2, 3, 2, 1, 0, 3};
+  channel::JammerConfig jam;
+  jam.type = channel::JammerType::kWideband;
+  jam.sample_rate_hz = phy.sample_rate_hz;
+
+  std::printf("packet detection at -60 dBm RSS vs jammer power:\n");
+  std::printf("%-20s %-10s\n", "jammer (dBm)", "detected");
+  for (double j_dbm : {-200.0, -80.0, -60.0, -45.0}) {
+    dsp::Signal rx = chan.apply(mod.modulate(tx), -60.0, rng);
+    jam.power_dbm = j_dbm;
+    jam.active = j_dbm > -150.0;
+    channel::add_jammer(rx, jam, rng);
+    const bool det = demod.detect_packet(rx, rng);
+    std::printf("%-20s %-10s\n",
+                jam.active ? std::to_string(j_dbm).substr(0, 6).c_str() : "off",
+                det ? "yes" : "no");
+  }
+
+  // --- MAC level: the Fig. 27 experiment ---
+  std::printf("\nwindowed PRR with the AP's hop logic:\n");
+  mac::ChannelHoppingStudyConfig off;
+  off.hopping_enabled = false;
+  mac::ChannelHoppingStudyConfig on;
+  on.hopping_enabled = true;
+  const auto before = mac::channel_hopping_study(off);
+  const auto after = mac::channel_hopping_study(on);
+  std::printf("  median PRR without hopping: %.1f %%\n",
+              100.0 * before.prr_cdf.median());
+  std::printf("  median PRR with hopping:    %.1f %% (hops commanded: %zu)\n",
+              100.0 * after.prr_cdf.median(), after.hops);
+
+  // --- controller decision trace ---
+  sim::BerModel model;
+  channel::LinkBudget link;
+  mac::FeedbackController ctl(model, link);
+  std::printf("\ncontroller trace (PRR window -> action):\n");
+  for (double prr : {0.93, 0.88, 0.41, 0.95}) {
+    const auto frame = ctl.on_channel_quality(1, prr, 0);
+    std::printf("  PRR %.0f %% -> %s\n", 100.0 * prr,
+                frame.has_value() ? "hop to channel 1" : "stay");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Rate adaptation (paper §1's third feedback-loop application): the
+// AP assesses each tag's link margin and commands the
+// throughput-maximizing bits-per-chirp K that still meets a delivery
+// floor; the tag retunes via a kRateAdapt downlink frame.
+#include <cstdio>
+
+#include "mac/feedback_controller.hpp"
+#include "mac/tag.hpp"
+#include "sim/metrics.hpp"
+
+using namespace saiyan;
+
+int main() {
+  std::printf("=== rate adaptation over link distance ===\n\n");
+
+  sim::BerModel model;
+  channel::LinkBudget link;
+  mac::FeedbackController controller(model, link);
+  dsp::Rng rng(11);
+
+  lora::PhyParams phy;
+  phy.spreading_factor = 7;
+  phy.bandwidth_hz = 500e3;
+  phy.sample_rate_hz = 4e6;
+  phy.bits_per_symbol = 1;
+
+  std::printf("%-12s %-10s %-8s %-22s %-18s\n", "dist (m)", "RSS (dBm)",
+              "best K", "throughput (Kbps)", "delivery @256 bits");
+  for (double d : {10.0, 40.0, 70.0, 100.0, 120.0, 140.0, 160.0}) {
+    const mac::RateDecision best =
+        controller.best_rate(d, phy, core::Mode::kSuper, 0.9);
+    lora::PhyParams chosen = phy;
+    chosen.bits_per_symbol = best.bits_per_symbol;
+    const double rss = link.rss_dbm(d);
+    const double delivery =
+        1.0 - model.per(rss, core::Mode::kSuper, chosen, 256);
+    std::printf("%-12.0f %-10.1f %-8d %-22.2f %-18.3f\n", d, rss,
+                best.bits_per_symbol, best.expected_throughput_bps / 1e3,
+                delivery);
+
+    // Deliver the command to a tag at that distance and confirm it
+    // retunes.
+    mac::TagConfig tc;
+    tc.id = 9;
+    tc.distance_m = d;
+    tc.phy = phy;
+    mac::Tag tag(tc, model, link);
+    mac::DownlinkFrame frame;
+    frame.type = mac::DownlinkType::kUnicast;
+    frame.target = 9;
+    frame.command = mac::Command::kRateAdapt;
+    frame.param = static_cast<std::uint32_t>(best.bits_per_symbol);
+    if (tag.receive_downlink(frame, rng) &&
+        tag.bits_per_symbol() != best.bits_per_symbol) {
+      std::printf("  !! tag failed to retune\n");
+      return 1;
+    }
+  }
+
+  std::printf("\ncloser tags run higher K (more bits per chirp); distant tags "
+              "fall back to robust low rates — the paper's rate-adaptation "
+              "feedback application.\n");
+  return 0;
+}

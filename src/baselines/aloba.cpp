@@ -1,0 +1,65 @@
+#include "baselines/aloba.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace saiyan::baselines {
+
+AlobaDetector::AlobaDetector(const AlobaConfig& cfg) : cfg_(cfg) {
+  cfg_.phy.validate();
+}
+
+bool AlobaDetector::detect(std::span<const dsp::Complex> rx,
+                           double snr_threshold_db) const {
+  const std::size_t sps = cfg_.phy.samples_per_symbol();
+  const std::size_t window = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg_.ma_window_fraction * sps));
+  if (rx.size() < sps * static_cast<std::size_t>(cfg_.phy.preamble_symbols)) {
+    return false;
+  }
+  // Moving-average of |x|^2.
+  dsp::RealSignal power(rx.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    acc += std::norm(rx[i]);
+    if (i >= window) acc -= std::norm(rx[i - window]);
+    power[i] = acc / static_cast<double>(std::min(i + 1, window));
+  }
+  // Noise floor estimate: lowest decile of the smoothed power.
+  dsp::RealSignal sorted = power;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 10, sorted.end());
+  const double floor = std::max(sorted[sorted.size() / 10], 1e-30);
+  const double thresh = floor * std::pow(10.0, snr_threshold_db / 10.0);
+
+  // Sustained elevation across the preamble duration.
+  const std::size_t need = sps * static_cast<std::size_t>(cfg_.phy.preamble_symbols);
+  std::size_t run = 0;
+  for (double p : power) {
+    run = p >= thresh ? run + 1 : 0;
+    if (run >= need) return true;
+  }
+  return false;
+}
+
+double AlobaDetector::detection_probability(double rss_dbm) const {
+  const double margin = rss_dbm - cfg_.detection_sensitivity_dbm;
+  return 1.0 / (1.0 + std::exp(-margin * 1.2));
+}
+
+double AlobaDetector::uplink_ber(double d_tx_tag_m, double d_tag_rx_m,
+                                 const channel::LinkBudget& link) const {
+  const double rss = link.backscatter_rss_dbm(d_tx_tag_m, d_tag_rx_m,
+                                              cfg_.backscatter_loss_db);
+  const double margin = rss - cfg_.uplink_receiver_sensitivity_dbm;
+  // Same gentle waterfall as PLoRa (see plora.cpp); Aloba's OOK link
+  // budget is ~6 dB worse so its curve sits above PLoRa's everywhere.
+  double log10_ber;
+  if (margin >= 0.0) {
+    log10_ber = -3.0 - margin / 3.0;
+  } else {
+    log10_ber = -3.0 - margin / 20.0;
+  }
+  return std::clamp(std::pow(10.0, log10_ber), 1e-9, 0.5);
+}
+
+}  // namespace saiyan::baselines

@@ -1,0 +1,23 @@
+#include "channel/awgn_channel.hpp"
+
+#include "dsp/utils.hpp"
+
+namespace saiyan::channel {
+
+AwgnChannel::AwgnChannel(double noise_bandwidth_hz, double noise_figure_db)
+    : noise_floor_dbm_(dsp::thermal_noise_floor_dbm(noise_bandwidth_hz, noise_figure_db)) {}
+
+dsp::Signal AwgnChannel::apply(const dsp::Signal& x, double rss_dbm,
+                               dsp::Rng& rng) const {
+  dsp::Signal out = x;
+  dsp::set_power_dbm(out, rss_dbm);
+  dsp::add_awgn(out, dsp::dbm_to_watts(noise_floor_dbm_), rng);
+  return out;
+}
+
+dsp::Signal AwgnChannel::apply_snr(const dsp::Signal& x, double snr_db,
+                                   dsp::Rng& rng) const {
+  return apply(x, noise_floor_dbm_ + snr_db, rng);
+}
+
+}  // namespace saiyan::channel

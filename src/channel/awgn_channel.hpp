@@ -1,0 +1,34 @@
+// AWGN channel application: scale a unit waveform to a target RSS and
+// add thermal-floor noise.
+#pragma once
+
+#include "channel/link_budget.hpp"
+#include "dsp/noise.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace saiyan::channel {
+
+/// Stateless channel: applies gain + AWGN to complex-baseband packets.
+class AwgnChannel {
+ public:
+  /// `noise_bandwidth_hz` — the simulation bandwidth across which the
+  /// thermal floor is spread (typically the sample rate);
+  /// `noise_figure_db` — receiver front-end noise figure.
+  AwgnChannel(double noise_bandwidth_hz, double noise_figure_db);
+
+  /// Scale `x` so its average power is `rss_dbm`, then add noise at the
+  /// thermal floor. Returns a new waveform.
+  dsp::Signal apply(const dsp::Signal& x, double rss_dbm, dsp::Rng& rng) const;
+
+  /// Scale to an explicit SNR (dB) measured in the noise bandwidth.
+  dsp::Signal apply_snr(const dsp::Signal& x, double snr_db, dsp::Rng& rng) const;
+
+  /// Noise floor used by apply(), dBm.
+  double noise_floor_dbm() const { return noise_floor_dbm_; }
+
+ private:
+  double noise_floor_dbm_;
+};
+
+}  // namespace saiyan::channel

@@ -1,0 +1,33 @@
+#include "channel/fading.hpp"
+
+#include <cmath>
+
+#include "dsp/utils.hpp"
+
+namespace saiyan::channel {
+
+double fading_gain_db(const FadingConfig& cfg, dsp::Rng& rng) {
+  switch (cfg.type) {
+    case FadingType::kNone:
+      return 0.0;
+    case FadingType::kRayleigh: {
+      // |h|^2 with h ~ CN(0,1): exponential with unit mean.
+      const double re = rng.gaussian() / std::sqrt(2.0);
+      const double im = rng.gaussian() / std::sqrt(2.0);
+      const double p = re * re + im * im;
+      return 10.0 * std::log10(std::max(p, 1e-12));
+    }
+    case FadingType::kRician: {
+      const double k = dsp::db_to_lin(cfg.rician_k_db);
+      const double los = std::sqrt(k / (k + 1.0));
+      const double sigma = std::sqrt(1.0 / (2.0 * (k + 1.0)));
+      const double re = los + sigma * rng.gaussian();
+      const double im = sigma * rng.gaussian();
+      const double p = re * re + im * im;
+      return 10.0 * std::log10(std::max(p, 1e-12));
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace saiyan::channel

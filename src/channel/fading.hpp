@@ -1,0 +1,24 @@
+// Block fading models (Rayleigh / Rician) — optional impairment for
+// the MAC-level simulations, where packet-to-packet RSS variation
+// drives the loss process.
+#pragma once
+
+#include "dsp/rng.hpp"
+
+namespace saiyan::channel {
+
+enum class FadingType {
+  kNone,
+  kRayleigh,  ///< NLOS: power gain ~ Exp(1)
+  kRician,    ///< LOS with K-factor
+};
+
+struct FadingConfig {
+  FadingType type = FadingType::kNone;
+  double rician_k_db = 6.0;  ///< LOS-to-scatter power ratio
+};
+
+/// Draw one block-fading power gain in dB (0 dB mean for kNone).
+double fading_gain_db(const FadingConfig& cfg, dsp::Rng& rng);
+
+}  // namespace saiyan::channel

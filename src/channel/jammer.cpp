@@ -1,0 +1,59 @@
+#include "channel/jammer.hpp"
+
+#include <cmath>
+
+#include "dsp/fir.hpp"
+#include "dsp/nco.hpp"
+#include "dsp/noise.hpp"
+#include "dsp/utils.hpp"
+
+namespace saiyan::channel {
+
+dsp::Signal make_jammer(const JammerConfig& cfg, std::size_t n, dsp::Rng& rng) {
+  if (!cfg.active || n == 0) return dsp::Signal(n, dsp::Complex{});
+  dsp::Signal out;
+  switch (cfg.type) {
+    case JammerType::kTone: {
+      dsp::Nco nco(cfg.offset_hz, cfg.sample_rate_hz, rng.uniform() * dsp::kTwoPi);
+      out = nco.tone(n);
+      break;
+    }
+    case JammerType::kWideband: {
+      out = dsp::complex_awgn(n, 1.0, rng);
+      if (cfg.bandwidth_hz < cfg.sample_rate_hz) {
+        const dsp::RealSignal taps = dsp::design_lowpass(
+            cfg.bandwidth_hz / 2.0, cfg.sample_rate_hz, 127);
+        out = dsp::fft_filter(out, taps);
+      }
+      if (cfg.offset_hz != 0.0) {
+        out = dsp::mix_complex(out, cfg.offset_hz, cfg.sample_rate_hz);
+      }
+      break;
+    }
+    case JammerType::kChirp: {
+      // Linear FM sweep across the jammer bandwidth, repeating.
+      out.resize(n);
+      const double t_sweep = 1e-3;  // 1 ms sweep
+      const double k = cfg.bandwidth_hz / t_sweep;
+      double phase = rng.uniform() * dsp::kTwoPi;
+      const double dt = 1.0 / cfg.sample_rate_hz;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = std::fmod(static_cast<double>(i) * dt, t_sweep);
+        const double f = cfg.offset_hz - cfg.bandwidth_hz / 2.0 + k * t;
+        phase += dsp::kTwoPi * f * dt;
+        out[i] = dsp::Complex(std::cos(phase), std::sin(phase));
+      }
+      break;
+    }
+  }
+  dsp::set_power_dbm(out, cfg.power_dbm);
+  return out;
+}
+
+void add_jammer(dsp::Signal& x, const JammerConfig& cfg, dsp::Rng& rng) {
+  if (!cfg.active) return;
+  const dsp::Signal j = make_jammer(cfg, x.size(), rng);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += j[i];
+}
+
+}  // namespace saiyan::channel

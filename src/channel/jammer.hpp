@@ -1,0 +1,33 @@
+// In-band interference sources for the channel-hopping case study
+// (paper §5.3.2: a USRP jams the 433 MHz channel three meters from the
+// receiver).
+#pragma once
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace saiyan::channel {
+
+enum class JammerType {
+  kTone,       ///< continuous wave at an offset frequency
+  kWideband,   ///< band-limited Gaussian noise
+  kChirp,      ///< sweeping chirp (another LoRa-like emitter)
+};
+
+struct JammerConfig {
+  JammerType type = JammerType::kWideband;
+  double power_dbm = -30.0;       ///< at the victim antenna
+  double offset_hz = 0.0;         ///< center offset from the victim band
+  double bandwidth_hz = 500e3;    ///< for wideband/chirp jammers
+  double sample_rate_hz = 4e6;
+  bool active = true;
+};
+
+/// Generate `n` samples of jammer waveform at the victim's complex
+/// baseband. Returns zeros when inactive.
+dsp::Signal make_jammer(const JammerConfig& cfg, std::size_t n, dsp::Rng& rng);
+
+/// Add jammer samples onto an existing waveform in place.
+void add_jammer(dsp::Signal& x, const JammerConfig& cfg, dsp::Rng& rng);
+
+}  // namespace saiyan::channel

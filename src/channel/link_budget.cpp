@@ -1,0 +1,59 @@
+#include "channel/link_budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saiyan::channel {
+namespace {
+
+double env_loss_db(const Environment& env) {
+  double loss = wall_loss_db(env.concrete_walls) + env.extra_loss_db;
+  if (env.indoor_clutter) loss += kIndoorClutterLossDb;
+  return loss;
+}
+
+}  // namespace
+
+double LinkBudget::path_loss_db(double distance_m) const {
+  switch (model) {
+    case PathLossModel::kFreeSpace:
+      return free_space_path_loss_db(distance_m, frequency_hz);
+    case PathLossModel::kLogDistance:
+      return log_distance_path_loss_db(distance_m, frequency_hz, path_loss_exponent);
+    case PathLossModel::kTwoRay:
+      return two_ray_path_loss_db(distance_m, frequency_hz, antenna_height_tx_m,
+                                  antenna_height_rx_m);
+  }
+  throw std::logic_error("LinkBudget: unknown model");
+}
+
+double LinkBudget::rss_dbm(double distance_m, const Environment& env) const {
+  return tx_power_dbm + tx_antenna_gain_dbi + rx_antenna_gain_dbi -
+         path_loss_db(distance_m) - env_loss_db(env);
+}
+
+double LinkBudget::distance_for_rss(double target_rss_dbm, const Environment& env) const {
+  double lo = 0.01;
+  double hi = 1e5;
+  if (rss_dbm(lo, env) < target_rss_dbm) return lo;
+  if (rss_dbm(hi, env) > target_rss_dbm) return hi;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection (log-linear RSS)
+    if (rss_dbm(mid, env) > target_rss_dbm) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+double LinkBudget::backscatter_rss_dbm(double d_tx_to_tag_m, double d_tag_to_rx_m,
+                                       double backscatter_loss_db,
+                                       const Environment& env) const {
+  return tx_power_dbm + tx_antenna_gain_dbi + rx_antenna_gain_dbi -
+         path_loss_db(d_tx_to_tag_m) - path_loss_db(d_tag_to_rx_m) -
+         backscatter_loss_db - env_loss_db(env);
+}
+
+}  // namespace saiyan::channel

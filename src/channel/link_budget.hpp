@@ -1,0 +1,46 @@
+// Link budget: transmit power + antenna gains - path loss - walls.
+//
+// Matches the paper's setup (§4.2): 20 dBm Tx, 3 dBi omni antennas on
+// both ends, 433.5 MHz band.
+#pragma once
+
+#include "channel/pathloss.hpp"
+
+namespace saiyan::channel {
+
+/// Environment the link operates in.
+struct Environment {
+  int concrete_walls = 0;       ///< penetration count (paper §5.1.2)
+  bool indoor_clutter = false;  ///< NLOS clutter on top of walls
+  double extra_loss_db = 0.0;   ///< anything else (body, foliage...)
+};
+
+struct LinkBudget {
+  double tx_power_dbm = 20.0;     ///< paper §4.2
+  double tx_antenna_gain_dbi = 3.0;
+  double rx_antenna_gain_dbi = 3.0;
+  double frequency_hz = 433.5e6;
+  PathLossModel model = PathLossModel::kLogDistance;
+  double path_loss_exponent = 4.0;  ///< calibrated to Fig. 22 (DESIGN.md §5)
+  double antenna_height_tx_m = 1.5; ///< used by the two-ray model
+  double antenna_height_rx_m = 0.5;
+
+  /// Path loss (dB) under the configured model.
+  double path_loss_db(double distance_m) const;
+
+  /// Received signal strength (dBm) at the tag antenna.
+  double rss_dbm(double distance_m, const Environment& env = {}) const;
+
+  /// Distance (m) at which the RSS equals `target_rss_dbm`
+  /// (monotone-decreasing inversion by bisection).
+  double distance_for_rss(double target_rss_dbm, const Environment& env = {}) const;
+
+  /// RSS of a *backscatter* (two-hop) link: carrier travels
+  /// d_tx_to_tag, is reflected with `backscatter_loss_db`, then travels
+  /// d_tag_to_rx. Used for the PLoRa/Aloba uplink of Fig. 2.
+  double backscatter_rss_dbm(double d_tx_to_tag_m, double d_tag_to_rx_m,
+                             double backscatter_loss_db,
+                             const Environment& env = {}) const;
+};
+
+}  // namespace saiyan::channel

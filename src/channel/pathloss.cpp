@@ -1,0 +1,52 @@
+#include "channel/pathloss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/types.hpp"
+
+namespace saiyan::channel {
+namespace {
+
+void check_args(double distance_m, double frequency_hz) {
+  if (distance_m <= 0.0) throw std::invalid_argument("path loss: distance must be > 0");
+  if (frequency_hz <= 0.0) throw std::invalid_argument("path loss: frequency must be > 0");
+}
+
+}  // namespace
+
+double free_space_path_loss_db(double distance_m, double frequency_hz) {
+  check_args(distance_m, frequency_hz);
+  const double lambda = dsp::kSpeedOfLight / frequency_hz;
+  return 20.0 * std::log10(4.0 * dsp::kPi * distance_m / lambda);
+}
+
+double log_distance_path_loss_db(double distance_m, double frequency_hz,
+                                 double exponent) {
+  check_args(distance_m, frequency_hz);
+  if (exponent < 1.0) throw std::invalid_argument("path loss: exponent must be >= 1");
+  const double pl0 = free_space_path_loss_db(1.0, frequency_hz);
+  return pl0 + 10.0 * exponent * std::log10(distance_m);
+}
+
+double two_ray_path_loss_db(double distance_m, double frequency_hz,
+                            double h_tx_m, double h_rx_m) {
+  check_args(distance_m, frequency_hz);
+  if (h_tx_m <= 0.0 || h_rx_m <= 0.0) {
+    throw std::invalid_argument("two_ray: antenna heights must be > 0");
+  }
+  const double lambda = dsp::kSpeedOfLight / frequency_hz;
+  const double breakpoint = 4.0 * h_tx_m * h_rx_m / lambda;
+  if (distance_m <= breakpoint) {
+    return free_space_path_loss_db(distance_m, frequency_hz);
+  }
+  const double pl_break = free_space_path_loss_db(breakpoint, frequency_hz);
+  return pl_break + 40.0 * std::log10(distance_m / breakpoint);
+}
+
+double wall_loss_db(int walls) {
+  if (walls < 0) throw std::invalid_argument("wall_loss_db: walls must be >= 0");
+  return kConcreteWallLossDb * walls;
+}
+
+}  // namespace saiyan::channel

@@ -1,0 +1,41 @@
+// Radio path-loss models.
+//
+// The outdoor field calibration (DESIGN.md §5) uses a log-distance
+// model with exponent 4.0 (ground-level tag antennas, consistent with
+// the paper's Fig. 22 RSS-vs-distance curve); indoor adds per-wall
+// concrete penetration loss plus clutter.
+#pragma once
+
+namespace saiyan::channel {
+
+enum class PathLossModel {
+  kFreeSpace,     ///< Friis, exponent 2
+  kLogDistance,   ///< PL(d) = PL(d0) + 10 n log10(d/d0)
+  kTwoRay,        ///< free space below the breakpoint, exponent 4 above
+};
+
+/// Free-space path loss (dB) at distance d (m) and frequency f (Hz).
+double free_space_path_loss_db(double distance_m, double frequency_hz);
+
+/// Log-distance path loss (dB) with reference distance 1 m.
+double log_distance_path_loss_db(double distance_m, double frequency_hz,
+                                 double exponent);
+
+/// Two-ray ground-reflection model: Friis up to the breakpoint
+/// 4·h_tx·h_rx/λ, then 40 log10 slope.
+double two_ray_path_loss_db(double distance_m, double frequency_hz,
+                            double h_tx_m, double h_rx_m);
+
+/// Concrete wall penetration loss (dB) for `walls` walls.
+double wall_loss_db(int walls);
+
+/// Default per-wall loss used by the indoor experiments (paper §5.1.2
+/// shows range dropping ~2.1x per extra wall at exponent 4 → ~12 dB).
+inline constexpr double kConcreteWallLossDb = 12.0;
+
+/// Extra indoor clutter loss (furniture, NLOS) applied on top of wall
+/// loss; calibrated so Saiyan's indoor detection range lands at
+/// ~44 m (paper Fig. 21) when the outdoor range is ~148 m.
+inline constexpr double kIndoorClutterLossDb = 9.0;
+
+}  // namespace saiyan::channel

@@ -1,0 +1,32 @@
+#include "channel/temperature.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/types.hpp"
+
+namespace saiyan::channel {
+
+double saw_frequency_shift_hz(double nominal_hz, double temp_c) {
+  if (nominal_hz <= 0.0) {
+    throw std::invalid_argument("saw_frequency_shift_hz: nominal must be > 0");
+  }
+  return nominal_hz * kSawTcfPpmPerK * 1e-6 * (temp_c - kSawReferenceTempC);
+}
+
+double diurnal_temperature_c(double hour) {
+  if (hour < 0.0 || hour >= 24.0) {
+    throw std::invalid_argument("diurnal_temperature_c: hour must be in [0,24)");
+  }
+  constexpr double kMinC = -8.6;   // at 8 a.m.
+  constexpr double kMaxC = 1.6;    // at 2 p.m.
+  const double mid = (kMinC + kMaxC) / 2.0;
+  const double amp = (kMaxC - kMinC) / 2.0;
+  // Cosine with minimum at hour 8 and maximum at hour 14 (the paper's
+  // measured extremes); 12-hour period covers the 8 a.m. - 8 p.m.
+  // measurement window.
+  const double phase = (hour - 14.0) / 6.0 * dsp::kPi;
+  return mid + amp * std::cos(phase);
+}
+
+}  // namespace saiyan::channel

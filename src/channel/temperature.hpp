@@ -1,0 +1,29 @@
+// Ambient temperature model and its effect on the SAW filter.
+//
+// The SAW filter's critical band drifts with temperature (paper §5.2.2,
+// Fig. 24): the acoustic velocity of the quartz/LiTaO3 substrate has a
+// temperature coefficient of frequency (TCF) of roughly -30 ppm/K,
+// which shifts the passband edge and thus slightly compresses the
+// frequency-amplitude gap. The paper measures a mild effect: the
+// demodulation range drops from 126.4 m to 118.6 m as temperature rises
+// from -8.6 degC (8 a.m.) to +1.6 degC (2 p.m.).
+#pragma once
+
+namespace saiyan::channel {
+
+/// Temperature coefficient of frequency of the SAW substrate, ppm/K.
+inline constexpr double kSawTcfPpmPerK = -30.0;
+
+/// Reference (calibration) temperature, degC.
+inline constexpr double kSawReferenceTempC = 25.0;
+
+/// Center-frequency shift (Hz) of a SAW filter at `temp_c` relative to
+/// its `nominal_hz` response at the reference temperature.
+double saw_frequency_shift_hz(double nominal_hz, double temp_c);
+
+/// Diurnal temperature profile matching the paper's winter field day
+/// (Fig. 24): minimum -8.6 degC at 8 a.m., maximum +1.6 degC at 2 p.m.,
+/// sinusoidal interpolation. `hour` is in [0, 24).
+double diurnal_temperature_c(double hour);
+
+}  // namespace saiyan::channel

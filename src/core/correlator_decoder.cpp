@@ -1,0 +1,75 @@
+#include "core/correlator_decoder.hpp"
+
+#include <algorithm>
+
+#include "dsp/utils.hpp"
+#include "lora/chirp.hpp"
+#include "lora/modulator.hpp"
+
+namespace saiyan::core {
+namespace {
+
+dsp::RealSignal mean_removed(std::span<const double> x) {
+  const double m = dsp::mean(x);
+  dsp::RealSignal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - m;
+  return out;
+}
+
+}  // namespace
+
+CorrelatorDecoder::CorrelatorDecoder(const ReceiverChain& chain) {
+  const lora::PhyParams& phy = chain.config().phy;
+  sps_ = phy.samples_per_symbol();
+  const std::uint32_t m = phy.symbol_alphabet();
+  templates_.reserve(m);
+  // Generate each candidate symbol with a leading base chirp so the
+  // chain's filter transients settle before the window of interest.
+  lora::Modulator mod(phy);
+  for (std::uint32_t v = 0; v < m; ++v) {
+    const dsp::Signal wave = mod.modulate_payload({0u, v});
+    const dsp::RealSignal env = chain.reference_envelope(wave);
+    dsp::RealSignal window(env.begin() + static_cast<std::ptrdiff_t>(sps_),
+                           env.begin() + static_cast<std::ptrdiff_t>(2 * sps_));
+    templates_.push_back(mean_removed(window));
+  }
+}
+
+std::uint32_t CorrelatorDecoder::decode_window(std::span<const double> window) const {
+  const dsp::RealSignal x = mean_removed(window);
+  std::uint32_t best = 0;
+  double best_score = -1e300;
+  for (std::uint32_t v = 0; v < templates_.size(); ++v) {
+    const dsp::RealSignal& t = templates_[v];
+    const std::size_t n = std::min(t.size(), x.size());
+    double dot = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dot += x[i] * t[i];
+    if (dot > best_score) {
+      best_score = dot;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> CorrelatorDecoder::decode_stream(
+    std::span<const double> envelope, std::size_t start_index,
+    std::size_t n_symbols) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(n_symbols);
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    const std::size_t lo = start_index + s * sps_;
+    // A slightly late timing estimate can push the final window past
+    // the end of the capture; decode from whatever remains as long as
+    // most of the symbol is present.
+    if (lo >= envelope.size() || envelope.size() - lo < sps_ / 2) {
+      out.push_back(0);
+      continue;
+    }
+    const std::size_t len = std::min(sps_, envelope.size() - lo);
+    out.push_back(decode_window(envelope.subspan(lo, len)));
+  }
+  return out;
+}
+
+}  // namespace saiyan::core

@@ -1,0 +1,150 @@
+#include "core/demodulator.hpp"
+
+#include <cmath>
+
+#include "dsp/utils.hpp"
+#include "frontend/comparator.hpp"
+#include "frontend/sampler.hpp"
+#include "lora/modulator.hpp"
+
+namespace saiyan::core {
+
+SaiyanDemodulator::SaiyanDemodulator(const SaiyanConfig& cfg)
+    : chain_(cfg),
+      preamble_(chain_),
+      edge_decoder_(cfg.phy),
+      corr_decoder_(chain_) {
+  calibrate_edge_bias();
+}
+
+void SaiyanDemodulator::calibrate_edge_bias() {
+  // Measure the systematic lag between the comparator's trailing edge
+  // and the true chirp peak by decoding a clean reference packet —
+  // the simulation analogue of the paper's offline threshold/timing
+  // calibration (§4.1).
+  const SaiyanConfig& cfg = chain_.config();
+  lora::Modulator mod(cfg.phy);
+  std::vector<std::uint32_t> payload;
+  for (std::uint32_t rep = 0; rep < 2; ++rep) {
+    for (std::uint32_t v = 0; v < cfg.phy.symbol_alphabet(); ++v) payload.push_back(v);
+  }
+  const dsp::Signal wave = mod.modulate(payload);
+  const dsp::RealSignal env = chain_.reference_envelope(wave);
+  const frontend::ThresholdPair th = auto_thresholds(env, cfg.threshold_gap_db);
+  frontend::DoubleThresholdComparator comp(th.u_high, th.u_low);
+  const dsp::BitVector bits_fs = comp.quantize(env);
+  frontend::VoltageSampler sampler(cfg.phy, cfg.sampling_rate_multiplier);
+  const frontend::SampledBits sampled = sampler.sample(bits_fs, cfg.phy.sample_rate_hz);
+  const lora::PacketLayout lay = mod.layout(payload.size());
+  const double t0 = static_cast<double>(lay.payload_start) / cfg.phy.sample_rate_hz *
+                    sampled.sample_rate_hz;
+
+  const double m = static_cast<double>(cfg.phy.symbol_alphabet());
+  double err_sum = 0.0;
+  std::size_t err_n = 0;
+  for (std::size_t s = 0; s < payload.size(); ++s) {
+    const double w_begin = t0 + static_cast<double>(s) * sampled.samples_per_symbol;
+    const std::optional<double> est = edge_decoder_.estimate_fraction(
+        sampled.bits, w_begin, sampled.samples_per_symbol);
+    if (!est.has_value()) continue;
+    double err = static_cast<double>(payload[s]) - *est;
+    // Wrap into [-M/2, M/2).
+    err = std::remainder(err, m);
+    err_sum += err;
+    ++err_n;
+  }
+  if (err_n > 0) edge_decoder_.set_bias(err_sum / static_cast<double>(err_n));
+}
+
+DemodResult SaiyanDemodulator::decode_from_envelope(
+    const dsp::RealSignal& env, std::optional<std::size_t> payload_start_fs,
+    std::size_t n_payload,
+    std::optional<frontend::ThresholdPair> hint) const {
+  const SaiyanConfig& cfg = chain_.config();
+  DemodResult result;
+  result.thresholds = hint.has_value()
+                          ? *hint
+                          : auto_thresholds(env, cfg.threshold_gap_db);
+
+  if (cfg.mode == Mode::kSuper) {
+    // Correlation path: timing and symbols both from the analog
+    // envelope.
+    std::size_t start = 0;
+    if (payload_start_fs.has_value()) {
+      start = *payload_start_fs;
+      result.preamble_found = true;
+      result.preamble_score = 1.0;
+    } else {
+      const std::optional<PreambleTiming> t = preamble_.detect_envelope(env);
+      if (!t.has_value()) return result;
+      result.preamble_found = true;
+      result.preamble_score = t->score;
+      start = t->payload_start;
+    }
+    result.symbols = corr_decoder_.decode_stream(env, start, n_payload);
+    result.sampler_rate_hz = cfg.phy.sample_rate_hz;
+    return result;
+  }
+
+  // Comparator path: quantize at the simulation rate, tick at the
+  // low-power sampler rate, then edge-decode.
+  frontend::DoubleThresholdComparator comp(result.thresholds.u_high,
+                                           result.thresholds.u_low);
+  const dsp::BitVector bits_fs = comp.quantize(env);
+  frontend::VoltageSampler sampler(cfg.phy, cfg.sampling_rate_multiplier);
+  const frontend::SampledBits sampled =
+      sampler.sample(bits_fs, cfg.phy.sample_rate_hz);
+  result.sampler_rate_hz = sampled.sample_rate_hz;
+
+  double payload_start_ticks = 0.0;
+  if (payload_start_fs.has_value()) {
+    payload_start_ticks = static_cast<double>(*payload_start_fs) /
+                          cfg.phy.sample_rate_hz * sampled.sample_rate_hz;
+    result.preamble_found = true;
+    result.preamble_score = 1.0;
+  } else {
+    const std::optional<PreambleTiming> t =
+        preamble_.detect_bits(sampled.bits, sampled.sample_rate_hz);
+    if (!t.has_value()) return result;
+    result.preamble_found = true;
+    result.preamble_score = t->score;
+    payload_start_ticks = static_cast<double>(t->payload_start);
+  }
+  result.symbols = edge_decoder_.decode_stream(
+      sampled.bits, payload_start_ticks, sampled.samples_per_symbol, n_payload);
+  return result;
+}
+
+DemodResult SaiyanDemodulator::demodulate(
+    std::span<const dsp::Complex> rf, std::size_t n_payload, dsp::Rng& rng,
+    std::optional<frontend::ThresholdPair> threshold_hint) const {
+  const dsp::RealSignal env = chain_.envelope(rf, rng);
+  return decode_from_envelope(env, std::nullopt, n_payload, threshold_hint);
+}
+
+DemodResult SaiyanDemodulator::demodulate_aligned(
+    std::span<const dsp::Complex> rf, std::size_t payload_start_fs,
+    std::size_t n_payload, dsp::Rng& rng,
+    std::optional<frontend::ThresholdPair> threshold_hint) const {
+  const dsp::RealSignal env = chain_.envelope(rf, rng);
+  return decode_from_envelope(env, payload_start_fs, n_payload, threshold_hint);
+}
+
+bool SaiyanDemodulator::detect_packet(std::span<const dsp::Complex> rf,
+                                      dsp::Rng& rng) const {
+  const dsp::RealSignal env = chain_.envelope(rf, rng);
+  if (chain_.config().mode == Mode::kSuper) {
+    return preamble_.detect_envelope(env).has_value();
+  }
+  const frontend::ThresholdPair th =
+      auto_thresholds(env, chain_.config().threshold_gap_db);
+  frontend::DoubleThresholdComparator comp(th.u_high, th.u_low);
+  const dsp::BitVector bits_fs = comp.quantize(env);
+  frontend::VoltageSampler sampler(chain_.config().phy,
+                                   chain_.config().sampling_rate_multiplier);
+  const frontend::SampledBits sampled =
+      sampler.sample(bits_fs, chain_.config().phy.sample_rate_hz);
+  return preamble_.detect_bits(sampled.bits, sampled.sample_rate_hz).has_value();
+}
+
+}  // namespace saiyan::core

@@ -1,0 +1,46 @@
+#include "core/energy_harvester.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace saiyan::core {
+
+EnergyHarvester::EnergyHarvester(const HarvesterConfig& cfg) : cfg_(cfg) {
+  if (cfg.harvest_energy_j <= 0.0 || cfg.harvest_interval_s <= 0.0 ||
+      cfg.storage_capacity_j <= 0.0) {
+    throw std::invalid_argument("EnergyHarvester: config values must be > 0");
+  }
+}
+
+double EnergyHarvester::average_harvest_w() const {
+  return cfg_.harvest_energy_j / cfg_.harvest_interval_s;
+}
+
+double EnergyHarvester::step(double dt_s, double load_uw) {
+  if (dt_s < 0.0 || load_uw < 0.0) {
+    throw std::invalid_argument("EnergyHarvester::step: negative argument");
+  }
+  stored_j_ = std::min(cfg_.storage_capacity_j,
+                       stored_j_ + average_harvest_w() * dt_s);
+  const double draw_w =
+      load_uw > 0.0 ? (load_uw + cfg_.power_management_uw) * 1e-6 : 0.0;
+  const double wanted_j = draw_w * dt_s;
+  const double delivered = std::min(wanted_j, stored_j_);
+  stored_j_ -= delivered;
+  return delivered;
+}
+
+double EnergyHarvester::time_to_accumulate_s(double energy_j) const {
+  if (energy_j < 0.0) {
+    throw std::invalid_argument("EnergyHarvester: energy must be >= 0");
+  }
+  return energy_j / average_harvest_w();
+}
+
+bool EnergyHarvester::can_supply(double load_uw, double duration_s) const {
+  const double need_j = (load_uw + cfg_.power_management_uw) * 1e-6 * duration_s;
+  return stored_j_ + average_harvest_w() * duration_s >= need_j &&
+         stored_j_ >= 0.0 && need_j <= stored_j_ + average_harvest_w() * duration_s;
+}
+
+}  // namespace saiyan::core

@@ -1,0 +1,111 @@
+#include "core/preamble_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/correlate.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/utils.hpp"
+#include "frontend/comparator.hpp"
+#include "frontend/sampler.hpp"
+#include "lora/modulator.hpp"
+
+namespace saiyan::core {
+namespace {
+
+dsp::RealSignal mean_removed(std::span<const double> x) {
+  const double m = dsp::mean(x);
+  dsp::RealSignal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - m;
+  return out;
+}
+
+dsp::RealSignal bits_to_bipolar(std::span<const std::uint8_t> bits) {
+  dsp::RealSignal out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) out[i] = bits[i] ? 1.0 : -1.0;
+  return out;
+}
+
+}  // namespace
+
+PreambleDetector::PreambleDetector(const ReceiverChain& chain) : chain_(chain) {
+  lora::Modulator mod(chain.config().phy);
+  const dsp::Signal header = mod.preamble();
+  env_template_ = chain.reference_envelope(header);
+  header_samples_fs_ = header.size();
+}
+
+std::optional<PreambleTiming> PreambleDetector::detect_bits(
+    std::span<const std::uint8_t> bits, double rate_hz, double min_score) const {
+  const SaiyanConfig& cfg = chain_.config();
+  // Quantize the reference envelope with its own auto thresholds and
+  // resample to the sampler rate to form the expected bit pattern.
+  const double peak = dsp::peak(std::span<const double>(env_template_));
+  if (peak <= 0.0) return std::nullopt;
+  const frontend::ThresholdPair th =
+      frontend::thresholds_from_peak(peak, cfg.threshold_gap_db, peak * 0.2);
+  frontend::DoubleThresholdComparator comp(th.u_high, th.u_low);
+  const dsp::BitVector tmpl_fs = comp.quantize(env_template_);
+  const dsp::RealSignal tmpl_analog(tmpl_fs.begin(), tmpl_fs.end());
+  const dsp::RealSignal tmpl_bits_real =
+      dsp::sample_hold(tmpl_analog, cfg.phy.sample_rate_hz, rate_hz);
+  dsp::BitVector tmpl(tmpl_bits_real.size());
+  for (std::size_t i = 0; i < tmpl.size(); ++i) tmpl[i] = tmpl_bits_real[i] > 0.5;
+
+  if (bits.size() < tmpl.size() || tmpl.empty()) return std::nullopt;
+  // Pearson-style matching: mean-removed template against mean-removed
+  // windows, normalized by both energies — a constant (all-low or
+  // all-high) stream scores 0 instead of spuriously matching.
+  dsp::RealSignal sig = bits_to_bipolar(bits);
+  dsp::RealSignal ref = bits_to_bipolar(tmpl);
+  const double ref_mean = dsp::mean(ref);
+  for (double& v : ref) v -= ref_mean;
+  double ref_energy = 0.0;
+  for (double v : ref) ref_energy += v * v;
+  if (ref_energy <= 0.0) return std::nullopt;
+
+  const dsp::RealSignal corr = dsp::cross_correlate_signed(
+      std::span<const double>(sig), std::span<const double>(ref));
+  if (corr.empty()) return std::nullopt;
+  // corr against a zero-mean template is insensitive to the window
+  // mean; normalize by window variance computed with a sliding sum.
+  const std::size_t w = ref.size();
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (std::size_t i = 0; i < w; ++i) {
+    sum += sig[i];
+    sum2 += sig[i] * sig[i];
+  }
+  PreambleTiming best;
+  for (std::size_t lag = 0; lag < corr.size(); ++lag) {
+    const double var = sum2 - sum * sum / static_cast<double>(w);
+    const double denom = std::sqrt(std::max(var, 1e-9) * ref_energy);
+    const double score = corr[lag] / denom;
+    if (score > best.score) {
+      best.score = score;
+      best.payload_start = lag + w;
+    }
+    if (lag + w < sig.size()) {
+      sum += sig[lag + w] - sig[lag];
+      sum2 += sig[lag + w] * sig[lag + w] - sig[lag] * sig[lag];
+    }
+  }
+  if (best.score < min_score) return std::nullopt;
+  return best;
+}
+
+std::optional<PreambleTiming> PreambleDetector::detect_envelope(
+    std::span<const double> envelope, double min_score) const {
+  if (envelope.size() < env_template_.size()) return std::nullopt;
+  const dsp::RealSignal sig = mean_removed(envelope);
+  const dsp::RealSignal ref = mean_removed(env_template_);
+  const dsp::CorrelationPeak pk = dsp::find_peak(
+      std::span<const double>(sig), std::span<const double>(ref));
+  PreambleTiming t;
+  t.score = pk.normalized;
+  t.payload_start = pk.lag + env_template_.size();
+  if (t.score < min_score) return std::nullopt;
+  return t;
+}
+
+}  // namespace saiyan::core

@@ -1,0 +1,50 @@
+// Preamble detection (paper §2.2, Fig. 8).
+//
+// The LoRa preamble is ten identical base up-chirps; after the
+// frequency-amplitude transformation each produces an envelope ramp
+// peaking at the symbol end, so the comparator emits a periodic
+// high-run pattern. The detector matches the received stream against
+// the reference pattern (built from the noiseless receive chain) —
+// bit-pattern correlation for the comparator path, analog correlation
+// for the Super (correlation) mode.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/receiver_chain.hpp"
+#include "dsp/types.hpp"
+
+namespace saiyan::core {
+
+struct PreambleTiming {
+  std::size_t payload_start = 0;  ///< index (same rate as the input stream)
+  double score = 0.0;             ///< normalized match quality [0,1]
+};
+
+class PreambleDetector {
+ public:
+  /// Builds the reference templates through `chain` once.
+  explicit PreambleDetector(const ReceiverChain& chain);
+
+  /// Locate the preamble in a comparator bit stream sampled at
+  /// `rate_hz`; returns the index of the first payload sample.
+  std::optional<PreambleTiming> detect_bits(std::span<const std::uint8_t> bits,
+                                            double rate_hz,
+                                            double min_score = 0.55) const;
+
+  /// Locate the preamble in the analog envelope at the simulation
+  /// rate (correlation mode).
+  std::optional<PreambleTiming> detect_envelope(std::span<const double> envelope,
+                                                double min_score = 0.35) const;
+
+  /// Reference envelope of preamble+sync at the simulation rate.
+  const dsp::RealSignal& envelope_template() const { return env_template_; }
+
+ private:
+  const ReceiverChain& chain_;
+  dsp::RealSignal env_template_;   // preamble+sync reference envelope (fs)
+  std::size_t header_samples_fs_;  // preamble+sync length at fs
+};
+
+}  // namespace saiyan::core

@@ -1,0 +1,78 @@
+#include "core/receiver_chain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/utils.hpp"
+
+namespace saiyan::core {
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kVanilla: return "vanilla";
+    case Mode::kFrequencyShifting: return "freq-shifting";
+    case Mode::kSuper: return "super";
+  }
+  return "?";
+}
+
+SaiyanConfig SaiyanConfig::make(const lora::PhyParams& phy, Mode mode) {
+  SaiyanConfig cfg;
+  cfg.phy = phy;
+  cfg.phy.validate();
+  cfg.mode = mode;
+  cfg.lna.bandwidth_hz = phy.sample_rate_hz;
+  cfg.envelope.sample_rate_hz = phy.sample_rate_hz;
+  cfg.cfs.clock.sample_rate_hz = phy.sample_rate_hz;
+  // Keep the post-detection bandwidth comfortably above the sampler
+  // rate so peak positions are not smeared, but below the IF.
+  const double sampler_rate = cfg.sampling_rate_multiplier * phy.nyquist_sampling_rate_hz();
+  const double env_bw = std::min(std::max(2.0 * sampler_rate, 50e3),
+                                 cfg.cfs.clock.frequency_hz * 0.45);
+  cfg.envelope.lpf_cutoff_hz = env_bw;
+  cfg.cfs.output_lpf_cutoff_hz = env_bw;
+  return cfg;
+}
+
+ReceiverChain::ReceiverChain(const SaiyanConfig& cfg)
+    : cfg_(cfg), saw_(cfg.saw), lna_(cfg.lna) {
+  cfg_.phy.validate();
+  if (cfg_.envelope.sample_rate_hz != cfg_.phy.sample_rate_hz) {
+    throw std::invalid_argument("ReceiverChain: envelope detector fs != phy fs");
+  }
+}
+
+dsp::RealSignal ReceiverChain::run(std::span<const dsp::Complex> rf, dsp::Rng& rng,
+                                   bool with_impairments) const {
+  const dsp::Signal after_saw =
+      saw_.filter(rf, cfg_.phy.sample_rate_hz, cfg_.effective_rf_center_hz());
+  dsp::Signal after_lna;
+  if (with_impairments) {
+    after_lna = lna_.amplify(after_saw, rng);
+  } else {
+    after_lna = after_saw;
+    const double g = dsp::db_to_amp(cfg_.lna.gain_db);
+    for (dsp::Complex& v : after_lna) v *= g;
+  }
+
+  frontend::EnvelopeDetectorConfig ed_cfg = cfg_.envelope;
+  ed_cfg.enable_impairments = with_impairments;
+  if (cfg_.mode == Mode::kVanilla) {
+    frontend::EnvelopeDetector ed(ed_cfg);
+    return ed.detect(after_lna, rng);
+  }
+  frontend::CyclicFrequencyShifter cfs(cfg_.cfs, ed_cfg);
+  return cfs.process(after_lna, rng);
+}
+
+dsp::RealSignal ReceiverChain::envelope(std::span<const dsp::Complex> rf,
+                                        dsp::Rng& rng) const {
+  return run(rf, rng, /*with_impairments=*/true);
+}
+
+dsp::RealSignal ReceiverChain::reference_envelope(std::span<const dsp::Complex> rf) const {
+  dsp::Rng unused(1);
+  return run(rf, unused, /*with_impairments=*/false);
+}
+
+}  // namespace saiyan::core

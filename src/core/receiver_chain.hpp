@@ -1,0 +1,42 @@
+// Analog receive chain shared by every Saiyan mode (paper Fig. 12):
+// antenna -> SAW filter (frequency->amplitude) -> CG-LNA -> envelope
+// detection (plain or cyclic-frequency shifting) -> analog envelope.
+#pragma once
+
+#include <span>
+
+#include "core/config.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+#include "frontend/cfs.hpp"
+#include "frontend/envelope_detector.hpp"
+#include "frontend/lna.hpp"
+#include "frontend/saw_filter.hpp"
+
+namespace saiyan::core {
+
+class ReceiverChain {
+ public:
+  explicit ReceiverChain(const SaiyanConfig& cfg);
+
+  /// Process an RF complex-baseband waveform into the analog envelope
+  /// the comparator sees.
+  dsp::RealSignal envelope(std::span<const dsp::Complex> rf, dsp::Rng& rng) const;
+
+  /// Deterministic reference envelope: same chain with every noise
+  /// source disabled. Used to build preamble/symbol templates for the
+  /// pattern matcher and the correlation decoder.
+  dsp::RealSignal reference_envelope(std::span<const dsp::Complex> rf) const;
+
+  const SaiyanConfig& config() const { return cfg_; }
+
+ private:
+  dsp::RealSignal run(std::span<const dsp::Complex> rf, dsp::Rng& rng,
+                      bool with_impairments) const;
+
+  SaiyanConfig cfg_;
+  frontend::SawFilter saw_;
+  frontend::Lna lna_;
+};
+
+}  // namespace saiyan::core

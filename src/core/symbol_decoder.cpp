@@ -1,0 +1,56 @@
+#include "core/symbol_decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace saiyan::core {
+
+SymbolDecoder::SymbolDecoder(const lora::PhyParams& params) : params_(params) {
+  params_.validate();
+}
+
+std::optional<double> SymbolDecoder::estimate_fraction(
+    std::span<const std::uint8_t> bits, double w_begin,
+    double samples_per_symbol) const {
+  const double w_end = w_begin + samples_per_symbol;
+  const auto lo = static_cast<std::size_t>(std::max(0.0, std::ceil(w_begin)));
+  const auto hi = std::min(bits.size(),
+                           static_cast<std::size_t>(std::max(0.0, std::ceil(w_end))));
+  if (lo >= hi) return std::nullopt;
+  // Last falling edge (tail of the final high run, tF in Fig. 7e).
+  std::ptrdiff_t edge = -1;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const bool high = bits[i] != 0;
+    const bool next_low = (i + 1 >= hi) || (bits[i + 1] == 0);
+    if (high && next_low) edge = static_cast<std::ptrdiff_t>(i);
+  }
+  if (edge < 0) return std::nullopt;
+  const double m = static_cast<double>(params_.symbol_alphabet());
+  // The run is still high at tick `edge`; the true edge lies between
+  // edge and edge+1 — take the midpoint in continuous coordinates.
+  const double frac =
+      (static_cast<double>(edge) + 0.5 - w_begin) / samples_per_symbol;
+  return m * (1.0 - frac);
+}
+
+std::vector<std::uint32_t> SymbolDecoder::decode_stream(
+    std::span<const std::uint8_t> bits, double start_index,
+    double samples_per_symbol, std::size_t n_symbols) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(n_symbols);
+  const auto m = static_cast<std::int64_t>(params_.symbol_alphabet());
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    const double w_begin = start_index + static_cast<double>(s) * samples_per_symbol;
+    const std::optional<double> est =
+        estimate_fraction(bits, w_begin, samples_per_symbol);
+    if (!est.has_value()) {
+      out.push_back(0);
+      continue;
+    }
+    const auto v = static_cast<std::int64_t>(std::llround(*est + bias_));
+    out.push_back(static_cast<std::uint32_t>(((v % m) + m) % m));
+  }
+  return out;
+}
+
+}  // namespace saiyan::core

@@ -1,0 +1,54 @@
+// Peak-position symbol decoding (paper §2.2 "Decoding" and Fig. 8).
+//
+// Within each symbol window the double-threshold comparator emits one
+// high run whose trailing edge marks the time the chirp's frequency
+// peaked at the SAW passband edge: t_peak = Tsym · (1 - v/2^K). The
+// decoder finds the last falling edge and inverts that relation.
+//
+// The trailing edge systematically lags t_peak (the envelope must
+// decay below UL, plus half-tick sampling latency), so the decoder
+// carries a bias correction, measured once against the noiseless
+// reference chain — the analogue of the paper's offline calibration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lora/params.hpp"
+
+namespace saiyan::core {
+
+class SymbolDecoder {
+ public:
+  explicit SymbolDecoder(const lora::PhyParams& params);
+
+  /// Unrounded symbol estimate M·(1 - t_edge/Tsym) from a comparator
+  /// tick stream: the last falling edge inside the window
+  /// [w_begin, w_begin + samples_per_symbol) in continuous tick
+  /// coordinates. nullopt when the window has no high tick.
+  std::optional<double> estimate_fraction(std::span<const std::uint8_t> bits,
+                                          double w_begin,
+                                          double samples_per_symbol) const;
+
+  /// Decode `n_symbols` consecutive symbols starting at `start_index`
+  /// ticks; `samples_per_symbol` may be fractional (e.g. 3.2·2^K).
+  /// Windows with no edge decode as 0 (the value whose peak sits on
+  /// the symbol boundary and often spills into the next window).
+  std::vector<std::uint32_t> decode_stream(std::span<const std::uint8_t> bits,
+                                           double start_index,
+                                           double samples_per_symbol,
+                                           std::size_t n_symbols) const;
+
+  /// Systematic edge-lag correction in symbol-value units, subtracted
+  /// before rounding. Set by SaiyanDemodulator's self-calibration.
+  void set_bias(double bias_values) { bias_ = bias_values; }
+  double bias() const { return bias_; }
+
+ private:
+  lora::PhyParams params_;
+  double bias_ = 0.0;
+};
+
+}  // namespace saiyan::core

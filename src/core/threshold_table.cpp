@@ -1,0 +1,80 @@
+#include "core/threshold_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/utils.hpp"
+#include "lora/modulator.hpp"
+
+namespace saiyan::core {
+namespace {
+
+double percentile(std::span<const double> x, double p) {
+  if (x.empty()) return 0.0;
+  std::vector<double> copy(x.begin(), x.end());
+  const std::size_t k = static_cast<std::size_t>(
+      std::clamp(p, 0.0, 1.0) * static_cast<double>(copy.size() - 1));
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(k),
+                   copy.end());
+  return copy[k];
+}
+
+}  // namespace
+
+frontend::ThresholdPair auto_thresholds(std::span<const double> envelope,
+                                        double gap_db) {
+  const double a_max = percentile(envelope, 0.998);
+  const double median = percentile(envelope, 0.5);
+  if (a_max <= median) {
+    // Degenerate (no modulation visible); fall back to something sane.
+    return frontend::ThresholdPair{a_max * 0.9, a_max * 0.5};
+  }
+  const double ripple = 0.35 * (a_max - median);
+  frontend::ThresholdPair t = frontend::thresholds_from_peak(a_max, gap_db, ripple);
+  // Keep UL above the median floor but strictly below UH, whatever the
+  // envelope statistics look like (noise-only inputs can push the
+  // median arbitrarily close to the peak).
+  t.u_low = std::max(t.u_low, median + 0.05 * (a_max - median));
+  t.u_low = std::min(t.u_low, 0.9 * t.u_high);
+  return t;
+}
+
+ThresholdTable::ThresholdTable(const ReceiverChain& chain,
+                               const channel::LinkBudget& link,
+                               std::vector<double> distances_m,
+                               const channel::Environment& env) {
+  if (distances_m.empty()) {
+    throw std::invalid_argument("ThresholdTable: need at least one distance");
+  }
+  std::sort(distances_m.begin(), distances_m.end());
+  lora::Modulator mod(chain.config().phy);
+  // Calibration packet: preamble plus a couple of sweep symbols.
+  dsp::Signal wave = mod.modulate({0u, 0u});
+  for (double d : distances_m) {
+    if (d <= 0.0) throw std::invalid_argument("ThresholdTable: distance must be > 0");
+    dsp::Signal scaled = wave;
+    dsp::set_power_dbm(scaled, link.rss_dbm(d, env));
+    const dsp::RealSignal envl = chain.reference_envelope(scaled);
+    ThresholdEntry e;
+    e.distance_m = d;
+    e.a_max = dsp::peak(std::span<const double>(envl));
+    e.thresholds = auto_thresholds(envl, chain.config().threshold_gap_db);
+    entries_.push_back(e);
+  }
+}
+
+frontend::ThresholdPair ThresholdTable::lookup(double distance_m) const {
+  const ThresholdEntry* best = &entries_.front();
+  double best_err = std::abs(std::log(distance_m / best->distance_m));
+  for (const ThresholdEntry& e : entries_) {
+    const double err = std::abs(std::log(distance_m / e.distance_m));
+    if (err < best_err) {
+      best_err = err;
+      best = &e;
+    }
+  }
+  return best->thresholds;
+}
+
+}  // namespace saiyan::core

@@ -1,0 +1,49 @@
+// Distance-keyed comparator threshold table (paper §4.1).
+//
+// Amax and the envelope ripple UF both vary with link distance, so the
+// paper measures them offline at several distances and stores a
+// mapping table on the tag; UH/UL are then configured per link. This
+// class reproduces that calibration: it runs a clean reference packet
+// through the receive chain at each distance and records the derived
+// threshold pair.
+#pragma once
+
+#include <vector>
+
+#include "channel/link_budget.hpp"
+#include "core/receiver_chain.hpp"
+#include "frontend/comparator.hpp"
+
+namespace saiyan::core {
+
+struct ThresholdEntry {
+  double distance_m = 0.0;
+  double a_max = 0.0;                 ///< measured peak envelope
+  frontend::ThresholdPair thresholds;
+};
+
+class ThresholdTable {
+ public:
+  /// Calibrate at each distance in `distances_m` using the link budget
+  /// to set the reference packet's RSS.
+  ThresholdTable(const ReceiverChain& chain, const channel::LinkBudget& link,
+                 std::vector<double> distances_m,
+                 const channel::Environment& env = {});
+
+  /// Threshold pair for the entry nearest to `distance_m`.
+  frontend::ThresholdPair lookup(double distance_m) const;
+
+  const std::vector<ThresholdEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<ThresholdEntry> entries_;
+};
+
+/// Auto thresholds from a received envelope: Amax from a high
+/// percentile (robust to spikes), ripple from the peak-to-median
+/// spread. This is the kAuto mode — the AGC direction the paper
+/// leaves as future work.
+frontend::ThresholdPair auto_thresholds(std::span<const double> envelope,
+                                        double gap_db);
+
+}  // namespace saiyan::core

@@ -1,0 +1,113 @@
+#include "dsp/correlate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace saiyan::dsp {
+namespace {
+
+// Complex sliding correlation via FFT; returns |corr| for valid lags.
+RealSignal xcorr_impl(std::span<const Complex> x, std::span<const Complex> tmpl) {
+  if (tmpl.empty()) throw std::invalid_argument("cross_correlate: empty template");
+  if (x.size() < tmpl.size()) return {};
+  const std::size_t n_valid = x.size() - tmpl.size() + 1;
+  const std::size_t n = next_pow2(x.size() + tmpl.size() - 1);
+  Signal xf(n, Complex{});
+  Signal tf(n, Complex{});
+  for (std::size_t i = 0; i < x.size(); ++i) xf[i] = x[i];
+  // Correlation = convolution with conjugated, time-reversed template.
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    tf[i] = std::conj(tmpl[tmpl.size() - 1 - i]);
+  }
+  fft_inplace(xf);
+  fft_inplace(tf);
+  for (std::size_t i = 0; i < n; ++i) xf[i] *= tf[i];
+  ifft_inplace(xf);
+  RealSignal out(n_valid);
+  for (std::size_t i = 0; i < n_valid; ++i) {
+    out[i] = std::abs(xf[i + tmpl.size() - 1]);
+  }
+  return out;
+}
+
+// Signed variant: returns the real part instead of the magnitude.
+RealSignal xcorr_signed_impl(std::span<const Complex> x, std::span<const Complex> tmpl) {
+  if (tmpl.empty()) throw std::invalid_argument("cross_correlate: empty template");
+  if (x.size() < tmpl.size()) return {};
+  const std::size_t n_valid = x.size() - tmpl.size() + 1;
+  const std::size_t n = next_pow2(x.size() + tmpl.size() - 1);
+  Signal xf(n, Complex{});
+  Signal tf(n, Complex{});
+  for (std::size_t i = 0; i < x.size(); ++i) xf[i] = x[i];
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    tf[i] = std::conj(tmpl[tmpl.size() - 1 - i]);
+  }
+  fft_inplace(xf);
+  fft_inplace(tf);
+  for (std::size_t i = 0; i < n; ++i) xf[i] *= tf[i];
+  ifft_inplace(xf);
+  RealSignal out(n_valid);
+  for (std::size_t i = 0; i < n_valid; ++i) {
+    out[i] = xf[i + tmpl.size() - 1].real();
+  }
+  return out;
+}
+
+double window_energy(std::span<const Complex> x, std::size_t start, std::size_t len) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < len; ++i) acc += std::norm(x[start + i]);
+  return acc;
+}
+
+}  // namespace
+
+RealSignal cross_correlate(std::span<const Complex> x, std::span<const Complex> tmpl) {
+  return xcorr_impl(x, tmpl);
+}
+
+RealSignal cross_correlate(std::span<const double> x, std::span<const double> tmpl) {
+  Signal cx(x.size());
+  Signal ct(tmpl.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
+  for (std::size_t i = 0; i < tmpl.size(); ++i) ct[i] = Complex(tmpl[i], 0.0);
+  return xcorr_impl(cx, ct);
+}
+
+RealSignal cross_correlate_signed(std::span<const double> x,
+                                  std::span<const double> tmpl) {
+  Signal cx(x.size());
+  Signal ct(tmpl.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
+  for (std::size_t i = 0; i < tmpl.size(); ++i) ct[i] = Complex(tmpl[i], 0.0);
+  return xcorr_signed_impl(cx, ct);
+}
+
+CorrelationPeak find_peak(std::span<const Complex> x, std::span<const Complex> tmpl) {
+  const RealSignal corr = xcorr_impl(x, tmpl);
+  CorrelationPeak pk;
+  if (corr.empty()) return pk;
+  for (std::size_t i = 0; i < corr.size(); ++i) {
+    if (corr[i] > pk.value) {
+      pk.value = corr[i];
+      pk.lag = i;
+    }
+  }
+  double t_energy = 0.0;
+  for (const Complex& v : tmpl) t_energy += std::norm(v);
+  const double w_energy = window_energy(x, pk.lag, tmpl.size());
+  const double denom = std::sqrt(t_energy * w_energy);
+  pk.normalized = (denom > 0.0) ? pk.value / denom : 0.0;
+  return pk;
+}
+
+CorrelationPeak find_peak(std::span<const double> x, std::span<const double> tmpl) {
+  Signal cx(x.size());
+  Signal ct(tmpl.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
+  for (std::size_t i = 0; i < tmpl.size(); ++i) ct[i] = Complex(tmpl[i], 0.0);
+  return find_peak(std::span<const Complex>(cx), std::span<const Complex>(ct));
+}
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,37 @@
+// Cross-correlation — the primitive behind Saiyan's correlation
+// decoder (§3.2) and PLoRa's packet detector.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace saiyan::dsp {
+
+/// Result of a correlation peak search.
+struct CorrelationPeak {
+  std::size_t lag = 0;     ///< offset of the template into the signal
+  double value = 0.0;      ///< |correlation| at the peak
+  double normalized = 0.0; ///< peak normalized to [0,1] by local energy
+};
+
+/// FFT-based sliding cross-correlation of `x` against `tmpl`
+/// (template conjugated). Output length is x.size() - tmpl.size() + 1
+/// (valid lags only); empty if the template is longer than the signal.
+RealSignal cross_correlate(std::span<const Complex> x, std::span<const Complex> tmpl);
+
+/// Real-valued sliding cross-correlation (valid lags). Magnitudes.
+RealSignal cross_correlate(std::span<const double> x, std::span<const double> tmpl);
+
+/// Signed real sliding cross-correlation (valid lags) — preserves the
+/// sign so anti-correlated windows score negative.
+RealSignal cross_correlate_signed(std::span<const double> x,
+                                  std::span<const double> tmpl);
+
+/// Find the strongest normalized correlation peak of tmpl in x.
+/// `normalized` is |corr| / (||x_window|| · ||tmpl||) — 1.0 for a
+/// perfect scaled match.
+CorrelationPeak find_peak(std::span<const Complex> x, std::span<const Complex> tmpl);
+CorrelationPeak find_peak(std::span<const double> x, std::span<const double> tmpl);
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,112 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace saiyan::dsp {
+namespace {
+
+// Iterative radix-2 Cooley–Tukey; length must be a power of two.
+void fft_radix2(Signal& x, bool inverse) {
+  const std::size_t n = x.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein chirp-z transform for arbitrary lengths: expresses an
+// N-point DFT as a circular convolution of length >= 2N-1.
+void fft_bluestein(Signal& x, bool inverse) {
+  const std::size_t n = x.size();
+  const std::size_t m = next_pow2(2 * n - 1);
+  const double sign = inverse ? 1.0 : -1.0;
+
+  Signal a(m, Complex{});
+  Signal b(m, Complex{});
+  Signal chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // exp(sign * i*pi*k^2/n); compute k^2 mod 2n to keep the argument small.
+    const std::size_t k2 = (static_cast<unsigned long long>(k) * k) % (2 * n);
+    const double angle = sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+    a[k] = x[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+  }
+  for (std::size_t k = 1; k < n; ++k) b[m - k] = b[k];
+
+  fft_radix2(a, false);
+  fft_radix2(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2(a, true);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    x[k] = a[k] * scale * chirp[k];
+  }
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_inplace(Signal& x) {
+  if (x.empty()) throw std::invalid_argument("fft: empty input");
+  if (is_pow2(x.size())) {
+    fft_radix2(x, false);
+  } else {
+    fft_bluestein(x, false);
+  }
+}
+
+void ifft_inplace(Signal& x) {
+  if (x.empty()) throw std::invalid_argument("ifft: empty input");
+  if (is_pow2(x.size())) {
+    fft_radix2(x, true);
+  } else {
+    fft_bluestein(x, true);
+  }
+  const double scale = 1.0 / static_cast<double>(x.size());
+  for (Complex& v : x) v *= scale;
+}
+
+Signal fft(Signal x) {
+  fft_inplace(x);
+  return x;
+}
+
+Signal ifft(Signal x) {
+  ifft_inplace(x);
+  return x;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double fs) {
+  if (n == 0) throw std::invalid_argument("bin_frequency: n must be > 0");
+  const double f = static_cast<double>(k) * fs / static_cast<double>(n);
+  return (k < (n + 1) / 2) ? f : f - fs;
+}
+
+}  // namespace saiyan::dsp

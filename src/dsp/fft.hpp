@@ -1,0 +1,36 @@
+// Fast Fourier transform.
+//
+// Power-of-two lengths use an iterative radix-2 Cooley–Tukey kernel;
+// arbitrary lengths fall back to Bluestein's chirp-z algorithm so the
+// rest of the library never needs to care about padding.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.hpp"
+
+namespace saiyan::dsp {
+
+/// In-place forward DFT of x (any length >= 1).
+void fft_inplace(Signal& x);
+
+/// In-place inverse DFT of x (any length >= 1), normalized by 1/N.
+void ifft_inplace(Signal& x);
+
+/// Out-of-place forward DFT.
+Signal fft(Signal x);
+
+/// Out-of-place inverse DFT (1/N normalized).
+Signal ifft(Signal x);
+
+/// Smallest power of two >= n (n = 0 maps to 1).
+std::size_t next_pow2(std::size_t n);
+
+/// True when n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// Frequency (Hz) of FFT bin `k` for an N-point transform at sample
+/// rate `fs`, mapped into [-fs/2, fs/2).
+double bin_frequency(std::size_t k, std::size_t n, double fs);
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,151 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace saiyan::dsp {
+namespace {
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(kPi * x) / (kPi * x);
+}
+
+void check_design(double cutoff_hz, double fs_hz, std::size_t taps) {
+  if (taps == 0) throw std::invalid_argument("FIR design: taps must be > 0");
+  if (fs_hz <= 0.0) throw std::invalid_argument("FIR design: fs must be > 0");
+  if (cutoff_hz <= 0.0 || cutoff_hz >= fs_hz / 2.0) {
+    throw std::invalid_argument("FIR design: cutoff must be in (0, fs/2)");
+  }
+}
+
+void normalize_dc(RealSignal& h) {
+  double s = 0.0;
+  for (double v : h) s += v;
+  if (s != 0.0) {
+    for (double& v : h) v /= s;
+  }
+}
+
+}  // namespace
+
+RealSignal design_lowpass(double cutoff_hz, double fs_hz, std::size_t taps,
+                          WindowType window) {
+  check_design(cutoff_hz, fs_hz, taps);
+  const double fc = cutoff_hz / fs_hz;  // normalized (cycles/sample)
+  const RealSignal w = make_window(window, taps);
+  RealSignal h(taps);
+  const double mid = (static_cast<double>(taps) - 1.0) / 2.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    h[i] = 2.0 * fc * sinc(2.0 * fc * t) * w[i];
+  }
+  normalize_dc(h);
+  return h;
+}
+
+RealSignal design_highpass(double cutoff_hz, double fs_hz, std::size_t taps,
+                           WindowType window) {
+  if (taps % 2 == 0) {
+    throw std::invalid_argument("design_highpass: taps must be odd");
+  }
+  RealSignal h = design_lowpass(cutoff_hz, fs_hz, taps, window);
+  // Spectral inversion: delta - lowpass.
+  for (double& v : h) v = -v;
+  h[(taps - 1) / 2] += 1.0;
+  return h;
+}
+
+RealSignal design_bandpass(double f_lo_hz, double f_hi_hz, double fs_hz,
+                           std::size_t taps, WindowType window) {
+  if (f_lo_hz >= f_hi_hz) {
+    throw std::invalid_argument("design_bandpass: f_lo must be < f_hi");
+  }
+  check_design(f_hi_hz, fs_hz, taps);
+  check_design(f_lo_hz, fs_hz, taps);
+  // Difference of two lowpasses, then peak-normalize at band center.
+  const RealSignal lo = design_lowpass(f_lo_hz, fs_hz, taps, window);
+  RealSignal h = design_lowpass(f_hi_hz, fs_hz, taps, window);
+  for (std::size_t i = 0; i < taps; ++i) h[i] -= lo[i];
+  // Normalize gain at the center frequency to unity.
+  const double f0 = (f_lo_hz + f_hi_hz) / 2.0 / fs_hz;
+  Complex g{};
+  const double mid = (static_cast<double>(taps) - 1.0) / 2.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double ph = -kTwoPi * f0 * (static_cast<double>(i) - mid);
+    g += h[i] * Complex(std::cos(ph), std::sin(ph));
+  }
+  const double mag = std::abs(g);
+  if (mag > 1e-12) {
+    for (double& v : h) v /= mag;
+  }
+  return h;
+}
+
+FirFilter::FirFilter(RealSignal taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+  history_.assign(taps_.size(), Complex{});
+}
+
+double FirFilter::step(double x) { return step(Complex(x, 0.0)).real(); }
+
+Complex FirFilter::step(Complex x) {
+  history_[head_] = x;
+  Complex acc{};
+  std::size_t idx = head_;
+  for (double tap : taps_) {
+    acc += tap * history_[idx];
+    idx = (idx == 0) ? history_.size() - 1 : idx - 1;
+  }
+  head_ = (head_ + 1) % history_.size();
+  return acc;
+}
+
+RealSignal FirFilter::process(std::span<const double> x) {
+  RealSignal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = step(x[i]);
+  return out;
+}
+
+Signal FirFilter::process(std::span<const Complex> x) {
+  Signal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = step(x[i]);
+  return out;
+}
+
+void FirFilter::reset() {
+  history_.assign(taps_.size(), Complex{});
+  head_ = 0;
+}
+
+Signal fft_filter(std::span<const Complex> x, std::span<const double> taps) {
+  if (x.empty()) return {};
+  if (taps.empty()) throw std::invalid_argument("fft_filter: empty taps");
+  const std::size_t n = next_pow2(x.size() + taps.size() - 1);
+  Signal xf(n, Complex{});
+  Signal hf(n, Complex{});
+  for (std::size_t i = 0; i < x.size(); ++i) xf[i] = x[i];
+  for (std::size_t i = 0; i < taps.size(); ++i) hf[i] = Complex(taps[i], 0.0);
+  fft_inplace(xf);
+  fft_inplace(hf);
+  for (std::size_t i = 0; i < n; ++i) xf[i] *= hf[i];
+  ifft_inplace(xf);
+  // Compensate the linear-phase group delay so output aligns with input.
+  const std::size_t delay = (taps.size() - 1) / 2;
+  Signal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = xf[i + delay];
+  return out;
+}
+
+RealSignal fft_filter(std::span<const double> x, std::span<const double> taps) {
+  Signal cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
+  const Signal cy = fft_filter(cx, taps);
+  RealSignal out(cy.size());
+  for (std::size_t i = 0; i < cy.size(); ++i) out[i] = cy[i].real();
+  return out;
+}
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,63 @@
+// FIR filter design (windowed sinc) and application.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.hpp"
+#include "dsp/window.hpp"
+
+namespace saiyan::dsp {
+
+/// Design a linear-phase low-pass FIR. `cutoff_hz` is the -6 dB edge,
+/// `fs_hz` the sample rate, `taps` the filter length (odd preferred).
+RealSignal design_lowpass(double cutoff_hz, double fs_hz, std::size_t taps,
+                          WindowType window = WindowType::kHamming);
+
+/// Design a linear-phase high-pass FIR (spectral inversion of lowpass).
+RealSignal design_highpass(double cutoff_hz, double fs_hz, std::size_t taps,
+                           WindowType window = WindowType::kHamming);
+
+/// Design a linear-phase band-pass FIR with edges [f_lo, f_hi].
+RealSignal design_bandpass(double f_lo_hz, double f_hi_hz, double fs_hz,
+                           std::size_t taps,
+                           WindowType window = WindowType::kHamming);
+
+/// Streaming FIR filter (direct form) usable on real or complex data.
+/// Keeps state across process() calls so long waveforms can be fed in
+/// blocks.
+class FirFilter {
+ public:
+  explicit FirFilter(RealSignal taps);
+
+  /// Filter one sample.
+  double step(double x);
+  Complex step(Complex x);
+
+  /// Filter a whole buffer (stateful; same-length output, i.e. the
+  /// filter delay of (taps-1)/2 samples is *not* compensated).
+  RealSignal process(std::span<const double> x);
+  Signal process(std::span<const Complex> x);
+
+  /// Clear history.
+  void reset();
+
+  std::size_t order() const { return taps_.size(); }
+  /// Group delay of the linear-phase filter, in samples.
+  double group_delay() const { return (static_cast<double>(taps_.size()) - 1.0) / 2.0; }
+  const RealSignal& taps() const { return taps_; }
+
+ private:
+  RealSignal taps_;
+  Signal history_;      // circular buffer of past inputs
+  std::size_t head_ = 0;
+};
+
+/// FFT-based linear convolution of x with taps, output trimmed to
+/// x.size() with the group delay compensated — the steady-state
+/// filtered waveform aligned with the input. Suitable for whole-packet
+/// (offline) filtering.
+Signal fft_filter(std::span<const Complex> x, std::span<const double> taps);
+RealSignal fft_filter(std::span<const double> x, std::span<const double> taps);
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,67 @@
+#include "dsp/nco.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saiyan::dsp {
+
+Nco::Nco(double frequency_hz, double fs_hz, double initial_phase_rad)
+    : freq_hz_(frequency_hz),
+      fs_hz_(fs_hz),
+      phase_(initial_phase_rad),
+      phase_inc_(kTwoPi * frequency_hz / fs_hz) {
+  if (fs_hz <= 0.0) throw std::invalid_argument("Nco: fs must be > 0");
+}
+
+Complex Nco::next() {
+  const Complex v(std::cos(phase_), std::sin(phase_));
+  phase_ += phase_inc_;
+  if (phase_ > kTwoPi) phase_ -= kTwoPi;
+  if (phase_ < -kTwoPi) phase_ += kTwoPi;
+  return v;
+}
+
+double Nco::next_real() { return next().real(); }
+
+Signal Nco::tone(std::size_t n) {
+  Signal out(n);
+  for (Complex& v : out) v = next();
+  return out;
+}
+
+RealSignal Nco::cosine(std::size_t n) {
+  RealSignal out(n);
+  for (double& v : out) v = next_real();
+  return out;
+}
+
+void Nco::set_frequency(double frequency_hz) {
+  freq_hz_ = frequency_hz;
+  phase_inc_ = kTwoPi * frequency_hz / fs_hz_;
+}
+
+Signal mix_complex(std::span<const Complex> x, double f_hz, double fs_hz,
+                   double phase_rad) {
+  Nco nco(f_hz, fs_hz, phase_rad);
+  Signal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * nco.next();
+  return out;
+}
+
+Signal mix_real(std::span<const Complex> x, double f_hz, double fs_hz,
+                double phase_rad) {
+  Nco nco(f_hz, fs_hz, phase_rad);
+  Signal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * nco.next_real();
+  return out;
+}
+
+RealSignal mix_real(std::span<const double> x, double f_hz, double fs_hz,
+                    double phase_rad) {
+  Nco nco(f_hz, fs_hz, phase_rad);
+  RealSignal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * nco.next_real();
+  return out;
+}
+
+}  // namespace saiyan::dsp

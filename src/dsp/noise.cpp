@@ -1,0 +1,82 @@
+#include "dsp/noise.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/utils.hpp"
+
+namespace saiyan::dsp {
+
+Signal complex_awgn(std::size_t n, double power_watts, Rng& rng) {
+  if (power_watts < 0.0) throw std::invalid_argument("complex_awgn: negative power");
+  const double sigma = std::sqrt(power_watts / 2.0);
+  Signal out(n);
+  for (Complex& v : out) {
+    v = Complex(sigma * rng.gaussian(), sigma * rng.gaussian());
+  }
+  return out;
+}
+
+void add_awgn(Signal& x, double power_watts, Rng& rng) {
+  if (power_watts < 0.0) throw std::invalid_argument("add_awgn: negative power");
+  const double sigma = std::sqrt(power_watts / 2.0);
+  for (Complex& v : x) {
+    v += Complex(sigma * rng.gaussian(), sigma * rng.gaussian());
+  }
+}
+
+RealSignal real_white_noise(std::size_t n, double power_watts, Rng& rng) {
+  if (power_watts < 0.0) throw std::invalid_argument("real_white_noise: negative power");
+  const double sigma = std::sqrt(power_watts);
+  RealSignal out(n);
+  for (double& v : out) v = sigma * rng.gaussian();
+  return out;
+}
+
+RealSignal flicker_noise(std::size_t n, double power_watts, Rng& rng) {
+  if (power_watts < 0.0) throw std::invalid_argument("flicker_noise: negative power");
+  // Sum of octave-spaced one-pole low-pass stages driven by white
+  // noise, each normalized to equal variance — equal power per
+  // frequency octave, the defining property of 1/f noise. Stage
+  // corners run from fs/80 (highest) down by 4x per stage, so the
+  // power sits at low frequencies (well below a typical IF), which is
+  // exactly why cyclic-frequency shifting can escape it.
+  constexpr std::size_t kStages = 6;
+  std::array<double, kStages> state{};
+  std::array<double, kStages> alpha{};
+  std::array<double, kStages> gain{};
+  double fc_over_fs = 1.0 / 80.0;
+  for (std::size_t s = 0; s < kStages; ++s) {
+    alpha[s] = 1.0 - std::exp(-kTwoPi * fc_over_fs);
+    // One-pole output variance for unit white input is a/(2-a);
+    // equalize every stage.
+    gain[s] = 1.0 / std::sqrt(alpha[s] / (2.0 - alpha[s]));
+    fc_over_fs /= 4.0;
+  }
+  RealSignal out(n);
+  for (double& v : out) {
+    double acc = 0.0;
+    for (std::size_t s = 0; s < kStages; ++s) {
+      state[s] += alpha[s] * (rng.gaussian() - state[s]);
+      acc += gain[s] * state[s];
+    }
+    v = acc;
+  }
+  // Normalize to the requested power.
+  const double p = signal_power(std::span<const double>(out));
+  if (p > 0.0) {
+    const double scale = std::sqrt(power_watts / p);
+    for (double& v : out) v *= scale;
+  }
+  return out;
+}
+
+double thermal_noise_floor_dbm(double bandwidth_hz, double noise_figure_db) {
+  if (bandwidth_hz <= 0.0) {
+    throw std::invalid_argument("thermal_noise_floor_dbm: bandwidth must be > 0");
+  }
+  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,56 @@
+#include "dsp/resample.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fir.hpp"
+
+namespace saiyan::dsp {
+namespace {
+
+constexpr std::size_t kAntiAliasTaps = 63;
+
+}  // namespace
+
+RealSignal decimate(std::span<const double> x, std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("decimate: factor must be >= 1");
+  if (factor == 1) return RealSignal(x.begin(), x.end());
+  // Anti-alias at 0.45 of the post-decimation Nyquist.
+  const RealSignal taps =
+      design_lowpass(0.45 / static_cast<double>(factor), 1.0, kAntiAliasTaps);
+  const RealSignal filtered = fft_filter(x, taps);
+  RealSignal out;
+  out.reserve(filtered.size() / factor + 1);
+  for (std::size_t i = 0; i < filtered.size(); i += factor) out.push_back(filtered[i]);
+  return out;
+}
+
+Signal decimate(std::span<const Complex> x, std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("decimate: factor must be >= 1");
+  if (factor == 1) return Signal(x.begin(), x.end());
+  const RealSignal taps =
+      design_lowpass(0.45 / static_cast<double>(factor), 1.0, kAntiAliasTaps);
+  const Signal filtered = fft_filter(x, taps);
+  Signal out;
+  out.reserve(filtered.size() / factor + 1);
+  for (std::size_t i = 0; i < filtered.size(); i += factor) out.push_back(filtered[i]);
+  return out;
+}
+
+RealSignal sample_hold(std::span<const double> x, double fs_in_hz, double fs_out_hz) {
+  if (fs_in_hz <= 0.0 || fs_out_hz <= 0.0) {
+    throw std::invalid_argument("sample_hold: rates must be > 0");
+  }
+  if (x.empty()) return {};
+  const double ratio = fs_in_hz / fs_out_hz;
+  const std::size_t n_out =
+      static_cast<std::size_t>(std::floor(static_cast<double>(x.size() - 1) / ratio)) + 1;
+  RealSignal out(n_out);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    const std::size_t idx = static_cast<std::size_t>(std::floor(k * ratio));
+    out[k] = x[std::min(idx, x.size() - 1)];
+  }
+  return out;
+}
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,20 @@
+// Integer-factor decimation with anti-alias filtering, plus raw
+// sample-and-hold pickup used by the low-power voltage sampler.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace saiyan::dsp {
+
+/// Anti-alias low-pass then keep every `factor`-th sample.
+RealSignal decimate(std::span<const double> x, std::size_t factor);
+Signal decimate(std::span<const Complex> x, std::size_t factor);
+
+/// Sample a waveform at an arbitrary (possibly non-integer) ratio of
+/// the source rate, zero-order hold: out[k] = x[floor(k * fs_in/fs_out)].
+/// This is what a comparator+counter sampler physically does.
+RealSignal sample_hold(std::span<const double> x, double fs_in_hz, double fs_out_hz);
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,40 @@
+// Deterministic random number generation.
+//
+// Every stochastic block (noise sources, MAC slot selection, packet
+// payloads) takes an explicit Rng so that experiments are reproducible
+// run-to-run; nothing in the library touches global random state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace saiyan::dsp {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5a17a2ULL) : engine_(seed) {}
+
+  /// Standard normal draw (mean 0, variance 1).
+  double gaussian() { return normal_(engine_); }
+
+  /// Uniform draw in [0, 1).
+  double uniform() { return uniform_(engine_); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace saiyan::dsp

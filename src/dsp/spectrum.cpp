@@ -1,0 +1,129 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "dsp/utils.hpp"
+
+namespace saiyan::dsp {
+namespace {
+
+// Accumulate |FFT|^2 over 50%-overlapped windowed segments.
+RealSignal welch_accumulate(std::span<const Complex> x, std::size_t segment,
+                            WindowType window) {
+  if (!is_pow2(segment)) throw std::invalid_argument("welch_psd: segment must be pow2");
+  if (x.size() < segment) segment = next_pow2(x.size() + 1) / 2;
+  if (segment < 2) segment = 2;
+  const RealSignal w = make_window(window, segment);
+  double w_power = 0.0;
+  for (double v : w) w_power += v * v;
+
+  RealSignal acc(segment, 0.0);
+  std::size_t count = 0;
+  const std::size_t hop = segment / 2;
+  for (std::size_t start = 0; start + segment <= x.size(); start += hop) {
+    Signal seg(segment);
+    for (std::size_t i = 0; i < segment; ++i) seg[i] = x[start + i] * w[i];
+    fft_inplace(seg);
+    for (std::size_t i = 0; i < segment; ++i) acc[i] += std::norm(seg[i]);
+    ++count;
+  }
+  if (count == 0) {
+    // Input shorter than one segment: single zero-padded segment.
+    Signal seg(segment, Complex{});
+    for (std::size_t i = 0; i < x.size(); ++i) seg[i] = x[i] * w[i % w.size()];
+    fft_inplace(seg);
+    for (std::size_t i = 0; i < segment; ++i) acc[i] += std::norm(seg[i]);
+    count = 1;
+  }
+  const double norm = 1.0 / (static_cast<double>(count) * w_power * segment);
+  for (double& v : acc) v *= norm;
+  return acc;  // average power per bin (watts)
+}
+
+}  // namespace
+
+Psd welch_psd(std::span<const Complex> x, double fs_hz, std::size_t segment,
+              WindowType window) {
+  if (fs_hz <= 0.0) throw std::invalid_argument("welch_psd: fs must be > 0");
+  RealSignal acc = welch_accumulate(x, segment, window);
+  const std::size_t n = acc.size();
+  Psd psd;
+  psd.frequency_hz.resize(n);
+  psd.power_dbm.resize(n);
+  // Re-order to [-fs/2, fs/2).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = (i + n / 2) % n;  // FFT bin index for slot i
+    psd.frequency_hz[i] = bin_frequency(k, n, fs_hz);
+    psd.power_dbm[i] = watts_to_dbm(std::max(acc[k], 1e-30));
+  }
+  return psd;
+}
+
+Psd welch_psd(std::span<const double> x, double fs_hz, std::size_t segment,
+              WindowType window) {
+  Signal cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
+  RealSignal acc = welch_accumulate(cx, segment, window);
+  const std::size_t n = acc.size();
+  const std::size_t half = n / 2;
+  Psd psd;
+  psd.frequency_hz.resize(half);
+  psd.power_dbm.resize(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    psd.frequency_hz[i] = static_cast<double>(i) * fs_hz / static_cast<double>(n);
+    // Fold negative frequencies into the positive half (real signal).
+    const double p = acc[i] + ((i == 0) ? 0.0 : acc[n - i]);
+    psd.power_dbm[i] = watts_to_dbm(std::max(p, 1e-30));
+  }
+  return psd;
+}
+
+double estimate_snr_db(std::span<const double> x, double fs_hz, double band_lo_hz,
+                       double band_hi_hz, std::size_t segment) {
+  if (band_lo_hz >= band_hi_hz) {
+    throw std::invalid_argument("estimate_snr_db: band_lo must be < band_hi");
+  }
+  const Psd psd = welch_psd(x, fs_hz, segment);
+  double sig = 0.0;
+  double noise = 0.0;
+  std::size_t sig_bins = 0;
+  std::size_t noise_bins = 0;
+  for (std::size_t i = 0; i < psd.frequency_hz.size(); ++i) {
+    const double p = dbm_to_watts(psd.power_dbm[i]);
+    if (psd.frequency_hz[i] >= band_lo_hz && psd.frequency_hz[i] <= band_hi_hz) {
+      sig += p;
+      ++sig_bins;
+    } else {
+      noise += p;
+      ++noise_bins;
+    }
+  }
+  if (sig_bins == 0 || noise_bins == 0 || noise <= 0.0) {
+    throw std::domain_error("estimate_snr_db: degenerate band split");
+  }
+  // Scale out-of-band noise density to the signal bandwidth.
+  const double noise_in_band =
+      noise / static_cast<double>(noise_bins) * static_cast<double>(sig_bins);
+  if (sig <= noise_in_band) return -99.0;  // fully buried
+  return lin_to_db((sig - noise_in_band) / noise_in_band);
+}
+
+double dominant_frequency(std::span<const double> x, double fs_hz,
+                          double dc_guard_hz, std::size_t segment) {
+  const Psd psd = welch_psd(x, fs_hz, segment);
+  double best_f = 0.0;
+  double best_p = -1e300;
+  for (std::size_t i = 0; i < psd.frequency_hz.size(); ++i) {
+    if (psd.frequency_hz[i] < dc_guard_hz) continue;
+    if (psd.power_dbm[i] > best_p) {
+      best_p = psd.power_dbm[i];
+      best_f = psd.frequency_hz[i];
+    }
+  }
+  return best_f;
+}
+
+}  // namespace saiyan::dsp

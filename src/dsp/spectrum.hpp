@@ -1,0 +1,40 @@
+// Spectral analysis: Welch periodogram, in-band SNR estimation and
+// dominant-frequency search. Used by the CFS benchmark (paper Fig. 10)
+// and the front-end tests.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+#include "dsp/window.hpp"
+
+namespace saiyan::dsp {
+
+/// Power spectral density estimate.
+struct Psd {
+  RealSignal frequency_hz;  ///< bin centers, monotonically increasing
+  RealSignal power_dbm;     ///< PSD integrated per bin, in dBm
+};
+
+/// Welch-averaged periodogram of a complex waveform. Frequencies span
+/// [-fs/2, fs/2). `segment` must be a power of two.
+Psd welch_psd(std::span<const Complex> x, double fs_hz, std::size_t segment = 1024,
+              WindowType window = WindowType::kHann);
+
+/// Welch-averaged periodogram of a real waveform; frequencies span
+/// [0, fs/2).
+Psd welch_psd(std::span<const double> x, double fs_hz, std::size_t segment = 1024,
+              WindowType window = WindowType::kHann);
+
+/// Estimate SNR (dB) of a real waveform: signal = total power inside
+/// [band_lo, band_hi] Hz; noise = average PSD outside, scaled to the
+/// same bandwidth.
+double estimate_snr_db(std::span<const double> x, double fs_hz, double band_lo_hz,
+                       double band_hi_hz, std::size_t segment = 1024);
+
+/// Frequency (Hz) of the strongest PSD bin of a real waveform,
+/// excluding DC bins below `dc_guard_hz`.
+double dominant_frequency(std::span<const double> x, double fs_hz,
+                          double dc_guard_hz = 0.0, std::size_t segment = 1024);
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,28 @@
+// Fundamental signal types shared by every module.
+//
+// All RF waveforms are represented as complex-baseband sample streams
+// (std::vector<std::complex<double>>) relative to a reference RF
+// frequency carried alongside the samples by the blocks that need it
+// (e.g. the SAW filter model). Post-detector (envelope-domain) signals
+// are real-valued streams.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace saiyan::dsp {
+
+using Complex = std::complex<double>;
+using Signal = std::vector<Complex>;       ///< complex-baseband waveform
+using RealSignal = std::vector<double>;    ///< envelope / logic-level waveform
+using BitVector = std::vector<std::uint8_t>;  ///< one logic level per element (0/1)
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Speed of light, m/s. Used by the path-loss models.
+inline constexpr double kSpeedOfLight = 299792458.0;
+
+}  // namespace saiyan::dsp

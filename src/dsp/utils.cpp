@@ -1,0 +1,107 @@
+#include "dsp/utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace saiyan::dsp {
+
+double lin_to_db(double ratio) {
+  if (ratio <= 0.0) {
+    throw std::domain_error("lin_to_db: ratio must be positive");
+  }
+  return 10.0 * std::log10(ratio);
+}
+
+double db_to_lin(double db) { return std::pow(10.0, db / 10.0); }
+
+double watts_to_dbm(double watts) {
+  if (watts <= 0.0) {
+    throw std::domain_error("watts_to_dbm: power must be positive");
+  }
+  return 10.0 * std::log10(watts * 1e3);
+}
+
+double dbm_to_watts(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+double amp_to_db(double amp_ratio) {
+  if (amp_ratio <= 0.0) {
+    throw std::domain_error("amp_to_db: amplitude ratio must be positive");
+  }
+  return 20.0 * std::log10(amp_ratio);
+}
+
+double db_to_amp(double db) { return std::pow(10.0, db / 20.0); }
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size());
+}
+
+double rms(std::span<const double> x) {
+  return std::sqrt(signal_power(x));
+}
+
+double signal_power(std::span<const Complex> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Complex& v : x) acc += std::norm(v);
+  return acc / static_cast<double>(x.size());
+}
+
+double signal_power(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc / static_cast<double>(x.size());
+}
+
+double signal_power_dbm(std::span<const Complex> x) {
+  return watts_to_dbm(signal_power(x));
+}
+
+void set_power_dbm(Signal& x, double target_dbm) {
+  const double p = signal_power(x);
+  if (p <= 0.0) return;
+  const double scale = std::sqrt(dbm_to_watts(target_dbm) / p);
+  for (Complex& v : x) v *= scale;
+}
+
+double peak(std::span<const double> x) {
+  if (x.empty()) return -std::numeric_limits<double>::infinity();
+  return *std::max_element(x.begin(), x.end());
+}
+
+std::size_t argmax(std::span<const double> x) {
+  if (x.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::distance(x.begin(), std::max_element(x.begin(), x.end())));
+}
+
+double interp1(std::span<const double> xs, std::span<const double> ys, double x) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument("interp1: tables must be non-empty and equal size");
+  }
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(std::distance(xs.begin(), it));
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+bool near(double a, double b, double tol) { return std::abs(a - b) <= tol; }
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,63 @@
+// Scalar conversions and small statistics helpers used across modules.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace saiyan::dsp {
+
+/// Convert a linear power ratio to decibels. `ratio` must be > 0.
+double lin_to_db(double ratio);
+
+/// Convert decibels to a linear power ratio.
+double db_to_lin(double db);
+
+/// Convert power in watts to dBm.
+double watts_to_dbm(double watts);
+
+/// Convert dBm to watts.
+double dbm_to_watts(double dbm);
+
+/// Convert a linear amplitude (voltage) ratio to dB (20·log10).
+double amp_to_db(double amp_ratio);
+
+/// Convert dB to a linear amplitude (voltage) ratio.
+double db_to_amp(double db);
+
+/// Mean of a real sequence; 0 for an empty span.
+double mean(std::span<const double> x);
+
+/// Population variance of a real sequence; 0 for fewer than 2 samples.
+double variance(std::span<const double> x);
+
+/// Root-mean-square of a real sequence.
+double rms(std::span<const double> x);
+
+/// Average power (mean |x|^2) of a complex waveform (1-ohm convention).
+double signal_power(std::span<const Complex> x);
+
+/// Average power of a real waveform.
+double signal_power(std::span<const double> x);
+
+/// Average power of a complex waveform expressed in dBm (1 mW reference).
+double signal_power_dbm(std::span<const Complex> x);
+
+/// Scale a complex waveform in place so its average power equals
+/// `target_dbm` (no-op on an all-zero waveform).
+void set_power_dbm(Signal& x, double target_dbm);
+
+/// Maximum element of a real sequence; -inf for empty input.
+double peak(std::span<const double> x);
+
+/// Index of the maximum element; 0 for empty input.
+std::size_t argmax(std::span<const double> x);
+
+/// Linear interpolation of y(x) over a table of (xs, ys) sorted by xs.
+/// Values outside the table clamp to the end points.
+double interp1(std::span<const double> xs, std::span<const double> ys, double x);
+
+/// True when |a-b| <= tol.
+bool near(double a, double b, double tol);
+
+}  // namespace saiyan::dsp

@@ -1,0 +1,43 @@
+#include "frontend/agc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace saiyan::frontend {
+
+AutomaticGainControl::AutomaticGainControl(const AgcConfig& cfg) : cfg_(cfg) {
+  if (cfg.setpoint <= 0.0) throw std::invalid_argument("AGC: setpoint must be > 0");
+  if (cfg.attack_s <= 0.0 || cfg.decay_s <= 0.0) {
+    throw std::invalid_argument("AGC: time constants must be > 0");
+  }
+  if (cfg.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("AGC: sample rate must be > 0");
+  }
+  const double dt = 1.0 / cfg.sample_rate_hz;
+  attack_alpha_ = 1.0 - std::exp(-dt / cfg.attack_s);
+  decay_alpha_ = 1.0 - std::exp(-dt / cfg.decay_s);
+}
+
+double AutomaticGainControl::gain() const {
+  if (peak_ <= 0.0) return cfg_.max_gain;
+  return std::clamp(cfg_.setpoint / peak_, cfg_.min_gain, cfg_.max_gain);
+}
+
+dsp::RealSignal AutomaticGainControl::process(std::span<const double> envelope) {
+  dsp::RealSignal out(envelope.size());
+  for (std::size_t i = 0; i < envelope.size(); ++i) {
+    const double v = std::max(envelope[i], 0.0);
+    // Fast attack toward rises, slow decay toward falls: the tracker
+    // hugs the per-packet amplitude peak without sagging between
+    // chirp peaks.
+    const double alpha = v > peak_ ? attack_alpha_ : decay_alpha_;
+    peak_ += alpha * (v - peak_);
+    out[i] = envelope[i] * gain();
+  }
+  return out;
+}
+
+void AutomaticGainControl::reset() { peak_ = 0.0; }
+
+}  // namespace saiyan::frontend

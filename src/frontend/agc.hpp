@@ -1,0 +1,51 @@
+// Automatic gain control — the paper's §4.1 future-work extension.
+//
+// Saiyan's prototype stores a distance-keyed UH/UL mapping table
+// because the envelope peak Amax varies with link distance. An AGC
+// removes that manual calibration: it tracks the envelope peak with a
+// fast-attack / slow-decay detector and scales the signal so the peak
+// sits at a fixed setpoint, letting one static threshold pair serve
+// every link distance (the feed-forward AGC direction of [42, 43]).
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace saiyan::frontend {
+
+struct AgcConfig {
+  double setpoint = 1.0;        ///< target envelope peak after scaling
+  double attack_s = 50e-6;      ///< peak-tracker rise time constant
+  double decay_s = 20e-3;       ///< peak-tracker fall time constant
+  double sample_rate_hz = 4e6;
+  double max_gain = 1e12;       ///< clamp for silence at the input
+  double min_gain = 1e-12;
+};
+
+class AutomaticGainControl {
+ public:
+  explicit AutomaticGainControl(const AgcConfig& cfg);
+
+  /// Scale the envelope so its tracked peak rides at the setpoint.
+  /// Stateful across calls (the tracker keeps its estimate).
+  dsp::RealSignal process(std::span<const double> envelope);
+
+  /// Current peak estimate (pre-scaling units).
+  double tracked_peak() const { return peak_; }
+
+  /// Gain currently being applied.
+  double gain() const;
+
+  void reset();
+
+  const AgcConfig& config() const { return cfg_; }
+
+ private:
+  AgcConfig cfg_;
+  double attack_alpha_;
+  double decay_alpha_;
+  double peak_ = 0.0;
+};
+
+}  // namespace saiyan::frontend

@@ -1,0 +1,68 @@
+#include "frontend/cfs.hpp"
+
+#include <stdexcept>
+
+#include "dsp/iir.hpp"
+#include "dsp/utils.hpp"
+
+namespace saiyan::frontend {
+
+CyclicFrequencyShifter::CyclicFrequencyShifter(const CfsConfig& cfg,
+                                               const EnvelopeDetectorConfig& ed_cfg)
+    : cfg_(cfg), detector_(ed_cfg), clocks_(cfg.clock), fs_hz_(ed_cfg.sample_rate_hz) {
+  if (cfg.clock.sample_rate_hz != ed_cfg.sample_rate_hz) {
+    throw std::invalid_argument("CFS: clock and detector sample rates must match");
+  }
+  if (cfg.output_lpf_cutoff_hz >= cfg.clock.frequency_hz) {
+    throw std::invalid_argument("CFS: output LPF must cut below the IF");
+  }
+}
+
+dsp::RealSignal CyclicFrequencyShifter::if_stage(std::span<const dsp::Complex> rf,
+                                                 dsp::Rng& rng) const {
+  // Step 1: input mixing with CLK_in — a real multiplier, producing
+  // both sidebands S(F±Δf). The original carrier also leaks through
+  // (finite mixer isolation); keep a fraction of it so the model
+  // reproduces the S(0) term of Fig. 9(c).
+  const dsp::RealSignal clk = clocks_.clk_in(rf.size());
+  constexpr double kCarrierLeak = 0.25;
+  dsp::Signal mixed(rf.size());
+  for (std::size_t i = 0; i < rf.size(); ++i) {
+    mixed[i] = rf[i] * (clk[i] + kCarrierLeak);
+  }
+
+  // Step 2: envelope detection. |S(F)·(cos(2πΔf t)+c)|² beats the
+  // sidebands against the carrier, landing the envelope at Δf (and
+  // 2Δf); the detector's DC/flicker noise stays at baseband.
+  dsp::RealSignal env = detector_.detect_raw(mixed, rng);
+
+  // Step 3: IF amplification — bandpass at Δf with gain.
+  dsp::Biquad bp = dsp::Biquad::bandpass(cfg_.clock.frequency_hz, fs_hz_,
+                                         cfg_.if_quality_factor);
+  dsp::RealSignal iff = bp.process(env);
+  const double g = dsp::db_to_amp(cfg_.if_gain_db);
+  for (double& v : iff) v *= g;
+  return iff;
+}
+
+dsp::RealSignal CyclicFrequencyShifter::intermediate(std::span<const dsp::Complex> rf,
+                                                     dsp::Rng& rng) const {
+  return if_stage(rf, rng);
+}
+
+dsp::RealSignal CyclicFrequencyShifter::process(std::span<const dsp::Complex> rf,
+                                                dsp::Rng& rng) const {
+  dsp::RealSignal iff = if_stage(rf, rng);
+
+  // Step 4: output mixing with the delay-line clock copy brings the IF
+  // envelope back to baseband (amplitude × cos(Δφ)/2) and shifts the
+  // residual baseband noise up to Δf.
+  const dsp::RealSignal clk = clocks_.clk_out(iff.size());
+  for (std::size_t i = 0; i < iff.size(); ++i) iff[i] *= 2.0 * clk[i];
+
+  // Step 5: low-pass away the Δf and 2Δf products.
+  dsp::Biquad lpf = dsp::Biquad::lowpass(cfg_.output_lpf_cutoff_hz, fs_hz_, 0.707);
+  return lpf.process(iff);
+}
+
+}  // namespace saiyan::frontend

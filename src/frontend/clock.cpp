@@ -1,0 +1,30 @@
+#include "frontend/clock.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/nco.hpp"
+
+namespace saiyan::frontend {
+
+ClockGenerator::ClockGenerator(const ClockConfig& cfg) : cfg_(cfg) {
+  if (cfg.frequency_hz <= 0.0 || cfg.frequency_hz >= cfg.sample_rate_hz / 2.0) {
+    throw std::invalid_argument("ClockGenerator: frequency must be in (0, fs/2)");
+  }
+}
+
+dsp::RealSignal ClockGenerator::clk_in(std::size_t n) const {
+  dsp::Nco nco(cfg_.frequency_hz, cfg_.sample_rate_hz, 0.0);
+  return nco.cosine(n);
+}
+
+dsp::RealSignal ClockGenerator::clk_out(std::size_t n) const {
+  dsp::Nco nco(cfg_.frequency_hz, cfg_.sample_rate_hz, cfg_.delay_line_phase_rad);
+  return nco.cosine(n);
+}
+
+double ClockGenerator::alignment() const {
+  return std::cos(cfg_.delay_line_phase_rad);
+}
+
+}  // namespace saiyan::frontend

@@ -1,0 +1,41 @@
+// Clock generation for the CFS circuit (paper §3.1, Eq. 5).
+//
+// The MCU programs a micro-power LTC6907 oscillator to produce
+// CLK_in(Δf); CLK_out is a delay-line copy, CLK_out = CLK_in(Δf + Δφ),
+// with the line length tuned so cos(Δφ) ≈ 1.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.hpp"
+
+namespace saiyan::frontend {
+
+struct ClockConfig {
+  double frequency_hz = 1e6;      ///< Δf, the intermediate frequency
+  double sample_rate_hz = 4e6;
+  double delay_line_phase_rad = 0.0;  ///< Δφ of the CLK_out copy
+};
+
+/// Oscillator + delay-line pair.
+class ClockGenerator {
+ public:
+  explicit ClockGenerator(const ClockConfig& cfg);
+
+  /// n samples of CLK_in(Δf) (unit-amplitude cosine).
+  dsp::RealSignal clk_in(std::size_t n) const;
+
+  /// n samples of CLK_out = CLK_in(Δf + Δφ) — the delay-line copy.
+  dsp::RealSignal clk_out(std::size_t n) const;
+
+  /// Mixing efficiency cos(Δφ): the fraction of signal amplitude the
+  /// output mixer recovers when the clocks are misaligned.
+  double alignment() const;
+
+  const ClockConfig& config() const { return cfg_; }
+
+ private:
+  ClockConfig cfg_;
+};
+
+}  // namespace saiyan::frontend

@@ -1,0 +1,55 @@
+#include "frontend/comparator.hpp"
+
+#include <stdexcept>
+
+#include "dsp/utils.hpp"
+
+namespace saiyan::frontend {
+
+SingleThresholdComparator::SingleThresholdComparator(double threshold)
+    : threshold_(threshold) {}
+
+dsp::BitVector SingleThresholdComparator::quantize(
+    std::span<const double> envelope) const {
+  dsp::BitVector out(envelope.size());
+  for (std::size_t i = 0; i < envelope.size(); ++i) {
+    out[i] = envelope[i] >= threshold_ ? 1 : 0;
+  }
+  return out;
+}
+
+DoubleThresholdComparator::DoubleThresholdComparator(double u_high, double u_low)
+    : u_high_(u_high), u_low_(u_low) {
+  if (!(u_high > u_low)) {
+    throw std::invalid_argument("DoubleThresholdComparator: UH must be > UL");
+  }
+}
+
+dsp::BitVector DoubleThresholdComparator::quantize(
+    std::span<const double> envelope) const {
+  dsp::BitVector out(envelope.size());
+  bool high = false;
+  for (std::size_t i = 0; i < envelope.size(); ++i) {
+    const double a = envelope[i];
+    if (high) {
+      high = a >= u_low_;  // hold until the envelope falls below UL
+    } else {
+      high = a >= u_high_;  // arm only above UH
+    }
+    out[i] = high ? 1 : 0;
+  }
+  return out;
+}
+
+ThresholdPair thresholds_from_peak(double a_max, double gap_db, double ripple) {
+  if (a_max <= 0.0) throw std::invalid_argument("thresholds_from_peak: Amax must be > 0");
+  if (gap_db <= 0.0) throw std::invalid_argument("thresholds_from_peak: gap must be > 0");
+  if (ripple < 0.0) throw std::invalid_argument("thresholds_from_peak: ripple must be >= 0");
+  ThresholdPair t;
+  t.u_high = a_max / dsp::db_to_amp(gap_db);
+  t.u_low = t.u_high - ripple;
+  if (t.u_low <= 0.0 || t.u_low >= t.u_high) t.u_low = t.u_high * 0.5;
+  return t;
+}
+
+}  // namespace saiyan::frontend

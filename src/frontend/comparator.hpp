@@ -1,0 +1,58 @@
+// Voltage comparators (paper §2.2, Eq. 3 and Fig. 7).
+//
+// Saiyan replaces the power-hungry ADC with an NCS2202-class
+// comparator. A single threshold chatters on noisy envelopes: a high
+// threshold UH misses peaks split by amplitude valleys, a low
+// threshold UL fires on spurious humps. The double-threshold
+// (hysteresis) comparator of Eq. 3 latches high once the envelope
+// clears UH and releases only when it falls below UL, producing one
+// clean high run whose trailing edge marks the amplitude peak.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace saiyan::frontend {
+
+/// Simple comparator with one cut-off voltage.
+class SingleThresholdComparator {
+ public:
+  explicit SingleThresholdComparator(double threshold);
+
+  dsp::BitVector quantize(std::span<const double> envelope) const;
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+/// Hysteresis comparator implementing paper Eq. 3:
+///   B_i = high  if A_i >= UH                    (from low)
+///   B_i = high  if A_i >= UL and B_{i-1} high   (hold)
+///   B_i = low   otherwise.
+class DoubleThresholdComparator {
+ public:
+  /// Requires UH > UL.
+  DoubleThresholdComparator(double u_high, double u_low);
+
+  dsp::BitVector quantize(std::span<const double> envelope) const;
+
+  double u_high() const { return u_high_; }
+  double u_low() const { return u_low_; }
+
+ private:
+  double u_high_;
+  double u_low_;
+};
+
+/// Determine UH/UL from a measured peak amplitude following §4.1:
+/// UH = Amax · 10^(-G/20) (G dB below the peak) and UL = UH - UF,
+/// where UF is the envelope ripple amplitude.
+struct ThresholdPair {
+  double u_high = 0.0;
+  double u_low = 0.0;
+};
+ThresholdPair thresholds_from_peak(double a_max, double gap_db, double ripple);
+
+}  // namespace saiyan::frontend

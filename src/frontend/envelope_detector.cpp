@@ -1,0 +1,54 @@
+#include "frontend/envelope_detector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/iir.hpp"
+#include "dsp/noise.hpp"
+#include "dsp/utils.hpp"
+
+namespace saiyan::frontend {
+
+EnvelopeDetector::EnvelopeDetector(const EnvelopeDetectorConfig& cfg) : cfg_(cfg) {
+  if (cfg.conversion_gain <= 0.0) {
+    throw std::invalid_argument("EnvelopeDetector: conversion gain must be > 0");
+  }
+  if (cfg.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("EnvelopeDetector: sample rate must be > 0");
+  }
+  const double k = cfg.conversion_gain;
+  // Impairments are specified as the detector-output level an input of
+  // the given power would produce (output amplitude = k * P_in), so
+  // the additive noise amplitude scales with k.
+  dc_level_ = k * dsp::dbm_to_watts(cfg.dc_offset_dbm_equiv);
+  const double flicker_amp = k * dsp::dbm_to_watts(cfg.flicker_noise_dbm_equiv);
+  const double white_amp = k * dsp::dbm_to_watts(cfg.white_noise_dbm_equiv);
+  flicker_watts_ = flicker_amp * flicker_amp;  // variance of the additive term
+  white_watts_ = white_amp * white_amp;
+}
+
+dsp::RealSignal EnvelopeDetector::detect_raw(std::span<const dsp::Complex> x,
+                                             dsp::Rng& rng) const {
+  dsp::RealSignal y(x.size());
+  const double k = cfg_.conversion_gain;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = k * std::norm(x[i]);  // k |St + Sn|^2 — Eq. 4 self-mixing
+  }
+  if (cfg_.enable_impairments && !y.empty()) {
+    const dsp::RealSignal flicker = dsp::flicker_noise(y.size(), flicker_watts_, rng);
+    const dsp::RealSignal white = dsp::real_white_noise(y.size(), white_watts_, rng);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] += dc_level_ + flicker[i] + white[i];
+    }
+  }
+  return y;
+}
+
+dsp::RealSignal EnvelopeDetector::detect(std::span<const dsp::Complex> x,
+                                         dsp::Rng& rng) const {
+  dsp::RealSignal y = detect_raw(x, rng);
+  dsp::OnePole lpf(cfg_.lpf_cutoff_hz, cfg_.sample_rate_hz);
+  return lpf.process(y);
+}
+
+}  // namespace saiyan::frontend

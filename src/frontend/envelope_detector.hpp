@@ -1,0 +1,55 @@
+// Square-law envelope detector (paper Eq. 4 and §3.1).
+//
+// The detector output is k·|S_in|^2: self-mixing shifts the wanted
+// signal to baseband but also folds RF noise down with it
+// (2k·St·Sn + k·Sn^2). On top of that the CMOS detector adds its own
+// baseband impairments — DC offset, 1/f flicker noise and white
+// noise — which sit exactly where the demodulator wants to read the
+// envelope. The cyclic-frequency-shifting circuit (cfs.hpp) exists to
+// escape these; the noise levels here are what give CFS its ~11 dB
+// SNR gain (paper Fig. 10).
+#pragma once
+
+#include <span>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace saiyan::frontend {
+
+struct EnvelopeDetectorConfig {
+  double conversion_gain = 1.0;     ///< k in y = k |x|^2
+  double lpf_cutoff_hz = 200e3;     ///< post-detection smoothing
+  double sample_rate_hz = 4e6;
+  // Baseband impairments, expressed as equivalent detector-output
+  // levels relative to the response to a -50 dBm input (i.e. scaled by
+  // k so they track the conversion gain). Calibrated so that the
+  // envelope-detector-only receiver loses ~30 dB of sensitivity vs.
+  // Saiyan (paper §5.2.1) and CFS recovers ~11 dB (paper §3.1).
+  double dc_offset_dbm_equiv = -62.0;      ///< static offset
+  double flicker_noise_dbm_equiv = -65.0;  ///< 1/f power (in-band)
+  double white_noise_dbm_equiv = -89.0;    ///< broadband floor
+  bool enable_impairments = true;
+};
+
+class EnvelopeDetector {
+ public:
+  explicit EnvelopeDetector(const EnvelopeDetectorConfig& cfg);
+
+  /// Full detector: square-law + impairments + smoothing low-pass.
+  dsp::RealSignal detect(std::span<const dsp::Complex> x, dsp::Rng& rng) const;
+
+  /// Square-law + impairments only, no smoothing — the wideband output
+  /// the CFS circuit taps before its IF amplifier.
+  dsp::RealSignal detect_raw(std::span<const dsp::Complex> x, dsp::Rng& rng) const;
+
+  const EnvelopeDetectorConfig& config() const { return cfg_; }
+
+ private:
+  EnvelopeDetectorConfig cfg_;
+  double dc_level_;
+  double flicker_watts_;
+  double white_watts_;
+};
+
+}  // namespace saiyan::frontend

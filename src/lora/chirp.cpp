@@ -1,0 +1,89 @@
+#include "lora/chirp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saiyan::lora {
+namespace {
+
+// Phase-accumulating chirp synthesis: integrates the wrapped
+// instantaneous frequency so the waveform is phase-continuous within
+// the symbol regardless of where the frequency wraps.
+dsp::Signal chirp_impl(double bw, double t_sym, double fs, std::uint32_t chips,
+                       std::uint32_t s, bool up) {
+  const std::size_t n = static_cast<std::size_t>(t_sym * fs + 0.5);
+  dsp::Signal out(n);
+  const double k = bw / t_sym;  // sweep rate, Hz/s
+  const double f0 = static_cast<double>(s) / static_cast<double>(chips) * bw - bw / 2.0;
+  double phase = 0.0;
+  const double dt = 1.0 / fs;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = dsp::Complex(std::cos(phase), std::sin(phase));
+    double f = f0 + k * static_cast<double>(i) * dt;
+    // Wrap back into [-BW/2, BW/2).
+    while (f >= bw / 2.0) f -= bw;
+    if (!up) f = -f;
+    phase += dsp::kTwoPi * f * dt;
+  }
+  return out;
+}
+
+}  // namespace
+
+dsp::Signal upchirp(const PhyParams& p, std::uint32_t chip_value) {
+  if (chip_value >= p.chips()) throw std::invalid_argument("upchirp: chip value out of range");
+  return chirp_impl(p.bandwidth_hz, p.symbol_duration_s(), p.sample_rate_hz,
+                    p.chips(), chip_value, /*up=*/true);
+}
+
+dsp::Signal downchirp(const PhyParams& p) {
+  return chirp_impl(p.bandwidth_hz, p.symbol_duration_s(), p.sample_rate_hz,
+                    p.chips(), 0, /*up=*/false);
+}
+
+dsp::Signal upchirp_chiprate(const PhyParams& p, std::uint32_t chip_value) {
+  if (chip_value >= p.chips()) {
+    throw std::invalid_argument("upchirp_chiprate: chip value out of range");
+  }
+  return chirp_impl(p.bandwidth_hz, p.symbol_duration_s(), p.bandwidth_hz,
+                    p.chips(), chip_value, /*up=*/true);
+}
+
+dsp::Signal downchirp_chiprate(const PhyParams& p) {
+  return chirp_impl(p.bandwidth_hz, p.symbol_duration_s(), p.bandwidth_hz,
+                    p.chips(), 0, /*up=*/false);
+}
+
+double instantaneous_frequency(const PhyParams& p, std::uint32_t chip_value,
+                               double t_s) {
+  if (t_s < 0.0 || t_s >= p.symbol_duration_s()) {
+    throw std::invalid_argument("instantaneous_frequency: t outside symbol");
+  }
+  const double bw = p.bandwidth_hz;
+  const double k = bw / p.symbol_duration_s();
+  double f = static_cast<double>(chip_value) / static_cast<double>(p.chips()) * bw -
+             bw / 2.0 + k * t_s;
+  while (f >= bw / 2.0) f -= bw;
+  return f;
+}
+
+double peak_time(const PhyParams& p, std::uint32_t chip_value) {
+  return p.symbol_duration_s() *
+         (1.0 - static_cast<double>(chip_value) / static_cast<double>(p.chips()));
+}
+
+std::uint32_t symbol_to_chip(const PhyParams& p, std::uint32_t symbol_value) {
+  if (symbol_value >= p.symbol_alphabet()) {
+    throw std::invalid_argument("symbol_to_chip: symbol value out of range");
+  }
+  return symbol_value << (p.spreading_factor - p.bits_per_symbol);
+}
+
+std::uint32_t chip_to_symbol(const PhyParams& p, std::uint32_t chip_value) {
+  const std::uint32_t step = 1u << (p.spreading_factor - p.bits_per_symbol);
+  // Round to the nearest K-bit grid point, wrapping at 2^SF.
+  const std::uint32_t v = (chip_value + step / 2) / step;
+  return v % p.symbol_alphabet();
+}
+
+}  // namespace saiyan::lora

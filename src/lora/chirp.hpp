@@ -1,0 +1,46 @@
+// Chirp (CSS) waveform generation.
+//
+// A LoRa symbol with raw chip value s in [0, 2^SF) is an up-chirp whose
+// instantaneous frequency starts at s/2^SF · BW - BW/2 (complex
+// baseband, band-centered), sweeps up at BW/Tsym per second and wraps
+// to -BW/2 on reaching +BW/2. The frequency reaches the top band edge
+// at t_peak = Tsym · (1 - s/2^SF) — the time Saiyan's
+// frequency-amplitude transformation turns into an amplitude peak.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/types.hpp"
+#include "lora/params.hpp"
+
+namespace saiyan::lora {
+
+/// Generate one up-chirp symbol with raw chip value s (0..2^SF-1) at
+/// the simulation sample rate, unit amplitude.
+dsp::Signal upchirp(const PhyParams& p, std::uint32_t chip_value = 0);
+
+/// Generate one base down-chirp (conjugate sweep) used for the sync
+/// field and for coherent dechirping.
+dsp::Signal downchirp(const PhyParams& p);
+
+/// Up-chirp generated directly at chip rate (fs = BW, 2^SF samples) —
+/// the template used by the coherent reference demodulator.
+dsp::Signal upchirp_chiprate(const PhyParams& p, std::uint32_t chip_value = 0);
+dsp::Signal downchirp_chiprate(const PhyParams& p);
+
+/// Instantaneous baseband frequency (Hz, in [-BW/2, BW/2)) of an
+/// up-chirp with chip value s at time t in [0, Tsym).
+double instantaneous_frequency(const PhyParams& p, std::uint32_t chip_value, double t_s);
+
+/// Time (s) at which the chirp's frequency peaks at the +BW/2 band
+/// edge: Tsym · (1 - s/2^SF); for s = 0 the peak sits at the symbol end.
+double peak_time(const PhyParams& p, std::uint32_t chip_value);
+
+/// Map a Saiyan K-bit symbol value v (0..2^K-1) onto the raw chip
+/// value v · 2^(SF-K) (uniformly spaced peak positions).
+std::uint32_t symbol_to_chip(const PhyParams& p, std::uint32_t symbol_value);
+
+/// Inverse of symbol_to_chip with rounding to the nearest K-bit value.
+std::uint32_t chip_to_symbol(const PhyParams& p, std::uint32_t chip_value);
+
+}  // namespace saiyan::lora

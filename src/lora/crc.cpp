@@ -1,0 +1,39 @@
+#include "lora/crc.hpp"
+
+namespace saiyan::lora {
+
+std::uint16_t crc16(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t b : data) {
+    crc ^= static_cast<std::uint16_t>(b) << 8;
+    for (int i = 0; i < 8; ++i) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+std::vector<std::uint8_t> append_crc(std::vector<std::uint8_t> data) {
+  const std::uint16_t c = crc16(data);
+  data.push_back(static_cast<std::uint8_t>(c >> 8));
+  data.push_back(static_cast<std::uint8_t>(c & 0xFF));
+  return data;
+}
+
+bool check_and_strip_crc(std::span<const std::uint8_t> data,
+                         std::vector<std::uint8_t>& payload) {
+  payload.clear();
+  if (data.size() < 2) return false;
+  const std::span<const std::uint8_t> body = data.first(data.size() - 2);
+  const std::uint16_t expect =
+      static_cast<std::uint16_t>((data[data.size() - 2] << 8) | data[data.size() - 1]);
+  if (crc16(body) != expect) return false;
+  payload.assign(body.begin(), body.end());
+  return true;
+}
+
+}  // namespace saiyan::lora

@@ -1,0 +1,74 @@
+#include "lora/demodulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/correlate.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/resample.hpp"
+#include "lora/chirp.hpp"
+#include "lora/modulator.hpp"
+
+namespace saiyan::lora {
+
+CoherentDemodulator::CoherentDemodulator(const PhyParams& params) : params_(params) {
+  params_.validate();
+  const double ratio = params_.sample_rate_hz / params_.bandwidth_hz;
+  if (std::abs(ratio - std::round(ratio)) > 1e-9) {
+    throw std::invalid_argument("CoherentDemodulator: fs must be an integer multiple of BW");
+  }
+  decim_factor_ = static_cast<std::size_t>(std::round(ratio));
+  downchirp_chiprate_ = downchirp_chiprate(params_);
+  Modulator mod(params_);
+  preamble_template_ = mod.preamble();
+}
+
+std::uint32_t CoherentDemodulator::demodulate_symbol(
+    std::span<const dsp::Complex> window) const {
+  if (window.size() != params_.samples_per_symbol()) {
+    throw std::invalid_argument("demodulate_symbol: window must be one symbol long");
+  }
+  // Decimate to chip rate, dechirp, FFT, argmax.
+  dsp::Signal chips = dsp::decimate(window, decim_factor_);
+  chips.resize(params_.chips(), dsp::Complex{});
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    chips[i] *= downchirp_chiprate_[i];
+  }
+  dsp::fft_inplace(chips);
+  std::uint32_t best = 0;
+  double best_mag = -1.0;
+  for (std::uint32_t k = 0; k < params_.chips(); ++k) {
+    const double m = std::norm(chips[k]);
+    if (m > best_mag) {
+      best_mag = m;
+      best = k;
+    }
+  }
+  return best;
+}
+
+CoherentDemodResult CoherentDemodulator::demodulate_packet(
+    std::span<const dsp::Complex> rx, std::size_t n_payload) const {
+  CoherentDemodResult result;
+  const std::size_t sps = params_.samples_per_symbol();
+  if (rx.size() < preamble_template_.size() + n_payload * sps) return result;
+
+  const dsp::CorrelationPeak pk = dsp::find_peak(
+      rx, std::span<const dsp::Complex>(preamble_template_));
+  // The preamble is a strong structured signal; demand a meaningful
+  // normalized correlation before trusting the lag.
+  if (pk.normalized < 0.2) return result;
+  result.preamble_found = true;
+  result.payload_start = pk.lag + preamble_template_.size();
+
+  for (std::size_t s = 0; s < n_payload; ++s) {
+    const std::size_t start = result.payload_start + s * sps;
+    if (start + sps > rx.size()) break;
+    const std::uint32_t chip = demodulate_symbol(rx.subspan(start, sps));
+    result.chip_values.push_back(chip);
+    result.symbols.push_back(chip_to_symbol(params_, chip));
+  }
+  return result;
+}
+
+}  // namespace saiyan::lora

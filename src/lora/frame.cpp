@@ -1,0 +1,84 @@
+#include "lora/frame.hpp"
+
+#include <stdexcept>
+
+#include "lora/crc.hpp"
+#include "lora/interleaver.hpp"
+#include "lora/whitening.hpp"
+
+namespace saiyan::lora {
+
+std::uint32_t gray_encode(std::uint32_t v) { return v ^ (v >> 1); }
+
+std::uint32_t gray_decode(std::uint32_t g) {
+  std::uint32_t v = 0;
+  for (; g != 0; g >>= 1) v ^= g;
+  return v;
+}
+
+FrameCodec::FrameCodec(const PhyParams& params)
+    : params_(params),
+      fec_(params.fec),
+      interleave_rows_(static_cast<std::size_t>(fec_.codeword_bits())),
+      interleave_cols_(static_cast<std::size_t>(params.spreading_factor)) {
+  params_.validate();
+}
+
+std::vector<std::uint32_t> FrameCodec::encode(
+    const std::vector<std::uint8_t>& payload) const {
+  const std::vector<std::uint8_t> with_crc = append_crc(payload);
+  const std::vector<std::uint8_t> whitened = whiten(with_crc);
+  std::vector<std::uint8_t> bits = fec_.encode_bits(whitened);
+  bits = interleave(bits, interleave_rows_, interleave_cols_);
+
+  const int k = params_.bits_per_symbol;
+  // Pad to a whole number of symbols with zero bits.
+  while (bits.size() % static_cast<std::size_t>(k) != 0) bits.push_back(0);
+
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(bits.size() / static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < bits.size(); i += static_cast<std::size_t>(k)) {
+    std::uint32_t v = 0;
+    for (int b = 0; b < k; ++b) {
+      v |= static_cast<std::uint32_t>(bits[i + static_cast<std::size_t>(b)] & 1u) << b;
+    }
+    symbols.push_back(gray_encode(v));
+  }
+  return symbols;
+}
+
+std::optional<std::vector<std::uint8_t>> FrameCodec::decode(
+    const std::vector<std::uint32_t>& symbols, FrameDecodeStats* stats) const {
+  const int k = params_.bits_per_symbol;
+  std::vector<std::uint8_t> bits;
+  bits.reserve(symbols.size() * static_cast<std::size_t>(k));
+  for (std::uint32_t s : symbols) {
+    const std::uint32_t v = gray_decode(s % params_.symbol_alphabet());
+    for (int b = 0; b < k; ++b) {
+      bits.push_back(static_cast<std::uint8_t>((v >> b) & 1u));
+    }
+  }
+  // Drop the zero padding added at encode time: keep only whole
+  // codewords.
+  const std::size_t cw_bits = static_cast<std::size_t>(fec_.codeword_bits());
+  bits.resize(bits.size() - bits.size() % cw_bits);
+  bits = deinterleave(bits, interleave_rows_, interleave_cols_);
+
+  FrameDecodeStats local;
+  const std::vector<std::uint8_t> whitened = fec_.decode_bits(bits, &local.codeword_errors);
+  const std::vector<std::uint8_t> with_crc = dewhiten(whitened);
+  std::vector<std::uint8_t> payload;
+  local.crc_ok = check_and_strip_crc(with_crc, payload);
+  if (stats != nullptr) *stats = local;
+  if (!local.crc_ok) return std::nullopt;
+  return payload;
+}
+
+std::size_t FrameCodec::symbols_for_payload(std::size_t payload_bytes) const {
+  const std::size_t bytes = payload_bytes + 2;  // + CRC16
+  const std::size_t bits = bytes * 2 * static_cast<std::size_t>(fec_.codeword_bits());
+  const std::size_t k = static_cast<std::size_t>(params_.bits_per_symbol);
+  return (bits + k - 1) / k;
+}
+
+}  // namespace saiyan::lora

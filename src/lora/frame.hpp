@@ -1,0 +1,52 @@
+// Byte-level frame codec: bytes <-> K-bit symbol values.
+//
+// Pipeline (encode): payload -> CRC16 -> whitening -> Hamming FEC ->
+// diagonal interleaving -> gray-mapped K-bit symbols. Decode inverts
+// each stage and reports per-stage error statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lora/hamming.hpp"
+#include "lora/params.hpp"
+
+namespace saiyan::lora {
+
+/// Gray-code a symbol value so adjacent peak-position errors flip one bit.
+std::uint32_t gray_encode(std::uint32_t v);
+std::uint32_t gray_decode(std::uint32_t g);
+
+/// Statistics from decoding one frame.
+struct FrameDecodeStats {
+  std::size_t codeword_errors = 0;  ///< FEC codewords with detected/corrected errors
+  bool crc_ok = false;
+};
+
+/// Encoder/decoder bound to one PHY configuration.
+class FrameCodec {
+ public:
+  explicit FrameCodec(const PhyParams& params);
+
+  /// Encode payload bytes into a sequence of K-bit symbol values.
+  std::vector<std::uint32_t> encode(const std::vector<std::uint8_t>& payload) const;
+
+  /// Decode symbol values back to payload bytes. Returns std::nullopt
+  /// when the CRC fails; `stats` (optional) is filled either way.
+  std::optional<std::vector<std::uint8_t>> decode(
+      const std::vector<std::uint32_t>& symbols,
+      FrameDecodeStats* stats = nullptr) const;
+
+  /// Number of symbols that encode() will produce for `payload_bytes`
+  /// bytes of payload (including CRC and FEC overhead).
+  std::size_t symbols_for_payload(std::size_t payload_bytes) const;
+
+ private:
+  PhyParams params_;
+  HammingCode fec_;
+  std::size_t interleave_rows_;  // bits per codeword
+  std::size_t interleave_cols_;  // codewords per block
+};
+
+}  // namespace saiyan::lora

@@ -1,0 +1,128 @@
+#include "lora/hamming.hpp"
+
+#include <stdexcept>
+
+namespace saiyan::lora {
+namespace {
+
+inline std::uint8_t bit(std::uint8_t v, int i) { return (v >> i) & 1u; }
+
+// Parity bits of the Hamming(8,4) code used by LoRa:
+//   p0 = d0 ^ d1 ^ d2
+//   p1 = d1 ^ d2 ^ d3
+//   p2 = d0 ^ d1 ^ d3
+//   p3 = d0 ^ d2 ^ d3
+// Codeword layout (LSB first): d0 d1 d2 d3 p0 p1 p2 p3 — shorter rates
+// truncate the parity tail.
+std::uint8_t parity_bits(std::uint8_t n) {
+  const std::uint8_t d0 = bit(n, 0), d1 = bit(n, 1), d2 = bit(n, 2), d3 = bit(n, 3);
+  const std::uint8_t p0 = d0 ^ d1 ^ d2;
+  const std::uint8_t p1 = d1 ^ d2 ^ d3;
+  const std::uint8_t p2 = d0 ^ d1 ^ d3;
+  const std::uint8_t p3 = d0 ^ d2 ^ d3;
+  return static_cast<std::uint8_t>(p0 | (p1 << 1) | (p2 << 2) | (p3 << 3));
+}
+
+int hamming_distance(std::uint8_t a, std::uint8_t b, int bits) {
+  int d = 0;
+  for (int i = 0; i < bits; ++i) d += bit(a, i) != bit(b, i);
+  return d;
+}
+
+}  // namespace
+
+HammingCode::HammingCode(FecRate rate) : rate_(rate) {
+  switch (rate) {
+    case FecRate::kNone: codeword_bits_ = 4; break;
+    case FecRate::k4_5: codeword_bits_ = 5; break;
+    case FecRate::k4_6: codeword_bits_ = 6; break;
+    case FecRate::k4_7: codeword_bits_ = 7; break;
+    case FecRate::k4_8: codeword_bits_ = 8; break;
+    default: throw std::invalid_argument("HammingCode: bad rate");
+  }
+}
+
+std::uint8_t HammingCode::encode(std::uint8_t nibble) const {
+  if (nibble > 0x0F) throw std::invalid_argument("HammingCode::encode: not a nibble");
+  const std::uint8_t p = parity_bits(nibble);
+  const int n_parity = codeword_bits_ - 4;
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << n_parity) - 1u);
+  return static_cast<std::uint8_t>(nibble | ((p & mask) << 4));
+}
+
+HammingDecodeResult HammingCode::decode(std::uint8_t codeword) const {
+  HammingDecodeResult r;
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << codeword_bits_) - 1u);
+  codeword &= mask;
+  r.nibble = codeword & 0x0F;
+  if (rate_ == FecRate::kNone) return r;
+
+  const std::uint8_t expected = encode(r.nibble);
+  if (expected == codeword) return r;
+
+  if (rate_ == FecRate::k4_7 || rate_ == FecRate::k4_8) {
+    // Minimum-distance decode over all 16 codewords; distance 1 means
+    // a correctable single-bit error.
+    int best_d = 99;
+    std::uint8_t best_n = r.nibble;
+    for (std::uint8_t n = 0; n < 16; ++n) {
+      const int d = hamming_distance(encode(n), codeword, codeword_bits_);
+      if (d < best_d) {
+        best_d = d;
+        best_n = n;
+      }
+    }
+    if (best_d <= 1) {
+      r.nibble = best_n;
+      r.corrected = best_d == 1;
+      return r;
+    }
+    r.error = true;
+    return r;
+  }
+
+  // 4/5 and 4/6: detection only.
+  r.error = true;
+  return r;
+}
+
+std::vector<std::uint8_t> HammingCode::encode_bits(
+    const std::vector<std::uint8_t>& bytes) const {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(bytes.size() * 2 * static_cast<std::size_t>(codeword_bits_));
+  for (std::uint8_t b : bytes) {
+    for (const std::uint8_t nibble :
+         {static_cast<std::uint8_t>(b & 0x0F), static_cast<std::uint8_t>(b >> 4)}) {
+      const std::uint8_t cw = encode(nibble);
+      for (int i = 0; i < codeword_bits_; ++i) bits.push_back(bit(cw, i));
+    }
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> HammingCode::decode_bits(
+    const std::vector<std::uint8_t>& bits, std::size_t* codeword_errors) const {
+  const std::size_t cw_bits = static_cast<std::size_t>(codeword_bits_);
+  const std::size_t n_codewords = bits.size() / cw_bits;
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(n_codewords / 2);
+  std::size_t errors = 0;
+  std::uint8_t pending = 0;
+  for (std::size_t c = 0; c < n_codewords; ++c) {
+    std::uint8_t cw = 0;
+    for (std::size_t i = 0; i < cw_bits; ++i) {
+      cw |= static_cast<std::uint8_t>((bits[c * cw_bits + i] & 1u) << i);
+    }
+    const HammingDecodeResult r = decode(cw);
+    if (r.error || r.corrected) ++errors;
+    if (c % 2 == 0) {
+      pending = r.nibble;
+    } else {
+      bytes.push_back(static_cast<std::uint8_t>(pending | (r.nibble << 4)));
+    }
+  }
+  if (codeword_errors != nullptr) *codeword_errors = errors;
+  return bytes;
+}
+
+}  // namespace saiyan::lora

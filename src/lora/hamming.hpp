@@ -1,0 +1,50 @@
+// LoRa Hamming FEC (4/5, 4/6, 4/7, 4/8) over nibbles.
+//
+// 4/7 corrects any single bit error per codeword; 4/8 corrects one and
+// detects two; 4/5 and 4/6 only detect errors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lora/params.hpp"
+
+namespace saiyan::lora {
+
+/// Result of decoding one codeword.
+struct HammingDecodeResult {
+  std::uint8_t nibble = 0;  ///< recovered 4-bit value
+  bool corrected = false;   ///< a single-bit error was fixed
+  bool error = false;       ///< uncorrectable / detected-only error
+};
+
+class HammingCode {
+ public:
+  explicit HammingCode(FecRate rate);
+
+  /// Bits per codeword (5..8; 4 for FecRate::kNone).
+  int codeword_bits() const { return codeword_bits_; }
+  FecRate rate() const { return rate_; }
+
+  /// Encode a 4-bit nibble into a codeword (low `codeword_bits()` bits).
+  std::uint8_t encode(std::uint8_t nibble) const;
+
+  /// Decode one codeword back to a nibble.
+  HammingDecodeResult decode(std::uint8_t codeword) const;
+
+  /// Encode a byte vector (two codewords per byte, low nibble first)
+  /// into a flat bit vector (LSB of each codeword first).
+  std::vector<std::uint8_t> encode_bits(const std::vector<std::uint8_t>& bytes) const;
+
+  /// Decode a flat bit vector produced by encode_bits(). `bit_errors`
+  /// (optional) accumulates the number of detected-or-corrected
+  /// codeword errors.
+  std::vector<std::uint8_t> decode_bits(const std::vector<std::uint8_t>& bits,
+                                        std::size_t* codeword_errors = nullptr) const;
+
+ private:
+  FecRate rate_;
+  int codeword_bits_;
+};
+
+}  // namespace saiyan::lora

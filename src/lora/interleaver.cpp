@@ -1,0 +1,55 @@
+#include "lora/interleaver.hpp"
+
+#include <stdexcept>
+
+namespace saiyan::lora {
+namespace {
+
+void check_geometry(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("interleaver: rows and cols must be > 0");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> interleave(const std::vector<std::uint8_t>& bits,
+                                     std::size_t rows, std::size_t cols) {
+  check_geometry(rows, cols);
+  const std::size_t block = rows * cols;
+  std::vector<std::uint8_t> out(bits.size());
+  std::size_t base = 0;
+  for (; base + block <= bits.size(); base += block) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        // Input laid out row-major (codeword r, bit c); output
+        // column-major with a diagonal row twist.
+        const std::size_t rr = (r + c) % rows;
+        out[base + c * rows + rr] = bits[base + r * cols + c];
+      }
+    }
+  }
+  // Trailing partial block: pass through.
+  for (std::size_t i = base; i < bits.size(); ++i) out[i] = bits[i];
+  return out;
+}
+
+std::vector<std::uint8_t> deinterleave(const std::vector<std::uint8_t>& bits,
+                                       std::size_t rows, std::size_t cols) {
+  check_geometry(rows, cols);
+  const std::size_t block = rows * cols;
+  std::vector<std::uint8_t> out(bits.size());
+  std::size_t base = 0;
+  for (; base + block <= bits.size(); base += block) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t rr = (r + c) % rows;
+        out[base + r * cols + c] = bits[base + c * rows + rr];
+      }
+    }
+  }
+  for (std::size_t i = base; i < bits.size(); ++i) out[i] = bits[i];
+  return out;
+}
+
+}  // namespace saiyan::lora

@@ -1,0 +1,23 @@
+// Diagonal block interleaver.
+//
+// Spreads each FEC codeword across several symbols so an impulsive
+// symbol error corrupts at most one bit of any codeword (the standard
+// LoRa diagonal interleaver generalized to arbitrary block geometry).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace saiyan::lora {
+
+/// Interleave `bits` in blocks of rows*cols: bit (r, c) moves to
+/// position (c, (r + c) % rows) transposed. A trailing partial block
+/// passes through unchanged.
+std::vector<std::uint8_t> interleave(const std::vector<std::uint8_t>& bits,
+                                     std::size_t rows, std::size_t cols);
+
+/// Exact inverse of interleave() for the same geometry.
+std::vector<std::uint8_t> deinterleave(const std::vector<std::uint8_t>& bits,
+                                       std::size_t rows, std::size_t cols);
+
+}  // namespace saiyan::lora

@@ -1,0 +1,71 @@
+#include "lora/modulator.hpp"
+
+#include <stdexcept>
+
+#include "lora/chirp.hpp"
+
+namespace saiyan::lora {
+namespace {
+
+void append(dsp::Signal& dst, const dsp::Signal& src, std::size_t count) {
+  dst.insert(dst.end(), src.begin(),
+             src.begin() + static_cast<std::ptrdiff_t>(count));
+}
+
+}  // namespace
+
+Modulator::Modulator(const PhyParams& params) : params_(params) {
+  params_.validate();
+}
+
+dsp::Signal Modulator::preamble() const {
+  const dsp::Signal up = upchirp(params_, 0);
+  const dsp::Signal down = downchirp(params_);
+  dsp::Signal out;
+  const std::size_t sps = params_.samples_per_symbol();
+  out.reserve(static_cast<std::size_t>(
+      (params_.preamble_symbols + params_.sync_symbols + 1) * static_cast<double>(sps)));
+  for (int i = 0; i < params_.preamble_symbols; ++i) append(out, up, sps);
+  // 2.25 sync symbols: two full down-chirps plus a quarter chirp.
+  double remaining = params_.sync_symbols;
+  while (remaining >= 1.0) {
+    append(out, down, sps);
+    remaining -= 1.0;
+  }
+  if (remaining > 0.0) {
+    append(out, down, static_cast<std::size_t>(remaining * static_cast<double>(sps)));
+  }
+  return out;
+}
+
+dsp::Signal Modulator::modulate_payload(const std::vector<std::uint32_t>& symbols) const {
+  dsp::Signal out;
+  const std::size_t sps = params_.samples_per_symbol();
+  out.reserve(symbols.size() * sps);
+  for (std::uint32_t v : symbols) {
+    const dsp::Signal sym = upchirp(params_, symbol_to_chip(params_, v));
+    append(out, sym, sps);
+  }
+  return out;
+}
+
+dsp::Signal Modulator::modulate(const std::vector<std::uint32_t>& symbols) const {
+  dsp::Signal out = preamble();
+  const dsp::Signal payload = modulate_payload(symbols);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+PacketLayout Modulator::layout(std::size_t n_payload_symbols) const {
+  PacketLayout l;
+  l.samples_per_symbol = params_.samples_per_symbol();
+  l.preamble_start = 0;
+  l.sync_start = static_cast<std::size_t>(params_.preamble_symbols) * l.samples_per_symbol;
+  l.payload_start =
+      l.sync_start + static_cast<std::size_t>(params_.sync_symbols *
+                                              static_cast<double>(l.samples_per_symbol));
+  l.total_samples = l.payload_start + n_payload_symbols * l.samples_per_symbol;
+  return l;
+}
+
+}  // namespace saiyan::lora

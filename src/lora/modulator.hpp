@@ -1,0 +1,48 @@
+// LoRa packet modulator — the access point / USRP transmitter model.
+//
+// Packet layout (paper Fig. 8): `preamble_symbols` identical base
+// up-chirps, then 2.25 down-chirp sync symbols, then payload up-chirps
+// carrying one K-bit value each.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "lora/params.hpp"
+
+namespace saiyan::lora {
+
+/// Sample index layout of a modulated packet.
+struct PacketLayout {
+  std::size_t preamble_start = 0;
+  std::size_t sync_start = 0;
+  std::size_t payload_start = 0;
+  std::size_t total_samples = 0;
+  std::size_t samples_per_symbol = 0;
+};
+
+class Modulator {
+ public:
+  explicit Modulator(const PhyParams& params);
+
+  /// Modulate a full packet from K-bit symbol values; unit amplitude.
+  dsp::Signal modulate(const std::vector<std::uint32_t>& symbols) const;
+
+  /// Modulate only the payload (no preamble/sync) — used by unit tests
+  /// and symbol-level benchmarks.
+  dsp::Signal modulate_payload(const std::vector<std::uint32_t>& symbols) const;
+
+  /// Preamble + sync waveform alone.
+  dsp::Signal preamble() const;
+
+  /// Layout of a packet carrying n_payload symbols.
+  PacketLayout layout(std::size_t n_payload_symbols) const;
+
+  const PhyParams& params() const { return params_; }
+
+ private:
+  PhyParams params_;
+};
+
+}  // namespace saiyan::lora

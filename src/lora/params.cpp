@@ -1,0 +1,58 @@
+#include "lora/params.hpp"
+
+#include <cmath>
+
+namespace saiyan::lora {
+
+void PhyParams::validate() const {
+  if (spreading_factor < 7 || spreading_factor > 12) {
+    throw std::invalid_argument("PhyParams: SF must be in [7,12]");
+  }
+  if (bandwidth_hz != 125e3 && bandwidth_hz != 250e3 && bandwidth_hz != 500e3) {
+    throw std::invalid_argument("PhyParams: BW must be 125/250/500 kHz");
+  }
+  if (sample_rate_hz < 2.0 * bandwidth_hz) {
+    throw std::invalid_argument("PhyParams: fs must be >= 2*BW");
+  }
+  if (bits_per_symbol < 1 || bits_per_symbol > 5) {
+    throw std::invalid_argument("PhyParams: bits_per_symbol (K) must be in [1,5]");
+  }
+  if (bits_per_symbol > spreading_factor) {
+    throw std::invalid_argument("PhyParams: K cannot exceed SF");
+  }
+  if (preamble_symbols < 2) {
+    throw std::invalid_argument("PhyParams: preamble needs >= 2 symbols");
+  }
+  if (sync_symbols < 0.0) {
+    throw std::invalid_argument("PhyParams: sync_symbols must be >= 0");
+  }
+  // Samples per symbol must be an integer for the simulator.
+  const double sps = symbol_duration_s() * sample_rate_hz;
+  if (std::abs(sps - std::round(sps)) > 1e-6) {
+    throw std::invalid_argument("PhyParams: fs * Tsym must be an integer");
+  }
+}
+
+double fec_code_rate(FecRate fec) {
+  switch (fec) {
+    case FecRate::kNone: return 1.0;
+    case FecRate::k4_5: return 4.0 / 5.0;
+    case FecRate::k4_6: return 4.0 / 6.0;
+    case FecRate::k4_7: return 4.0 / 7.0;
+    case FecRate::k4_8: return 4.0 / 8.0;
+  }
+  return 1.0;
+}
+
+const char* fec_name(FecRate fec) {
+  switch (fec) {
+    case FecRate::kNone: return "none";
+    case FecRate::k4_5: return "4/5";
+    case FecRate::k4_6: return "4/6";
+    case FecRate::k4_7: return "4/7";
+    case FecRate::k4_8: return "4/8";
+  }
+  return "?";
+}
+
+}  // namespace saiyan::lora

@@ -1,0 +1,33 @@
+#include "lora/whitening.hpp"
+
+namespace saiyan::lora {
+namespace {
+
+// Galois LFSR, polynomial x^8 + x^6 + x^5 + x^4 + 1 (taps 0xB8 when
+// shifting right from the MSB side), seed 0xFF.
+std::uint8_t next_whitening_byte(std::uint8_t& state) {
+  const std::uint8_t out = state;
+  for (int i = 0; i < 8; ++i) {
+    const bool lsb = (state & 0x01) != 0;
+    state >>= 1;
+    if (lsb) state ^= 0xB8;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> whiten(const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out(data.size());
+  std::uint8_t state = 0xFF;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = data[i] ^ next_whitening_byte(state);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> dewhiten(const std::vector<std::uint8_t>& data) {
+  return whiten(data);
+}
+
+}  // namespace saiyan::lora

@@ -1,0 +1,17 @@
+// Payload whitening (SX127x-compatible LFSR) — decorrelates payload
+// bits so long runs of identical symbols do not bias the demodulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace saiyan::lora {
+
+/// XOR a byte stream with the LoRa whitening sequence
+/// (x^8 + x^6 + x^5 + x^4 + 1 LFSR, seed 0xFF). Self-inverse.
+std::vector<std::uint8_t> whiten(const std::vector<std::uint8_t>& data);
+
+/// Alias of whiten() — whitening is an involution.
+std::vector<std::uint8_t> dewhiten(const std::vector<std::uint8_t>& data);
+
+}  // namespace saiyan::lora

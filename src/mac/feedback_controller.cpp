@@ -1,0 +1,77 @@
+#include "mac/feedback_controller.hpp"
+
+#include "sim/metrics.hpp"
+
+namespace saiyan::mac {
+
+FeedbackController::FeedbackController(const sim::BerModel& model,
+                                       const channel::LinkBudget& link)
+    : model_(model), link_(link) {}
+
+std::optional<DownlinkFrame> FeedbackController::on_uplink(TagId tag,
+                                                           std::uint32_t sequence,
+                                                           bool received) {
+  if (received) {
+    last_seen_[tag] = sequence;
+    DownlinkFrame ack;
+    ack.type = DownlinkType::kUnicast;
+    ack.target = tag;
+    ack.command = Command::kAckData;
+    ack.param = sequence;
+    return ack;  // positive ACK
+  }
+  ++retx_count_;
+  DownlinkFrame frame;
+  frame.type = DownlinkType::kUnicast;
+  frame.target = tag;
+  frame.command = Command::kRetransmit;
+  frame.param = sequence;
+  return frame;
+}
+
+std::optional<DownlinkFrame> FeedbackController::on_channel_quality(
+    TagId tag, double window_prr, int current_channel, double hop_threshold) {
+  if (window_prr >= hop_threshold) return std::nullopt;
+  ++hop_count_;
+  DownlinkFrame frame;
+  frame.type = DownlinkType::kUnicast;
+  frame.target = tag;
+  frame.command = Command::kChannelHop;
+  frame.param = static_cast<std::uint32_t>(current_channel + 1);
+  return frame;
+}
+
+RateDecision FeedbackController::best_rate(double distance_m,
+                                           const lora::PhyParams& base_phy,
+                                           core::Mode mode, double min_delivery,
+                                           std::size_t payload_bits) const {
+  const double rss = link_.rss_dbm(distance_m);
+  RateDecision best;
+  for (int k = 1; k <= 5; ++k) {
+    lora::PhyParams phy = base_phy;
+    phy.bits_per_symbol = k;
+    const double per = model_.per(rss, mode, phy, payload_bits);
+    const double delivery = 1.0 - per;
+    const double tput =
+        sim::effective_throughput_bps(phy.data_rate_bps(),
+                                      model_.ber(rss, mode, phy)) *
+        delivery;
+    if (delivery >= min_delivery && tput > best.expected_throughput_bps) {
+      best.bits_per_symbol = k;
+      best.expected_throughput_bps = tput;
+    }
+  }
+  if (best.expected_throughput_bps == 0.0) {
+    // Nothing satisfies the delivery floor: fall back to the most
+    // robust rate.
+    lora::PhyParams phy = base_phy;
+    phy.bits_per_symbol = 1;
+    best.bits_per_symbol = 1;
+    best.expected_throughput_bps =
+        sim::effective_throughput_bps(phy.data_rate_bps(), model_.ber(rss, mode, phy)) *
+        (1.0 - model_.per(rss, mode, phy, payload_bits));
+  }
+  return best;
+}
+
+}  // namespace saiyan::mac

@@ -1,0 +1,56 @@
+// Access-point feedback controller.
+//
+// Tracks per-tag uplink reception, issues retransmission requests for
+// lost packets, monitors channel interference and commands hops, and
+// adapts each tag's data rate to its link margin — the three
+// feedback-loop applications of paper §1/§5.3.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "mac/frames.hpp"
+#include "sim/ber_model.hpp"
+
+namespace saiyan::mac {
+
+struct RateDecision {
+  int bits_per_symbol = 1;
+  double expected_throughput_bps = 0.0;
+};
+
+class FeedbackController {
+ public:
+  explicit FeedbackController(const sim::BerModel& model,
+                              const channel::LinkBudget& link);
+
+  /// Record an uplink reception attempt; returns a retransmission
+  /// request when the packet was lost.
+  std::optional<DownlinkFrame> on_uplink(TagId tag, std::uint32_t sequence,
+                                         bool received);
+
+  /// Interference report for the current channel; returns a hop
+  /// command once the observed PRR over a window falls below
+  /// `hop_threshold`.
+  std::optional<DownlinkFrame> on_channel_quality(TagId tag, double window_prr,
+                                                  int current_channel,
+                                                  double hop_threshold = 0.6);
+
+  /// Pick the throughput-maximizing K for a tag at `distance_m` given
+  /// a per-packet delivery requirement (paper "rate adaptation").
+  RateDecision best_rate(double distance_m, const lora::PhyParams& base_phy,
+                         core::Mode mode, double min_delivery = 0.9,
+                         std::size_t payload_bits = 256) const;
+
+  std::size_t retransmissions_requested() const { return retx_count_; }
+  std::size_t hops_commanded() const { return hop_count_; }
+
+ private:
+  const sim::BerModel& model_;
+  const channel::LinkBudget& link_;
+  std::map<TagId, std::uint32_t> last_seen_;
+  std::size_t retx_count_ = 0;
+  std::size_t hop_count_ = 0;
+};
+
+}  // namespace saiyan::mac

@@ -1,0 +1,31 @@
+#include "mac/frames.hpp"
+
+#include <algorithm>
+
+namespace saiyan::mac {
+
+bool DownlinkFrame::addressed_to(TagId tag) const {
+  switch (type) {
+    case DownlinkType::kUnicast:
+      return tag == target;
+    case DownlinkType::kMulticast:
+      return std::find(group.begin(), group.end(), tag) != group.end();
+    case DownlinkType::kBroadcast:
+      return true;
+  }
+  return false;
+}
+
+const char* command_name(Command c) {
+  switch (c) {
+    case Command::kAckData: return "ack-data";
+    case Command::kRetransmit: return "retransmit";
+    case Command::kChannelHop: return "channel-hop";
+    case Command::kRateAdapt: return "rate-adapt";
+    case Command::kSensorOn: return "sensor-on";
+    case Command::kSensorOff: return "sensor-off";
+  }
+  return "?";
+}
+
+}  // namespace saiyan::mac

@@ -1,0 +1,54 @@
+// MAC-layer frames (paper §4.4 and §5.3).
+//
+// Downlink frames flow from the access point to the tags through
+// Saiyan's demodulator: unicast (one tag responds, no collision),
+// multicast and broadcast (slotted ALOHA arbitrates the ACKs).
+// Commands cover the feedback-loop applications the paper motivates:
+// on-demand retransmission, channel hopping, rate adaptation, and
+// remote sensor on/off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace saiyan::mac {
+
+using TagId = std::uint16_t;
+inline constexpr TagId kBroadcastId = 0xFFFF;
+
+enum class DownlinkType : std::uint8_t {
+  kUnicast,
+  kMulticast,
+  kBroadcast,
+};
+
+enum class Command : std::uint8_t {
+  kAckData,        ///< AP acknowledges an uplink packet
+  kRetransmit,     ///< ask for a packet re-transmission (§5.3.1)
+  kChannelHop,     ///< switch to channel index `param` (§5.3.2)
+  kRateAdapt,      ///< set bits-per-symbol K = `param`
+  kSensorOn,       ///< remote sensor control (§1)
+  kSensorOff,
+};
+
+struct DownlinkFrame {
+  DownlinkType type = DownlinkType::kUnicast;
+  TagId target = 0;            ///< ignored for broadcast
+  std::vector<TagId> group;    ///< multicast membership
+  Command command = Command::kAckData;
+  std::uint32_t param = 0;     ///< sequence number / channel / rate
+
+  /// True when `tag` should act on this frame.
+  bool addressed_to(TagId tag) const;
+};
+
+struct UplinkFrame {
+  TagId source = 0;
+  std::uint32_t sequence = 0;
+  bool is_ack = false;         ///< ACK of a downlink command
+  std::size_t payload_bytes = 16;
+};
+
+const char* command_name(Command c);
+
+}  // namespace saiyan::mac

@@ -1,0 +1,62 @@
+#include "mac/network_sim.hpp"
+
+#include "mac/slotted_aloha.hpp"
+
+namespace saiyan::mac {
+
+double retransmission_prr(const RetransmissionStudyConfig& cfg) {
+  dsp::Rng rng(cfg.seed);
+  std::size_t delivered = 0;
+  for (std::size_t p = 0; p < cfg.n_packets; ++p) {
+    bool ok = rng.chance(cfg.base_prr);
+    std::size_t attempts = 0;
+    while (!ok && attempts < cfg.max_retransmissions) {
+      // The AP noticed the loss and asks for a re-transmission; the
+      // request must itself survive the Saiyan downlink.
+      if (!cfg.tag_has_saiyan || !rng.chance(cfg.downlink_success)) break;
+      ++attempts;
+      ok = rng.chance(cfg.base_prr);
+    }
+    delivered += ok ? 1 : 0;
+  }
+  return static_cast<double>(delivered) / static_cast<double>(cfg.n_packets);
+}
+
+ChannelHoppingResult channel_hopping_study(const ChannelHoppingStudyConfig& cfg) {
+  dsp::Rng rng(cfg.seed);
+  ChannelHoppingResult result;
+  bool on_jammed_channel = true;  // the jammer sits on the home channel
+  for (std::size_t w = 0; w < cfg.n_windows; ++w) {
+    const double p = on_jammed_channel ? cfg.jammed_prr : cfg.clean_prr;
+    std::size_t got = 0;
+    for (std::size_t k = 0; k < cfg.packets_per_window; ++k) {
+      got += rng.chance(p) ? 1 : 0;
+    }
+    const double prr =
+        static_cast<double>(got) / static_cast<double>(cfg.packets_per_window);
+    result.prr_cdf.add(prr);
+    if (cfg.hopping_enabled && on_jammed_channel && prr < cfg.hop_threshold) {
+      // AP issues the hop command over the Saiyan downlink.
+      if (rng.chance(cfg.downlink_success)) {
+        on_jammed_channel = false;
+        ++result.hops;
+      }
+    }
+  }
+  return result;
+}
+
+double multicast_ack_success(std::size_t n_tags, std::size_t n_slots,
+                             std::size_t rounds, std::uint64_t seed) {
+  dsp::Rng rng(seed);
+  std::vector<TagId> tags(n_tags);
+  for (std::size_t i = 0; i < n_tags; ++i) tags[i] = static_cast<TagId>(i + 1);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::vector<SlotOutcome> outcomes = run_aloha_round(tags, n_slots, rng);
+    acc += aloha_success_rate(outcomes, n_tags);
+  }
+  return rounds ? acc / static_cast<double>(rounds) : 0.0;
+}
+
+}  // namespace saiyan::mac

@@ -1,0 +1,56 @@
+// Multi-tag network simulator for the case studies (paper §5.3):
+// packet re-transmission through the ACK mechanism (Fig. 26) and
+// interference avoidance through channel hopping (Fig. 27).
+#pragma once
+
+#include <vector>
+
+#include "mac/feedback_controller.hpp"
+#include "mac/tag.hpp"
+#include "sim/metrics.hpp"
+
+namespace saiyan::mac {
+
+struct RetransmissionStudyConfig {
+  double distance_m = 100.0;        ///< paper §5.3.1 link distance
+  double base_prr = 0.818;          ///< uplink PRR without retransmission
+  std::size_t max_retransmissions = 0;
+  std::size_t n_packets = 1000;
+  bool tag_has_saiyan = true;       ///< without Saiyan no feedback exists
+  double downlink_success = 0.98;   ///< Saiyan downlink delivery at 100 m
+  std::uint64_t seed = 42;
+};
+
+/// PRR of an uplink flow where the AP requests up to
+/// `max_retransmissions` repeats of each lost packet through the
+/// Saiyan downlink (Fig. 26).
+double retransmission_prr(const RetransmissionStudyConfig& cfg);
+
+struct ChannelHoppingStudyConfig {
+  double distance_m = 100.0;
+  double clean_prr = 0.95;          ///< PRR on an unjammed channel
+  double jammed_prr = 0.45;         ///< PRR while the USRP jams (Fig. 27)
+  std::size_t n_windows = 200;      ///< PRR measurement windows
+  std::size_t packets_per_window = 20;
+  double hop_threshold = 0.6;       ///< AP commands a hop below this
+  bool hopping_enabled = true;
+  double downlink_success = 0.98;
+  std::uint64_t seed = 43;
+};
+
+struct ChannelHoppingResult {
+  sim::Cdf prr_cdf;       ///< per-window PRR distribution
+  std::size_t hops = 0;
+};
+
+/// Windowed PRR with a jammer on the home channel; with hopping
+/// enabled the AP commands the tag onto a clean channel once the
+/// windowed PRR collapses (Fig. 27).
+ChannelHoppingResult channel_hopping_study(const ChannelHoppingStudyConfig& cfg);
+
+/// Multicast ACK collisions vs slot count: average fraction of tags
+/// whose ACK survives one slotted-ALOHA round (Fig. 15 mechanics).
+double multicast_ack_success(std::size_t n_tags, std::size_t n_slots,
+                             std::size_t rounds, std::uint64_t seed = 44);
+
+}  // namespace saiyan::mac

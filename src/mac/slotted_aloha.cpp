@@ -1,0 +1,41 @@
+#include "mac/slotted_aloha.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saiyan::mac {
+
+std::vector<SlotOutcome> run_aloha_round(const std::vector<TagId>& tags,
+                                         std::size_t n_slots, dsp::Rng& rng) {
+  if (n_slots == 0) throw std::invalid_argument("run_aloha_round: need >= 1 slot");
+  std::vector<SlotOutcome> outcomes(n_slots);
+  for (std::size_t s = 0; s < n_slots; ++s) outcomes[s].slot = s;
+  for (TagId tag : tags) {
+    const std::size_t slot =
+        static_cast<std::size_t>(rng.uniform_int(0, n_slots - 1));
+    outcomes[slot].transmitters.push_back(tag);
+  }
+  for (SlotOutcome& o : outcomes) {
+    o.collision = o.transmitters.size() > 1;
+    o.idle = o.transmitters.empty();
+  }
+  return outcomes;
+}
+
+double aloha_success_rate(const std::vector<SlotOutcome>& outcomes,
+                          std::size_t n_tags) {
+  if (n_tags == 0) return 0.0;
+  std::size_t ok = 0;
+  for (const SlotOutcome& o : outcomes) {
+    if (o.transmitters.size() == 1) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(n_tags);
+}
+
+double aloha_expected_success(std::size_t n_tags, std::size_t n_slots) {
+  if (n_tags == 0 || n_slots == 0) return 0.0;
+  return std::pow(1.0 - 1.0 / static_cast<double>(n_slots),
+                  static_cast<double>(n_tags - 1));
+}
+
+}  // namespace saiyan::mac

@@ -1,0 +1,38 @@
+// Slotted-ALOHA coordination for multi-tag ACKs (paper §4.4, Fig. 15).
+//
+// After a multicast/broadcast downlink, each tag draws a random slot,
+// stores it in a local counter, decrements it on every carrier signal
+// from the access point, and transmits when the counter hits zero.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "mac/frames.hpp"
+
+namespace saiyan::mac {
+
+struct SlotOutcome {
+  std::size_t slot = 0;
+  std::vector<TagId> transmitters;  ///< tags that fired in this slot
+  bool collision = false;
+  bool idle = false;
+};
+
+/// Simulate one slotted-ALOHA ACK round: every tag in `tags` picks a
+/// slot uniformly in [0, n_slots) and transmits there. Returns the
+/// per-slot outcomes in order.
+std::vector<SlotOutcome> run_aloha_round(const std::vector<TagId>& tags,
+                                         std::size_t n_slots, dsp::Rng& rng);
+
+/// Fraction of tags whose ACK got through (no collision in its slot).
+double aloha_success_rate(const std::vector<SlotOutcome>& outcomes,
+                          std::size_t n_tags);
+
+/// Expected success probability of slotted ALOHA with n tags over k
+/// slots: each tag succeeds iff no other tag picked its slot —
+/// (1 - 1/k)^(n-1).
+double aloha_expected_success(std::size_t n_tags, std::size_t n_slots);
+
+}  // namespace saiyan::mac

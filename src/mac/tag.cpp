@@ -1,0 +1,68 @@
+#include "mac/tag.hpp"
+
+#include <cmath>
+
+namespace saiyan::mac {
+
+Tag::Tag(const TagConfig& cfg, const sim::BerModel& model,
+         const channel::LinkBudget& link)
+    : cfg_(cfg), model_(model), link_(link) {
+  cfg_.phy.validate();
+}
+
+double Tag::downlink_success_probability() const {
+  if (!cfg_.has_saiyan) return 0.0;
+  const double rss = link_.rss_dbm(cfg_.distance_m);
+  const std::size_t bits = cfg_.downlink_symbols *
+                           static_cast<std::size_t>(cfg_.phy.bits_per_symbol);
+  return 1.0 - model_.per(rss, cfg_.saiyan_mode, cfg_.phy, bits);
+}
+
+bool Tag::receive_downlink(const DownlinkFrame& frame, dsp::Rng& rng) {
+  if (!cfg_.has_saiyan) return false;
+  if (!rng.chance(downlink_success_probability())) return false;
+  if (!frame.addressed_to(cfg_.id)) return false;
+  handle_command(frame);
+  return true;
+}
+
+void Tag::handle_command(const DownlinkFrame& frame) {
+  switch (frame.command) {
+    case Command::kAckData:
+      // Data delivered; nothing pending for that sequence anymore.
+      if (last_sent_seq_ == frame.param) last_sent_seq_.reset();
+      break;
+    case Command::kRetransmit:
+      // Immediate on-demand re-transmission (paper §5.3.1).
+      tx_queue_.push_front(UplinkFrame{cfg_.id, frame.param, false, 16});
+      break;
+    case Command::kChannelHop:
+      cfg_.channel = static_cast<int>(frame.param);
+      break;
+    case Command::kRateAdapt:
+      if (frame.param >= 1 && frame.param <= 5) {
+        cfg_.phy.bits_per_symbol = static_cast<int>(frame.param);
+      }
+      break;
+    case Command::kSensorOn:
+      sensor_on_ = true;
+      break;
+    case Command::kSensorOff:
+      sensor_on_ = false;
+      break;
+  }
+}
+
+std::optional<UplinkFrame> Tag::next_uplink() {
+  if (tx_queue_.empty()) return std::nullopt;
+  UplinkFrame f = tx_queue_.front();
+  tx_queue_.pop_front();
+  last_sent_seq_ = f.sequence;
+  return f;
+}
+
+void Tag::enqueue_data(std::uint32_t sequence) {
+  tx_queue_.push_back(UplinkFrame{cfg_.id, sequence, false, 16});
+}
+
+}  // namespace saiyan::mac

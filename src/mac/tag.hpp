@@ -1,0 +1,63 @@
+// Backscatter tag state machine.
+//
+// A tag modulates uplink packets, and — with Saiyan — demodulates
+// downlink frames, acting on feedback commands: re-transmit a lost
+// packet, hop channels, adapt its data rate, or toggle sensors. The
+// downlink succeeds probabilistically according to the Saiyan BER
+// model at the tag's distance; tags without Saiyan never hear the AP.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "core/energy_harvester.hpp"
+#include "mac/frames.hpp"
+#include "sim/ber_model.hpp"
+
+namespace saiyan::mac {
+
+struct TagConfig {
+  TagId id = 1;
+  double distance_m = 100.0;
+  bool has_saiyan = true;        ///< can demodulate downlink frames
+  core::Mode saiyan_mode = core::Mode::kSuper;
+  lora::PhyParams phy;
+  int channel = 0;
+  std::size_t downlink_symbols = 16;  ///< downlink frame length
+};
+
+class Tag {
+ public:
+  Tag(const TagConfig& cfg, const sim::BerModel& model,
+      const channel::LinkBudget& link);
+
+  /// Deliver a downlink frame; returns true when the tag demodulated
+  /// it (probabilistic per the BER model) and it was addressed here.
+  bool receive_downlink(const DownlinkFrame& frame, dsp::Rng& rng);
+
+  /// The tag's next uplink, if any is pending (retransmissions first).
+  std::optional<UplinkFrame> next_uplink();
+
+  /// Queue a fresh data packet for transmission.
+  void enqueue_data(std::uint32_t sequence);
+
+  TagId id() const { return cfg_.id; }
+  int channel() const { return cfg_.channel; }
+  int bits_per_symbol() const { return cfg_.phy.bits_per_symbol; }
+  bool sensor_on() const { return sensor_on_; }
+  double downlink_success_probability() const;
+  const TagConfig& config() const { return cfg_; }
+
+ private:
+  void handle_command(const DownlinkFrame& frame);
+
+  TagConfig cfg_;
+  const sim::BerModel& model_;
+  const channel::LinkBudget& link_;
+  std::deque<UplinkFrame> tx_queue_;
+  std::optional<std::uint32_t> last_sent_seq_;
+  bool sensor_on_ = true;
+};
+
+}  // namespace saiyan::mac

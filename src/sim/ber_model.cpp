@@ -1,0 +1,78 @@
+#include "sim/ber_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace saiyan::sim {
+
+BerModel::BerModel(const BerModelConfig& cfg) : cfg_(cfg) {
+  if (cfg.base_sensitivity_dbm >= 0.0) {
+    throw std::invalid_argument("BerModel: sensitivity must be negative dBm");
+  }
+  if (cfg.cfs_to_super_range_ratio <= 1.0 || cfg.vanilla_to_cfs_range_ratio <= 1.0) {
+    throw std::invalid_argument("BerModel: range ratios must be > 1");
+  }
+}
+
+double BerModel::required_rss_dbm(core::Mode mode, const lora::PhyParams& phy,
+                                  double temperature_c) const {
+  phy.validate();
+  double rss = cfg_.base_sensitivity_dbm;
+
+  // Mode offsets: a range ratio r at path-loss exponent n costs
+  // 10·n·log10(r) dB of link budget.
+  const double n = cfg_.path_loss_exponent;
+  const double cfs_offset_db = 10.0 * n * std::log10(cfg_.cfs_to_super_range_ratio);
+  const double van_offset_db =
+      cfs_offset_db + 10.0 * n * std::log10(cfg_.vanilla_to_cfs_range_ratio);
+  switch (mode) {
+    case core::Mode::kSuper: break;
+    case core::Mode::kFrequencyShifting: rss += cfs_offset_db; break;
+    case core::Mode::kVanilla: rss += van_offset_db; break;
+  }
+
+  // K: each extra bit halves the peak-position bin width.
+  rss += cfg_.per_bit_db * (phy.bits_per_symbol - 2);
+
+  // SF: longer symbols integrate slightly more envelope energy.
+  rss -= cfg_.sf_gain_db * (phy.spreading_factor - 7);
+
+  // BW: narrower chirps sweep a shallower part of the SAW skirt.
+  if (phy.bandwidth_hz == 250e3) rss += cfg_.bw250_penalty_db;
+  if (phy.bandwidth_hz == 125e3) rss += cfg_.bw125_penalty_db;
+
+  // Temperature: thresholds were calibrated at deployment time; the
+  // SAW response drifts as the day warms up (Fig. 24).
+  rss += cfg_.temp_penalty_db_per_k * std::abs(temperature_c - cfg_.calibration_temp_c);
+
+  return rss;
+}
+
+double BerModel::detection_rss_dbm(core::Mode mode, const lora::PhyParams& phy,
+                                   double temperature_c) const {
+  return required_rss_dbm(mode, phy, temperature_c) - cfg_.detection_margin_db;
+}
+
+double BerModel::ber(double rss_dbm, core::Mode mode, const lora::PhyParams& phy,
+                     double temperature_c) const {
+  const double margin = rss_dbm - required_rss_dbm(mode, phy, temperature_c);
+  double log10_ber;
+  if (margin >= 0.0) {
+    log10_ber = -3.0 - margin * cfg_.ber_slope_decades_per_db;
+  } else {
+    log10_ber = -3.0 - margin * cfg_.ber_rise_decades_per_db;
+  }
+  const double floor = cfg_.ber_floor_base *
+                       std::pow(cfg_.ber_floor_growth_per_bit,
+                                phy.bits_per_symbol - 1);
+  return std::clamp(std::max(std::pow(10.0, log10_ber), floor), 1e-9, 0.5);
+}
+
+double BerModel::per(double rss_dbm, core::Mode mode, const lora::PhyParams& phy,
+                     std::size_t payload_bits, double temperature_c) const {
+  const double b = ber(rss_dbm, mode, phy, temperature_c);
+  return 1.0 - std::pow(1.0 - b, static_cast<double>(payload_bits));
+}
+
+}  // namespace saiyan::sim

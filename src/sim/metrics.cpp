@@ -1,0 +1,69 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace saiyan::sim {
+
+void ErrorCounter::add_symbol(std::uint32_t expected, std::uint32_t actual,
+                              int bits_per_symbol) {
+  if (bits_per_symbol <= 0) {
+    throw std::invalid_argument("ErrorCounter: bits_per_symbol must be > 0");
+  }
+  ++symbols_;
+  bits_ += static_cast<std::size_t>(bits_per_symbol);
+  if (expected != actual) {
+    ++symbol_errors_;
+    const std::uint32_t diff = expected ^ actual;
+    bit_errors_ += static_cast<std::size_t>(std::popcount(diff));
+  }
+}
+
+void ErrorCounter::add_bits(std::size_t errors, std::size_t total) {
+  bit_errors_ += errors;
+  bits_ += total;
+}
+
+double ErrorCounter::ber() const {
+  return bits_ ? static_cast<double>(bit_errors_) / static_cast<double>(bits_) : 0.0;
+}
+
+double ErrorCounter::ser() const {
+  return symbols_ ? static_cast<double>(symbol_errors_) / static_cast<double>(symbols_)
+                  : 0.0;
+}
+
+double Cdf::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Cdf: no samples");
+  std::vector<double> copy = samples_;
+  std::sort(copy.begin(), copy.end());
+  const double pos = std::clamp(q, 0.0, 1.0) * static_cast<double>(copy.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+  const double t = pos - static_cast<double>(lo);
+  return copy[lo] + t * (copy[hi] - copy[lo]);
+}
+
+std::vector<std::pair<double, double>> Cdf::curve() const {
+  std::vector<double> copy = samples_;
+  std::sort(copy.begin(), copy.end());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(copy.size());
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    out.emplace_back(copy[i],
+                     static_cast<double>(i + 1) / static_cast<double>(copy.size()));
+  }
+  return out;
+}
+
+double effective_throughput_bps(double data_rate_bps, double ber) {
+  if (data_rate_bps < 0.0) {
+    throw std::invalid_argument("effective_throughput_bps: negative rate");
+  }
+  const double ok = std::pow(1.0 - std::clamp(ber, 0.0, 1.0), 30.0);
+  return data_rate_bps * ok;
+}
+
+}  // namespace saiyan::sim

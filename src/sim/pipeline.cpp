@@ -1,0 +1,72 @@
+#include "sim/pipeline.hpp"
+
+#include <cmath>
+
+#include "lora/modulator.hpp"
+
+namespace saiyan::sim {
+
+WaveformPipeline::WaveformPipeline(const PipelineConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  cfg_.saiyan.phy.validate();
+}
+
+PipelineResult WaveformPipeline::run_impl(double rss_dbm, std::size_t n_packets) {
+  const lora::PhyParams& phy = cfg_.saiyan.phy;
+  core::SaiyanDemodulator demod(cfg_.saiyan);
+  lora::Modulator mod(phy);
+  channel::AwgnChannel chan(phy.sample_rate_hz, cfg_.noise_figure_db);
+
+  PipelineResult result;
+  result.rss_dbm = rss_dbm;
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    std::vector<std::uint32_t> tx(cfg_.payload_symbols);
+    for (std::uint32_t& v : tx) {
+      v = static_cast<std::uint32_t>(rng_.uniform_int(0, phy.symbol_alphabet() - 1));
+    }
+    const dsp::Signal wave = mod.modulate(tx);
+    const dsp::Signal rx = chan.apply(wave, rss_dbm, rng_);
+
+    core::DemodResult dr;
+    if (cfg_.aligned) {
+      const lora::PacketLayout lay = mod.layout(tx.size());
+      dr = demod.demodulate_aligned(rx, lay.payload_start, tx.size(), rng_);
+    } else {
+      dr = demod.demodulate(rx, tx.size(), rng_);
+    }
+    result.detections.add(dr.preamble_found);
+    for (std::size_t i = 0; i < tx.size(); ++i) {
+      const std::uint32_t actual = i < dr.symbols.size() ? dr.symbols[i] : 0;
+      result.errors.add_symbol(tx[i], actual, phy.bits_per_symbol);
+    }
+  }
+  result.throughput_bps =
+      effective_throughput_bps(phy.data_rate_bps(), result.errors.ber());
+  return result;
+}
+
+PipelineResult WaveformPipeline::run_distance(double distance_m,
+                                              std::size_t n_packets) {
+  return run_impl(cfg_.link.rss_dbm(distance_m, cfg_.environment), n_packets);
+}
+
+PipelineResult WaveformPipeline::run_rss(double rss_dbm, std::size_t n_packets) {
+  return run_impl(rss_dbm, n_packets);
+}
+
+double WaveformPipeline::min_sampling_multiplier(double target_accuracy,
+                                                 std::size_t n_symbols,
+                                                 double rss_dbm) {
+  const std::size_t n_packets =
+      (n_symbols + cfg_.payload_symbols - 1) / cfg_.payload_symbols;
+  for (double mult = 1.0; mult <= 4.01; mult += 0.1) {
+    PipelineConfig probe = cfg_;
+    probe.saiyan.sampling_rate_multiplier = mult;
+    WaveformPipeline wp(probe);
+    const PipelineResult r = wp.run_rss(rss_dbm, n_packets);
+    if (1.0 - r.errors.ser() >= target_accuracy) return mult;
+  }
+  return 4.0;
+}
+
+}  // namespace saiyan::sim

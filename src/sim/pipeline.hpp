@@ -1,0 +1,59 @@
+// Full waveform end-to-end pipeline: modulator -> link budget + AWGN
+// -> Saiyan receive chain -> decoder -> error statistics. This is the
+// measurement instrument for the BER figures (2, 16, 22) and Table 1,
+// and the validator for the semi-analytic BerModel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "channel/awgn_channel.hpp"
+#include "channel/link_budget.hpp"
+#include "core/demodulator.hpp"
+#include "sim/metrics.hpp"
+
+namespace saiyan::sim {
+
+struct PipelineConfig {
+  core::SaiyanConfig saiyan;
+  channel::LinkBudget link;
+  channel::Environment environment;
+  double noise_figure_db = 6.0;
+  std::size_t payload_symbols = 32;  ///< paper §5 setup
+  bool aligned = true;  ///< true: timing-aided BER; false: full sync
+  std::uint64_t seed = 1;
+};
+
+struct PipelineResult {
+  ErrorCounter errors;
+  PacketCounter detections;
+  double rss_dbm = 0.0;
+  double throughput_bps = 0.0;
+};
+
+class WaveformPipeline {
+ public:
+  explicit WaveformPipeline(const PipelineConfig& cfg);
+
+  /// Run `n_packets` packets at a given distance.
+  PipelineResult run_distance(double distance_m, std::size_t n_packets);
+
+  /// Run at an explicit RSS (receiver-sensitivity sweeps, Fig. 22).
+  PipelineResult run_rss(double rss_dbm, std::size_t n_packets);
+
+  /// Measure the minimum sampling-rate multiplier (x Nyquist) that
+  /// reaches `target_accuracy` symbol accuracy at high SNR — the
+  /// Table 1 "practice" measurement.
+  double min_sampling_multiplier(double target_accuracy, std::size_t n_symbols,
+                                 double rss_dbm = -45.0);
+
+  const PipelineConfig& config() const { return cfg_; }
+
+ private:
+  PipelineResult run_impl(double rss_dbm, std::size_t n_packets);
+
+  PipelineConfig cfg_;
+  dsp::Rng rng_;
+};
+
+}  // namespace saiyan::sim

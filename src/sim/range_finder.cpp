@@ -1,0 +1,48 @@
+#include "sim/range_finder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saiyan::sim {
+
+double find_range_m(const std::function<double(double)>& ber_at, double target_ber,
+                    double lo_m, double hi_m, int iterations) {
+  if (lo_m <= 0.0 || hi_m <= lo_m) {
+    throw std::invalid_argument("find_range_m: need 0 < lo < hi");
+  }
+  if (ber_at(lo_m) > target_ber) return lo_m;   // fails even at the floor
+  if (ber_at(hi_m) <= target_ber) return hi_m;  // never fails in range
+  double lo = lo_m;
+  double hi = hi_m;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    if (ber_at(mid) <= target_ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+double model_range_m(const BerModel& model, core::Mode mode,
+                     const lora::PhyParams& phy, const channel::LinkBudget& link,
+                     const channel::Environment& env, double temperature_c,
+                     double target_ber) {
+  return find_range_m(
+      [&](double d) {
+        return model.ber(link.rss_dbm(d, env), mode, phy, temperature_c);
+      },
+      target_ber);
+}
+
+double model_detection_range_m(const BerModel& model, core::Mode mode,
+                               const lora::PhyParams& phy,
+                               const channel::LinkBudget& link,
+                               const channel::Environment& env,
+                               double temperature_c) {
+  const double sens = model.detection_rss_dbm(mode, phy, temperature_c);
+  return link.distance_for_rss(sens, env);
+}
+
+}  // namespace saiyan::sim

@@ -1,0 +1,32 @@
+// Demodulation-range finder: the maximum tag-to-transmitter distance
+// at which the BER stays below 1e-3 (paper §5 metric definition).
+#pragma once
+
+#include <functional>
+
+#include "channel/link_budget.hpp"
+#include "core/config.hpp"
+#include "sim/ber_model.hpp"
+
+namespace saiyan::sim {
+
+/// Invert a monotone BER-vs-distance curve by geometric bisection.
+/// `ber_at` maps distance (m) to BER; returns the largest distance
+/// with BER <= target within [lo, hi].
+double find_range_m(const std::function<double(double)>& ber_at, double target_ber,
+                    double lo_m = 1.0, double hi_m = 2000.0, int iterations = 60);
+
+/// Model-based demodulation range for a configuration.
+double model_range_m(const BerModel& model, core::Mode mode,
+                     const lora::PhyParams& phy, const channel::LinkBudget& link,
+                     const channel::Environment& env = {},
+                     double temperature_c = 25.0, double target_ber = 1e-3);
+
+/// Model-based packet detection range (Fig. 21 metric).
+double model_detection_range_m(const BerModel& model, core::Mode mode,
+                               const lora::PhyParams& phy,
+                               const channel::LinkBudget& link,
+                               const channel::Environment& env = {},
+                               double temperature_c = 25.0);
+
+}  // namespace saiyan::sim

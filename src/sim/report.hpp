@@ -1,0 +1,37 @@
+// Fixed-width table / CSV reporters used by the bench binaries so
+// every figure prints the same way the paper tabulates it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace saiyan::sim {
+
+/// Simple fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns.
+  std::string str() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  /// CSV rendering (comma-separated, headers first).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper.
+std::string fmt(double value, int precision = 2);
+
+/// Scientific notation, e.g. "1.8e-03".
+std::string fmt_sci(double value, int precision = 1);
+
+}  // namespace saiyan::sim

@@ -1,0 +1,110 @@
+// Cross-validation of the semi-analytic BerModel against the full
+// waveform pipeline (the methodology split documented in DESIGN.md):
+// the model's sensitivity ordering and rough thresholds must agree
+// with what the physics-level simulation measures.
+#include <gtest/gtest.h>
+
+#include "sim/ber_model.hpp"
+#include "sim/pipeline.hpp"
+
+namespace saiyan::sim {
+namespace {
+
+lora::PhyParams phy(int k = 2) {
+  lora::PhyParams p;
+  p.spreading_factor = 7;
+  p.bandwidth_hz = 500e3;
+  p.sample_rate_hz = 4e6;
+  p.bits_per_symbol = k;
+  return p;
+}
+
+PipelineResult run(core::Mode mode, double rss, std::size_t packets = 3,
+                   int k = 2) {
+  PipelineConfig cfg;
+  cfg.saiyan = core::SaiyanConfig::make(phy(k), mode);
+  cfg.payload_symbols = 32;
+  cfg.seed = 7;
+  WaveformPipeline wp(cfg);
+  return wp.run_rss(rss, packets);
+}
+
+TEST(Calibration, WaveformCleanAboveModelSensitivity) {
+  // 6 dB above the model's required RSS every mode must decode
+  // essentially error-free in the waveform simulation.
+  const BerModel model;
+  for (core::Mode mode : {core::Mode::kVanilla, core::Mode::kFrequencyShifting,
+                          core::Mode::kSuper}) {
+    const double sens = model.required_rss_dbm(mode, phy());
+    const PipelineResult r = run(mode, sens + 6.0);
+    EXPECT_LE(r.errors.ser(), 0.02) << core::mode_name(mode);
+  }
+}
+
+TEST(Calibration, WaveformFailsWellBelowModelSensitivity) {
+  // 10 dB below the required RSS the waveform pipeline must be in
+  // heavy-error territory for every mode.
+  const BerModel model;
+  for (core::Mode mode : {core::Mode::kVanilla, core::Mode::kFrequencyShifting,
+                          core::Mode::kSuper}) {
+    const double sens = model.required_rss_dbm(mode, phy());
+    const PipelineResult r = run(mode, sens - 10.0);
+    EXPECT_GE(r.errors.ser(), 0.08) << core::mode_name(mode);
+  }
+}
+
+TEST(Calibration, WaveformModeOrderingMatchesModel) {
+  // At a fixed RSS between the vanilla and super thresholds, the
+  // waveform error rates must be ordered vanilla >= cfs >= super.
+  const double rss = -72.0;
+  const double v = run(core::Mode::kVanilla, rss).errors.ser();
+  const double c = run(core::Mode::kFrequencyShifting, rss).errors.ser();
+  const double s = run(core::Mode::kSuper, rss).errors.ser();
+  EXPECT_GE(v, c);
+  EXPECT_GE(c, s);
+  EXPECT_GT(v, 0.05);
+  EXPECT_LT(s, 0.02);
+}
+
+TEST(Calibration, KPenaltyVisibleInWaveform) {
+  // At a marginal RSS, K=5 must show more symbol errors than K=1
+  // (Fig. 16's coding-rate penalty).
+  const double rss = -78.0;
+  const double k1 = run(core::Mode::kSuper, rss, 3, 1).errors.ser();
+  const double k5 = run(core::Mode::kSuper, rss, 3, 5).errors.ser();
+  EXPECT_GE(k5, k1);
+}
+
+TEST(Calibration, PipelineDistanceEqualsRssPath) {
+  // run_distance(d) must be equivalent to run_rss(link.rss(d)).
+  PipelineConfig cfg;
+  cfg.saiyan = core::SaiyanConfig::make(phy(), core::Mode::kSuper);
+  cfg.seed = 9;
+  WaveformPipeline a(cfg);
+  WaveformPipeline b(cfg);
+  const double d = 60.0;
+  const PipelineResult ra = a.run_distance(d, 2);
+  const PipelineResult rb = b.run_rss(cfg.link.rss_dbm(d), 2);
+  EXPECT_EQ(ra.errors.symbol_errors(), rb.errors.symbol_errors());
+  EXPECT_NEAR(ra.rss_dbm, rb.rss_dbm, 1e-12);
+}
+
+TEST(Calibration, Table1PracticeAboveTheory) {
+  // The minimum working sampling multiplier at high SNR must exceed
+  // 1.0x Nyquist but stay at or below the paper's conservative 1.6x
+  // (i.e. 3.2·BW/2^(SF-K)).
+  PipelineConfig cfg;
+  cfg.saiyan = core::SaiyanConfig::make(phy(2), core::Mode::kSuper);
+  cfg.payload_symbols = 32;
+  cfg.seed = 11;
+  // Use the comparator path for this test (the sampler only matters
+  // there).
+  cfg.saiyan.mode = core::Mode::kFrequencyShifting;
+  WaveformPipeline wp(cfg);
+  const double mult = wp.min_sampling_multiplier(0.999, 128);
+  EXPECT_GT(mult, 0.99);
+  EXPECT_LE(mult, 1.7);
+}
+
+}  // namespace
+}  // namespace saiyan::sim

@@ -1,0 +1,198 @@
+// Channel substrate: path loss models, link budget, AWGN, temperature,
+// jammer, fading.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn_channel.hpp"
+#include "channel/fading.hpp"
+#include "channel/jammer.hpp"
+#include "channel/link_budget.hpp"
+#include "channel/temperature.hpp"
+#include "dsp/utils.hpp"
+
+namespace saiyan::channel {
+namespace {
+
+TEST(PathLoss, FreeSpaceAnchors) {
+  // FSPL at 1 m, 433.5 MHz: 20 log10(4*pi/0.6916) ~ 25.2 dB.
+  EXPECT_NEAR(free_space_path_loss_db(1.0, 433.5e6), 25.2, 0.1);
+  // +20 dB per decade of distance.
+  EXPECT_NEAR(free_space_path_loss_db(10.0, 433.5e6) -
+                  free_space_path_loss_db(1.0, 433.5e6),
+              20.0, 1e-9);
+}
+
+TEST(PathLoss, LogDistanceExponent) {
+  const double pl10 = log_distance_path_loss_db(10.0, 433.5e6, 4.0);
+  const double pl100 = log_distance_path_loss_db(100.0, 433.5e6, 4.0);
+  EXPECT_NEAR(pl100 - pl10, 40.0, 1e-9);
+}
+
+TEST(PathLoss, TwoRayBreakpointContinuity) {
+  const double f = 433.5e6;
+  const double bp = 4.0 * 1.5 * 0.5 / (dsp::kSpeedOfLight / f);
+  const double just_below = two_ray_path_loss_db(bp * 0.999, f, 1.5, 0.5);
+  const double just_above = two_ray_path_loss_db(bp * 1.001, f, 1.5, 0.5);
+  EXPECT_NEAR(just_below, just_above, 0.2);
+  // Far field slope is 40 dB/decade.
+  EXPECT_NEAR(two_ray_path_loss_db(bp * 100.0, f, 1.5, 0.5) -
+                  two_ray_path_loss_db(bp * 10.0, f, 1.5, 0.5),
+              40.0, 0.01);
+}
+
+TEST(PathLoss, RejectsBadInputs) {
+  EXPECT_THROW(free_space_path_loss_db(0.0, 433e6), std::invalid_argument);
+  EXPECT_THROW(free_space_path_loss_db(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(log_distance_path_loss_db(1.0, 433e6, 0.5), std::invalid_argument);
+  EXPECT_THROW(two_ray_path_loss_db(1.0, 433e6, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(wall_loss_db(-1), std::invalid_argument);
+}
+
+TEST(LinkBudget, PaperSetupRssAnchors) {
+  // 20 dBm + 3 dBi + 3 dBi, n = 4 log-distance: ~ -86 dBm at ~150 m —
+  // consistent with Fig. 22's RSS curve near Saiyan's maximum range.
+  const LinkBudget link;
+  EXPECT_NEAR(link.rss_dbm(148.6), -85.8, 1.0);
+  EXPECT_GT(link.rss_dbm(10.0), link.rss_dbm(100.0));
+}
+
+TEST(LinkBudget, DistanceForRssInvertsRss) {
+  const LinkBudget link;
+  for (double d : {5.0, 42.0, 148.0, 500.0}) {
+    const double rss = link.rss_dbm(d);
+    EXPECT_NEAR(link.distance_for_rss(rss), d, d * 0.01);
+  }
+}
+
+TEST(LinkBudget, WallsAndClutterReduceRss) {
+  const LinkBudget link;
+  Environment one_wall;
+  one_wall.concrete_walls = 1;
+  Environment two_walls;
+  two_walls.concrete_walls = 2;
+  Environment nlos = one_wall;
+  nlos.indoor_clutter = true;
+  const double d = 30.0;
+  EXPECT_NEAR(link.rss_dbm(d) - link.rss_dbm(d, one_wall), kConcreteWallLossDb,
+              1e-9);
+  EXPECT_NEAR(link.rss_dbm(d, one_wall) - link.rss_dbm(d, two_walls),
+              kConcreteWallLossDb, 1e-9);
+  EXPECT_NEAR(link.rss_dbm(d, one_wall) - link.rss_dbm(d, nlos),
+              kIndoorClutterLossDb, 1e-9);
+}
+
+TEST(LinkBudget, BackscatterTwoHopLoss) {
+  const LinkBudget link;
+  // Two-hop RSS = Ptx + gains - PL(d1) - PL(d2) - conversion loss.
+  const double rss = link.backscatter_rss_dbm(5.0, 100.0, 10.0);
+  const double expect = 20.0 + 6.0 - link.path_loss_db(5.0) -
+                        link.path_loss_db(100.0) - 10.0;
+  EXPECT_NEAR(rss, expect, 1e-9);
+}
+
+TEST(AwgnChannel, SetsRssAndNoiseFloor) {
+  AwgnChannel chan(4e6, 6.0);
+  EXPECT_NEAR(chan.noise_floor_dbm(), -174.0 + 10.0 * std::log10(4e6) + 6.0, 0.01);
+  dsp::Rng rng(1);
+  dsp::Signal x(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = dsp::Complex(std::cos(0.3 * i), std::sin(0.3 * i));
+  }
+  // Strong signal: output power should be dominated by the target RSS.
+  const dsp::Signal y = chan.apply(x, -40.0, rng);
+  EXPECT_NEAR(dsp::signal_power_dbm(y), -40.0, 0.3);
+}
+
+TEST(AwgnChannel, ApplySnrHitsRequestedSnr) {
+  AwgnChannel chan(1e6, 0.0);
+  dsp::Rng rng(2);
+  dsp::Signal x(40000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = dsp::Complex(std::cos(0.1 * i), std::sin(0.1 * i));
+  }
+  const dsp::Signal y = chan.apply_snr(x, 10.0, rng);
+  const double noise_w = dsp::dbm_to_watts(chan.noise_floor_dbm());
+  const double total = dsp::signal_power(y);
+  EXPECT_NEAR((total - noise_w) / noise_w, 10.0, 3.0);  // linear SNR ~ 10
+}
+
+TEST(Temperature, SawShiftSignAndMagnitude) {
+  // Negative TCF: frequency rises as temperature drops.
+  EXPECT_GT(saw_frequency_shift_hz(434e6, 0.0), 0.0);
+  EXPECT_LT(saw_frequency_shift_hz(434e6, 50.0), 0.0);
+  EXPECT_NEAR(saw_frequency_shift_hz(434e6, kSawReferenceTempC), 0.0, 1e-9);
+  EXPECT_THROW(saw_frequency_shift_hz(0.0, 20.0), std::invalid_argument);
+}
+
+TEST(Temperature, DiurnalProfileMatchesPaperExtremes) {
+  // Fig. 24: minimum -8.6 C at 8 a.m., maximum 1.6 C at 2 p.m.
+  EXPECT_NEAR(diurnal_temperature_c(8.0), -8.6, 0.3);
+  EXPECT_NEAR(diurnal_temperature_c(14.0), 1.6, 0.01);
+  EXPECT_THROW(diurnal_temperature_c(24.0), std::invalid_argument);
+  EXPECT_THROW(diurnal_temperature_c(-0.1), std::invalid_argument);
+}
+
+class JammerTypes : public ::testing::TestWithParam<JammerType> {};
+
+TEST_P(JammerTypes, PowerIsCalibrated) {
+  JammerConfig cfg;
+  cfg.type = GetParam();
+  cfg.power_dbm = -42.0;
+  dsp::Rng rng(3);
+  const dsp::Signal j = make_jammer(cfg, 1 << 14, rng);
+  EXPECT_NEAR(dsp::signal_power_dbm(j), -42.0, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, JammerTypes,
+                         ::testing::Values(JammerType::kTone,
+                                           JammerType::kWideband,
+                                           JammerType::kChirp));
+
+TEST(Jammer, InactiveProducesZeros) {
+  JammerConfig cfg;
+  cfg.active = false;
+  dsp::Rng rng(4);
+  const dsp::Signal j = make_jammer(cfg, 100, rng);
+  for (const dsp::Complex& v : j) EXPECT_EQ(v, dsp::Complex{});
+}
+
+TEST(Jammer, AddJammerRaisesPower) {
+  JammerConfig cfg;
+  cfg.power_dbm = -50.0;
+  dsp::Rng rng(5);
+  dsp::Signal x(1 << 12, dsp::Complex{});
+  add_jammer(x, cfg, rng);
+  EXPECT_NEAR(dsp::signal_power_dbm(x), -50.0, 0.8);
+}
+
+TEST(Fading, NoneIsZeroDb) {
+  dsp::Rng rng(6);
+  EXPECT_EQ(fading_gain_db(FadingConfig{}, rng), 0.0);
+}
+
+TEST(Fading, RayleighUnitMeanPower) {
+  FadingConfig cfg;
+  cfg.type = FadingType::kRayleigh;
+  dsp::Rng rng(7);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += dsp::db_to_lin(fading_gain_db(cfg, rng));
+  EXPECT_NEAR(acc / n, 1.0, 0.05);
+}
+
+TEST(Fading, RicianLessSpreadThanRayleigh) {
+  FadingConfig ray{FadingType::kRayleigh, 0.0};
+  FadingConfig ric{FadingType::kRician, 10.0};
+  dsp::Rng rng(8);
+  double ray_min = 0.0;
+  double ric_min = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    ray_min = std::min(ray_min, fading_gain_db(ray, rng));
+    ric_min = std::min(ric_min, fading_gain_db(ric, rng));
+  }
+  EXPECT_LT(ray_min, ric_min);  // Rayleigh has much deeper fades
+}
+
+}  // namespace
+}  // namespace saiyan::channel

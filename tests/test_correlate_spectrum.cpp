@@ -1,0 +1,126 @@
+// Cross-correlation and spectral estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/correlate.hpp"
+#include "dsp/nco.hpp"
+#include "dsp/noise.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/utils.hpp"
+
+namespace saiyan::dsp {
+namespace {
+
+TEST(Correlate, FindsEmbeddedTemplate) {
+  Rng rng(1);
+  Signal tmpl(64);
+  for (Complex& v : tmpl) v = Complex(rng.gaussian(), rng.gaussian());
+  Signal x(512, Complex{});
+  const std::size_t offset = 200;
+  for (std::size_t i = 0; i < tmpl.size(); ++i) x[offset + i] = tmpl[i] * 3.0;
+  const CorrelationPeak pk = find_peak(x, std::span<const Complex>(tmpl));
+  EXPECT_EQ(pk.lag, offset);
+  EXPECT_NEAR(pk.normalized, 1.0, 1e-6);  // perfect scaled match
+}
+
+TEST(Correlate, NormalizedDropsWithNoise) {
+  Rng rng(2);
+  Signal tmpl(64);
+  for (Complex& v : tmpl) v = Complex(rng.gaussian(), rng.gaussian());
+  Signal x(512);
+  for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  for (std::size_t i = 0; i < tmpl.size(); ++i) x[100 + i] += tmpl[i];
+  const CorrelationPeak pk = find_peak(x, std::span<const Complex>(tmpl));
+  EXPECT_LT(pk.normalized, 0.95);
+  EXPECT_GT(pk.normalized, 0.3);
+}
+
+TEST(Correlate, ValidLagCount) {
+  const Signal x(100, Complex(1.0, 0.0));
+  const Signal t(30, Complex(1.0, 0.0));
+  const RealSignal c = cross_correlate(x, std::span<const Complex>(t));
+  EXPECT_EQ(c.size(), 71u);
+}
+
+TEST(Correlate, TemplateLongerThanSignalIsEmpty) {
+  const Signal x(10, Complex(1.0, 0.0));
+  const Signal t(30, Complex(1.0, 0.0));
+  EXPECT_TRUE(cross_correlate(x, std::span<const Complex>(t)).empty());
+}
+
+TEST(Correlate, EmptyTemplateThrows) {
+  const Signal x(10, Complex(1.0, 0.0));
+  EXPECT_THROW(cross_correlate(x, std::span<const Complex>{}), std::invalid_argument);
+}
+
+TEST(Correlate, SignedDistinguishesPolarity) {
+  RealSignal tmpl = {1.0, 1.0, -1.0, -1.0, 1.0, -1.0};
+  RealSignal pos(32, 0.0);
+  RealSignal neg(32, 0.0);
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    pos[10 + i] = tmpl[i];
+    neg[10 + i] = -tmpl[i];
+  }
+  const RealSignal cp = cross_correlate_signed(pos, tmpl);
+  const RealSignal cn = cross_correlate_signed(neg, tmpl);
+  EXPECT_GT(cp[10], 5.9);
+  EXPECT_LT(cn[10], -5.9);
+}
+
+TEST(Spectrum, TonePeakAtCorrectFrequency) {
+  const double fs = 4e6;
+  const double f0 = 500e3;
+  Nco nco(f0, fs);
+  const RealSignal x = nco.cosine(1 << 16);
+  EXPECT_NEAR(dominant_frequency(std::span<const double>(x), fs, 1e3), f0,
+              fs / 1024.0);
+}
+
+TEST(Spectrum, ComplexPsdResolvesNegativeFrequency) {
+  const double fs = 1e6;
+  Nco nco(-200e3, fs);
+  const Signal x = nco.tone(1 << 15);
+  const Psd psd = welch_psd(std::span<const Complex>(x), fs, 1024);
+  double best_f = 0.0;
+  double best_p = -1e300;
+  for (std::size_t i = 0; i < psd.frequency_hz.size(); ++i) {
+    if (psd.power_dbm[i] > best_p) {
+      best_p = psd.power_dbm[i];
+      best_f = psd.frequency_hz[i];
+    }
+  }
+  EXPECT_NEAR(best_f, -200e3, fs / 512.0);
+}
+
+TEST(Spectrum, PsdTotalPowerMatchesSignalPower) {
+  Rng rng(3);
+  const Signal x = complex_awgn(1 << 16, 1e-6, rng);
+  const Psd psd = welch_psd(std::span<const Complex>(x), 1e6, 1024);
+  double total = 0.0;
+  for (double p : psd.power_dbm) total += dbm_to_watts(p);
+  EXPECT_NEAR(total / 1e-6, 1.0, 0.15);
+}
+
+TEST(Spectrum, SnrEstimateTracksTrueSnr) {
+  Rng rng(4);
+  const double fs = 1e6;
+  Nco nco(100e3, fs);
+  RealSignal x = nco.cosine(1 << 16);
+  // Signal power 0.5; white noise 40 dB down spread over the full
+  // fs/2 = 500 kHz band. The estimator reports SNR against the noise
+  // *inside the 20 kHz signal band*: 40 + 10 log10(500/20) = 54 dB.
+  const RealSignal n = real_white_noise(x.size(), 0.5e-4, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += n[i];
+  const double snr = estimate_snr_db(std::span<const double>(x), fs, 90e3, 110e3);
+  EXPECT_NEAR(snr, 54.0, 4.0);
+}
+
+TEST(Spectrum, SnrRejectsBadBand) {
+  const RealSignal x(1024, 1.0);
+  EXPECT_THROW(estimate_snr_db(std::span<const double>(x), 1e6, 200e3, 100e3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saiyan::dsp

@@ -1,0 +1,96 @@
+// Unit tests for dsp/utils: dB conversions, statistics, interpolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/utils.hpp"
+
+namespace saiyan::dsp {
+namespace {
+
+TEST(DbConversions, RoundTripPower) {
+  for (double db : {-100.0, -3.0, 0.0, 3.0, 10.0, 60.0}) {
+    EXPECT_NEAR(lin_to_db(db_to_lin(db)), db, 1e-9);
+  }
+}
+
+TEST(DbConversions, RoundTripAmplitude) {
+  for (double db : {-40.0, -6.0, 0.0, 6.0, 20.0}) {
+    EXPECT_NEAR(amp_to_db(db_to_amp(db)), db, 1e-9);
+  }
+}
+
+TEST(DbConversions, KnownAnchors) {
+  EXPECT_NEAR(lin_to_db(2.0), 3.0103, 1e-3);
+  EXPECT_NEAR(db_to_amp(6.0), 1.9953, 1e-3);
+  EXPECT_NEAR(watts_to_dbm(1e-3), 0.0, 1e-12);
+  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(-30.0), 1e-6, 1e-12);
+}
+
+TEST(DbConversions, RejectsNonPositive) {
+  EXPECT_THROW(lin_to_db(0.0), std::domain_error);
+  EXPECT_THROW(lin_to_db(-1.0), std::domain_error);
+  EXPECT_THROW(watts_to_dbm(0.0), std::domain_error);
+  EXPECT_THROW(amp_to_db(0.0), std::domain_error);
+}
+
+TEST(Stats, MeanVarianceRms) {
+  const RealSignal x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(mean(x), 2.5, 1e-12);
+  EXPECT_NEAR(variance(x), 1.25, 1e-12);
+  EXPECT_NEAR(rms(x), std::sqrt(7.5), 1e-12);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  EXPECT_EQ(mean(RealSignal{}), 0.0);
+  EXPECT_EQ(variance(RealSignal{}), 0.0);
+  EXPECT_EQ(signal_power(std::span<const double>{}), 0.0);
+  EXPECT_EQ(argmax(std::span<const double>{}), 0u);
+}
+
+TEST(Stats, SignalPowerComplex) {
+  const Signal x = {{1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
+  EXPECT_NEAR(signal_power(x), 1.0, 1e-12);
+  EXPECT_NEAR(signal_power_dbm(x), 30.0, 1e-9);
+}
+
+TEST(Stats, SetPowerDbm) {
+  Signal x(256);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = Complex(std::cos(0.1 * i), std::sin(0.1 * i));
+  }
+  set_power_dbm(x, -50.0);
+  EXPECT_NEAR(signal_power_dbm(x), -50.0, 1e-9);
+}
+
+TEST(Stats, SetPowerDbmZeroSignalNoop) {
+  Signal x(16, Complex{});
+  set_power_dbm(x, -10.0);
+  for (const Complex& v : x) EXPECT_EQ(v, Complex{});
+}
+
+TEST(Interp, LinearInterpolationAndClamping) {
+  const RealSignal xs = {0.0, 1.0, 2.0};
+  const RealSignal ys = {0.0, 10.0, 40.0};
+  EXPECT_NEAR(interp1(xs, ys, 0.5), 5.0, 1e-12);
+  EXPECT_NEAR(interp1(xs, ys, 1.5), 25.0, 1e-12);
+  EXPECT_NEAR(interp1(xs, ys, -1.0), 0.0, 1e-12);  // clamp low
+  EXPECT_NEAR(interp1(xs, ys, 3.0), 40.0, 1e-12);  // clamp high
+}
+
+TEST(Interp, RejectsBadTables) {
+  const RealSignal xs = {0.0, 1.0};
+  const RealSignal ys = {0.0};
+  EXPECT_THROW(interp1(xs, ys, 0.5), std::invalid_argument);
+  EXPECT_THROW(interp1(RealSignal{}, RealSignal{}, 0.5), std::invalid_argument);
+}
+
+TEST(Peak, PeakAndArgmax) {
+  const RealSignal x = {1.0, 5.0, 3.0, 5.0, 2.0};
+  EXPECT_EQ(peak(x), 5.0);
+  EXPECT_EQ(argmax(x), 1u);  // first maximum
+}
+
+}  // namespace
+}  // namespace saiyan::dsp

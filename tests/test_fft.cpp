@@ -1,0 +1,131 @@
+// FFT correctness: round trips, Parseval, tone localization, Bluestein
+// arbitrary lengths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace saiyan::dsp {
+namespace {
+
+TEST(FftBasics, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(FftBasics, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1000));
+}
+
+TEST(FftBasics, RejectsEmpty) {
+  Signal x;
+  EXPECT_THROW(fft_inplace(x), std::invalid_argument);
+  EXPECT_THROW(ifft_inplace(x), std::invalid_argument);
+}
+
+TEST(FftBasics, BinFrequencyMapping) {
+  EXPECT_NEAR(bin_frequency(0, 8, 800.0), 0.0, 1e-12);
+  EXPECT_NEAR(bin_frequency(1, 8, 800.0), 100.0, 1e-12);
+  EXPECT_NEAR(bin_frequency(7, 8, 800.0), -100.0, 1e-12);
+  EXPECT_NEAR(bin_frequency(4, 8, 800.0), -400.0, 1e-12);
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, IfftOfFftIsIdentity) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  Signal x(n);
+  for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  const Signal y = ifft(fft(x));
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-8) << "index " << i;
+  }
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 17);
+  Signal x(n);
+  for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  double time_energy = 0.0;
+  for (const Complex& v : x) time_energy += std::norm(v);
+  const Signal X = fft(x);
+  double freq_energy = 0.0;
+  for (const Complex& v : X) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-6 * std::max(1.0, time_energy));
+}
+
+// Mix of power-of-two and Bluestein (odd / prime / composite) sizes.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 8, 64, 1024, 3, 5, 12, 100, 351,
+                                           997));
+
+TEST(FftTone, LocalizesComplexExponential) {
+  const std::size_t n = 256;
+  const std::size_t k0 = 19;
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = kTwoPi * static_cast<double>(k0 * i) / static_cast<double>(n);
+    x[i] = Complex(std::cos(ph), std::sin(ph));
+  }
+  const Signal X = fft(x);
+  std::size_t best = 0;
+  double best_mag = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (std::abs(X[k]) > best_mag) {
+      best_mag = std::abs(X[k]);
+      best = k;
+    }
+  }
+  EXPECT_EQ(best, k0);
+  EXPECT_NEAR(best_mag, static_cast<double>(n), 1e-6);
+}
+
+TEST(FftLinearity, FftOfSumIsSumOfFfts) {
+  Rng rng(5);
+  Signal a(128), b(128), s(128);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = Complex(rng.gaussian(), rng.gaussian());
+    b[i] = Complex(rng.gaussian(), rng.gaussian());
+    s[i] = a[i] + b[i];
+  }
+  const Signal fa = fft(a);
+  const Signal fb = fft(b);
+  const Signal fs = fft(s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(std::abs(fs[i] - (fa[i] + fb[i])), 0.0, 1e-8);
+  }
+}
+
+TEST(FftBluestein, MatchesRadix2OnPaddableSignal) {
+  // Compare a 30-point Bluestein DFT against a brute-force DFT.
+  Rng rng(9);
+  Signal x(30);
+  for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  const Signal X = fft(x);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    Complex acc{};
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double ph = -kTwoPi * static_cast<double>(k * i) / 30.0;
+      acc += x[i] * Complex(std::cos(ph), std::sin(ph));
+    }
+    EXPECT_NEAR(std::abs(X[k] - acc), 0.0, 1e-7) << "bin " << k;
+  }
+}
+
+}  // namespace
+}  // namespace saiyan::dsp

@@ -1,0 +1,118 @@
+// PhyParams validation and the derived quantities the paper's §2.3
+// sampling-rate analysis (Table 1) is built on.
+#include <gtest/gtest.h>
+
+#include "lora/params.hpp"
+
+namespace saiyan::lora {
+namespace {
+
+PhyParams base() {
+  PhyParams p;
+  p.spreading_factor = 7;
+  p.bandwidth_hz = 500e3;
+  p.sample_rate_hz = 4e6;
+  p.bits_per_symbol = 2;
+  return p;
+}
+
+TEST(PhyParams, ValidConfigurationPasses) {
+  EXPECT_NO_THROW(base().validate());
+}
+
+TEST(PhyParams, RejectsBadSf) {
+  PhyParams p = base();
+  p.spreading_factor = 6;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.spreading_factor = 13;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhyParams, RejectsNonStandardBandwidth) {
+  PhyParams p = base();
+  p.bandwidth_hz = 200e3;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhyParams, RejectsBadK) {
+  PhyParams p = base();
+  p.bits_per_symbol = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.bits_per_symbol = 6;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhyParams, RejectsUndersampledFs) {
+  PhyParams p = base();
+  p.sample_rate_hz = 600e3;  // < 2*BW
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PhyParams, ChipsAndSymbolDuration) {
+  PhyParams p = base();
+  EXPECT_EQ(p.chips(), 128u);
+  EXPECT_NEAR(p.symbol_duration_s(), 256e-6, 1e-12);
+  EXPECT_EQ(p.samples_per_symbol(), 1024u);
+  p.spreading_factor = 12;
+  p.bandwidth_hz = 125e3;
+  EXPECT_NEAR(p.symbol_duration_s(), 32.768e-3, 1e-9);
+}
+
+TEST(PhyParams, DataRateMatchesPaperFormula) {
+  // Data rate = K * BW / 2^SF (§2.3). SF7/BW500/K5 -> 19.53 Kbps,
+  // the ceiling of Fig. 16(b).
+  PhyParams p = base();
+  p.bits_per_symbol = 5;
+  EXPECT_NEAR(p.data_rate_bps(), 5.0 * 500e3 / 128.0, 1e-9);
+  EXPECT_NEAR(p.data_rate_bps(), 19531.25, 1e-6);
+  p.bits_per_symbol = 1;
+  EXPECT_NEAR(p.data_rate_bps(), 3906.25, 1e-6);
+}
+
+// Table 1 theory row: required sampling rate 2·BW/2^(SF-K).
+struct Tab1Case {
+  int sf;
+  int k;
+  double theory_khz;
+};
+
+class Table1Theory : public ::testing::TestWithParam<Tab1Case> {};
+
+TEST_P(Table1Theory, NyquistRateMatchesTable1) {
+  PhyParams p = base();
+  p.spreading_factor = GetParam().sf;
+  p.bits_per_symbol = GetParam().k;
+  EXPECT_NEAR(p.nyquist_sampling_rate_hz() / 1e3, GetParam().theory_khz,
+              GetParam().theory_khz * 0.01);
+}
+
+// Spot checks against the paper's Table 1 (theory column, KHz).
+INSTANTIATE_TEST_SUITE_P(
+    PaperAnchors, Table1Theory,
+    ::testing::Values(Tab1Case{7, 1, 15.6}, Tab1Case{8, 1, 7.8},
+                      Tab1Case{12, 1, 0.49}, Tab1Case{7, 2, 31.2},
+                      Tab1Case{9, 3, 15.6}, Tab1Case{7, 5, 250.0},
+                      Tab1Case{12, 5, 7.8}, Tab1Case{10, 4, 15.6}));
+
+TEST(PhyParams, PracticalRateIs1p6xNyquist) {
+  const PhyParams p = base();
+  EXPECT_NEAR(p.practical_sampling_rate_hz() / p.nyquist_sampling_rate_hz(), 1.6,
+              1e-12);
+}
+
+TEST(FecRates, CodeRatesAndNames) {
+  EXPECT_EQ(fec_code_rate(FecRate::kNone), 1.0);
+  EXPECT_NEAR(fec_code_rate(FecRate::k4_5), 0.8, 1e-12);
+  EXPECT_NEAR(fec_code_rate(FecRate::k4_8), 0.5, 1e-12);
+  EXPECT_STREQ(fec_name(FecRate::k4_7), "4/7");
+}
+
+TEST(PhyParams, SymbolAlphabet) {
+  PhyParams p = base();
+  EXPECT_EQ(p.symbol_alphabet(), 4u);
+  p.bits_per_symbol = 5;
+  EXPECT_EQ(p.symbol_alphabet(), 32u);
+}
+
+}  // namespace
+}  // namespace saiyan::lora

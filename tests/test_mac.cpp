@@ -1,0 +1,272 @@
+// MAC layer: frame addressing, slotted ALOHA, feedback controller,
+// tag state machine, and the §5.3 case-study simulations.
+#include <gtest/gtest.h>
+
+#include "mac/feedback_controller.hpp"
+#include "mac/frames.hpp"
+#include "mac/network_sim.hpp"
+#include "mac/slotted_aloha.hpp"
+#include "mac/tag.hpp"
+
+namespace saiyan::mac {
+namespace {
+
+lora::PhyParams phy(int k = 2) {
+  lora::PhyParams p;
+  p.spreading_factor = 7;
+  p.bandwidth_hz = 500e3;
+  p.sample_rate_hz = 4e6;
+  p.bits_per_symbol = k;
+  return p;
+}
+
+TEST(Frames, UnicastAddressing) {
+  DownlinkFrame f;
+  f.type = DownlinkType::kUnicast;
+  f.target = 7;
+  EXPECT_TRUE(f.addressed_to(7));
+  EXPECT_FALSE(f.addressed_to(8));
+}
+
+TEST(Frames, MulticastAddressing) {
+  DownlinkFrame f;
+  f.type = DownlinkType::kMulticast;
+  f.group = {1, 3, 5};
+  EXPECT_TRUE(f.addressed_to(3));
+  EXPECT_FALSE(f.addressed_to(2));
+}
+
+TEST(Frames, BroadcastReachesEveryone) {
+  DownlinkFrame f;
+  f.type = DownlinkType::kBroadcast;
+  for (TagId t : {TagId{1}, TagId{100}, TagId{65000}}) {
+    EXPECT_TRUE(f.addressed_to(t));
+  }
+}
+
+TEST(Frames, CommandNames) {
+  EXPECT_STREQ(command_name(Command::kRetransmit), "retransmit");
+  EXPECT_STREQ(command_name(Command::kChannelHop), "channel-hop");
+}
+
+TEST(Aloha, AllTagsAssignedExactlyOnce) {
+  dsp::Rng rng(1);
+  const std::vector<TagId> tags = {1, 2, 3, 4, 5};
+  const auto outcomes = run_aloha_round(tags, 8, rng);
+  std::size_t assigned = 0;
+  for (const auto& o : outcomes) assigned += o.transmitters.size();
+  EXPECT_EQ(assigned, tags.size());
+  EXPECT_EQ(outcomes.size(), 8u);
+}
+
+TEST(Aloha, CollisionFlagsConsistent) {
+  dsp::Rng rng(2);
+  const std::vector<TagId> tags = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto outcomes = run_aloha_round(tags, 4, rng);
+  for (const auto& o : outcomes) {
+    EXPECT_EQ(o.collision, o.transmitters.size() > 1);
+    EXPECT_EQ(o.idle, o.transmitters.empty());
+  }
+}
+
+TEST(Aloha, EmpiricalMatchesExpectedSuccess) {
+  // Monte Carlo success rate converges to (1 - 1/k)^(n-1).
+  const std::size_t n_tags = 3;
+  const std::size_t n_slots = 8;
+  const double expect = aloha_expected_success(n_tags, n_slots);
+  const double measured = multicast_ack_success(n_tags, n_slots, 4000);
+  EXPECT_NEAR(measured, expect, 0.02);
+}
+
+TEST(Aloha, MoreSlotsFewerCollisions) {
+  const double few = multicast_ack_success(5, 4, 2000);
+  const double many = multicast_ack_success(5, 32, 2000);
+  EXPECT_GT(many, few);
+}
+
+TEST(Aloha, RejectsZeroSlots) {
+  dsp::Rng rng(3);
+  EXPECT_THROW(run_aloha_round({1, 2}, 0, rng), std::invalid_argument);
+}
+
+TEST(Controller, RequestsRetransmissionOnLoss) {
+  sim::BerModel model;
+  channel::LinkBudget link;
+  FeedbackController ctl(model, link);
+  const auto frame = ctl.on_uplink(5, 42, /*received=*/false);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->command, Command::kRetransmit);
+  EXPECT_EQ(frame->target, 5);
+  EXPECT_EQ(frame->param, 42u);
+  EXPECT_EQ(ctl.retransmissions_requested(), 1u);
+}
+
+TEST(Controller, AcksSuccessfulUplink) {
+  sim::BerModel model;
+  channel::LinkBudget link;
+  FeedbackController ctl(model, link);
+  const auto frame = ctl.on_uplink(5, 42, /*received=*/true);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->command, Command::kAckData);
+  EXPECT_EQ(ctl.retransmissions_requested(), 0u);
+}
+
+TEST(Controller, HopsOnlyBelowThreshold) {
+  sim::BerModel model;
+  channel::LinkBudget link;
+  FeedbackController ctl(model, link);
+  EXPECT_FALSE(ctl.on_channel_quality(1, 0.9, 0).has_value());
+  const auto hop = ctl.on_channel_quality(1, 0.3, 0);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->command, Command::kChannelHop);
+  EXPECT_EQ(hop->param, 1u);
+  EXPECT_EQ(ctl.hops_commanded(), 1u);
+}
+
+TEST(Controller, RateAdaptationPrefersHighKUpClose) {
+  sim::BerModel model;
+  channel::LinkBudget link;
+  FeedbackController ctl(model, link);
+  const RateDecision near = ctl.best_rate(10.0, phy(), core::Mode::kSuper);
+  const RateDecision far = ctl.best_rate(140.0, phy(), core::Mode::kSuper);
+  EXPECT_EQ(near.bits_per_symbol, 5);       // max throughput up close
+  EXPECT_LT(far.bits_per_symbol, 5);        // robustness wins far out
+  EXPECT_GT(near.expected_throughput_bps, far.expected_throughput_bps);
+}
+
+TEST(Tag, ActsOnCommands) {
+  sim::BerModel model;
+  channel::LinkBudget link;
+  TagConfig cfg;
+  cfg.id = 3;
+  cfg.distance_m = 10.0;  // essentially perfect downlink
+  cfg.phy = phy();
+  Tag tag(cfg, model, link);
+  dsp::Rng rng(4);
+
+  DownlinkFrame hop;
+  hop.type = DownlinkType::kUnicast;
+  hop.target = 3;
+  hop.command = Command::kChannelHop;
+  hop.param = 2;
+  EXPECT_TRUE(tag.receive_downlink(hop, rng));
+  EXPECT_EQ(tag.channel(), 2);
+
+  DownlinkFrame rate;
+  rate.type = DownlinkType::kUnicast;
+  rate.target = 3;
+  rate.command = Command::kRateAdapt;
+  rate.param = 4;
+  EXPECT_TRUE(tag.receive_downlink(rate, rng));
+  EXPECT_EQ(tag.bits_per_symbol(), 4);
+
+  DownlinkFrame off;
+  off.type = DownlinkType::kBroadcast;
+  off.command = Command::kSensorOff;
+  EXPECT_TRUE(tag.receive_downlink(off, rng));
+  EXPECT_FALSE(tag.sensor_on());
+}
+
+TEST(Tag, RetransmitJumpsQueue) {
+  sim::BerModel model;
+  channel::LinkBudget link;
+  TagConfig cfg;
+  cfg.id = 1;
+  cfg.distance_m = 10.0;
+  cfg.phy = phy();
+  Tag tag(cfg, model, link);
+  dsp::Rng rng(5);
+  tag.enqueue_data(100);
+  DownlinkFrame retx;
+  retx.type = DownlinkType::kUnicast;
+  retx.target = 1;
+  retx.command = Command::kRetransmit;
+  retx.param = 99;
+  ASSERT_TRUE(tag.receive_downlink(retx, rng));
+  const auto first = tag.next_uplink();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->sequence, 99u);  // retransmission first
+  EXPECT_EQ(tag.next_uplink()->sequence, 100u);
+}
+
+TEST(Tag, WithoutSaiyanHearsNothing) {
+  sim::BerModel model;
+  channel::LinkBudget link;
+  TagConfig cfg;
+  cfg.has_saiyan = false;
+  cfg.distance_m = 1.0;
+  cfg.phy = phy();
+  Tag tag(cfg, model, link);
+  dsp::Rng rng(6);
+  DownlinkFrame f;
+  f.type = DownlinkType::kBroadcast;
+  f.command = Command::kSensorOff;
+  EXPECT_FALSE(tag.receive_downlink(f, rng));
+  EXPECT_EQ(tag.downlink_success_probability(), 0.0);
+}
+
+TEST(Tag, IgnoresFramesForOthers) {
+  sim::BerModel model;
+  channel::LinkBudget link;
+  TagConfig cfg;
+  cfg.id = 1;
+  cfg.distance_m = 5.0;
+  cfg.phy = phy();
+  Tag tag(cfg, model, link);
+  dsp::Rng rng(7);
+  DownlinkFrame f;
+  f.type = DownlinkType::kUnicast;
+  f.target = 2;
+  f.command = Command::kSensorOff;
+  EXPECT_FALSE(tag.receive_downlink(f, rng));
+  EXPECT_TRUE(tag.sensor_on());
+}
+
+TEST(CaseStudy, RetransmissionLiftsPrrLikeFig26) {
+  // Fig. 26: Aloba 45.6 % -> ~70 % (1 retx) -> ~83 % (2) -> ~95 % (3);
+  // PLoRa 81.8 % -> ~97 % (1).
+  RetransmissionStudyConfig aloba;
+  aloba.base_prr = 0.456;
+  aloba.n_packets = 20000;
+  aloba.max_retransmissions = 0;
+  const double p0 = retransmission_prr(aloba);
+  aloba.max_retransmissions = 1;
+  const double p1 = retransmission_prr(aloba);
+  aloba.max_retransmissions = 2;
+  const double p2 = retransmission_prr(aloba);
+  aloba.max_retransmissions = 3;
+  const double p3 = retransmission_prr(aloba);
+  EXPECT_NEAR(p0, 0.456, 0.02);
+  EXPECT_NEAR(p1, 0.70, 0.03);
+  EXPECT_NEAR(p2, 0.83, 0.03);
+  EXPECT_NEAR(p3, 0.91, 0.03);
+  EXPECT_LT(p0, p1);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+}
+
+TEST(CaseStudy, NoSaiyanNoRetransmissionBenefit) {
+  RetransmissionStudyConfig cfg;
+  cfg.base_prr = 0.5;
+  cfg.max_retransmissions = 3;
+  cfg.tag_has_saiyan = false;
+  cfg.n_packets = 10000;
+  EXPECT_NEAR(retransmission_prr(cfg), 0.5, 0.02);
+}
+
+TEST(CaseStudy, ChannelHoppingLiftsMedianPrr) {
+  // Fig. 27: median PRR grows from ~47 % to ~92 % after the hop.
+  ChannelHoppingStudyConfig jammed;
+  jammed.hopping_enabled = false;
+  const ChannelHoppingResult before = channel_hopping_study(jammed);
+  ChannelHoppingStudyConfig hopping;
+  hopping.hopping_enabled = true;
+  const ChannelHoppingResult after = channel_hopping_study(hopping);
+  EXPECT_NEAR(before.prr_cdf.median(), 0.45, 0.08);
+  EXPECT_GT(after.prr_cdf.median(), 0.88);
+  EXPECT_GE(after.hops, 1u);
+  EXPECT_EQ(before.hops, 0u);
+}
+
+}  // namespace
+}  // namespace saiyan::mac

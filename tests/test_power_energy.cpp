@@ -1,0 +1,132 @@
+// Power model (Table 2 / §4.3) and energy harvester (§4.1) accounting.
+#include <gtest/gtest.h>
+
+#include "core/energy_harvester.hpp"
+#include "core/power_model.hpp"
+
+namespace saiyan::core {
+namespace {
+
+TEST(PowerModel, Table2TotalsAt1PercentDuty) {
+  const PowerModel pcb(Implementation::kPcb);
+  // Table 2: 0 + 248.5 + 86.8 + 0 + 14.45 + 19.6 = 369.35 ~ 369.4 µW.
+  EXPECT_NEAR(pcb.total_power_uw(Mode::kSuper, 0.01), 369.4, 0.5);
+}
+
+TEST(PowerModel, Table2ComponentRows) {
+  const PowerModel pcb(Implementation::kPcb);
+  EXPECT_EQ(pcb.component_power_uw(Component::kSawFilter), 0.0);
+  EXPECT_NEAR(pcb.component_power_uw(Component::kLna), 248.5, 1e-9);
+  EXPECT_NEAR(pcb.component_power_uw(Component::kOscClock), 86.8, 1e-9);
+  EXPECT_EQ(pcb.component_power_uw(Component::kEnvelopeDetector), 0.0);
+  EXPECT_NEAR(pcb.component_power_uw(Component::kComparator), 14.45, 1e-9);
+  EXPECT_NEAR(pcb.component_power_uw(Component::kMcu), 19.6, 1e-9);
+}
+
+TEST(PowerModel, LnaAndOscDominatePcbBudget) {
+  // §5.2.4: LNA 67.3 % and oscillator 23.5 % of total.
+  const PowerModel pcb(Implementation::kPcb);
+  const double total = pcb.total_power_uw(Mode::kSuper, 0.01);
+  EXPECT_NEAR(pcb.component_power_uw(Component::kLna) / total, 0.673, 0.01);
+  EXPECT_NEAR(pcb.component_power_uw(Component::kOscClock) / total, 0.235, 0.01);
+}
+
+TEST(PowerModel, AsicTotal93uW) {
+  const PowerModel asic(Implementation::kAsic);
+  // §4.3: 68.4 + 22.8 + 2.0 = 93.2 µW.
+  EXPECT_NEAR(asic.total_power_uw(Mode::kSuper, 0.01), 93.2, 0.1);
+}
+
+TEST(PowerModel, AsicSavesAbout75Percent) {
+  // §5.2.4: ASIC cuts power by 74.8 %.
+  const PowerModel pcb(Implementation::kPcb);
+  const PowerModel asic(Implementation::kAsic);
+  const double saving = 1.0 - asic.total_power_uw(Mode::kSuper) /
+                                  pcb.total_power_uw(Mode::kSuper);
+  EXPECT_NEAR(saving, 0.748, 0.01);
+}
+
+TEST(PowerModel, VanillaSkipsOscClock) {
+  const PowerModel pcb(Implementation::kPcb);
+  EXPECT_NEAR(pcb.total_power_uw(Mode::kSuper) - pcb.total_power_uw(Mode::kVanilla),
+              86.8, 1e-6);
+}
+
+TEST(PowerModel, DutyCycleScalesLinearly) {
+  const PowerModel pcb(Implementation::kPcb);
+  EXPECT_NEAR(pcb.total_power_uw(Mode::kSuper, 0.02),
+              2.0 * pcb.total_power_uw(Mode::kSuper, 0.01), 1e-6);
+  EXPECT_THROW(pcb.total_power_uw(Mode::kSuper, 0.0), std::invalid_argument);
+  EXPECT_THROW(pcb.total_power_uw(Mode::kSuper, 1.5), std::invalid_argument);
+}
+
+TEST(PowerModel, BomCost27Dollars) {
+  const PowerModel pcb(Implementation::kPcb);
+  EXPECT_NEAR(pcb.total_cost_usd(), 27.2, 0.1);
+  EXPECT_NEAR(pcb.component_cost_usd(Component::kMcu), 15.43, 1e-9);
+}
+
+TEST(PowerModel, SaiyanFarBelowCommodityReceiver) {
+  const PowerModel asic(Implementation::kAsic);
+  EXPECT_LT(asic.total_power_uw(Mode::kSuper) * 100.0, kCommodityLoRaReceiverUw);
+}
+
+TEST(Harvester, AverageHarvestRate) {
+  // 1 mJ per 25.4 s ~ 39.4 µW (§4.1).
+  const EnergyHarvester h;
+  EXPECT_NEAR(h.average_harvest_w() * 1e6, 39.37, 0.05);
+}
+
+TEST(Harvester, SeventeenMinuteClaimForCommodityReceiver) {
+  // §1: a 40 mW commodity demodulation of a ~1 s packet needs ~17 min
+  // of harvesting.
+  const EnergyHarvester h;
+  const double energy_j = 40e-3 * 1.0;
+  EXPECT_NEAR(h.time_to_accumulate_s(energy_j) / 60.0, 17.0, 0.5);
+}
+
+TEST(Harvester, SaiyanAsicSustainable) {
+  // 93.2 µW + 24 µW management is ~3x the harvest rate, so a 25 %
+  // listening duty cycle is sustainable from storage.
+  EnergyHarvester h;
+  for (int i = 0; i < 1000; ++i) h.step(1.0, 0.0);  // charge for 1000 s
+  EXPECT_TRUE(h.can_supply(93.2, 10.0));
+}
+
+TEST(Harvester, StepConservesEnergy) {
+  HarvesterConfig cfg;
+  cfg.storage_capacity_j = 1.0;
+  EnergyHarvester h(cfg);
+  h.step(100.0, 0.0);  // harvest only
+  const double stored = h.stored_j();
+  EXPECT_NEAR(stored, h.average_harvest_w() * 100.0, 1e-9);
+  const double delivered = h.step(10.0, 1000.0);  // heavy load
+  EXPECT_LE(delivered, stored + h.average_harvest_w() * 10.0 + 1e-12);
+  EXPECT_GE(h.stored_j(), 0.0);
+}
+
+TEST(Harvester, StorageCapClamps) {
+  HarvesterConfig cfg;
+  cfg.storage_capacity_j = 1e-4;
+  EnergyHarvester h(cfg);
+  h.step(1e6, 0.0);
+  EXPECT_NEAR(h.stored_j(), 1e-4, 1e-12);
+}
+
+TEST(Harvester, RejectsBadArguments) {
+  HarvesterConfig bad;
+  bad.harvest_energy_j = 0.0;
+  EXPECT_THROW(EnergyHarvester{bad}, std::invalid_argument);
+  EnergyHarvester h;
+  EXPECT_THROW(h.step(-1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(h.step(1.0, -5.0), std::invalid_argument);
+  EXPECT_THROW(h.time_to_accumulate_s(-1.0), std::invalid_argument);
+}
+
+TEST(PowerModel, ComponentNames) {
+  EXPECT_EQ(component_name(Component::kSawFilter), "SAW");
+  EXPECT_EQ(component_name(Component::kOscClock), "OSC Clock");
+}
+
+}  // namespace
+}  // namespace saiyan::core

@@ -1,0 +1,87 @@
+// Decimation and sample-hold pickup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/nco.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace saiyan::dsp {
+namespace {
+
+TEST(Decimate, FactorOneIsIdentity) {
+  const RealSignal x = {1.0, 2.0, 3.0};
+  EXPECT_EQ(decimate(std::span<const double>(x), 1), x);
+}
+
+TEST(Decimate, OutputLength) {
+  const RealSignal x(1000, 1.0);
+  const RealSignal y = decimate(std::span<const double>(x), 4);
+  EXPECT_EQ(y.size(), 250u);
+}
+
+TEST(Decimate, ZeroFactorThrows) {
+  const RealSignal x(10, 1.0);
+  EXPECT_THROW(decimate(std::span<const double>(x), 0), std::invalid_argument);
+}
+
+TEST(Decimate, PreservesInBandTone) {
+  const double fs = 1e6;
+  Nco nco(10e3, fs);
+  const RealSignal x = nco.cosine(1 << 14);
+  const RealSignal y = decimate(std::span<const double>(x), 8);
+  // Tone is still at 10 kHz when interpreted at fs/8.
+  EXPECT_NEAR(dominant_frequency(std::span<const double>(y), fs / 8.0, 1e3), 10e3,
+              500.0);
+}
+
+TEST(Decimate, ComplexPathPreservesTone) {
+  const double fs = 4e6;
+  Nco nco(-50e3, fs);
+  const Signal x = nco.tone(1 << 14);
+  const Signal y = decimate(std::span<const Complex>(x), 8);
+  const Psd psd = welch_psd(std::span<const Complex>(y), fs / 8.0, 512);
+  double best_f = 0.0;
+  double best_p = -1e300;
+  for (std::size_t i = 0; i < psd.frequency_hz.size(); ++i) {
+    if (psd.power_dbm[i] > best_p) {
+      best_p = psd.power_dbm[i];
+      best_f = psd.frequency_hz[i];
+    }
+  }
+  EXPECT_NEAR(best_f, -50e3, 2e3);
+}
+
+TEST(SampleHold, PicksNearestPastSample) {
+  const RealSignal x = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  // 2:1 hold.
+  const RealSignal y = sample_hold(std::span<const double>(x), 8.0, 4.0);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_EQ(y[0], 0.0);
+  EXPECT_EQ(y[1], 2.0);
+  EXPECT_EQ(y[2], 4.0);
+  EXPECT_EQ(y[3], 6.0);
+}
+
+TEST(SampleHold, FractionalRatio) {
+  RealSignal x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  const RealSignal y = sample_hold(std::span<const double>(x), 10.0, 3.2);
+  // ratio = 3.125 -> y[k] = x[floor(3.125 k)]
+  EXPECT_EQ(y[1], 3.0);
+  EXPECT_EQ(y[2], 6.0);
+  EXPECT_EQ(y[10], 31.0);
+}
+
+TEST(SampleHold, EmptyAndBadArgs) {
+  EXPECT_TRUE(sample_hold(std::span<const double>{}, 10.0, 5.0).empty());
+  const RealSignal x(10, 1.0);
+  EXPECT_THROW(sample_hold(std::span<const double>(x), 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(sample_hold(std::span<const double>(x), 1.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saiyan::dsp

@@ -1,0 +1,210 @@
+// sim module: metrics, BER model anchors, range finder, reporters.
+#include <gtest/gtest.h>
+
+#include "sim/ber_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/range_finder.hpp"
+#include "sim/report.hpp"
+
+namespace saiyan::sim {
+namespace {
+
+lora::PhyParams phy(int k = 2, int sf = 7, double bw = 500e3) {
+  lora::PhyParams p;
+  p.spreading_factor = sf;
+  p.bandwidth_hz = bw;
+  p.sample_rate_hz = 4e6;
+  p.bits_per_symbol = k;
+  return p;
+}
+
+TEST(Metrics, ErrorCounterBitsAndSymbols) {
+  ErrorCounter c;
+  c.add_symbol(0b101, 0b101, 3);  // correct
+  c.add_symbol(0b101, 0b100, 3);  // 1 bit wrong
+  c.add_symbol(0b000, 0b111, 3);  // 3 bits wrong
+  EXPECT_EQ(c.symbols(), 3u);
+  EXPECT_EQ(c.symbol_errors(), 2u);
+  EXPECT_EQ(c.bits(), 9u);
+  EXPECT_EQ(c.bit_errors(), 4u);
+  EXPECT_NEAR(c.ber(), 4.0 / 9.0, 1e-12);
+  EXPECT_NEAR(c.ser(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, PacketCounter) {
+  PacketCounter p;
+  p.add(true);
+  p.add(false);
+  p.add(true);
+  p.add(true);
+  EXPECT_NEAR(p.prr(), 0.75, 1e-12);
+  EXPECT_EQ(p.total(), 4u);
+}
+
+TEST(Metrics, CdfQuantiles) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_NEAR(cdf.median(), 50.5, 0.01);
+  EXPECT_NEAR(cdf.quantile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(cdf.quantile(1.0), 100.0, 1e-12);
+  EXPECT_EQ(cdf.curve().size(), 100u);
+  EXPECT_THROW(Cdf{}.median(), std::logic_error);
+}
+
+TEST(Metrics, ThroughputDeclinesWithBer) {
+  const double rate = 19531.25;  // K=5, SF7, BW500
+  EXPECT_NEAR(effective_throughput_bps(rate, 0.0), rate, 1e-9);
+  // Paper Fig. 16(b): ~17.2 Kbps at BER 4.4e-3.
+  EXPECT_NEAR(effective_throughput_bps(rate, 4.4e-3), 17100.0, 600.0);
+  EXPECT_LT(effective_throughput_bps(rate, 0.05), rate * 0.3);
+}
+
+TEST(BerModel, SuperSensitivityAnchor) {
+  const BerModel m;
+  // Paper §5.2.1: -85.8 dBm at the reference configuration.
+  EXPECT_NEAR(m.required_rss_dbm(core::Mode::kSuper, phy(),
+                                 m.config().calibration_temp_c),
+              -85.8, 0.01);
+}
+
+TEST(BerModel, ModeOrdering) {
+  const BerModel m;
+  const double super = m.required_rss_dbm(core::Mode::kSuper, phy());
+  const double cfs = m.required_rss_dbm(core::Mode::kFrequencyShifting, phy());
+  const double van = m.required_rss_dbm(core::Mode::kVanilla, phy());
+  EXPECT_LT(super, cfs);
+  EXPECT_LT(cfs, van);
+  // CFS offset ~ 12.9 dB (2.1x range at n=4).
+  EXPECT_NEAR(cfs - super, 12.9, 0.2);
+  EXPECT_NEAR(van - cfs, 8.7, 0.2);
+}
+
+TEST(BerModel, KAndSfAndBwTrends) {
+  const BerModel m;
+  // Higher K -> worse sensitivity.
+  EXPECT_LT(m.required_rss_dbm(core::Mode::kSuper, phy(1)),
+            m.required_rss_dbm(core::Mode::kSuper, phy(5)));
+  // Higher SF -> slightly better.
+  EXPECT_GT(m.required_rss_dbm(core::Mode::kSuper, phy(2, 7)),
+            m.required_rss_dbm(core::Mode::kSuper, phy(2, 12)));
+  // Narrower BW -> worse (smaller SAW gap).
+  EXPECT_LT(m.required_rss_dbm(core::Mode::kSuper, phy(2, 7, 500e3)),
+            m.required_rss_dbm(core::Mode::kSuper, phy(2, 7, 250e3)));
+  EXPECT_LT(m.required_rss_dbm(core::Mode::kSuper, phy(2, 7, 250e3)),
+            m.required_rss_dbm(core::Mode::kSuper, phy(2, 7, 125e3)));
+}
+
+TEST(BerModel, BerWaterfallShape) {
+  const BerModel m;
+  const double sens = m.required_rss_dbm(core::Mode::kSuper, phy());
+  EXPECT_NEAR(m.ber(sens, core::Mode::kSuper, phy()), 1e-3, 1e-5);
+  EXPECT_LT(m.ber(sens + 6.0, core::Mode::kSuper, phy()), 1e-4);
+  EXPECT_GT(m.ber(sens - 3.0, core::Mode::kSuper, phy()), 1e-2);
+  EXPECT_LE(m.ber(sens - 30.0, core::Mode::kSuper, phy()), 0.5);
+}
+
+TEST(BerModel, PerGrowsWithPayload) {
+  const BerModel m;
+  const double rss = m.required_rss_dbm(core::Mode::kSuper, phy());
+  const double per_small = m.per(rss, core::Mode::kSuper, phy(), 64);
+  const double per_large = m.per(rss, core::Mode::kSuper, phy(), 640);
+  EXPECT_GT(per_large, per_small);
+  EXPECT_LE(per_large, 1.0);
+}
+
+TEST(BerModel, TemperaturePenalty) {
+  // Morning-calibrated model (the Fig. 24 setup): warming from the
+  // -8.6 C calibration point to +1.6 C costs 0.11 dB/K of drift.
+  BerModelConfig cfg;
+  cfg.calibration_temp_c = -8.6;
+  const BerModel m(cfg);
+  const double at_cal = m.required_rss_dbm(core::Mode::kSuper, phy(), -8.6);
+  const double warm = m.required_rss_dbm(core::Mode::kSuper, phy(), 1.6);
+  EXPECT_GT(warm, at_cal);  // drift costs sensitivity
+  EXPECT_NEAR(warm - at_cal, 0.11 * 10.2, 0.05);
+}
+
+TEST(BerModel, RejectsBadConfig) {
+  BerModelConfig bad;
+  bad.base_sensitivity_dbm = 10.0;
+  EXPECT_THROW(BerModel{bad}, std::invalid_argument);
+  BerModelConfig bad2;
+  bad2.cfs_to_super_range_ratio = 0.9;
+  EXPECT_THROW(BerModel{bad2}, std::invalid_argument);
+}
+
+TEST(RangeFinder, InvertsMonotoneCurve) {
+  // Synthetic BER curve with a known 1e-3 crossing at 100 m.
+  auto ber_at = [](double d) { return 1e-3 * std::pow(d / 100.0, 8.0); };
+  EXPECT_NEAR(find_range_m(ber_at, 1e-3), 100.0, 0.5);
+}
+
+TEST(RangeFinder, ClampsAtBounds) {
+  EXPECT_NEAR(find_range_m([](double) { return 1.0; }, 1e-3, 1.0, 100.0), 1.0, 1e-9);
+  EXPECT_NEAR(find_range_m([](double) { return 0.0; }, 1e-3, 1.0, 100.0), 100.0,
+              1e-9);
+  EXPECT_THROW(find_range_m([](double) { return 0.0; }, 1e-3, 10.0, 5.0),
+               std::invalid_argument);
+}
+
+TEST(RangeFinder, PaperAnchorRanges) {
+  const BerModel m;
+  const channel::LinkBudget link;
+  // Fig. 21: super Saiyan ~148.6 m outdoors (at the calibration temp).
+  const double super = model_range_m(m, core::Mode::kSuper, phy(), link, {},
+                                     m.config().calibration_temp_c);
+  EXPECT_NEAR(super, 148.6, 8.0);
+  // Ablation ordering with the paper's multipliers.
+  const double cfs = model_range_m(m, core::Mode::kFrequencyShifting, phy(), link,
+                                   {}, m.config().calibration_temp_c);
+  const double van = model_range_m(m, core::Mode::kVanilla, phy(), link, {},
+                                   m.config().calibration_temp_c);
+  EXPECT_NEAR(super / cfs, 2.1, 0.1);
+  EXPECT_NEAR(cfs / van, 1.65, 0.1);
+}
+
+TEST(RangeFinder, IndoorShorterThanOutdoor) {
+  const BerModel m;
+  const channel::LinkBudget link;
+  channel::Environment indoor;
+  indoor.concrete_walls = 1;
+  indoor.indoor_clutter = true;
+  const double out = model_range_m(m, core::Mode::kSuper, phy(), link);
+  const double in = model_range_m(m, core::Mode::kSuper, phy(), link, indoor);
+  EXPECT_LT(in, out);
+  // Fig. 21: indoor NLOS ~44.2 m vs outdoor ~148.6 m (ratio ~3.4).
+  EXPECT_NEAR(out / in, 3.4, 0.4);
+}
+
+TEST(RangeFinder, DetectionExceedsDemodulation) {
+  const BerModel m;
+  const channel::LinkBudget link;
+  const double demod = model_range_m(m, core::Mode::kSuper, phy(), link);
+  const double detect = model_detection_range_m(m, core::Mode::kSuper, phy(), link);
+  EXPECT_GT(detect, demod);
+}
+
+TEST(Report, TableRendersAligned) {
+  Table t({"col", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"bbbb", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("col"), std::string::npos);
+  EXPECT_NE(s.find("bbbb"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Report, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Report, Formatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_sci(0.00123, 1), "1.2e-03");
+}
+
+}  // namespace
+}  // namespace saiyan::sim
