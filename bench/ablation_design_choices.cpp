@@ -12,8 +12,10 @@
 //
 // Each sweep measures waveform symbol error rates near the relevant
 // mode's sensitivity, where the parameter matters most.
+#include <vector>
+
 #include "common.hpp"
-#include "sim/pipeline.hpp"
+#include "sim/sweep_engine.hpp"
 
 using namespace saiyan;
 
@@ -28,6 +30,18 @@ double ser_for(const core::SaiyanConfig& cfg, double rss, std::uint64_t seed) {
   return wp.run_rss(rss, 3).errors.ser();
 }
 
+/// Run one ablation sweep (a list of configs at a fixed RSS) across
+/// the worker pool; results come back in input order.
+std::vector<double> ser_sweep(const std::vector<core::SaiyanConfig>& cfgs,
+                              double rss, std::uint64_t seed) {
+  std::vector<double> out(cfgs.size());
+  const sim::SweepEngine engine;  // hardware concurrency
+  engine.for_each_index(cfgs.size(), [&](std::size_t i) {
+    out[i] = ser_for(cfgs[i], rss, seed);
+  });
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -40,12 +54,18 @@ int main() {
   // --- threshold gap (CFS mode, near its sensitivity) ---
   std::printf("threshold gap G (UH below peak), freq-shifting mode @ -72 dBm:\n");
   {
-    sim::Table t({"gap (dB)", "SER"});
-    for (double gap : {2.0, 4.0, 6.0, 9.0, 12.0}) {
+    const std::vector<double> gaps = {2.0, 4.0, 6.0, 9.0, 12.0};
+    std::vector<core::SaiyanConfig> cfgs;
+    for (double gap : gaps) {
       core::SaiyanConfig cfg =
           core::SaiyanConfig::make(phy, core::Mode::kFrequencyShifting);
       cfg.threshold_gap_db = gap;
-      t.add_row({sim::fmt(gap, 0), sim::fmt_sci(ser_for(cfg, -72.0, 61), 1)});
+      cfgs.push_back(cfg);
+    }
+    const std::vector<double> ser = ser_sweep(cfgs, -72.0, 61);
+    sim::Table t({"gap (dB)", "SER"});
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+      t.add_row({sim::fmt(gaps[i], 0), sim::fmt_sci(ser[i], 1)});
     }
     t.print();
   }
@@ -55,14 +75,20 @@ int main() {
   std::printf("\nsampling multiplier over Nyquist, K=4, freq-shifting @ -55 dBm:\n");
   {
     const lora::PhyParams phy_k4 = bench::default_phy(4);
-    sim::Table t({"multiplier", "rate (kHz)", "SER"});
-    for (double mult : {0.6, 0.8, 1.0, 1.3, 1.6, 2.4}) {
+    const std::vector<double> mults = {0.6, 0.8, 1.0, 1.3, 1.6, 2.4};
+    std::vector<core::SaiyanConfig> cfgs;
+    for (double mult : mults) {
       core::SaiyanConfig cfg =
           core::SaiyanConfig::make(phy_k4, core::Mode::kFrequencyShifting);
       cfg.sampling_rate_multiplier = mult;
-      t.add_row({sim::fmt(mult, 1),
-                 sim::fmt(mult * phy_k4.nyquist_sampling_rate_hz() / 1e3, 1),
-                 sim::fmt_sci(ser_for(cfg, -55.0, 62), 1)});
+      cfgs.push_back(cfg);
+    }
+    const std::vector<double> ser = ser_sweep(cfgs, -55.0, 62);
+    sim::Table t({"multiplier", "rate (kHz)", "SER"});
+    for (std::size_t i = 0; i < mults.size(); ++i) {
+      t.add_row({sim::fmt(mults[i], 1),
+                 sim::fmt(mults[i] * phy_k4.nyquist_sampling_rate_hz() / 1e3, 1),
+                 sim::fmt_sci(ser[i], 1)});
     }
     t.print();
   }
@@ -70,14 +96,20 @@ int main() {
   // --- CFS intermediate frequency ---
   std::printf("\nCFS intermediate frequency, freq-shifting mode @ -72 dBm:\n");
   {
-    sim::Table t({"delta f (kHz)", "SER"});
-    for (double f : {250e3, 500e3, 1000e3, 1500e3}) {
+    const std::vector<double> freqs = {250e3, 500e3, 1000e3, 1500e3};
+    std::vector<core::SaiyanConfig> cfgs;
+    for (double f : freqs) {
       core::SaiyanConfig cfg =
           core::SaiyanConfig::make(phy, core::Mode::kFrequencyShifting);
       cfg.cfs.clock.frequency_hz = f;
       cfg.cfs.output_lpf_cutoff_hz = std::min(cfg.cfs.output_lpf_cutoff_hz, 0.4 * f);
       cfg.envelope.lpf_cutoff_hz = cfg.cfs.output_lpf_cutoff_hz;
-      t.add_row({sim::fmt(f / 1e3, 0), sim::fmt_sci(ser_for(cfg, -72.0, 63), 1)});
+      cfgs.push_back(cfg);
+    }
+    const std::vector<double> ser = ser_sweep(cfgs, -72.0, 63);
+    sim::Table t({"delta f (kHz)", "SER"});
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      t.add_row({sim::fmt(freqs[i] / 1e3, 0), sim::fmt_sci(ser[i], 1)});
     }
     t.print();
   }
@@ -85,14 +117,20 @@ int main() {
   // --- IF amplifier selectivity ---
   std::printf("\nIF amplifier Q, freq-shifting mode @ -76 dBm:\n");
   {
-    sim::Table t({"Q", "IF BW (kHz)", "SER"});
-    for (double q : {1.0, 3.0, 8.0, 20.0, 50.0}) {
+    const std::vector<double> qs = {1.0, 3.0, 8.0, 20.0, 50.0};
+    std::vector<core::SaiyanConfig> cfgs;
+    for (double q : qs) {
       core::SaiyanConfig cfg =
           core::SaiyanConfig::make(phy, core::Mode::kFrequencyShifting);
       cfg.cfs.if_quality_factor = q;
-      t.add_row({sim::fmt(q, 0),
-                 sim::fmt(cfg.cfs.clock.frequency_hz / q / 1e3, 0),
-                 sim::fmt_sci(ser_for(cfg, -76.0, 64), 1)});
+      cfgs.push_back(cfg);
+    }
+    const std::vector<double> ser = ser_sweep(cfgs, -76.0, 64);
+    sim::Table t({"Q", "IF BW (kHz)", "SER"});
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      t.add_row({sim::fmt(qs[i], 0),
+                 sim::fmt(cfgs[i].cfs.clock.frequency_hz / qs[i] / 1e3, 0),
+                 sim::fmt_sci(ser[i], 1)});
     }
     t.print();
   }

@@ -2,8 +2,10 @@
 // tag-to-Tx distances 10/20/50/100/150 m. Waveform simulation for the
 // near/mid distances, BER-model for the far tail (shape: BER grows
 // with K and distance; throughput grows linearly with K).
+#include <vector>
+
 #include "common.hpp"
-#include "sim/pipeline.hpp"
+#include "sim/sweep_engine.hpp"
 
 using namespace saiyan;
 
@@ -16,25 +18,50 @@ int main() {
   const sim::BerModel model;
   const double distances[] = {10.0, 20.0, 50.0, 100.0, 150.0};
 
+  // Collect the waveform-resolvable grid cells up front and run them
+  // as one batch across the sweep engine's worker pool.
+  struct Cell {
+    double d;
+    int k;
+    double ber_model;
+  };
+  std::vector<Cell> waveform_cells;
+  for (double d : distances) {
+    for (int k = 1; k <= 5; ++k) {
+      const lora::PhyParams phy = bench::default_phy(k);
+      const double ber = model.ber(link.rss_dbm(d), core::Mode::kSuper, phy);
+      // Waveform measurement only where it is resolvable in reasonable
+      // time (a few packets): skip when the expected error count over
+      // the probe is << 1.
+      if (ber > 2e-3 || d <= 20.0) waveform_cells.push_back({d, k, ber});
+    }
+  }
+  std::vector<double> waveform_ber(waveform_cells.size());
+  const sim::SweepEngine engine;  // hardware concurrency
+  engine.for_each_index(waveform_cells.size(), [&](std::size_t i) {
+    const Cell& c = waveform_cells[i];
+    sim::PipelineConfig pcfg;
+    pcfg.saiyan =
+        core::SaiyanConfig::make(bench::default_phy(c.k), core::Mode::kSuper);
+    pcfg.link = link;
+    pcfg.seed = static_cast<std::uint64_t>(c.d * 10 + c.k);
+    sim::WaveformPipeline wp(pcfg);
+    waveform_ber[i] = wp.run_distance(c.d, 2).errors.ber();
+  });
+
   sim::Table t({"distance (m)", "K", "RSS (dBm)", "BER (model)",
                 "BER (waveform)", "throughput (Kbps)"});
+  std::size_t cell = 0;
   for (double d : distances) {
     for (int k = 1; k <= 5; ++k) {
       const lora::PhyParams phy = bench::default_phy(k);
       const double rss = link.rss_dbm(d);
       const double ber = model.ber(rss, core::Mode::kSuper, phy);
-      // Waveform measurement only where it is resolvable in reasonable
-      // time (a few packets): report n/a when the expected error count
-      // over the probe is << 1.
       std::string wf = "n/a";
-      if (ber > 2e-3 || d <= 20.0) {
-        sim::PipelineConfig pcfg;
-        pcfg.saiyan = core::SaiyanConfig::make(phy, core::Mode::kSuper);
-        pcfg.link = link;
-        pcfg.seed = static_cast<std::uint64_t>(d * 10 + k);
-        sim::WaveformPipeline wp(pcfg);
-        const sim::PipelineResult r = wp.run_distance(d, 2);
-        wf = sim::fmt_sci(r.errors.ber(), 1);
+      if (cell < waveform_cells.size() && waveform_cells[cell].d == d &&
+          waveform_cells[cell].k == k) {
+        wf = sim::fmt_sci(waveform_ber[cell], 1);
+        ++cell;
       }
       const double tput =
           sim::effective_throughput_bps(phy.data_rate_bps(), ber) / 1e3;

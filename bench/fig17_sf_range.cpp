@@ -1,9 +1,12 @@
 // Figure 17: demodulation range and throughput vs spreading factor
 // (SF 7-12) for K = 1..3. Range grows 1.1-1.3x from SF7 to SF12;
 // throughput drops ~30x (symbol time scales 2^SF).
+#include <vector>
+
 #include "common.hpp"
 #include "sim/metrics.hpp"
 #include "sim/range_finder.hpp"
+#include "sim/sweep_engine.hpp"
 
 using namespace saiyan;
 
@@ -14,16 +17,30 @@ int main() {
   const sim::BerModel model;
   const channel::LinkBudget link = bench::default_link();
 
-  sim::Table t({"SF", "K", "range (m)", "throughput (Kbps)"});
+  // The (SF, K) grid cells are independent — spread them across the
+  // sweep engine's worker pool.
+  struct Cell {
+    int sf;
+    int k;
+  };
+  std::vector<Cell> cells;
   for (int sf = 7; sf <= 12; ++sf) {
-    for (int k = 1; k <= 3; ++k) {
-      const lora::PhyParams phy = bench::default_phy(k, sf);
-      const double range = sim::model_range_m(model, core::Mode::kSuper, phy, link);
-      const double tput =
-          sim::effective_throughput_bps(phy.data_rate_bps(), 1e-4) / 1e3;
-      t.add_row({std::to_string(sf), std::to_string(k), sim::fmt(range, 1),
-                 sim::fmt(tput, 3)});
-    }
+    for (int k = 1; k <= 3; ++k) cells.push_back({sf, k});
+  }
+  std::vector<double> ranges(cells.size());
+  const sim::SweepEngine engine;
+  engine.for_each_index(cells.size(), [&](std::size_t i) {
+    const lora::PhyParams phy = bench::default_phy(cells[i].k, cells[i].sf);
+    ranges[i] = sim::model_range_m(model, core::Mode::kSuper, phy, link);
+  });
+
+  sim::Table t({"SF", "K", "range (m)", "throughput (Kbps)"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const lora::PhyParams phy = bench::default_phy(cells[i].k, cells[i].sf);
+    const double tput =
+        sim::effective_throughput_bps(phy.data_rate_bps(), 1e-4) / 1e3;
+    t.add_row({std::to_string(cells[i].sf), std::to_string(cells[i].k),
+               sim::fmt(ranges[i], 1), sim::fmt(tput, 3)});
   }
   t.print();
 

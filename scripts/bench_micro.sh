@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Run the micro-kernel benchmarks and emit a machine-readable
+# BENCH_micro.json so the perf trajectory can be tracked across PRs.
+#
+# Usage: scripts/bench_micro.sh [build_dir] [output_json]
+#   build_dir    cmake build directory (default: build). Configured
+#                with -DSAIYAN_BUILD_MICROBENCH=ON if needed.
+#   output_json  output path (default: BENCH_micro.json in the repo root)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_micro.json}"
+
+if [[ ! -x "$build_dir/micro_kernels" ]]; then
+  echo "micro_kernels not built; configuring $build_dir with SAIYAN_BUILD_MICROBENCH=ON"
+  cmake -B "$build_dir" -S "$repo_root" -DSAIYAN_BUILD_MICROBENCH=ON
+  cmake --build "$build_dir" -j --target micro_kernels
+fi
+
+"$build_dir/micro_kernels" \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json
+
+echo "wrote $out_json"

@@ -1,5 +1,7 @@
 #include "channel/awgn_channel.hpp"
 
+#include <cmath>
+
 #include "dsp/utils.hpp"
 
 namespace saiyan::channel {
@@ -9,9 +11,17 @@ AwgnChannel::AwgnChannel(double noise_bandwidth_hz, double noise_figure_db)
 
 dsp::Signal AwgnChannel::apply(const dsp::Signal& x, double rss_dbm,
                                dsp::Rng& rng) const {
-  dsp::Signal out = x;
-  dsp::set_power_dbm(out, rss_dbm);
-  dsp::add_awgn(out, dsp::dbm_to_watts(noise_floor_dbm_), rng);
+  // Fused scale-to-RSS + AWGN pass (same draws in the same order as
+  // the set_power_dbm + add_awgn sequence it replaces).
+  const double p = dsp::signal_power(x);
+  const double scale =
+      (p > 0.0) ? std::sqrt(dsp::dbm_to_watts(rss_dbm) / p) : 1.0;
+  const double sigma = std::sqrt(dsp::dbm_to_watts(noise_floor_dbm_) / 2.0);
+  dsp::Signal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = dsp::Complex(scale * x[i].real() + sigma * rng.gaussian(),
+                          scale * x[i].imag() + sigma * rng.gaussian());
+  }
   return out;
 }
 

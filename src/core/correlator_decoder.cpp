@@ -3,47 +3,37 @@
 #include <algorithm>
 
 #include "dsp/utils.hpp"
-#include "lora/chirp.hpp"
-#include "lora/modulator.hpp"
 
 namespace saiyan::core {
-namespace {
 
-dsp::RealSignal mean_removed(std::span<const double> x) {
-  const double m = dsp::mean(x);
-  dsp::RealSignal out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - m;
-  return out;
-}
-
-}  // namespace
-
-CorrelatorDecoder::CorrelatorDecoder(const ReceiverChain& chain) {
-  const lora::PhyParams& phy = chain.config().phy;
-  sps_ = phy.samples_per_symbol();
-  const std::uint32_t m = phy.symbol_alphabet();
-  templates_.reserve(m);
-  // Generate each candidate symbol with a leading base chirp so the
-  // chain's filter transients settle before the window of interest.
-  lora::Modulator mod(phy);
-  for (std::uint32_t v = 0; v < m; ++v) {
-    const dsp::Signal wave = mod.modulate_payload({0u, v});
-    const dsp::RealSignal env = chain.reference_envelope(wave);
-    dsp::RealSignal window(env.begin() + static_cast<std::ptrdiff_t>(sps_),
-                           env.begin() + static_cast<std::ptrdiff_t>(2 * sps_));
-    templates_.push_back(mean_removed(window));
-  }
-}
+CorrelatorDecoder::CorrelatorDecoder(const ReceiverChain& chain)
+    : ref_(receiver_reference(chain)),
+      sps_(chain.config().phy.samples_per_symbol()) {}
 
 std::uint32_t CorrelatorDecoder::decode_window(std::span<const double> window) const {
-  const dsp::RealSignal x = mean_removed(window);
+  // Mean removal folded into the dot product: the templates are
+  // zero-mean, so subtracting the window mean offsets every score by
+  // mean·sum(t) = 0 and the full-length case needs no correction. A
+  // window truncated at the capture edge sees a template *prefix*,
+  // which is not zero-mean — only that (rare) path pays for the sum.
+  const dsp::RealSignal* templates = ref_->symbol_templates.data();
+  const std::size_t n_templates = ref_->symbol_templates.size();
   std::uint32_t best = 0;
   double best_score = -1e300;
-  for (std::uint32_t v = 0; v < templates_.size(); ++v) {
-    const dsp::RealSignal& t = templates_[v];
-    const std::size_t n = std::min(t.size(), x.size());
+  for (std::uint32_t v = 0; v < n_templates; ++v) {
+    const dsp::RealSignal& t = templates[v];
     double dot = 0.0;
-    for (std::size_t i = 0; i < n; ++i) dot += x[i] * t[i];
+    if (window.size() >= t.size()) {
+      for (std::size_t i = 0; i < t.size(); ++i) dot += window[i] * t[i];
+    } else {
+      const double mean = dsp::mean(window);
+      double t_sum = 0.0;
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        dot += window[i] * t[i];
+        t_sum += t[i];
+      }
+      dot -= mean * t_sum;
+    }
     if (dot > best_score) {
       best_score = dot;
       best = v;

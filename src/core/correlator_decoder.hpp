@@ -5,21 +5,25 @@
 // local template of each candidate symbol integrates energy over the
 // whole symbol and buys the final sensitivity step (1.94–2.25× range
 // in Fig. 25). The templates are the reference envelopes produced by
-// the noiseless receive chain.
+// the noiseless receive chain, computed once per distinct receiver
+// configuration and shared through core::receiver_reference().
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/receiver_chain.hpp"
+#include "core/template_cache.hpp"
 #include "dsp/types.hpp"
 
 namespace saiyan::core {
 
 class CorrelatorDecoder {
  public:
-  /// Builds 2^K symbol templates through `chain`.
+  /// Binds the 2^K symbol templates for `chain` (served from the
+  /// process-wide template cache; built through the chain on miss).
   explicit CorrelatorDecoder(const ReceiverChain& chain);
 
   /// Decode one symbol from an envelope window of one symbol length at
@@ -34,7 +38,7 @@ class CorrelatorDecoder {
   std::size_t samples_per_symbol() const { return sps_; }
 
  private:
-  std::vector<dsp::RealSignal> templates_;  // mean-removed, per symbol value
+  std::shared_ptr<const ReceiverReference> ref_;  // holds the templates
   std::size_t sps_;
 };
 

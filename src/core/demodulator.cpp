@@ -2,10 +2,10 @@
 
 #include <cmath>
 
+#include "core/template_cache.hpp"
 #include "dsp/utils.hpp"
 #include "frontend/comparator.hpp"
 #include "frontend/sampler.hpp"
-#include "lora/modulator.hpp"
 
 namespace saiyan::core {
 
@@ -21,39 +21,52 @@ void SaiyanDemodulator::calibrate_edge_bias() {
   // Measure the systematic lag between the comparator's trailing edge
   // and the true chirp peak by decoding a clean reference packet —
   // the simulation analogue of the paper's offline threshold/timing
-  // calibration (§4.1).
+  // calibration (§4.1). The reference envelope is shared through the
+  // template cache and the resulting bias is memoized per sampler
+  // sub-configuration, so sweeps that construct a demodulator per
+  // point pay for the calibration decode once.
   const SaiyanConfig& cfg = chain_.config();
-  lora::Modulator mod(cfg.phy);
-  std::vector<std::uint32_t> payload;
-  for (std::uint32_t rep = 0; rep < 2; ++rep) {
-    for (std::uint32_t v = 0; v < cfg.phy.symbol_alphabet(); ++v) payload.push_back(v);
+  const std::shared_ptr<const ReceiverReference> ref = receiver_reference(chain_);
+  const std::string key = sampler_cache_key(cfg);
+  {
+    std::lock_guard<std::mutex> lock(ref->bias_mu);
+    auto it = ref->edge_bias.find(key);
+    if (it != ref->edge_bias.end()) {
+      edge_decoder_.set_bias(it->second);
+      return;
+    }
   }
-  const dsp::Signal wave = mod.modulate(payload);
-  const dsp::RealSignal env = chain_.reference_envelope(wave);
+
+  const dsp::RealSignal& env = ref->calib_envelope;
   const frontend::ThresholdPair th = auto_thresholds(env, cfg.threshold_gap_db);
   frontend::DoubleThresholdComparator comp(th.u_high, th.u_low);
   const dsp::BitVector bits_fs = comp.quantize(env);
   frontend::VoltageSampler sampler(cfg.phy, cfg.sampling_rate_multiplier);
   const frontend::SampledBits sampled = sampler.sample(bits_fs, cfg.phy.sample_rate_hz);
-  const lora::PacketLayout lay = mod.layout(payload.size());
-  const double t0 = static_cast<double>(lay.payload_start) / cfg.phy.sample_rate_hz *
-                    sampled.sample_rate_hz;
+  const double t0 = static_cast<double>(ref->calib_payload_start_fs) /
+                    cfg.phy.sample_rate_hz * sampled.sample_rate_hz;
 
   const double m = static_cast<double>(cfg.phy.symbol_alphabet());
   double err_sum = 0.0;
   std::size_t err_n = 0;
-  for (std::size_t s = 0; s < payload.size(); ++s) {
+  for (std::size_t s = 0; s < ref->calib_payload.size(); ++s) {
     const double w_begin = t0 + static_cast<double>(s) * sampled.samples_per_symbol;
     const std::optional<double> est = edge_decoder_.estimate_fraction(
         sampled.bits, w_begin, sampled.samples_per_symbol);
     if (!est.has_value()) continue;
-    double err = static_cast<double>(payload[s]) - *est;
+    double err = static_cast<double>(ref->calib_payload[s]) - *est;
     // Wrap into [-M/2, M/2).
     err = std::remainder(err, m);
     err_sum += err;
     ++err_n;
   }
-  if (err_n > 0) edge_decoder_.set_bias(err_sum / static_cast<double>(err_n));
+  double bias = 0.0;
+  if (err_n > 0) {
+    bias = err_sum / static_cast<double>(err_n);
+    edge_decoder_.set_bias(bias);
+  }
+  std::lock_guard<std::mutex> lock(ref->bias_mu);
+  ref->edge_bias.emplace(key, bias);
 }
 
 DemodResult SaiyanDemodulator::decode_from_envelope(

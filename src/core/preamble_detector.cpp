@@ -3,73 +3,74 @@
 #include <algorithm>
 #include <cmath>
 
-#include "dsp/correlate.hpp"
 #include "dsp/resample.hpp"
 #include "dsp/utils.hpp"
 #include "frontend/comparator.hpp"
 #include "frontend/sampler.hpp"
-#include "lora/modulator.hpp"
 
 namespace saiyan::core {
-namespace {
 
-dsp::RealSignal mean_removed(std::span<const double> x) {
-  const double m = dsp::mean(x);
-  dsp::RealSignal out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - m;
-  return out;
-}
+PreambleDetector::PreambleDetector(const ReceiverChain& chain)
+    : chain_(chain),
+      ref_(receiver_reference(chain)),
+      env_template_zm_(dsp::mean_removed(ref_->preamble_envelope)),
+      env_prepared_(std::span<const double>(env_template_zm_)) {}
 
-dsp::RealSignal bits_to_bipolar(std::span<const std::uint8_t> bits) {
-  dsp::RealSignal out(bits.size());
-  for (std::size_t i = 0; i < bits.size(); ++i) out[i] = bits[i] ? 1.0 : -1.0;
-  return out;
-}
-
-}  // namespace
-
-PreambleDetector::PreambleDetector(const ReceiverChain& chain) : chain_(chain) {
-  lora::Modulator mod(chain.config().phy);
-  const dsp::Signal header = mod.preamble();
-  env_template_ = chain.reference_envelope(header);
-  header_samples_fs_ = header.size();
+const PreambleDetector::BitsTemplate* PreambleDetector::bits_template_for(
+    double rate_hz) const {
+  auto it = bits_templates_.find(rate_hz);
+  if (it != bits_templates_.end()) {
+    return it->second.prepared ? &it->second : nullptr;
+  }
+  BitsTemplate& entry = bits_templates_[rate_hz];
+  const SaiyanConfig& cfg = chain_.config();
+  const dsp::RealSignal& env_template = ref_->preamble_envelope;
+  // Quantize the reference envelope with its own auto thresholds and
+  // resample to the sampler rate to form the expected bit pattern.
+  const double peak = dsp::peak(std::span<const double>(env_template));
+  if (peak <= 0.0) return nullptr;
+  const frontend::ThresholdPair th =
+      frontend::thresholds_from_peak(peak, cfg.threshold_gap_db, peak * 0.2);
+  frontend::DoubleThresholdComparator comp(th.u_high, th.u_low);
+  const dsp::BitVector tmpl_fs = comp.quantize(env_template);
+  const dsp::RealSignal tmpl_analog(tmpl_fs.begin(), tmpl_fs.end());
+  const dsp::RealSignal tmpl_bits_real =
+      dsp::sample_hold(tmpl_analog, cfg.phy.sample_rate_hz, rate_hz);
+  if (tmpl_bits_real.empty()) return nullptr;
+  // Bipolar, mean-removed reference with its energy: the Pearson-style
+  // matcher's fixed side, computed once per sampler rate.
+  entry.ref.resize(tmpl_bits_real.size());
+  for (std::size_t i = 0; i < entry.ref.size(); ++i) {
+    entry.ref[i] = tmpl_bits_real[i] > 0.5 ? 1.0 : -1.0;
+  }
+  const double ref_mean = dsp::mean(entry.ref);
+  for (double& v : entry.ref) v -= ref_mean;
+  entry.energy = 0.0;
+  for (double v : entry.ref) entry.energy += v * v;
+  if (entry.energy <= 0.0) return nullptr;
+  entry.prepared = std::make_unique<dsp::PreparedTemplate>(
+      std::span<const double>(entry.ref));
+  return &entry;
 }
 
 std::optional<PreambleTiming> PreambleDetector::detect_bits(
     std::span<const std::uint8_t> bits, double rate_hz, double min_score) const {
-  const SaiyanConfig& cfg = chain_.config();
-  // Quantize the reference envelope with its own auto thresholds and
-  // resample to the sampler rate to form the expected bit pattern.
-  const double peak = dsp::peak(std::span<const double>(env_template_));
-  if (peak <= 0.0) return std::nullopt;
-  const frontend::ThresholdPair th =
-      frontend::thresholds_from_peak(peak, cfg.threshold_gap_db, peak * 0.2);
-  frontend::DoubleThresholdComparator comp(th.u_high, th.u_low);
-  const dsp::BitVector tmpl_fs = comp.quantize(env_template_);
-  const dsp::RealSignal tmpl_analog(tmpl_fs.begin(), tmpl_fs.end());
-  const dsp::RealSignal tmpl_bits_real =
-      dsp::sample_hold(tmpl_analog, cfg.phy.sample_rate_hz, rate_hz);
-  dsp::BitVector tmpl(tmpl_bits_real.size());
-  for (std::size_t i = 0; i < tmpl.size(); ++i) tmpl[i] = tmpl_bits_real[i] > 0.5;
+  const BitsTemplate* tmpl = bits_template_for(rate_hz);
+  if (tmpl == nullptr) return std::nullopt;
+  if (bits.size() < tmpl->ref.size() || tmpl->ref.empty()) return std::nullopt;
 
-  if (bits.size() < tmpl.size() || tmpl.empty()) return std::nullopt;
   // Pearson-style matching: mean-removed template against mean-removed
   // windows, normalized by both energies — a constant (all-low or
   // all-high) stream scores 0 instead of spuriously matching.
-  dsp::RealSignal sig = bits_to_bipolar(bits);
-  dsp::RealSignal ref = bits_to_bipolar(tmpl);
-  const double ref_mean = dsp::mean(ref);
-  for (double& v : ref) v -= ref_mean;
-  double ref_energy = 0.0;
-  for (double v : ref) ref_energy += v * v;
-  if (ref_energy <= 0.0) return std::nullopt;
+  dsp::RealSignal sig(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) sig[i] = bits[i] ? 1.0 : -1.0;
 
-  const dsp::RealSignal corr = dsp::cross_correlate_signed(
-      std::span<const double>(sig), std::span<const double>(ref));
+  const dsp::RealSignal corr =
+      tmpl->prepared->correlate_signed(std::span<const double>(sig));
   if (corr.empty()) return std::nullopt;
   // corr against a zero-mean template is insensitive to the window
   // mean; normalize by window variance computed with a sliding sum.
-  const std::size_t w = ref.size();
+  const std::size_t w = tmpl->ref.size();
   double sum = 0.0;
   double sum2 = 0.0;
   for (std::size_t i = 0; i < w; ++i) {
@@ -79,7 +80,7 @@ std::optional<PreambleTiming> PreambleDetector::detect_bits(
   PreambleTiming best;
   for (std::size_t lag = 0; lag < corr.size(); ++lag) {
     const double var = sum2 - sum * sum / static_cast<double>(w);
-    const double denom = std::sqrt(std::max(var, 1e-9) * ref_energy);
+    const double denom = std::sqrt(std::max(var, 1e-9) * tmpl->energy);
     const double score = corr[lag] / denom;
     if (score > best.score) {
       best.score = score;
@@ -96,14 +97,13 @@ std::optional<PreambleTiming> PreambleDetector::detect_bits(
 
 std::optional<PreambleTiming> PreambleDetector::detect_envelope(
     std::span<const double> envelope, double min_score) const {
-  if (envelope.size() < env_template_.size()) return std::nullopt;
-  const dsp::RealSignal sig = mean_removed(envelope);
-  const dsp::RealSignal ref = mean_removed(env_template_);
-  const dsp::CorrelationPeak pk = dsp::find_peak(
-      std::span<const double>(sig), std::span<const double>(ref));
+  if (envelope.size() < ref_->preamble_envelope.size()) return std::nullopt;
+  const dsp::RealSignal sig = dsp::mean_removed(envelope);
+  const dsp::CorrelationPeak pk =
+      env_prepared_.find_peak(std::span<const double>(sig));
   PreambleTiming t;
   t.score = pk.normalized;
-  t.payload_start = pk.lag + env_template_.size();
+  t.payload_start = pk.lag + ref_->preamble_envelope.size();
   if (t.score < min_score) return std::nullopt;
   return t;
 }

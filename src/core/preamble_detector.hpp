@@ -7,12 +7,21 @@
 // the reference pattern (built from the noiseless receive chain) —
 // bit-pattern correlation for the comparator path, analog correlation
 // for the Super (correlation) mode.
+//
+// The reference envelope comes from the process-wide template cache;
+// the derived matcher state (prepared correlation template, per-rate
+// quantized bit patterns) is memoized per instance. Instances are not
+// thread-safe — give each worker thread its own detector.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
+#include <unordered_map>
 
 #include "core/receiver_chain.hpp"
+#include "core/template_cache.hpp"
+#include "dsp/correlate.hpp"
 #include "dsp/types.hpp"
 
 namespace saiyan::core {
@@ -24,7 +33,7 @@ struct PreambleTiming {
 
 class PreambleDetector {
  public:
-  /// Builds the reference templates through `chain` once.
+  /// Binds the reference templates for `chain` (template cache).
   explicit PreambleDetector(const ReceiverChain& chain);
 
   /// Locate the preamble in a comparator bit stream sampled at
@@ -39,12 +48,28 @@ class PreambleDetector {
                                                 double min_score = 0.35) const;
 
   /// Reference envelope of preamble+sync at the simulation rate.
-  const dsp::RealSignal& envelope_template() const { return env_template_; }
+  const dsp::RealSignal& envelope_template() const {
+    return ref_->preamble_envelope;
+  }
 
  private:
+  /// Bit-pattern template resampled to one sampler rate: the bipolar
+  /// mean-removed reference, its energy, and the prepared correlator.
+  struct BitsTemplate {
+    dsp::RealSignal ref;  ///< bipolar, mean-removed
+    double energy = 0.0;
+    std::unique_ptr<dsp::PreparedTemplate> prepared;
+  };
+
+  /// Quantized reference pattern for `rate_hz` (memoized); nullptr
+  /// when the reference envelope is degenerate.
+  const BitsTemplate* bits_template_for(double rate_hz) const;
+
   const ReceiverChain& chain_;
-  dsp::RealSignal env_template_;   // preamble+sync reference envelope (fs)
-  std::size_t header_samples_fs_;  // preamble+sync length at fs
+  std::shared_ptr<const ReceiverReference> ref_;
+  dsp::RealSignal env_template_zm_;          // mean-removed reference envelope
+  dsp::PreparedTemplate env_prepared_;       // prepared analog correlator
+  mutable std::unordered_map<double, BitsTemplate> bits_templates_;
 };
 
 }  // namespace saiyan::core

@@ -1,0 +1,137 @@
+#include "core/template_cache.hpp"
+
+#include <cstdio>
+#include <future>
+
+#include "dsp/utils.hpp"
+#include "lora/chirp.hpp"
+#include "lora/modulator.hpp"
+
+namespace saiyan::core {
+namespace {
+
+void append_f(std::string& key, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a;", v);
+  key += buf;
+}
+
+void append_i(std::string& key, long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld;", v);
+  key += buf;
+}
+
+std::shared_ptr<const ReceiverReference> build_reference(
+    const ReceiverChain& chain) {
+  const SaiyanConfig& cfg = chain.config();
+  const lora::PhyParams& phy = cfg.phy;
+  auto ref = std::make_shared<ReceiverReference>();
+  lora::Modulator mod(phy);
+
+  // Correlation-decoder symbol templates: each candidate symbol is
+  // generated with a leading base chirp so the chain's filter
+  // transients settle before the window of interest.
+  const std::size_t sps = phy.samples_per_symbol();
+  const std::uint32_t m = phy.symbol_alphabet();
+  ref->symbol_templates.reserve(m);
+  for (std::uint32_t v = 0; v < m; ++v) {
+    const dsp::Signal wave = mod.modulate_payload({0u, v});
+    const dsp::RealSignal env = chain.reference_envelope(wave);
+    const std::span<const double> window(env.data() + sps, sps);
+    ref->symbol_templates.push_back(dsp::mean_removed(window));
+  }
+
+  // Preamble matcher template.
+  ref->preamble_envelope = chain.reference_envelope(mod.preamble());
+
+  // Edge-bias calibration packet: two repetitions of every symbol
+  // value (the simulation analogue of the paper's offline calibration,
+  // §4.1). Only the reference envelope is cached here; the per-sampler
+  // decode is cheap and keyed separately.
+  for (std::uint32_t rep = 0; rep < 2; ++rep) {
+    for (std::uint32_t v = 0; v < m; ++v) ref->calib_payload.push_back(v);
+  }
+  const dsp::Signal wave = mod.modulate(ref->calib_payload);
+  ref->calib_envelope = chain.reference_envelope(wave);
+  ref->calib_payload_start_fs = mod.layout(ref->calib_payload.size()).payload_start;
+  return ref;
+}
+
+}  // namespace
+
+std::string chain_cache_key(const SaiyanConfig& cfg) {
+  std::string key;
+  key.reserve(256);
+  append_i(key, cfg.phy.spreading_factor);
+  append_f(key, cfg.phy.bandwidth_hz);
+  append_f(key, cfg.phy.sample_rate_hz);
+  append_i(key, cfg.phy.bits_per_symbol);
+  append_i(key, cfg.phy.preamble_symbols);
+  append_f(key, cfg.phy.sync_symbols);
+  append_i(key, static_cast<long long>(cfg.mode));
+  append_f(key, cfg.saw.temperature_c);
+  append_f(key, cfg.lna.gain_db);
+  append_f(key, cfg.lna.noise_figure_db);
+  append_f(key, cfg.lna.bandwidth_hz);
+  append_f(key, cfg.envelope.conversion_gain);
+  append_f(key, cfg.envelope.lpf_cutoff_hz);
+  append_f(key, cfg.envelope.sample_rate_hz);
+  append_f(key, cfg.cfs.clock.frequency_hz);
+  append_f(key, cfg.cfs.clock.sample_rate_hz);
+  append_f(key, cfg.cfs.clock.delay_line_phase_rad);
+  append_f(key, cfg.cfs.if_gain_db);
+  append_f(key, cfg.cfs.if_quality_factor);
+  append_f(key, cfg.cfs.output_lpf_cutoff_hz);
+  append_f(key, cfg.effective_rf_center_hz());
+  return key;
+}
+
+std::string sampler_cache_key(const SaiyanConfig& cfg) {
+  std::string key;
+  key.reserve(64);
+  append_f(key, cfg.sampling_rate_multiplier);
+  append_f(key, cfg.threshold_gap_db);
+  return key;
+}
+
+std::shared_ptr<const ReceiverReference> receiver_reference(
+    const ReceiverChain& chain) {
+  // Per-key futures so a cold key is built exactly once: sweep workers
+  // that race on the same configuration wait for the first builder
+  // instead of each re-running the expensive reference chain. The
+  // build itself happens outside the lock.
+  using Future = std::shared_future<std::shared_ptr<const ReceiverReference>>;
+  static std::mutex mu;
+  static std::unordered_map<std::string, Future> cache;
+  const std::string key = chain_cache_key(chain.config());
+
+  std::promise<std::shared_ptr<const ReceiverReference>> promise;
+  Future future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      future = promise.get_future().share();
+      cache.emplace(key, future);
+      builder = true;
+    } else {
+      future = it->second;
+    }
+  }
+  if (builder) {
+    try {
+      promise.set_value(build_reference(chain));
+    } catch (...) {
+      // Unpublish the entry so later calls retry; current waiters see
+      // the exception through the shared future.
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mu);
+      cache.erase(key);
+    }
+  }
+  return future.get();
+}
+
+}  // namespace saiyan::core

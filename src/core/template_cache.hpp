@@ -1,0 +1,62 @@
+// Process-wide cache of receiver reference data (templates and
+// calibration), keyed by the receiver configuration.
+//
+// Constructing a SaiyanDemodulator runs the noiseless receive chain
+// once per candidate symbol, once for the preamble and once for a
+// calibration packet — each an FFT-filtered full waveform. Sweeps
+// construct a demodulator per sweep point with an identical (or
+// near-identical) configuration, which used to make sweep setup
+// quadratic in practice. This cache computes the reference data once
+// per distinct chain configuration and shares it; the edge-bias
+// calibration result is cached per sampler sub-configuration inside
+// each entry. Thread-safe: sweeps construct demodulators concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/receiver_chain.hpp"
+#include "dsp/types.hpp"
+
+namespace saiyan::core {
+
+/// Reference data derived from one receiver chain configuration.
+struct ReceiverReference {
+  /// Mean-removed reference envelope of one symbol window per
+  /// candidate value (the correlation decoder's templates, §3.2).
+  std::vector<dsp::RealSignal> symbol_templates;
+
+  /// Reference envelope of preamble + sync at the simulation rate.
+  dsp::RealSignal preamble_envelope;
+
+  /// Calibration packet: payload values, its noiseless reference
+  /// envelope and the payload start index at the simulation rate.
+  std::vector<std::uint32_t> calib_payload;
+  dsp::RealSignal calib_envelope;
+  std::size_t calib_payload_start_fs = 0;
+
+  /// Edge-bias calibration results keyed by sampler_cache_key() —
+  /// the part of the configuration the reference envelopes do not
+  /// depend on. Guarded: entries are shared across threads.
+  mutable std::mutex bias_mu;
+  mutable std::unordered_map<std::string, double> edge_bias;
+};
+
+/// Shared reference data for `chain`'s configuration; computed on
+/// first use, then served from the process-wide cache.
+std::shared_ptr<const ReceiverReference> receiver_reference(
+    const ReceiverChain& chain);
+
+/// Serialized cache key of every config field the reference envelopes
+/// depend on (exact hex-float formatting, no rounding collisions).
+std::string chain_cache_key(const SaiyanConfig& cfg);
+
+/// Key of the sampler/threshold fields the edge-bias calibration
+/// additionally depends on.
+std::string sampler_cache_key(const SaiyanConfig& cfg);
+
+}  // namespace saiyan::core

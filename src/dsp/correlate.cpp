@@ -8,51 +8,20 @@
 namespace saiyan::dsp {
 namespace {
 
-// Complex sliding correlation via FFT; returns |corr| for valid lags.
-RealSignal xcorr_impl(std::span<const Complex> x, std::span<const Complex> tmpl) {
-  if (tmpl.empty()) throw std::invalid_argument("cross_correlate: empty template");
-  if (x.size() < tmpl.size()) return {};
-  const std::size_t n_valid = x.size() - tmpl.size() + 1;
-  const std::size_t n = next_pow2(x.size() + tmpl.size() - 1);
-  Signal xf(n, Complex{});
-  Signal tf(n, Complex{});
-  for (std::size_t i = 0; i < x.size(); ++i) xf[i] = x[i];
-  // Correlation = convolution with conjugated, time-reversed template.
-  for (std::size_t i = 0; i < tmpl.size(); ++i) {
-    tf[i] = std::conj(tmpl[tmpl.size() - 1 - i]);
+// Element-wise spectral product over raw doubles (std::complex
+// operator* would call out to __muldc3 per element).
+void spectral_product(Signal& x, const Signal& y) {
+  double* a = reinterpret_cast<double*>(x.data());
+  const double* b = reinterpret_cast<const double*>(y.data());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ar = a[2 * i];
+    const double ai = a[2 * i + 1];
+    const double br = b[2 * i];
+    const double bi = b[2 * i + 1];
+    a[2 * i] = ar * br - ai * bi;
+    a[2 * i + 1] = ar * bi + ai * br;
   }
-  fft_inplace(xf);
-  fft_inplace(tf);
-  for (std::size_t i = 0; i < n; ++i) xf[i] *= tf[i];
-  ifft_inplace(xf);
-  RealSignal out(n_valid);
-  for (std::size_t i = 0; i < n_valid; ++i) {
-    out[i] = std::abs(xf[i + tmpl.size() - 1]);
-  }
-  return out;
-}
-
-// Signed variant: returns the real part instead of the magnitude.
-RealSignal xcorr_signed_impl(std::span<const Complex> x, std::span<const Complex> tmpl) {
-  if (tmpl.empty()) throw std::invalid_argument("cross_correlate: empty template");
-  if (x.size() < tmpl.size()) return {};
-  const std::size_t n_valid = x.size() - tmpl.size() + 1;
-  const std::size_t n = next_pow2(x.size() + tmpl.size() - 1);
-  Signal xf(n, Complex{});
-  Signal tf(n, Complex{});
-  for (std::size_t i = 0; i < x.size(); ++i) xf[i] = x[i];
-  for (std::size_t i = 0; i < tmpl.size(); ++i) {
-    tf[i] = std::conj(tmpl[tmpl.size() - 1 - i]);
-  }
-  fft_inplace(xf);
-  fft_inplace(tf);
-  for (std::size_t i = 0; i < n; ++i) xf[i] *= tf[i];
-  ifft_inplace(xf);
-  RealSignal out(n_valid);
-  for (std::size_t i = 0; i < n_valid; ++i) {
-    out[i] = xf[i + tmpl.size() - 1].real();
-  }
-  return out;
 }
 
 double window_energy(std::span<const Complex> x, std::size_t start, std::size_t len) {
@@ -61,53 +30,201 @@ double window_energy(std::span<const Complex> x, std::size_t start, std::size_t 
   return acc;
 }
 
+double window_energy(std::span<const double> x, std::size_t start, std::size_t len) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < len; ++i) acc += x[start + i] * x[start + i];
+  return acc;
+}
+
+// Both-real one-shot correlation: pack signal and reversed template
+// into one complex sequence (z = x + i·t_rev) so a single forward
+// transform yields both spectra, untangled via conjugate symmetry.
+Signal xcorr_real_spectral(std::span<const double> x, std::span<const double> tmpl,
+                           std::size_t n) {
+  Signal z(n, Complex{});
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = Complex(x[i], 0.0);
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    z[i] = Complex(z[i].real(), tmpl[tmpl.size() - 1 - i]);
+  }
+  const auto plan = fft_plan(n);
+  plan->forward(z);
+  // Z[k] = X[k] + i·T[k] with x, t real:
+  //   X[k] = (Z[k] + conj(Z[n-k]))/2,  T[k] = -i·(Z[k] - conj(Z[n-k]))/2.
+  // The correlation spectrum is X·T; compute it bin-pair-symmetrically.
+  Signal p(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t kk = (n - k) & (n - 1);
+    const Complex zk = z[k];
+    const Complex zc = std::conj(z[kk]);
+    const double xr = 0.5 * (zk.real() + zc.real());
+    const double xi = 0.5 * (zk.imag() + zc.imag());
+    const double dr = 0.5 * (zk.real() - zc.real());
+    const double di = 0.5 * (zk.imag() - zc.imag());
+    const double tr = di;   // T[k] = -i·d = (di, -dr)
+    const double ti = -dr;
+    p[k] = Complex(xr * tr - xi * ti, xr * ti + xi * tr);
+  }
+  plan->inverse(p);
+  return p;
+}
+
 }  // namespace
 
 RealSignal cross_correlate(std::span<const Complex> x, std::span<const Complex> tmpl) {
-  return xcorr_impl(x, tmpl);
+  if (tmpl.empty()) throw std::invalid_argument("cross_correlate: empty template");
+  if (x.size() < tmpl.size()) return {};
+  PreparedTemplate prepared(tmpl);
+  return prepared.correlate(x);
 }
 
 RealSignal cross_correlate(std::span<const double> x, std::span<const double> tmpl) {
-  Signal cx(x.size());
-  Signal ct(tmpl.size());
-  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
-  for (std::size_t i = 0; i < tmpl.size(); ++i) ct[i] = Complex(tmpl[i], 0.0);
-  return xcorr_impl(cx, ct);
+  if (tmpl.empty()) throw std::invalid_argument("cross_correlate: empty template");
+  if (x.size() < tmpl.size()) return {};
+  const std::size_t n_valid = x.size() - tmpl.size() + 1;
+  const std::size_t n = next_pow2(x.size() + tmpl.size() - 1);
+  const Signal corr = xcorr_real_spectral(x, tmpl, n);
+  RealSignal out(n_valid);
+  for (std::size_t i = 0; i < n_valid; ++i) {
+    out[i] = std::abs(corr[i + tmpl.size() - 1]);
+  }
+  return out;
 }
 
 RealSignal cross_correlate_signed(std::span<const double> x,
                                   std::span<const double> tmpl) {
-  Signal cx(x.size());
-  Signal ct(tmpl.size());
-  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
-  for (std::size_t i = 0; i < tmpl.size(); ++i) ct[i] = Complex(tmpl[i], 0.0);
-  return xcorr_signed_impl(cx, ct);
+  if (tmpl.empty()) throw std::invalid_argument("cross_correlate: empty template");
+  if (x.size() < tmpl.size()) return {};
+  const std::size_t n_valid = x.size() - tmpl.size() + 1;
+  const std::size_t n = next_pow2(x.size() + tmpl.size() - 1);
+  const Signal corr = xcorr_real_spectral(x, tmpl, n);
+  RealSignal out(n_valid);
+  for (std::size_t i = 0; i < n_valid; ++i) {
+    out[i] = corr[i + tmpl.size() - 1].real();
+  }
+  return out;
 }
 
 CorrelationPeak find_peak(std::span<const Complex> x, std::span<const Complex> tmpl) {
-  const RealSignal corr = xcorr_impl(x, tmpl);
+  PreparedTemplate prepared(tmpl);
+  return prepared.find_peak(x);
+}
+
+CorrelationPeak find_peak(std::span<const double> x, std::span<const double> tmpl) {
+  PreparedTemplate prepared(tmpl);
+  return prepared.find_peak(x);
+}
+
+PreparedTemplate::PreparedTemplate(std::span<const double> tmpl)
+    : t_len_(tmpl.size()), real_(true) {
+  if (tmpl.empty()) throw std::invalid_argument("PreparedTemplate: empty template");
+  rev_real_.resize(t_len_);
+  for (std::size_t i = 0; i < t_len_; ++i) {
+    rev_real_[i] = tmpl[t_len_ - 1 - i];
+    energy_ += tmpl[i] * tmpl[i];
+  }
+}
+
+PreparedTemplate::PreparedTemplate(std::span<const Complex> tmpl)
+    : t_len_(tmpl.size()), real_(false) {
+  if (tmpl.empty()) throw std::invalid_argument("PreparedTemplate: empty template");
+  rev_conj_.resize(t_len_);
+  for (std::size_t i = 0; i < t_len_; ++i) {
+    rev_conj_[i] = std::conj(tmpl[t_len_ - 1 - i]);
+    energy_ += std::norm(tmpl[i]);
+  }
+}
+
+const Signal& PreparedTemplate::spectrum_for(std::size_t n) const {
+  if (cached_n_ == n) return spec_;
+  if (real_) {
+    fft_plan(n)->forward_real(rev_real_, spec_);
+  } else {
+    spec_.assign(n, Complex{});
+    for (std::size_t i = 0; i < t_len_; ++i) spec_[i] = rev_conj_[i];
+    fft_plan(n)->forward(spec_);
+  }
+  cached_n_ = n;
+  return spec_;
+}
+
+bool PreparedTemplate::correlate_core(std::span<const double> x) const {
+  if (x.size() < t_len_) return false;
+  const std::size_t n = next_pow2(x.size() + t_len_ - 1);
+  const Signal& spec = spectrum_for(n);
+  const auto plan = fft_plan(n);
+  plan->forward_real(x, work_);
+  spectral_product(work_, spec);
+  plan->inverse(work_);
+  return true;
+}
+
+bool PreparedTemplate::correlate_core(std::span<const Complex> x) const {
+  if (x.size() < t_len_) return false;
+  const std::size_t n = next_pow2(x.size() + t_len_ - 1);
+  const Signal& spec = spectrum_for(n);
+  work_.assign(n, Complex{});
+  for (std::size_t i = 0; i < x.size(); ++i) work_[i] = x[i];
+  const auto plan = fft_plan(n);
+  plan->forward(work_);
+  spectral_product(work_, spec);
+  plan->inverse(work_);
+  return true;
+}
+
+RealSignal PreparedTemplate::correlate(std::span<const double> x) const {
+  if (!correlate_core(x)) return {};
+  const std::size_t n_valid = x.size() - t_len_ + 1;
+  RealSignal out(n_valid);
+  for (std::size_t i = 0; i < n_valid; ++i) out[i] = std::abs(work_[i + t_len_ - 1]);
+  return out;
+}
+
+RealSignal PreparedTemplate::correlate(std::span<const Complex> x) const {
+  if (!correlate_core(x)) return {};
+  const std::size_t n_valid = x.size() - t_len_ + 1;
+  RealSignal out(n_valid);
+  for (std::size_t i = 0; i < n_valid; ++i) out[i] = std::abs(work_[i + t_len_ - 1]);
+  return out;
+}
+
+RealSignal PreparedTemplate::correlate_signed(std::span<const double> x) const {
+  if (!correlate_core(x)) return {};
+  const std::size_t n_valid = x.size() - t_len_ + 1;
+  RealSignal out(n_valid);
+  for (std::size_t i = 0; i < n_valid; ++i) out[i] = work_[i + t_len_ - 1].real();
+  return out;
+}
+
+namespace {
+
+template <typename Span>
+CorrelationPeak peak_from_workspace(const Signal& work, Span x, std::size_t t_len,
+                                    double t_energy) {
   CorrelationPeak pk;
-  if (corr.empty()) return pk;
-  for (std::size_t i = 0; i < corr.size(); ++i) {
-    if (corr[i] > pk.value) {
-      pk.value = corr[i];
+  const std::size_t n_valid = x.size() - t_len + 1;
+  for (std::size_t i = 0; i < n_valid; ++i) {
+    const double v = std::abs(work[i + t_len - 1]);
+    if (v > pk.value) {
+      pk.value = v;
       pk.lag = i;
     }
   }
-  double t_energy = 0.0;
-  for (const Complex& v : tmpl) t_energy += std::norm(v);
-  const double w_energy = window_energy(x, pk.lag, tmpl.size());
+  const double w_energy = window_energy(x, pk.lag, t_len);
   const double denom = std::sqrt(t_energy * w_energy);
   pk.normalized = (denom > 0.0) ? pk.value / denom : 0.0;
   return pk;
 }
 
-CorrelationPeak find_peak(std::span<const double> x, std::span<const double> tmpl) {
-  Signal cx(x.size());
-  Signal ct(tmpl.size());
-  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
-  for (std::size_t i = 0; i < tmpl.size(); ++i) ct[i] = Complex(tmpl[i], 0.0);
-  return find_peak(std::span<const Complex>(cx), std::span<const Complex>(ct));
+}  // namespace
+
+CorrelationPeak PreparedTemplate::find_peak(std::span<const double> x) const {
+  if (!correlate_core(x)) return {};
+  return peak_from_workspace(work_, x, t_len_, energy_);
+}
+
+CorrelationPeak PreparedTemplate::find_peak(std::span<const Complex> x) const {
+  if (!correlate_core(x)) return {};
+  return peak_from_workspace(work_, x, t_len_, energy_);
 }
 
 }  // namespace saiyan::dsp

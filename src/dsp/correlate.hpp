@@ -1,5 +1,13 @@
 // Cross-correlation — the primitive behind Saiyan's correlation
 // decoder (§3.2) and PLoRa's packet detector.
+//
+// Two interfaces:
+//   * free functions — one-shot correlation; the real-input overloads
+//     pack both sequences into a single complex transform;
+//   * PreparedTemplate — transforms the template once and reuses its
+//     spectrum plus the FFT workspace across calls. This is the hot
+//     path for the Monte-Carlo sweeps, where the same reference
+//     template is correlated against thousands of received windows.
 #pragma once
 
 #include <span>
@@ -33,5 +41,54 @@ RealSignal cross_correlate_signed(std::span<const double> x,
 /// perfect scaled match.
 CorrelationPeak find_peak(std::span<const Complex> x, std::span<const Complex> tmpl);
 CorrelationPeak find_peak(std::span<const double> x, std::span<const double> tmpl);
+
+/// A correlation template prepared for repeated use: the conjugated,
+/// time-reversed template spectrum is computed once per FFT length and
+/// the transform workspace is reused across calls, so each correlation
+/// costs one forward and one inverse transform and zero allocations in
+/// the steady state.
+///
+/// Not thread-safe (the spectrum/workspace caches are mutable); give
+/// each worker thread its own instance.
+class PreparedTemplate {
+ public:
+  explicit PreparedTemplate(std::span<const double> tmpl);
+  explicit PreparedTemplate(std::span<const Complex> tmpl);
+
+  std::size_t size() const { return t_len_; }
+  double energy() const { return energy_; }
+
+  /// |correlation| over valid lags; matches cross_correlate().
+  RealSignal correlate(std::span<const double> x) const;
+  RealSignal correlate(std::span<const Complex> x) const;
+
+  /// Signed real correlation; matches cross_correlate_signed().
+  RealSignal correlate_signed(std::span<const double> x) const;
+
+  /// Peak search with the same normalization as the free find_peak().
+  CorrelationPeak find_peak(std::span<const double> x) const;
+  CorrelationPeak find_peak(std::span<const Complex> x) const;
+
+ private:
+  /// Spectrum of the conj-reversed template at transform length n
+  /// (cached for the most recent n).
+  const Signal& spectrum_for(std::size_t n) const;
+
+  /// Product of the transformed input and the template spectrum,
+  /// inverse-transformed into work_. Returns false when x is shorter
+  /// than the template.
+  bool correlate_core(std::span<const double> x) const;
+  bool correlate_core(std::span<const Complex> x) const;
+
+  RealSignal rev_real_;  ///< reversed template (real input)
+  Signal rev_conj_;      ///< conj-reversed template (complex input)
+  std::size_t t_len_ = 0;
+  bool real_ = false;
+  double energy_ = 0.0;
+
+  mutable std::size_t cached_n_ = 0;
+  mutable Signal spec_;  ///< template spectrum at cached_n_
+  mutable Signal work_;  ///< transform workspace
+};
 
 }  // namespace saiyan::dsp

@@ -1,71 +1,23 @@
 #include "dsp/fft.hpp"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 #include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 namespace saiyan::dsp {
-namespace {
-
-// Iterative radix-2 Cooley–Tukey; length must be a power of two.
-void fft_radix2(Signal& x, bool inverse) {
-  const std::size_t n = x.size();
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = x[i + k];
-        const Complex v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-// Bluestein chirp-z transform for arbitrary lengths: expresses an
-// N-point DFT as a circular convolution of length >= 2N-1.
-void fft_bluestein(Signal& x, bool inverse) {
-  const std::size_t n = x.size();
-  const std::size_t m = next_pow2(2 * n - 1);
-  const double sign = inverse ? 1.0 : -1.0;
-
-  Signal a(m, Complex{});
-  Signal b(m, Complex{});
-  Signal chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // exp(sign * i*pi*k^2/n); compute k^2 mod 2n to keep the argument small.
-    const std::size_t k2 = (static_cast<unsigned long long>(k) * k) % (2 * n);
-    const double angle = sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
-    chirp[k] = Complex(std::cos(angle), std::sin(angle));
-    a[k] = x[k] * chirp[k];
-    b[k] = std::conj(chirp[k]);
-  }
-  for (std::size_t k = 1; k < n; ++k) b[m - k] = b[k];
-
-  fft_radix2(a, false);
-  fft_radix2(b, false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_radix2(a, true);
-  const double scale = 1.0 / static_cast<double>(m);
-  for (std::size_t k = 0; k < n; ++k) {
-    x[k] = a[k] * scale * chirp[k];
-  }
-}
-
-}  // namespace
 
 std::size_t next_pow2(std::size_t n) {
+  if (n <= 1) return 1;
+  if (n > std::numeric_limits<std::size_t>::max() / 2 + 1) {
+    throw std::overflow_error("next_pow2: result does not fit in size_t");
+  }
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -73,24 +25,386 @@ std::size_t next_pow2(std::size_t n) {
 
 bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 
+FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
+  if (n == 0) throw std::invalid_argument("FftPlan: length must be >= 1");
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    // The bit-reversal table stores 32-bit indices; reject rather than
+    // silently truncate (such a transform would need >64 GiB anyway).
+    throw std::invalid_argument("FftPlan: length exceeds 2^32");
+  }
+  if (pow2_) {
+    bitrev_.resize(n);
+    bitrev_[0] = 0;
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+      std::size_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      bitrev_[i] = static_cast<std::uint32_t>(j);
+    }
+    const std::size_t half = n / 2;
+    twiddle_fwd_.resize(half);
+    for (std::size_t k = 0; k < half; ++k) {
+      const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+      twiddle_fwd_[k] = Complex(std::cos(ang), std::sin(ang));
+    }
+    // Per-pass twiddles laid out in traversal order so the transform
+    // reads the tables strictly sequentially instead of striding
+    // through twiddle_fwd_.
+    std::size_t log2n = 0;
+    while ((std::size_t{1} << log2n) < n) ++log2n;
+    std::size_t m = (log2n & 1) ? 2 : 1;
+    while (m < n) {
+      const std::size_t len = 4 * m;
+      const std::size_t s = n / len;
+      if (m > 1) {  // the m == 1 pass is twiddle-free (all w = 1)
+        for (std::size_t k = 0; k < m; ++k) {
+          stage_twa_.push_back(twiddle_fwd_[2 * s * k]);
+          stage_twb_.push_back(twiddle_fwd_[s * k]);
+        }
+      }
+      m = len;
+    }
+    if (n >= 4) half_ = fft_plan(n / 2);
+    return;
+  }
+
+  // Bluestein: an N-point DFT as a circular convolution of length
+  // m >= 2N-1. The chirp and the transformed kernel depend only on N,
+  // so both are computed once here and reused for every transform.
+  m_ = next_pow2(2 * n - 1);
+  conv_ = fft_plan(m_);
+  chirp_fwd_.resize(n);
+  chirp_inv_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // exp(sign·iπk²/n); k² is reduced mod 2n to keep the argument small.
+    const std::size_t k2 = (static_cast<unsigned long long>(k) * k) % (2 * n);
+    const double ang = kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp_fwd_[k] = Complex(std::cos(ang), -std::sin(ang));
+    chirp_inv_[k] = std::conj(chirp_fwd_[k]);
+  }
+  auto kernel_spectrum = [&](const Signal& chirp) {
+    Signal b(m_, Complex{});
+    for (std::size_t k = 0; k < n; ++k) b[k] = std::conj(chirp[k]);
+    for (std::size_t k = 1; k < n; ++k) b[m_ - k] = b[k];
+    conv_->forward(b);
+    return b;
+  };
+  bspec_fwd_ = kernel_spectrum(chirp_fwd_);
+  bspec_inv_ = kernel_spectrum(chirp_inv_);
+}
+
+namespace {
+
+// One fused pass (two radix-2 stages) in portable scalar code.
+// Butterfly k of each sub-block combines elements k, k+q, k+2q, k+3q;
+// twiddle tables are pre-laid-out in access order.
+void fused_pass_scalar(double* x, std::size_t n, std::size_t q,
+                       const Complex* twa, const Complex* twb, double isign,
+                       double csign) {
+  const std::size_t len = 4 * q;
+  for (std::size_t i = 0; i < n; i += len) {
+    double* base = x + 2 * i;
+    for (std::size_t k = 0; k < q; ++k) {
+      const double war = twa[k].real();
+      const double wai = csign * twa[k].imag();
+      const double wbr = twb[k].real();
+      const double wbi = csign * twb[k].imag();
+      double* p0 = base + 2 * k;
+      double* p1 = p0 + 2 * q;
+      double* p2 = p1 + 2 * q;
+      double* p3 = p2 + 2 * q;
+      // Inner radix-2 stage on both halves: a = x0 ± wA·x1, x2 ± wA·x3.
+      const double t1r = p1[0] * war - p1[1] * wai;
+      const double t1i = p1[0] * wai + p1[1] * war;
+      const double a0r = p0[0] + t1r, a0i = p0[1] + t1i;
+      const double a1r = p0[0] - t1r, a1i = p0[1] - t1i;
+      const double t3r = p3[0] * war - p3[1] * wai;
+      const double t3i = p3[0] * wai + p3[1] * war;
+      const double a2r = p2[0] + t3r, a2i = p2[1] + t3i;
+      const double a3r = p2[0] - t3r, a3i = p2[1] - t3i;
+      // Outer stage: pairs (0,2) with wB and (1,3) with wB·w_4.
+      const double u2r = a2r * wbr - a2i * wbi;
+      const double u2i = a2r * wbi + a2i * wbr;
+      p0[0] = a0r + u2r;
+      p0[1] = a0i + u2i;
+      p2[0] = a0r - u2r;
+      p2[1] = a0i - u2i;
+      const double v3r = a3r * wbr - a3i * wbi;
+      const double v3i = a3r * wbi + a3i * wbr;
+      const double u3r = -isign * v3i;  // (∓i)·v3
+      const double u3i = isign * v3r;
+      p1[0] = a1r + u3r;
+      p1[1] = a1i + u3i;
+      p3[0] = a1r - u3r;
+      p3[1] = a1i - u3i;
+    }
+  }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define SAIYAN_FFT_AVX2 1
+
+// Interleaved complex multiply, two lanes at once: the
+// movedup/permute + fmaddsub idiom.
+__attribute__((target("avx2,fma"), always_inline)) inline __m256d cmul_avx2(
+    __m256d a, __m256d w) {
+  const __m256d wre = _mm256_movedup_pd(w);
+  const __m256d wim = _mm256_permute_pd(w, 0xF);
+  const __m256d aswap = _mm256_permute_pd(a, 0x5);
+  return _mm256_fmaddsub_pd(a, wre, _mm256_mul_pd(aswap, wim));
+}
+
+// AVX2+FMA variant of the fused pass: two butterflies (four complex
+// lanes) per iteration. Compiled with a function-level target
+// attribute and selected at runtime, so the default build stays
+// portable.
+__attribute__((target("avx2,fma"))) void fused_pass_avx2(
+    double* x, std::size_t n, std::size_t q, const Complex* twa,
+    const Complex* twb, bool inverse) {
+  const std::size_t len = 4 * q;
+  // Conjugate twiddles for the inverse transform (negate imag lanes).
+  const __m256d conj_mask =
+      inverse ? _mm256_setr_pd(0.0, -0.0, 0.0, -0.0) : _mm256_setzero_pd();
+  // Multiply-by-(∓i) = swap re/im then flip one lane's sign.
+  const __m256d i_mask = inverse ? _mm256_setr_pd(-0.0, 0.0, -0.0, 0.0)
+                                 : _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+  
+  for (std::size_t i = 0; i < n; i += len) {
+    double* base = x + 2 * i;
+    for (std::size_t k = 0; k < q; k += 2) {
+      const __m256d wa = _mm256_xor_pd(
+          _mm256_loadu_pd(reinterpret_cast<const double*>(twa + k)), conj_mask);
+      const __m256d wb = _mm256_xor_pd(
+          _mm256_loadu_pd(reinterpret_cast<const double*>(twb + k)), conj_mask);
+      double* p0 = base + 2 * k;
+      double* p1 = p0 + 2 * q;
+      double* p2 = p1 + 2 * q;
+      double* p3 = p2 + 2 * q;
+      const __m256d x0 = _mm256_loadu_pd(p0);
+      const __m256d x1 = _mm256_loadu_pd(p1);
+      const __m256d x2 = _mm256_loadu_pd(p2);
+      const __m256d x3 = _mm256_loadu_pd(p3);
+      const __m256d t1 = cmul_avx2(x1, wa);
+      const __m256d a0 = _mm256_add_pd(x0, t1);
+      const __m256d a1 = _mm256_sub_pd(x0, t1);
+      const __m256d t3 = cmul_avx2(x3, wa);
+      const __m256d a2 = _mm256_add_pd(x2, t3);
+      const __m256d a3 = _mm256_sub_pd(x2, t3);
+      const __m256d u2 = cmul_avx2(a2, wb);
+      _mm256_storeu_pd(p0, _mm256_add_pd(a0, u2));
+      _mm256_storeu_pd(p2, _mm256_sub_pd(a0, u2));
+      const __m256d v3 = cmul_avx2(a3, wb);
+      const __m256d u3 = _mm256_xor_pd(_mm256_permute_pd(v3, 0x5), i_mask);
+      _mm256_storeu_pd(p1, _mm256_add_pd(a1, u3));
+      _mm256_storeu_pd(p3, _mm256_sub_pd(a1, u3));
+    }
+  }
+}
+
+bool have_avx2_fma() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+#endif  // SAIYAN_FFT_AVX2
+
+}  // namespace
+
+// Butterflies over raw doubles with two radix-2 stages fused per
+// memory pass (radix-2² access pattern). std::complex multiplication
+// lowers to a libgcc helper call (__muldc3) under default flags;
+// operating on the re/im parts directly keeps the loop branch-lean and
+// lets the compiler vectorize it. Fusing stage pairs halves the number
+// of passes over the working set, which is what the large transforms
+// are bound by.
+void FftPlan::transform_pow2(Complex* xc, bool inverse) const {
+  const std::size_t n = n_;
+  double* x = reinterpret_cast<double*>(xc);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) {
+      std::swap(x[2 * i], x[2 * j]);
+      std::swap(x[2 * i + 1], x[2 * j + 1]);
+    }
+  }
+  // Sub-transform size already completed; grows 4x per fused pass.
+  std::size_t m = 1;
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  if (log2n & 1) {
+    // Odd number of stages: one plain radix-2 pass (w = 1 throughout).
+    for (std::size_t i = 0; i < n; i += 2) {
+      double* a = x + 2 * i;
+      const double br = a[2];
+      const double bi = a[3];
+      const double ar = a[0];
+      const double ai = a[1];
+      a[0] = ar + br;
+      a[1] = ai + bi;
+      a[2] = ar - br;
+      a[3] = ai - bi;
+    }
+    m = 2;
+  }
+  // w_4 = exp(∓iπ/2): multiply by -i (forward) / +i (inverse). The
+  // inverse transform reuses the forward tables with conjugated
+  // twiddles (imag parts negated on the fly).
+  const double isign = inverse ? 1.0 : -1.0;
+  const double csign = inverse ? -1.0 : 1.0;
+  if (m == 1 && m < n) {
+    // First fused pass: every twiddle is 1 — pure 4-point butterflies.
+    for (std::size_t i = 0; i < n; i += 4) {
+      double* p = x + 2 * i;
+      const double a0r = p[0] + p[2], a0i = p[1] + p[3];
+      const double a1r = p[0] - p[2], a1i = p[1] - p[3];
+      const double a2r = p[4] + p[6], a2i = p[5] + p[7];
+      const double a3r = p[4] - p[6], a3i = p[5] - p[7];
+      p[0] = a0r + a2r;
+      p[1] = a0i + a2i;
+      p[4] = a0r - a2r;
+      p[5] = a0i - a2i;
+      const double u3r = -isign * a3i;
+      const double u3i = isign * a3r;
+      p[2] = a1r + u3r;
+      p[3] = a1i + u3i;
+      p[6] = a1r - u3r;
+      p[7] = a1i - u3i;
+    }
+    m = 4;
+  }
+  const Complex* twa = stage_twa_.data();
+  const Complex* twb = stage_twb_.data();
+  while (m < n) {
+    const std::size_t q = m;  // quarter of the new sub-size
+#ifdef SAIYAN_FFT_AVX2
+    if (q >= 2 && have_avx2_fma()) {
+      fused_pass_avx2(x, n, q, twa, twb, inverse);
+    } else {
+      fused_pass_scalar(x, n, q, twa, twb, isign, csign);
+    }
+#else
+    fused_pass_scalar(x, n, q, twa, twb, isign, csign);
+#endif
+    twa += q;
+    twb += q;
+    m = 4 * q;
+  }
+}
+
+void FftPlan::bluestein(Signal& x, bool inverse) const {
+  const std::size_t n = n_;
+  const Signal& chirp = inverse ? chirp_inv_ : chirp_fwd_;
+  const Signal& bspec = inverse ? bspec_inv_ : bspec_fwd_;
+  Signal a(m_, Complex{});
+  for (std::size_t k = 0; k < n; ++k) {
+    const double xr = x[k].real();
+    const double xi = x[k].imag();
+    const double cr = chirp[k].real();
+    const double ci = chirp[k].imag();
+    a[k] = Complex(xr * cr - xi * ci, xr * ci + xi * cr);
+  }
+  conv_->forward(a);
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double ar = a[k].real();
+    const double ai = a[k].imag();
+    const double br = bspec[k].real();
+    const double bi = bspec[k].imag();
+    a[k] = Complex(ar * br - ai * bi, ar * bi + ai * br);
+  }
+  conv_->inverse(a);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ar = a[k].real();
+    const double ai = a[k].imag();
+    const double cr = chirp[k].real();
+    const double ci = chirp[k].imag();
+    x[k] = Complex(ar * cr - ai * ci, ar * ci + ai * cr);
+  }
+}
+
+void FftPlan::forward(Signal& x) const {
+  if (x.size() != n_) throw std::invalid_argument("FftPlan::forward: size mismatch");
+  if (pow2_) {
+    transform_pow2(x.data(), false);
+  } else {
+    bluestein(x, false);
+  }
+}
+
+void FftPlan::inverse(Signal& x) const {
+  if (x.size() != n_) throw std::invalid_argument("FftPlan::inverse: size mismatch");
+  if (pow2_) {
+    transform_pow2(x.data(), true);
+  } else {
+    bluestein(x, true);
+  }
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (Complex& v : x) v *= scale;
+}
+
+void FftPlan::forward_real(std::span<const double> x, Signal& out) const {
+  if (x.size() > n_) {
+    throw std::invalid_argument("FftPlan::forward_real: input longer than plan");
+  }
+  if (!pow2_ || n_ < 4) {
+    out.assign(n_, Complex{});
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = Complex(x[i], 0.0);
+    forward(out);
+    return;
+  }
+  // Pack even/odd real samples into one half-length complex signal:
+  // z[j] = x[2j] + i·x[2j+1]. One n/2-point transform then untangles
+  // into the even/odd spectra E, O and recombines X = E + w^k·O.
+  const std::size_t h = n_ / 2;
+  Signal z(h, Complex{});
+  for (std::size_t j = 0; 2 * j < x.size(); ++j) {
+    const double re = x[2 * j];
+    const double im = (2 * j + 1 < x.size()) ? x[2 * j + 1] : 0.0;
+    z[j] = Complex(re, im);
+  }
+  half_->forward(z);
+  out.resize(n_);
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::size_t kk = (h - k) & (h - 1);
+    const Complex zk = z[k];
+    const Complex zc = std::conj(z[kk]);
+    const double er = 0.5 * (zk.real() + zc.real());
+    const double ei = 0.5 * (zk.imag() + zc.imag());
+    const double dr = 0.5 * (zk.real() - zc.real());
+    const double di = 0.5 * (zk.imag() - zc.imag());
+    // O = -i·(zk - zc)/2 = (di, -dr)
+    const double wr = twiddle_fwd_[k].real();
+    const double wi = twiddle_fwd_[k].imag();
+    const double tr = di * wr + dr * wi;   // (O·w).re
+    const double ti = -dr * wr + di * wi;  // (O·w).im
+    out[k] = Complex(er + tr, ei + ti);
+    out[k + h] = Complex(er - tr, ei - ti);
+  }
+}
+
+std::shared_ptr<const FftPlan> fft_plan(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::shared_ptr<const FftPlan>> cache;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+  }
+  // Built outside the lock: plan construction recurses into fft_plan
+  // for the half-size and Bluestein convolution plans.
+  auto plan = std::make_shared<const FftPlan>(n);
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = cache.emplace(n, std::move(plan));
+  return it->second;
+}
+
 void fft_inplace(Signal& x) {
   if (x.empty()) throw std::invalid_argument("fft: empty input");
-  if (is_pow2(x.size())) {
-    fft_radix2(x, false);
-  } else {
-    fft_bluestein(x, false);
-  }
+  fft_plan(x.size())->forward(x);
 }
 
 void ifft_inplace(Signal& x) {
   if (x.empty()) throw std::invalid_argument("ifft: empty input");
-  if (is_pow2(x.size())) {
-    fft_radix2(x, true);
-  } else {
-    fft_bluestein(x, true);
-  }
-  const double scale = 1.0 / static_cast<double>(x.size());
-  for (Complex& v : x) v *= scale;
+  fft_plan(x.size())->inverse(x);
 }
 
 Signal fft(Signal x) {

@@ -3,13 +3,70 @@
 // Power-of-two lengths use an iterative radix-2 Cooley–Tukey kernel;
 // arbitrary lengths fall back to Bluestein's chirp-z algorithm so the
 // rest of the library never needs to care about padding.
+//
+// Transforms are executed through `FftPlan` objects that precompute
+// everything reusable for a given length — bit-reversal permutation,
+// twiddle-factor tables (replacing the error-accumulating
+// `w *= wlen` recurrence), and for Bluestein lengths the chirp
+// vectors and the pre-transformed convolution kernel spectrum. Plans
+// are immutable once built and shared through a thread-safe
+// process-wide cache, so repeated transforms of the same length (the
+// Monte-Carlo hot path) pay only the butterfly work.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "dsp/types.hpp"
 
 namespace saiyan::dsp {
+
+/// Precomputed transform of one fixed length. Immutable after
+/// construction; safe to share across threads.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT; x.size() must equal size().
+  void forward(Signal& x) const;
+
+  /// In-place inverse DFT, normalized by 1/N; x.size() must equal size().
+  void inverse(Signal& x) const;
+
+  /// Forward DFT of a real sequence, zero-padded to size(). Writes the
+  /// full N-bin spectrum into `out`. For even power-of-two lengths this
+  /// runs one half-size complex transform (the packed-real trick)
+  /// instead of a full complex one.
+  void forward_real(std::span<const double> x, Signal& out) const;
+
+ private:
+  void transform_pow2(Complex* x, bool inverse) const;
+  void bluestein(Signal& x, bool inverse) const;
+
+  std::size_t n_;
+  bool pow2_;
+
+  // Radix-2 path.
+  std::vector<std::uint32_t> bitrev_;
+  std::vector<Complex> twiddle_fwd_;  ///< exp(-2πik/n), k < n/2
+  std::vector<Complex> stage_twa_;    ///< inner-stage twiddles, access order
+  std::vector<Complex> stage_twb_;    ///< outer-stage twiddles, access order
+  std::shared_ptr<const FftPlan> half_;  ///< n/2 plan for forward_real
+
+  // Bluestein path (non-power-of-two lengths).
+  std::size_t m_ = 0;                    ///< convolution length (pow2)
+  std::shared_ptr<const FftPlan> conv_;  ///< m-point plan
+  Signal chirp_fwd_, chirp_inv_;         ///< exp(∓iπk²/n)
+  Signal bspec_fwd_, bspec_inv_;         ///< FFT of the chirp kernel
+};
+
+/// Shared plan for length n from the process-wide cache (thread-safe).
+std::shared_ptr<const FftPlan> fft_plan(std::size_t n);
 
 /// In-place forward DFT of x (any length >= 1).
 void fft_inplace(Signal& x);
@@ -23,7 +80,8 @@ Signal fft(Signal x);
 /// Out-of-place inverse DFT (1/N normalized).
 Signal ifft(Signal x);
 
-/// Smallest power of two >= n (n = 0 maps to 1).
+/// Smallest power of two >= n (n = 0 maps to 1). Throws
+/// std::overflow_error when the result does not fit in std::size_t.
 std::size_t next_pow2(std::size_t n);
 
 /// True when n is a power of two (n >= 1).

@@ -64,6 +64,12 @@ RealSignal Biquad::process(std::span<const double> x) {
 
 void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
 
+void Biquad::scale_output(double g) {
+  b0_ *= g;
+  b1_ *= g;
+  b2_ *= g;
+}
+
 double Biquad::magnitude(double f_hz, double fs_hz) const {
   const double w = kTwoPi * f_hz / fs_hz;
   const Complex z = Complex(std::cos(w), std::sin(w));

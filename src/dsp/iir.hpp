@@ -26,6 +26,10 @@ class Biquad {
   RealSignal process(std::span<const double> x);
   void reset();
 
+  /// Fold a constant output gain into the feed-forward coefficients
+  /// (g·H(z)): replaces a separate scaling pass over the signal.
+  void scale_output(double g);
+
   /// Magnitude response at frequency f (Hz) for sample rate fs.
   double magnitude(double f_hz, double fs_hz) const;
 

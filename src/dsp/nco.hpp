@@ -30,6 +30,9 @@ class Nco {
   /// Retune without phase discontinuity.
   void set_frequency(double frequency_hz);
 
+  /// Advance the phase by n samples without emitting output.
+  void advance(std::size_t n);
+
   double frequency() const { return freq_hz_; }
   double phase() const { return phase_; }
   void reset(double phase_rad = 0.0) { phase_ = phase_rad; }

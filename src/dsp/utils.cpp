@@ -41,6 +41,13 @@ double mean(std::span<const double> x) {
   return acc / static_cast<double>(x.size());
 }
 
+RealSignal mean_removed(std::span<const double> x) {
+  const double m = mean(x);
+  RealSignal out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - m;
+  return out;
+}
+
 double variance(std::span<const double> x) {
   if (x.size() < 2) return 0.0;
   const double m = mean(x);

@@ -28,6 +28,10 @@ double db_to_amp(double db);
 /// Mean of a real sequence; 0 for an empty span.
 double mean(std::span<const double> x);
 
+/// x with its mean subtracted (the template/window normalization used
+/// by the correlation matchers).
+RealSignal mean_removed(std::span<const double> x);
+
 /// Population variance of a real sequence; 0 for fewer than 2 samples.
 double variance(std::span<const double> x);
 

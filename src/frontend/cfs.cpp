@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dsp/iir.hpp"
+#include "dsp/nco.hpp"
 #include "dsp/utils.hpp"
 
 namespace saiyan::frontend {
@@ -23,26 +24,24 @@ dsp::RealSignal CyclicFrequencyShifter::if_stage(std::span<const dsp::Complex> r
   // Step 1: input mixing with CLK_in — a real multiplier, producing
   // both sidebands S(F±Δf). The original carrier also leaks through
   // (finite mixer isolation); keep a fraction of it so the model
-  // reproduces the S(0) term of Fig. 9(c).
-  const dsp::RealSignal clk = clocks_.clk_in(rf.size());
+  // reproduces the S(0) term of Fig. 9(c). The mixed complex waveform
+  // is never materialized: |x·(clk+c)|² = (clk+c)²·|x|², so the mixer
+  // gain goes straight into the square-law detector.
+  dsp::RealSignal clk = clocks_.clk_in(rf.size());
   constexpr double kCarrierLeak = 0.25;
-  dsp::Signal mixed(rf.size());
-  for (std::size_t i = 0; i < rf.size(); ++i) {
-    mixed[i] = rf[i] * (clk[i] + kCarrierLeak);
-  }
+  for (double& v : clk) v += kCarrierLeak;
 
   // Step 2: envelope detection. |S(F)·(cos(2πΔf t)+c)|² beats the
   // sidebands against the carrier, landing the envelope at Δf (and
   // 2Δf); the detector's DC/flicker noise stays at baseband.
-  dsp::RealSignal env = detector_.detect_raw(mixed, rng);
+  dsp::RealSignal env = detector_.detect_raw_mixed(rf, clk, rng);
 
-  // Step 3: IF amplification — bandpass at Δf with gain.
+  // Step 3: IF amplification — bandpass at Δf with gain (folded into
+  // the biquad's feed-forward coefficients).
   dsp::Biquad bp = dsp::Biquad::bandpass(cfg_.clock.frequency_hz, fs_hz_,
                                          cfg_.if_quality_factor);
-  dsp::RealSignal iff = bp.process(env);
-  const double g = dsp::db_to_amp(cfg_.if_gain_db);
-  for (double& v : iff) v *= g;
-  return iff;
+  bp.scale_output(dsp::db_to_amp(cfg_.if_gain_db));
+  return bp.process(env);
 }
 
 dsp::RealSignal CyclicFrequencyShifter::intermediate(std::span<const dsp::Complex> rf,
@@ -56,13 +55,16 @@ dsp::RealSignal CyclicFrequencyShifter::process(std::span<const dsp::Complex> rf
 
   // Step 4: output mixing with the delay-line clock copy brings the IF
   // envelope back to baseband (amplitude × cos(Δφ)/2) and shifts the
-  // residual baseband noise up to Δf.
-  const dsp::RealSignal clk = clocks_.clk_out(iff.size());
-  for (std::size_t i = 0; i < iff.size(); ++i) iff[i] *= 2.0 * clk[i];
+  // residual baseband noise up to Δf. The 2x mixer scale rides the
+  // low-pass coefficients below.
+  const dsp::RealSignal mixed =
+      dsp::mix_real(std::span<const double>(iff), cfg_.clock.frequency_hz, fs_hz_,
+                    cfg_.clock.delay_line_phase_rad);
 
   // Step 5: low-pass away the Δf and 2Δf products.
   dsp::Biquad lpf = dsp::Biquad::lowpass(cfg_.output_lpf_cutoff_hz, fs_hz_, 0.707);
-  return lpf.process(iff);
+  lpf.scale_output(2.0);
+  return lpf.process(mixed);
 }
 
 }  // namespace saiyan::frontend

@@ -27,20 +27,45 @@ EnvelopeDetector::EnvelopeDetector(const EnvelopeDetectorConfig& cfg) : cfg_(cfg
   white_watts_ = white_amp * white_amp;
 }
 
+void EnvelopeDetector::add_impairments(dsp::RealSignal& y, dsp::Rng& rng) const {
+  if (!cfg_.enable_impairments || y.empty()) return;
+  // Flicker needs its own buffer (it is normalized over the whole
+  // realization); DC and white noise fold into the same pass.
+  const dsp::RealSignal flicker = dsp::flicker_noise(y.size(), flicker_watts_, rng);
+  const double white_sigma = std::sqrt(white_watts_);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] += dc_level_ + flicker[i] + white_sigma * rng.gaussian();
+  }
+}
+
 dsp::RealSignal EnvelopeDetector::detect_raw(std::span<const dsp::Complex> x,
                                              dsp::Rng& rng) const {
   dsp::RealSignal y(x.size());
   const double k = cfg_.conversion_gain;
   for (std::size_t i = 0; i < x.size(); ++i) {
-    y[i] = k * std::norm(x[i]);  // k |St + Sn|^2 — Eq. 4 self-mixing
+    const double re = x[i].real();
+    const double im = x[i].imag();
+    y[i] = k * (re * re + im * im);  // k |St + Sn|^2 — Eq. 4 self-mixing
   }
-  if (cfg_.enable_impairments && !y.empty()) {
-    const dsp::RealSignal flicker = dsp::flicker_noise(y.size(), flicker_watts_, rng);
-    const dsp::RealSignal white = dsp::real_white_noise(y.size(), white_watts_, rng);
-    for (std::size_t i = 0; i < y.size(); ++i) {
-      y[i] += dc_level_ + flicker[i] + white[i];
-    }
+  add_impairments(y, rng);
+  return y;
+}
+
+dsp::RealSignal EnvelopeDetector::detect_raw_mixed(std::span<const dsp::Complex> x,
+                                                   std::span<const double> mix_gain,
+                                                   dsp::Rng& rng) const {
+  if (mix_gain.size() != x.size()) {
+    throw std::invalid_argument("detect_raw_mixed: gain length mismatch");
   }
+  dsp::RealSignal y(x.size());
+  const double k = cfg_.conversion_gain;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double re = x[i].real();
+    const double im = x[i].imag();
+    const double g2 = mix_gain[i] * mix_gain[i];
+    y[i] = k * g2 * (re * re + im * im);
+  }
+  add_impairments(y, rng);
   return y;
 }
 

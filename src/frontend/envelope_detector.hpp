@@ -43,9 +43,20 @@ class EnvelopeDetector {
   /// the CFS circuit taps before its IF amplifier.
   dsp::RealSignal detect_raw(std::span<const dsp::Complex> x, dsp::Rng& rng) const;
 
+  /// Square-law of x pre-multiplied by a real per-sample mixer gain:
+  /// y = k |g·x|² + impairments = k g² |x|² + impairments. Lets the
+  /// CFS input mixer skip materializing the mixed complex waveform.
+  dsp::RealSignal detect_raw_mixed(std::span<const dsp::Complex> x,
+                                   std::span<const double> mix_gain,
+                                   dsp::Rng& rng) const;
+
   const EnvelopeDetectorConfig& config() const { return cfg_; }
 
  private:
+  /// Adds DC offset, 1/f flicker and white noise to a detector output
+  /// (shared by the plain and mixer-scaled square-law paths).
+  void add_impairments(dsp::RealSignal& y, dsp::Rng& rng) const;
+
   EnvelopeDetectorConfig cfg_;
   double dc_level_;
   double flicker_watts_;

@@ -17,10 +17,16 @@ Lna::Lna(const LnaConfig& cfg) : cfg_(cfg) {
 }
 
 dsp::Signal Lna::amplify(std::span<const dsp::Complex> x, dsp::Rng& rng) const {
-  dsp::Signal out(x.begin(), x.end());
-  dsp::add_awgn(out, input_noise_watts_, rng);
+  // Single fused pass: y = g (x + n). Same draws in the same order as
+  // the copy + add_awgn + scale sequence it replaces.
+  dsp::Signal out(x.size());
   const double g = dsp::db_to_amp(cfg_.gain_db);
-  for (dsp::Complex& v : out) v *= g;
+  const double sigma = std::sqrt(input_noise_watts_ / 2.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double nr = sigma * rng.gaussian();
+    const double ni = sigma * rng.gaussian();
+    out[i] = dsp::Complex(g * (x[i].real() + nr), g * (x[i].imag() + ni));
+  }
   return out;
 }
 

@@ -35,17 +35,36 @@ double SawFilter::response_db(double rf_frequency_hz) const {
                       std::span<const double>(kGainDb), f_mhz);
 }
 
+const dsp::RealSignal& SawFilter::gain_table(std::size_t n, double fs_hz,
+                                             double rf_center_hz) const {
+  // Evaluating the interpolated response and the dB->amplitude
+  // conversion per bin dominates the filter cost at Monte-Carlo packet
+  // rates; the table only depends on (n, fs, rf_center), which are
+  // fixed within a sweep, so memoize the most recent one.
+  if (gain_cache_.n != n || gain_cache_.fs_hz != fs_hz ||
+      gain_cache_.rf_center_hz != rf_center_hz) {
+    gain_cache_.n = n;
+    gain_cache_.fs_hz = fs_hz;
+    gain_cache_.rf_center_hz = rf_center_hz;
+    gain_cache_.gains.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double f = dsp::bin_frequency(k, n, fs_hz);
+      gain_cache_.gains[k] = dsp::db_to_amp(response_db(rf_center_hz + f));
+    }
+  }
+  return gain_cache_.gains;
+}
+
 dsp::Signal SawFilter::filter(std::span<const dsp::Complex> x, double fs_hz,
                               double rf_center_hz) const {
   if (x.empty()) return {};
   const std::size_t n = dsp::next_pow2(x.size());
+  const dsp::RealSignal& gains = gain_table(n, fs_hz, rf_center_hz);
   dsp::Signal xf(n, dsp::Complex{});
   for (std::size_t i = 0; i < x.size(); ++i) xf[i] = x[i];
   dsp::fft_inplace(xf);
   for (std::size_t k = 0; k < n; ++k) {
-    const double f = dsp::bin_frequency(k, n, fs_hz);
-    const double g = dsp::db_to_amp(response_db(rf_center_hz + f));
-    xf[k] *= g;
+    xf[k] *= gains[k];
   }
   dsp::ifft_inplace(xf);
   xf.resize(x.size());

@@ -50,7 +50,21 @@ class SawFilter {
   static constexpr double kPassbandEdgeHz = 434.0e6;
 
  private:
+  /// Per-bin amplitude gains for an n-point transform (memoized for
+  /// the most recent geometry — fixed within a sweep). The cache makes
+  /// instances non-thread-safe; receive chains are per-thread.
+  const dsp::RealSignal& gain_table(std::size_t n, double fs_hz,
+                                    double rf_center_hz) const;
+
   double shift_hz_;  // temperature-induced response shift
+
+  struct GainCache {
+    std::size_t n = 0;
+    double fs_hz = 0.0;
+    double rf_center_hz = 0.0;
+    dsp::RealSignal gains;
+  };
+  mutable GainCache gain_cache_;
 };
 
 }  // namespace saiyan::frontend

@@ -16,26 +16,40 @@ void append(dsp::Signal& dst, const dsp::Signal& src, std::size_t count) {
 
 Modulator::Modulator(const PhyParams& params) : params_(params) {
   params_.validate();
+  symbol_cache_.resize(params_.symbol_alphabet());
+}
+
+const dsp::Signal& Modulator::symbol_waveform(std::uint32_t value) const {
+  dsp::Signal& slot = symbol_cache_.at(value);
+  if (slot.empty()) {
+    slot = upchirp(params_, symbol_to_chip(params_, value));
+  }
+  return slot;
 }
 
 dsp::Signal Modulator::preamble() const {
-  const dsp::Signal up = upchirp(params_, 0);
-  const dsp::Signal down = downchirp(params_);
-  dsp::Signal out;
-  const std::size_t sps = params_.samples_per_symbol();
-  out.reserve(static_cast<std::size_t>(
-      (params_.preamble_symbols + params_.sync_symbols + 1) * static_cast<double>(sps)));
-  for (int i = 0; i < params_.preamble_symbols; ++i) append(out, up, sps);
-  // 2.25 sync symbols: two full down-chirps plus a quarter chirp.
-  double remaining = params_.sync_symbols;
-  while (remaining >= 1.0) {
-    append(out, down, sps);
-    remaining -= 1.0;
+  if (preamble_cache_.empty()) {
+    const dsp::Signal up = upchirp(params_, 0);
+    const dsp::Signal down = downchirp(params_);
+    dsp::Signal out;
+    const std::size_t sps = params_.samples_per_symbol();
+    out.reserve(static_cast<std::size_t>(
+        (params_.preamble_symbols + params_.sync_symbols + 1) *
+        static_cast<double>(sps)));
+    for (int i = 0; i < params_.preamble_symbols; ++i) append(out, up, sps);
+    // 2.25 sync symbols: two full down-chirps plus a quarter chirp.
+    double remaining = params_.sync_symbols;
+    while (remaining >= 1.0) {
+      append(out, down, sps);
+      remaining -= 1.0;
+    }
+    if (remaining > 0.0) {
+      append(out, down,
+             static_cast<std::size_t>(remaining * static_cast<double>(sps)));
+    }
+    preamble_cache_ = std::move(out);
   }
-  if (remaining > 0.0) {
-    append(out, down, static_cast<std::size_t>(remaining * static_cast<double>(sps)));
-  }
-  return out;
+  return preamble_cache_;
 }
 
 dsp::Signal Modulator::modulate_payload(const std::vector<std::uint32_t>& symbols) const {
@@ -43,8 +57,7 @@ dsp::Signal Modulator::modulate_payload(const std::vector<std::uint32_t>& symbol
   const std::size_t sps = params_.samples_per_symbol();
   out.reserve(symbols.size() * sps);
   for (std::uint32_t v : symbols) {
-    const dsp::Signal sym = upchirp(params_, symbol_to_chip(params_, v));
-    append(out, sym, sps);
+    append(out, symbol_waveform(v), sps);
   }
   return out;
 }

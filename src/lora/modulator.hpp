@@ -22,6 +22,11 @@ struct PacketLayout {
   std::size_t samples_per_symbol = 0;
 };
 
+/// Chirp synthesis is the per-packet hot spot of the Monte-Carlo
+/// sweeps, so the modulator memoizes the 2^K candidate symbol
+/// waveforms and the preamble after first use (an instance is reused
+/// for every packet of a sweep point). The caches make instances
+/// non-thread-safe; give each worker thread its own Modulator.
 class Modulator {
  public:
   explicit Modulator(const PhyParams& params);
@@ -42,7 +47,12 @@ class Modulator {
   const PhyParams& params() const { return params_; }
 
  private:
+  /// Cached waveform of one payload symbol value.
+  const dsp::Signal& symbol_waveform(std::uint32_t value) const;
+
   PhyParams params_;
+  mutable std::vector<dsp::Signal> symbol_cache_;  // indexed by value
+  mutable dsp::Signal preamble_cache_;
 };
 
 }  // namespace saiyan::lora

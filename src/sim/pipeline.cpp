@@ -1,43 +1,79 @@
 #include "sim/pipeline.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "lora/modulator.hpp"
+#include "sim/sweep_engine.hpp"
 
 namespace saiyan::sim {
+namespace {
 
-WaveformPipeline::WaveformPipeline(const PipelineConfig& cfg)
-    : cfg_(cfg), rng_(cfg.seed) {
+/// Decode outcome of one packet, accumulated in index order so the
+/// aggregate is independent of worker scheduling.
+struct PacketOutcome {
+  bool detected = false;
+  std::vector<std::uint32_t> tx;
+  std::vector<std::uint32_t> rx;
+};
+
+}  // namespace
+
+WaveformPipeline::WaveformPipeline(const PipelineConfig& cfg) : cfg_(cfg) {
   cfg_.saiyan.phy.validate();
 }
 
 PipelineResult WaveformPipeline::run_impl(double rss_dbm, std::size_t n_packets) {
   const lora::PhyParams& phy = cfg_.saiyan.phy;
-  core::SaiyanDemodulator demod(cfg_.saiyan);
-  lora::Modulator mod(phy);
-  channel::AwgnChannel chan(phy.sample_rate_hz, cfg_.noise_figure_db);
 
   PipelineResult result;
   result.rss_dbm = rss_dbm;
-  for (std::size_t p = 0; p < n_packets; ++p) {
-    std::vector<std::uint32_t> tx(cfg_.payload_symbols);
-    for (std::uint32_t& v : tx) {
-      v = static_cast<std::uint32_t>(rng_.uniform_int(0, phy.symbol_alphabet() - 1));
-    }
-    const dsp::Signal wave = mod.modulate(tx);
-    const dsp::Signal rx = chan.apply(wave, rss_dbm, rng_);
 
-    core::DemodResult dr;
-    if (cfg_.aligned) {
-      const lora::PacketLayout lay = mod.layout(tx.size());
-      dr = demod.demodulate_aligned(rx, lay.payload_start, tx.size(), rng_);
-    } else {
-      dr = demod.demodulate(rx, tx.size(), rng_);
-    }
-    result.detections.add(dr.preamble_found);
-    for (std::size_t i = 0; i < tx.size(); ++i) {
-      const std::uint32_t actual = i < dr.symbols.size() ? dr.symbols[i] : 0;
-      result.errors.add_symbol(tx[i], actual, phy.bits_per_symbol);
+  // Packets are independent trials: stream p derives from
+  // (seed, run number, p), so the batch is a pure function of the
+  // configuration regardless of the thread count, and successive runs
+  // of the same pipeline see fresh streams (as the sequential
+  // implementation did).
+  const std::uint64_t batch_seed =
+      SweepEngine::derive_seed(cfg_.seed, run_counter_++);
+  std::vector<PacketOutcome> outcomes(n_packets);
+
+  SweepEngine engine(cfg_.threads);
+  engine.for_each_with_context(n_packets, batch_seed, [&]() {
+    // Per-worker context: the demodulator, modulator and channel hold
+    // non-thread-safe caches (templates, chirps, filter tables).
+    auto demod = std::make_shared<core::SaiyanDemodulator>(cfg_.saiyan);
+    auto mod = std::make_shared<lora::Modulator>(phy);
+    auto chan = std::make_shared<channel::AwgnChannel>(phy.sample_rate_hz,
+                                                      cfg_.noise_figure_db);
+    return [this, &phy, &outcomes, rss_dbm, demod, mod,
+            chan](std::size_t p, dsp::Rng& rng) {
+      PacketOutcome& out = outcomes[p];
+      out.tx.resize(cfg_.payload_symbols);
+      for (std::uint32_t& v : out.tx) {
+        v = static_cast<std::uint32_t>(
+            rng.uniform_int(0, phy.symbol_alphabet() - 1));
+      }
+      const dsp::Signal wave = mod->modulate(out.tx);
+      const dsp::Signal rx = chan->apply(wave, rss_dbm, rng);
+
+      core::DemodResult dr;
+      if (cfg_.aligned) {
+        const lora::PacketLayout lay = mod->layout(out.tx.size());
+        dr = demod->demodulate_aligned(rx, lay.payload_start, out.tx.size(), rng);
+      } else {
+        dr = demod->demodulate(rx, out.tx.size(), rng);
+      }
+      out.detected = dr.preamble_found;
+      out.rx = std::move(dr.symbols);
+    };
+  });
+
+  for (const PacketOutcome& out : outcomes) {
+    result.detections.add(out.detected);
+    for (std::size_t i = 0; i < out.tx.size(); ++i) {
+      const std::uint32_t actual = i < out.rx.size() ? out.rx[i] : 0;
+      result.errors.add_symbol(out.tx[i], actual, phy.bits_per_symbol);
     }
   }
   result.throughput_bps =
@@ -59,12 +95,34 @@ double WaveformPipeline::min_sampling_multiplier(double target_accuracy,
                                                  double rss_dbm) {
   const std::size_t n_packets =
       (n_symbols + cfg_.payload_symbols - 1) / cfg_.payload_symbols;
-  for (double mult = 1.0; mult <= 4.01; mult += 0.1) {
+  std::vector<double> mults;
+  for (double mult = 1.0; mult <= 4.01; mult += 0.1) mults.push_back(mult);
+
+  auto accuracy_at = [&](double mult) {
     PipelineConfig probe = cfg_;
     probe.saiyan.sampling_rate_multiplier = mult;
+    probe.threads = 1;
     WaveformPipeline wp(probe);
-    const PipelineResult r = wp.run_rss(rss_dbm, n_packets);
-    if (1.0 - r.errors.ser() >= target_accuracy) return mult;
+    return 1.0 - wp.run_rss(rss_dbm, n_packets).errors.ser();
+  };
+
+  SweepEngine engine(cfg_.threads);
+  if (engine.threads() <= 1) {
+    // Serial: early-exit at the first passing multiplier.
+    for (double mult : mults) {
+      if (accuracy_at(mult) >= target_accuracy) return mult;
+    }
+    return 4.0;
+  }
+  // Parallel: probe every candidate, then pick the first passing one —
+  // the same answer the serial scan produces. This trades up to a full
+  // grid of probes for pool-wide parallelism; callers that expect an
+  // early hit and have few workers should pass threads = 1.
+  std::vector<double> accuracy(mults.size());
+  engine.for_each_index(mults.size(),
+                        [&](std::size_t i) { accuracy[i] = accuracy_at(mults[i]); });
+  for (std::size_t i = 0; i < mults.size(); ++i) {
+    if (accuracy[i] >= target_accuracy) return mults[i];
   }
   return 4.0;
 }

@@ -1,12 +1,15 @@
 #include "sim/range_finder.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+#include <vector>
 
 namespace saiyan::sim {
 
 double find_range_m(const std::function<double(double)>& ber_at, double target_ber,
-                    double lo_m, double hi_m, int iterations) {
+                    double lo_m, double hi_m, int iterations,
+                    const SweepEngine* engine) {
   if (lo_m <= 0.0 || hi_m <= lo_m) {
     throw std::invalid_argument("find_range_m: need 0 < lo < hi");
   }
@@ -14,13 +17,51 @@ double find_range_m(const std::function<double(double)>& ber_at, double target_b
   if (ber_at(hi_m) <= target_ber) return hi_m;  // never fails in range
   double lo = lo_m;
   double hi = hi_m;
-  for (int i = 0; i < iterations; ++i) {
-    const double mid = std::sqrt(lo * hi);
-    if (ber_at(mid) <= target_ber) {
-      lo = mid;
-    } else {
-      hi = mid;
+
+  if (engine == nullptr) {
+    for (int i = 0; i < iterations; ++i) {
+      const double mid = std::sqrt(lo * hi);
+      if (ber_at(mid) <= target_ber) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
     }
+    return std::sqrt(lo * hi);
+  }
+
+  // k-ary section: probe k geometrically spaced interior points per
+  // round; the interval shrinks by (k+1)x per round, so match the
+  // bisection's total 2^iterations shrink with fewer (parallel)
+  // rounds. k is a fixed constant — NOT the engine's thread count —
+  // so the probe grid, and therefore the returned range, is identical
+  // on every machine; the engine only parallelizes evaluation.
+  constexpr unsigned k = 4;
+  const int rounds = static_cast<int>(std::ceil(
+      static_cast<double>(iterations) * std::log(2.0) /
+      std::log(static_cast<double>(k) + 1.0)));
+  std::vector<double> probes(k);
+  std::vector<double> ber(k);
+  for (int r = 0; r < rounds; ++r) {
+    const double log_lo = std::log(lo);
+    const double step = (std::log(hi) - log_lo) / static_cast<double>(k + 1);
+    for (unsigned j = 0; j < k; ++j) {
+      probes[j] = std::exp(log_lo + step * static_cast<double>(j + 1));
+    }
+    engine->for_each_index(k, [&](std::size_t j) { ber[j] = ber_at(probes[j]); });
+    // Monotone curve: keep the tightest bracketing pair.
+    double new_lo = lo;
+    double new_hi = hi;
+    for (unsigned j = 0; j < k; ++j) {
+      if (ber[j] <= target_ber) {
+        new_lo = probes[j];
+      } else {
+        new_hi = probes[j];
+        break;
+      }
+    }
+    lo = new_lo;
+    hi = new_hi;
   }
   return std::sqrt(lo * hi);
 }
@@ -43,6 +84,25 @@ double model_detection_range_m(const BerModel& model, core::Mode mode,
                                double temperature_c) {
   const double sens = model.detection_rss_dbm(mode, phy, temperature_c);
   return link.distance_for_rss(sens, env);
+}
+
+double measured_range_m(const PipelineConfig& base, const SweepEngine& engine,
+                        std::size_t n_packets_per_probe, double target_ber,
+                        double lo_m, double hi_m, int iterations) {
+  // Each probe distance is one Monte-Carlo batch; its seed derives
+  // from the distance bits so repeated probes of the same distance
+  // are reproducible and independent of the search path.
+  auto ber_at = [&](double d) {
+    PipelineConfig cfg = base;
+    std::uint64_t salt;
+    static_assert(sizeof(salt) == sizeof(d));
+    std::memcpy(&salt, &d, sizeof(salt));
+    cfg.seed = SweepEngine::derive_seed(base.seed, salt);
+    cfg.threads = 1;
+    WaveformPipeline wp(cfg);
+    return wp.run_distance(d, n_packets_per_probe).errors.ber();
+  };
+  return find_range_m(ber_at, target_ber, lo_m, hi_m, iterations, &engine);
 }
 
 }  // namespace saiyan::sim

@@ -7,14 +7,20 @@
 #include "channel/link_budget.hpp"
 #include "core/config.hpp"
 #include "sim/ber_model.hpp"
+#include "sim/sweep_engine.hpp"
 
 namespace saiyan::sim {
 
 /// Invert a monotone BER-vs-distance curve by geometric bisection.
 /// `ber_at` maps distance (m) to BER; returns the largest distance
-/// with BER <= target within [lo, hi].
+/// with BER <= target within [lo, hi]. With an engine the search
+/// evaluates a fixed 4 geometrically spaced probes per round (k-ary
+/// section, interval shrinks 5x per round) with the probes spread
+/// across the pool — the probe grid is a constant, so the returned
+/// range is identical on every machine and thread count.
 double find_range_m(const std::function<double(double)>& ber_at, double target_ber,
-                    double lo_m = 1.0, double hi_m = 2000.0, int iterations = 60);
+                    double lo_m = 1.0, double hi_m = 2000.0, int iterations = 60,
+                    const SweepEngine* engine = nullptr);
 
 /// Model-based demodulation range for a configuration.
 double model_range_m(const BerModel& model, core::Mode mode,
@@ -28,5 +34,16 @@ double model_detection_range_m(const BerModel& model, core::Mode mode,
                                const channel::LinkBudget& link,
                                const channel::Environment& env = {},
                                double temperature_c = 25.0);
+
+/// Waveform-measured demodulation range: inverts the Monte-Carlo BER
+/// of `base` (packets per probe distance spread across `engine`).
+/// Each probe must see enough bits to resolve `target_ber`: with the
+/// default 32-symbol payloads, 16 packets ≈ 1000 bits per probe, the
+/// minimum for the default 1e-3 target. More packets sharpen the
+/// estimate at proportional cost.
+double measured_range_m(const PipelineConfig& base, const SweepEngine& engine,
+                        std::size_t n_packets_per_probe = 16,
+                        double target_ber = 1e-3, double lo_m = 1.0,
+                        double hi_m = 2000.0, int iterations = 12);
 
 }  // namespace saiyan::sim

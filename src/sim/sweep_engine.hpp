@@ -1,0 +1,71 @@
+// Multithreaded Monte-Carlo sweep executor with deterministic
+// per-point RNG streams.
+//
+// Every sweep point (or packet batch) gets its own Rng seeded from
+// splitmix64(seed, index), so the result of a sweep is a pure function
+// of (configuration, seed) — bit-identical at 1, 2 or N worker
+// threads, which keeps figures reproducible while letting the
+// simulation saturate the machine. Workers pull indices from a shared
+// atomic counter; results are written by index, never merged in
+// completion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "sim/pipeline.hpp"
+
+namespace saiyan::sim {
+
+class SweepEngine {
+ public:
+  /// worker function bound to one worker thread's private state.
+  using PointFn = std::function<void(std::size_t, dsp::Rng&)>;
+
+  /// threads == 0 picks std::thread::hardware_concurrency().
+  explicit SweepEngine(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Independent RNG stream seed for (seed, index) — splitmix64 over
+  /// the golden-ratio sequence. Identical at any thread count.
+  static std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index);
+
+  /// Run fn(i, rng) for every i in [0, n); rng is freshly seeded from
+  /// derive_seed(seed, i). fn must only touch shared state through
+  /// index i (results slot), which makes the run deterministic.
+  void for_each(std::size_t n, std::uint64_t seed, const PointFn& fn) const;
+
+  /// Run fn(i) for every i in [0, n) without a per-point RNG.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn) const;
+
+  /// Like for_each, but each worker thread first creates its own
+  /// context via make_worker() (e.g. a demodulator + modulator pair,
+  /// which hold non-thread-safe caches) and then processes the indices
+  /// it claims with it.
+  void for_each_with_context(std::size_t n, std::uint64_t seed,
+                             const std::function<PointFn()>& make_worker) const;
+
+ private:
+  unsigned threads_;
+};
+
+/// Waveform-pipeline sweep over an RSS grid: one pipeline per point,
+/// seeded from derive_seed(base.seed, point), points spread across the
+/// engine's workers (each point runs its packets serially).
+std::vector<PipelineResult> sweep_rss(const PipelineConfig& base,
+                                      std::span<const double> rss_dbm,
+                                      std::size_t n_packets,
+                                      const SweepEngine& engine);
+
+/// Same over a distance grid (link budget applied per point).
+std::vector<PipelineResult> sweep_distance(const PipelineConfig& base,
+                                           std::span<const double> distance_m,
+                                           std::size_t n_packets,
+                                           const SweepEngine& engine);
+
+}  // namespace saiyan::sim

@@ -68,6 +68,74 @@ TEST(Correlate, SignedDistinguishesPolarity) {
   EXPECT_LT(cn[10], -5.9);
 }
 
+TEST(PreparedTemplate, MatchesOneShotRealCorrelation) {
+  Rng rng(11);
+  RealSignal tmpl(100);
+  for (double& v : tmpl) v = rng.gaussian();
+  const PreparedTemplate prepared((std::span<const double>(tmpl)));
+  for (std::size_t n : {100u, 333u, 1024u}) {
+    RealSignal x(n);
+    for (double& v : x) v = rng.gaussian();
+    const RealSignal one_shot =
+        cross_correlate(std::span<const double>(x), std::span<const double>(tmpl));
+    const RealSignal reused = prepared.correlate(std::span<const double>(x));
+    ASSERT_EQ(reused.size(), one_shot.size()) << "n=" << n;
+    for (std::size_t i = 0; i < reused.size(); ++i) {
+      EXPECT_NEAR(reused[i], one_shot[i], 1e-9 * (1.0 + std::abs(one_shot[i])))
+          << "n=" << n << " lag " << i;
+    }
+    const RealSignal signed_one_shot = cross_correlate_signed(
+        std::span<const double>(x), std::span<const double>(tmpl));
+    const RealSignal signed_reused =
+        prepared.correlate_signed(std::span<const double>(x));
+    for (std::size_t i = 0; i < signed_reused.size(); ++i) {
+      EXPECT_NEAR(signed_reused[i], signed_one_shot[i],
+                  1e-9 * (1.0 + std::abs(signed_one_shot[i])));
+    }
+  }
+}
+
+TEST(PreparedTemplate, MatchesOneShotComplexCorrelation) {
+  Rng rng(12);
+  Signal tmpl(64);
+  for (Complex& v : tmpl) v = Complex(rng.gaussian(), rng.gaussian());
+  const PreparedTemplate prepared((std::span<const Complex>(tmpl)));
+  Signal x(400);
+  for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  const RealSignal one_shot =
+      cross_correlate(std::span<const Complex>(x), std::span<const Complex>(tmpl));
+  const RealSignal reused = prepared.correlate(std::span<const Complex>(x));
+  ASSERT_EQ(reused.size(), one_shot.size());
+  for (std::size_t i = 0; i < reused.size(); ++i) {
+    EXPECT_NEAR(reused[i], one_shot[i], 1e-9 * (1.0 + std::abs(one_shot[i])));
+  }
+}
+
+TEST(PreparedTemplate, FindPeakMatchesFreeFunction) {
+  Rng rng(13);
+  RealSignal tmpl(48);
+  for (double& v : tmpl) v = rng.gaussian();
+  RealSignal x(512, 0.0);
+  for (double& v : x) v = 0.1 * rng.gaussian();
+  for (std::size_t i = 0; i < tmpl.size(); ++i) x[300 + i] += 2.0 * tmpl[i];
+  const CorrelationPeak free_pk =
+      find_peak(std::span<const double>(x), std::span<const double>(tmpl));
+  const PreparedTemplate prepared((std::span<const double>(tmpl)));
+  const CorrelationPeak prep_pk = prepared.find_peak(std::span<const double>(x));
+  EXPECT_EQ(prep_pk.lag, free_pk.lag);
+  EXPECT_EQ(prep_pk.lag, 300u);
+  EXPECT_NEAR(prep_pk.value, free_pk.value, 1e-9 * (1.0 + free_pk.value));
+  EXPECT_NEAR(prep_pk.normalized, free_pk.normalized, 1e-9);
+}
+
+TEST(PreparedTemplate, ShortSignalAndEmptyTemplate) {
+  RealSignal tmpl(30, 1.0);
+  const PreparedTemplate prepared((std::span<const double>(tmpl)));
+  RealSignal x(10, 1.0);
+  EXPECT_TRUE(prepared.correlate(std::span<const double>(x)).empty());
+  EXPECT_THROW(PreparedTemplate{std::span<const double>{}}, std::invalid_argument);
+}
+
 TEST(Spectrum, TonePeakAtCorrectFrequency) {
   const double fs = 4e6;
   const double f0 = 500e3;

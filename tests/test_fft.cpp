@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <span>
 
 #include "dsp/fft.hpp"
 #include "dsp/rng.hpp"
@@ -108,6 +110,95 @@ TEST(FftLinearity, FftOfSumIsSumOfFfts) {
   const Signal fs = fft(s);
   for (std::size_t i = 0; i < s.size(); ++i) {
     EXPECT_NEAR(std::abs(fs[i] - (fa[i] + fb[i])), 0.0, 1e-8);
+  }
+}
+
+// Brute-force DFT bin for regression checks.
+Complex naive_dft_bin(const Signal& x, std::size_t k) {
+  Complex acc{};
+  const double w = -kTwoPi * static_cast<double>(k) / static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ph = w * static_cast<double>(i);
+    acc += x[i] * Complex(std::cos(ph), std::sin(ph));
+  }
+  return acc;
+}
+
+TEST(FftBasics, NextPow2OverflowGuard) {
+  const std::size_t top = std::numeric_limits<std::size_t>::max() / 2 + 1;
+  EXPECT_EQ(next_pow2(top), top);  // 2^63 itself is representable
+  EXPECT_THROW(next_pow2(top + 1), std::overflow_error);
+  EXPECT_THROW(next_pow2(std::numeric_limits<std::size_t>::max()),
+               std::overflow_error);
+}
+
+// The seed implementation generated stage twiddles with the recurrence
+// w *= wlen, which accumulates rounding error over long stages; the
+// plan's precomputed tables must track a brute-force DFT tightly even
+// at n = 65536 (sampled bins — the full O(n^2) check is done at 1536).
+TEST(FftPrecision, MatchesNaiveDftAt1536) {
+  const std::size_t n = 1536;  // 3·2^9: exercises the Bluestein path
+  Rng rng(42);
+  Signal x(n);
+  for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  const Signal X = fft(x);
+  double rms = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    rms += std::norm(X[k] - naive_dft_bin(x, k));
+  }
+  rms = std::sqrt(rms / static_cast<double>(n));
+  EXPECT_LT(rms, 1e-8 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST(FftPrecision, MatchesNaiveDftAt65536SampledBins) {
+  const std::size_t n = 65536;
+  Rng rng(43);
+  Signal x(n);
+  for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  const Signal X = fft(x);
+  // A spread of bins including DC, Nyquist and awkward odd indices.
+  const std::size_t bins[] = {0, 1, 2, 3, 777, 4097, 21211, 32768, 50001, 65535};
+  for (std::size_t k : bins) {
+    const Complex want = naive_dft_bin(x, k);
+    EXPECT_NEAR(std::abs(X[k] - want), 0.0, 2e-7) << "bin " << k;
+  }
+}
+
+TEST(FftPlanCache, SharedPlanMatchesFreshPlan) {
+  // The cached plan must produce exactly what an uncached (freshly
+  // constructed) plan produces, and repeated lookups must return the
+  // same shared instance.
+  for (std::size_t n : {64u, 100u, 1024u}) {
+    Rng rng(n);
+    Signal x(n);
+    for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+    Signal via_cache = x;
+    fft_plan(n)->forward(via_cache);
+    Signal via_fresh = x;
+    const FftPlan fresh(n);
+    fresh.forward(via_fresh);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(via_cache[i], via_fresh[i]) << "n=" << n << " bin " << i;
+    }
+    EXPECT_EQ(fft_plan(n).get(), fft_plan(n).get());
+  }
+}
+
+TEST(FftRealInput, PackedRealTransformMatchesComplex) {
+  for (std::size_t n : {4u, 64u, 1024u}) {
+    Rng rng(n + 5);
+    RealSignal x(n - 3);  // shorter than the plan: zero-padded
+    for (double& v : x) v = rng.gaussian();
+    Signal via_real;
+    fft_plan(n)->forward_real(std::span<const double>(x), via_real);
+    Signal via_complex(n, Complex{});
+    for (std::size_t i = 0; i < x.size(); ++i) via_complex[i] = Complex(x[i], 0.0);
+    fft_plan(n)->forward(via_complex);
+    ASSERT_EQ(via_real.size(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(std::abs(via_real[k] - via_complex[k]), 0.0, 1e-10)
+          << "n=" << n << " bin " << k;
+    }
   }
 }
 
