@@ -2,7 +2,7 @@
 // Paper: median PRR lifts from ~47 % to ~92 % once the AP commands the
 // PLoRa tag onto a clean channel through the Saiyan downlink.
 #include "common.hpp"
-#include "mac/network_sim.hpp"
+#include "mac/gateway_sim.hpp"
 
 using namespace saiyan;
 
@@ -10,22 +10,32 @@ int main() {
   bench::banner("Figure 27: PRR CDF with channel hopping",
                 "median PRR 47 % (jammed) -> 92 % (after hop)");
 
+  // Single-AP reference study alongside its port onto the sharded
+  // GatewaySim (1-gateway special case, jammer on the home channel).
+  const sim::SweepEngine engine;
   mac::ChannelHoppingStudyConfig jammed;
   jammed.hopping_enabled = false;
   const mac::ChannelHoppingResult before = mac::channel_hopping_study(jammed);
+  const mac::ChannelHoppingResult before_gw =
+      mac::gateway_sim_channel_hopping(jammed, engine);
 
   mac::ChannelHoppingStudyConfig hopping;
   hopping.hopping_enabled = true;
   const mac::ChannelHoppingResult after = mac::channel_hopping_study(hopping);
+  const mac::ChannelHoppingResult after_gw =
+      mac::gateway_sim_channel_hopping(hopping, engine);
 
-  sim::Table t({"quantile", "PRR jammed (%)", "PRR with hopping (%)"});
+  sim::Table t({"quantile", "PRR jammed (%)", "jammed gw-sim (%)",
+                "PRR with hopping (%)", "hopping gw-sim (%)"});
   for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
-    t.add_row({sim::fmt(q, 2), sim::fmt(100.0 * before.prr_cdf.quantile(q), 1),
-               sim::fmt(100.0 * after.prr_cdf.quantile(q), 1)});
+    t.add_row({sim::fmt(q, 2), sim::fmt_pct(before.prr_cdf.quantile(q), 1),
+               sim::fmt_pct(before_gw.prr_cdf.quantile(q), 1),
+               sim::fmt_pct(after.prr_cdf.quantile(q), 1),
+               sim::fmt_pct(after_gw.prr_cdf.quantile(q), 1)});
   }
   t.print();
   std::printf("\nmedian PRR: %.1f %% -> %.1f %% (paper: 47 %% -> 92 %%); hops "
-              "commanded: %zu\n", 100.0 * before.prr_cdf.median(),
-              100.0 * after.prr_cdf.median(), after.hops);
+              "commanded: %zu (gw-sim: %zu)\n", 100.0 * before.prr_cdf.median(),
+              100.0 * after.prr_cdf.median(), after.hops, after_gw.hops);
   return 0;
 }

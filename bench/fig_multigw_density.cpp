@@ -1,0 +1,140 @@
+// Multi-gateway network scaling: aggregate PRR / throughput vs
+// gateway density, inter-gateway co-channel interference, tag→gateway
+// handover, and jammer escape — the §5.3 case studies generalized from
+// one AP to a gateway-dense deployment, sharded across SweepEngine
+// workers (bit-identical at any thread count).
+#include <chrono>
+
+#include "common.hpp"
+#include "mac/gateway_sim.hpp"
+
+using namespace saiyan;
+
+namespace {
+
+mac::GatewaySimConfig base_config(std::size_t gateways, std::size_t tags) {
+  mac::GatewaySimConfig cfg;
+  cfg.deployment.n_gateways = gateways;
+  cfg.deployment.n_tags = tags;
+  cfg.deployment.area_side_m = 600.0;
+  cfg.deployment.n_channels = 4;
+  cfg.deployment.seed = 2026;
+  cfg.n_windows = 50;
+  cfg.packets_per_window = 20;
+  cfg.max_retransmissions = 2;
+  cfg.shadowing_sigma_db = 6.0;
+  return cfg;
+}
+
+double run_seconds(const mac::GatewaySim& gw, const sim::SweepEngine& engine,
+                   mac::NetworkResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = gw.run(engine);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Multi-gateway density sweep (sharded network simulator)",
+                "§5.3 case studies scaled to gateway-dense deployments");
+
+  const sim::SweepEngine engine;  // hardware concurrency
+
+  // ---- aggregate PRR / throughput vs gateway density ---------------
+  sim::Table density({"gateways", "tags", "PRR (%)", "throughput (kbps)",
+                      "handovers", "retransmissions", "interf. penalty (dB)"});
+  for (std::size_t n : {1u, 2u, 4u, 9u, 16u}) {
+    const mac::GatewaySim gw(base_config(n, 256));
+    const mac::NetworkResult net = gw.run(engine);
+    density.add_row({std::to_string(n), "256",
+                     sim::fmt_pct(net.aggregate_prr(), 1),
+                     sim::fmt(net.throughput_bps / 1e3, 1),
+                     std::to_string(net.handovers),
+                     std::to_string(net.retransmissions),
+                     sim::fmt(net.mean_interference_penalty_db, 2)});
+  }
+  density.print();
+
+  // ---- inter-gateway co-channel interference -----------------------
+  {
+    mac::GatewaySimConfig with = base_config(9, 256);
+    mac::GatewaySimConfig without = with;
+    without.interference_enabled = false;
+    const mac::NetworkResult a = mac::GatewaySim(with).run(engine);
+    const mac::NetworkResult b = mac::GatewaySim(without).run(engine);
+    std::printf("\nco-channel interference at 9 gateways: PRR %s %% -> %s %% "
+                "when neighboring downlink carriers are silenced\n",
+                sim::fmt_pct(a.aggregate_prr(), 1).c_str(),
+                sim::fmt_pct(b.aggregate_prr(), 1).c_str());
+  }
+
+  // ---- jammer escape through channel hopping -----------------------
+  {
+    mac::GatewaySimConfig jammed = base_config(4, 128);
+    jammed.jammed_channel = 0;
+    jammed.jammer_position = {300.0, 300.0};
+    jammed.jammer_eirp_dbm = 36.0;
+    jammed.hopping_enabled = false;
+    mac::GatewaySimConfig hopping = jammed;
+    hopping.hopping_enabled = true;
+    const mac::NetworkResult stay = mac::GatewaySim(jammed).run(engine);
+    const mac::NetworkResult hop = mac::GatewaySim(hopping).run(engine);
+    std::printf("jammer on channel 0 (4 gateways, 128 tags): PRR %s %% "
+                "without hopping -> %s %% with hopping (%zu hops)\n",
+                sim::fmt_pct(stay.aggregate_prr(), 1).c_str(),
+                sim::fmt_pct(hop.aggregate_prr(), 1).c_str(), hop.hops);
+  }
+
+  // ---- 1-gateway special case: the Fig. 26 / Fig. 27 ports ---------
+  std::printf("\nFig. 26 port (1 gateway, measured links): ");
+  for (std::size_t n = 0; n <= 3; ++n) {
+    mac::RetransmissionStudyConfig study;
+    study.base_prr = 0.456;  // Aloba at 100 m
+    study.max_retransmissions = n;
+    study.n_packets = 20000;
+    std::printf("%s%s %%", n ? " -> " : "",
+                sim::fmt_pct(mac::gateway_sim_retransmission_prr(study, engine),
+                             1)
+                    .c_str());
+  }
+  std::printf("  (paper: 45.6 -> 70.1 -> 83.3 -> 95.5)\n");
+
+  {
+    mac::ChannelHoppingStudyConfig study;
+    study.hopping_enabled = true;
+    const mac::ChannelHoppingResult hop =
+        mac::gateway_sim_channel_hopping(study, engine);
+    study.hopping_enabled = false;
+    const mac::ChannelHoppingResult stay =
+        mac::gateway_sim_channel_hopping(study, engine);
+    std::printf("Fig. 27 port: median PRR %s %% jammed -> %s %% with hopping "
+                "(paper: 47 -> 92)\n",
+                sim::fmt_pct(stay.prr_cdf.median(), 1).c_str(),
+                sim::fmt_pct(hop.prr_cdf.median(), 1).c_str());
+  }
+
+  // ---- shard scaling: points/sec vs worker count -------------------
+  std::printf("\nshard scaling (16 gateways, 512 tags, packets/sec):\n");
+  mac::GatewaySimConfig big = base_config(16, 512);
+  big.n_windows = 100;
+  const mac::GatewaySim gw(big);
+  mac::NetworkResult reference;
+  for (unsigned threads : {1u, 2u, 4u, 0u}) {
+    const sim::SweepEngine e(threads);
+    mac::NetworkResult net;
+    const double secs = run_seconds(gw, e, &net);
+    const double pkts = static_cast<double>(net.packets.total());
+    std::printf("  %2u workers: %8.0f packets/sec (PRR %s %%)\n", e.threads(),
+                pkts / secs, sim::fmt_pct(net.aggregate_prr(), 3).c_str());
+    if (e.threads() == 1) {
+      reference = net;
+    } else if (net.aggregate_prr() != reference.aggregate_prr()) {
+      std::printf("  DETERMINISM VIOLATION at %u workers\n", e.threads());
+      return 1;
+    }
+  }
+  std::printf("aggregate PRR bit-identical across worker counts\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate.
+
+Compares a fresh google-benchmark JSON (from scripts/bench_micro.sh)
+against the committed baseline BENCH_micro.json and exits non-zero when
+any kernel slowed down by more than the threshold (default 25 %), so CI
+catches perf regressions in the hot path before they land.
+
+Usage:
+    scripts/bench_compare.py [--baseline BENCH_micro.json]
+                             [--fresh fresh.json]
+                             [--threshold 0.25]
+                             [--metric cpu_time|real_time]
+
+Kernels present in only one of the two files are reported but never
+fail the gate (new benchmarks appear, retired ones disappear).
+
+Exit codes: 0 ok, 1 regression detected, 2 unusable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_benchmarks(path: Path, metric: str) -> dict[str, float]:
+    """Map benchmark name -> per-iteration time for `metric` (ns)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        raise SystemExit(2)
+    out: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions); the
+        # plain iteration rows carry the representative time.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        value = bench.get(metric)
+        if name is None or value is None:
+            continue
+        out[name] = float(value)
+    if not out:
+        print(f"bench_compare: no benchmarks in {path}", file=sys.stderr)
+        raise SystemExit(2)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    repo_root = Path(__file__).resolve().parent.parent
+    parser.add_argument("--baseline", type=Path,
+                        default=repo_root / "BENCH_micro.json")
+    parser.add_argument("--fresh", type=Path,
+                        default=repo_root / "BENCH_fresh.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown per kernel")
+    parser.add_argument("--metric", choices=("cpu_time", "real_time"),
+                        default="cpu_time",
+                        help="benchmark field to compare (cpu_time is less "
+                             "sensitive to CI scheduling noise)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline, args.metric)
+    fresh = load_benchmarks(args.fresh, args.metric)
+
+    regressions: list[str] = []
+    width = max(len(n) for n in sorted(set(baseline) | set(fresh)))
+    print(f"{'kernel':<{width}}  {'baseline':>12}  {'fresh':>12}  ratio")
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in fresh:
+            print(f"{name:<{width}}  {baseline[name]:>12.1f}  {'gone':>12}  -")
+            continue
+        if name not in baseline:
+            print(f"{name:<{width}}  {'new':>12}  {fresh[name]:>12.1f}  -")
+            continue
+        ratio = fresh[name] / baseline[name]
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append(name)
+        print(f"{name:<{width}}  {baseline[name]:>12.1f}  "
+              f"{fresh[name]:>12.1f}  {ratio:5.2f}{flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} kernel(s) slowed down more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print(f"\nOK: no kernel slowed down more than {args.threshold:.0%} "
+          f"({len(fresh)} kernels checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

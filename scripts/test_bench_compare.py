@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Self-test for the benchmark-regression gate (registered in ctest as
+`bench_compare_selftest`).
+
+Proves, with synthetic google-benchmark JSON, that bench_compare.py
+passes on equal/faster/mildly-slower runs and demonstrably FAILS the
+job when a kernel regresses by more than 25 %.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent / "bench_compare.py"
+
+
+def bench_json(times_ns: dict[str, float]) -> dict:
+    return {
+        "context": {"host_name": "selftest"},
+        "benchmarks": [
+            {
+                "name": name,
+                "run_type": "iteration",
+                "iterations": 100,
+                "real_time": t,
+                "cpu_time": t,
+                "time_unit": "ns",
+            }
+            for name, t in times_ns.items()
+        ],
+    }
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self.tmp.name)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def run_gate(self, baseline: dict, fresh: dict, *extra: str):
+        base_path = self.dir / "baseline.json"
+        fresh_path = self.dir / "fresh.json"
+        base_path.write_text(json.dumps(baseline))
+        fresh_path.write_text(json.dumps(fresh))
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), "--baseline", str(base_path),
+             "--fresh", str(fresh_path), *extra],
+            capture_output=True, text=True)
+
+    def test_identical_run_passes(self):
+        times = {"BM_Fft/1024": 4000.0, "BM_SawFilter": 9800.0}
+        result = self.run_gate(bench_json(times), bench_json(times))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("OK", result.stdout)
+
+    def test_regression_over_threshold_fails(self):
+        baseline = bench_json({"BM_Fft/1024": 4000.0, "BM_SawFilter": 9800.0})
+        fresh = bench_json({"BM_Fft/1024": 4000.0 * 1.30,  # 30 % slower
+                            "BM_SawFilter": 9800.0})
+        result = self.run_gate(baseline, fresh)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("BM_Fft/1024", result.stdout.splitlines()[-1])
+
+    def test_slowdown_under_threshold_passes(self):
+        baseline = bench_json({"BM_Fft/1024": 4000.0})
+        fresh = bench_json({"BM_Fft/1024": 4000.0 * 1.20})  # within 25 %
+        result = self.run_gate(baseline, fresh)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_speedup_passes(self):
+        baseline = bench_json({"BM_Fft/1024": 4000.0})
+        fresh = bench_json({"BM_Fft/1024": 400.0})
+        result = self.run_gate(baseline, fresh)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_tighter_threshold_catches_smaller_regression(self):
+        baseline = bench_json({"BM_Fft/1024": 4000.0})
+        fresh = bench_json({"BM_Fft/1024": 4000.0 * 1.20})
+        result = self.run_gate(baseline, fresh, "--threshold", "0.10")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_new_and_retired_kernels_do_not_fail(self):
+        baseline = bench_json({"BM_Fft/1024": 4000.0, "BM_Old": 10.0})
+        fresh = bench_json({"BM_Fft/1024": 4000.0, "BM_New": 20.0})
+        result = self.run_gate(baseline, fresh)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("gone", result.stdout)
+        self.assertIn("new", result.stdout)
+
+    def test_aggregate_rows_are_ignored(self):
+        baseline = bench_json({"BM_Fft/1024": 4000.0})
+        fresh = bench_json({"BM_Fft/1024": 4000.0})
+        fresh["benchmarks"].append({
+            "name": "BM_Fft/1024_mean", "run_type": "aggregate",
+            "real_time": 99999.0, "cpu_time": 99999.0,
+        })
+        result = self.run_gate(baseline, fresh)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_malformed_input_is_a_hard_error(self):
+        base_path = self.dir / "baseline.json"
+        fresh_path = self.dir / "fresh.json"
+        base_path.write_text("{not json")
+        fresh_path.write_text(json.dumps(bench_json({"BM_Fft/1024": 1.0})))
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), "--baseline", str(base_path),
+             "--fresh", str(fresh_path)],
+            capture_output=True, text=True)
+        self.assertNotEqual(result.returncode, 0)
+
+    def test_empty_benchmark_list_is_a_hard_error(self):
+        result = self.run_gate({"benchmarks": []},
+                               bench_json({"BM_Fft/1024": 1.0}))
+        self.assertNotEqual(result.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,49 @@
+#include "channel/interference.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace saiyan::channel {
+
+namespace {
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+double mw_to_dbm(double mw) {
+  return mw > 0.0 ? 10.0 * std::log10(mw)
+                  : -std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) {
+  if (bandwidth_hz <= 0.0) {
+    throw std::invalid_argument("noise_floor_dbm: bandwidth must be > 0");
+  }
+  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+double sum_power_dbm(std::span<const double> powers_dbm) {
+  double mw = 0.0;
+  for (double p : powers_dbm) mw += dbm_to_mw(p);
+  return mw_to_dbm(mw);
+}
+
+double sinr_db(double signal_dbm, std::span<const double> interferers_dbm,
+               double noise_floor_dbm) {
+  double denom_mw = dbm_to_mw(noise_floor_dbm);
+  for (double p : interferers_dbm) denom_mw += dbm_to_mw(p);
+  return signal_dbm - mw_to_dbm(denom_mw);
+}
+
+double interference_penalty_db(std::span<const double> interferers_dbm,
+                               double noise_floor_dbm) {
+  if (interferers_dbm.empty()) return 0.0;
+  const double noise_mw = dbm_to_mw(noise_floor_dbm);
+  double interferer_mw = 0.0;
+  for (double p : interferers_dbm) interferer_mw += dbm_to_mw(p);
+  return 10.0 * std::log10(1.0 + interferer_mw / noise_mw);
+}
+
+}  // namespace saiyan::channel

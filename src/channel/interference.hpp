@@ -1,0 +1,32 @@
+// Co-channel interference aggregation — the inter-cell hook for the
+// multi-gateway simulator (and any future scenario where several
+// transmitters share a channel).
+//
+// The BER model (sim/ber_model.hpp) maps RSS to BER assuming a
+// thermal-noise-limited receiver. Interference raises the effective
+// noise floor; `interference_penalty_db` converts an interferer set
+// into the equivalent RSS penalty 10·log10(1 + I/N), which callers
+// subtract from the link RSS before consulting the model.
+#pragma once
+
+#include <span>
+
+namespace saiyan::channel {
+
+/// Thermal noise floor (dBm): -174 dBm/Hz + 10·log10(BW) + noise figure.
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db = 6.0);
+
+/// Sum of powers given in dBm. Returns -infinity for an empty set.
+double sum_power_dbm(std::span<const double> powers_dbm);
+
+/// Signal-to-interference-plus-noise ratio (dB) of `signal_dbm`
+/// against co-channel interferers and the thermal floor.
+double sinr_db(double signal_dbm, std::span<const double> interferers_dbm,
+               double noise_floor_dbm);
+
+/// Effective RSS penalty (dB) from interference raising the noise
+/// floor: 10·log10(1 + I/N). Zero for an empty interferer set.
+double interference_penalty_db(std::span<const double> interferers_dbm,
+                               double noise_floor_dbm);
+
+}  // namespace saiyan::channel

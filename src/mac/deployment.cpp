@@ -1,0 +1,110 @@
+#include "mac/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "dsp/rng.hpp"
+#include "sim/sweep_engine.hpp"
+
+namespace saiyan::mac {
+
+namespace {
+
+/// Sub-stream index for tag placement under the deployment seed (the
+/// shard-execution stream uses a different index; see gateway_sim).
+constexpr std::uint64_t kTagPlacementStream = 0x7a9;
+
+}  // namespace
+
+double distance_m(const Position& a, const Position& b) {
+  return std::hypot(a.x_m - b.x_m, a.y_m - b.y_m);
+}
+
+double Deployment::link_rss_dbm(const DeploymentConfig& cfg, const Position& a,
+                                const Position& b) {
+  // Clamp to the 1 m path-loss reference distance; co-located nodes
+  // would otherwise evaluate the model inside its near field.
+  const double d = std::max(1.0, distance_m(a, b));
+  return cfg.link.rss_dbm(d, cfg.env);
+}
+
+std::size_t Deployment::best_gateway(const DeploymentConfig& cfg,
+                                     const std::vector<Position>& gateways,
+                                     const Position& at) {
+  std::size_t best = 0;
+  double best_rss = -std::numeric_limits<double>::infinity();
+  for (std::size_t g = 0; g < gateways.size(); ++g) {
+    const double rss = link_rss_dbm(cfg, gateways[g], at);
+    if (rss > best_rss) {
+      best_rss = rss;
+      best = g;
+    }
+  }
+  return best;
+}
+
+Deployment Deployment::make(const DeploymentConfig& cfg) {
+  if (cfg.n_gateways == 0) {
+    throw std::invalid_argument("Deployment: need at least one gateway");
+  }
+  if (cfg.n_channels <= 0) {
+    throw std::invalid_argument("Deployment: need at least one channel");
+  }
+  if (!cfg.gateway_positions.empty() &&
+      cfg.gateway_positions.size() != cfg.n_gateways) {
+    throw std::invalid_argument("Deployment: gateway_positions size mismatch");
+  }
+  if (!cfg.tag_positions.empty() && cfg.tag_positions.size() != cfg.n_tags) {
+    throw std::invalid_argument("Deployment: tag_positions size mismatch");
+  }
+
+  Deployment d;
+  if (!cfg.gateway_positions.empty()) {
+    d.gateways = cfg.gateway_positions;
+  } else {
+    // Centered grid: cols × rows cells, one gateway per cell center.
+    const auto cols = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(cfg.n_gateways))));
+    const std::size_t rows = (cfg.n_gateways + cols - 1) / cols;
+    const double dx = cfg.area_side_m / static_cast<double>(cols);
+    const double dy = cfg.area_side_m / static_cast<double>(rows);
+    d.gateways.reserve(cfg.n_gateways);
+    for (std::size_t g = 0; g < cfg.n_gateways; ++g) {
+      const std::size_t r = g / cols;
+      const std::size_t c = g % cols;
+      d.gateways.push_back({(static_cast<double>(c) + 0.5) * dx,
+                            (static_cast<double>(r) + 0.5) * dy});
+    }
+  }
+
+  if (!cfg.tag_positions.empty()) {
+    d.tags = cfg.tag_positions;
+  } else {
+    dsp::Rng rng(sim::SweepEngine::derive_seed(cfg.seed, kTagPlacementStream));
+    d.tags.reserve(cfg.n_tags);
+    for (std::size_t t = 0; t < cfg.n_tags; ++t) {
+      d.tags.push_back(
+          {rng.uniform() * cfg.area_side_m, rng.uniform() * cfg.area_side_m});
+    }
+  }
+
+  d.gateway_channel.reserve(cfg.n_gateways);
+  for (std::size_t g = 0; g < cfg.n_gateways; ++g) {
+    d.gateway_channel.push_back(static_cast<int>(g) % cfg.n_channels);
+  }
+
+  d.serving_gateway.resize(d.tags.size());
+  d.serving_rss_dbm.resize(d.tags.size());
+  d.shard_tags.assign(cfg.n_gateways, {});
+  for (std::size_t t = 0; t < d.tags.size(); ++t) {
+    const std::size_t g = best_gateway(cfg, d.gateways, d.tags[t]);
+    d.serving_gateway[t] = g;
+    d.serving_rss_dbm[t] = link_rss_dbm(cfg, d.gateways[g], d.tags[t]);
+    d.shard_tags[g].push_back(t);
+  }
+  return d;
+}
+
+}  // namespace saiyan::mac

@@ -1,0 +1,68 @@
+// Gateway-dense deployment geometry.
+//
+// Places N gateways and M tags on a 2-D plane and assigns each tag to
+// the gateway with the strongest link budget (channel::LinkBudget over
+// the configured path-loss model). The assignment partitions the tag
+// population into per-gateway shards — the unit of work GatewaySim
+// hands to sim::SweepEngine workers.
+//
+// Placement is deterministic: gateways sit on a centered grid (or at
+// explicit positions) and tags are drawn from an RNG stream derived
+// from the deployment seed, so a Deployment is a pure function of its
+// DeploymentConfig.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/link_budget.hpp"
+
+namespace saiyan::mac {
+
+struct Position {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+/// Euclidean distance between two plane positions (m).
+double distance_m(const Position& a, const Position& b);
+
+struct DeploymentConfig {
+  std::size_t n_gateways = 4;
+  std::size_t n_tags = 64;
+  double area_side_m = 300.0;  ///< square deployment region side
+  int n_channels = 4;          ///< gateway g starts on channel g % n_channels
+  channel::LinkBudget link;    ///< per-link budget (433.5 MHz defaults)
+  channel::Environment env;    ///< walls / clutter applied to every link
+  std::uint64_t seed = 42;     ///< tag-placement stream root
+  /// Explicit placement overrides (must match n_gateways / n_tags when
+  /// non-empty).
+  std::vector<Position> gateway_positions;
+  std::vector<Position> tag_positions;
+};
+
+struct Deployment {
+  std::vector<Position> gateways;
+  std::vector<Position> tags;
+  std::vector<std::size_t> serving_gateway;  ///< per-tag best gateway
+  std::vector<double> serving_rss_dbm;       ///< per-tag RSS at it
+  std::vector<int> gateway_channel;          ///< static channel plan
+  std::vector<std::vector<std::size_t>> shard_tags;  ///< tags per gateway
+
+  /// Build geometry + link-budget assignment from a config.
+  /// Throws std::invalid_argument on empty gateway/channel counts or
+  /// mismatched explicit positions.
+  static Deployment make(const DeploymentConfig& cfg);
+
+  /// RSS (dBm) of the link between `a` and `b` under cfg's budget.
+  static double link_rss_dbm(const DeploymentConfig& cfg, const Position& a,
+                             const Position& b);
+
+  /// Index of the strongest-RSS gateway for a receiver at `at`
+  /// (lowest index wins ties — deterministic).
+  static std::size_t best_gateway(const DeploymentConfig& cfg,
+                                  const std::vector<Position>& gateways,
+                                  const Position& at);
+};
+
+}  // namespace saiyan::mac

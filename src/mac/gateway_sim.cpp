@@ -1,0 +1,345 @@
+#include "mac/gateway_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "channel/interference.hpp"
+
+namespace saiyan::mac {
+
+namespace {
+
+/// Sub-stream index for shard execution under the deployment seed
+/// (tag placement uses a different index; see deployment.cpp).
+constexpr std::uint64_t kShardStream = 0x5d1;
+
+/// Received power (dBm) at `to` from a transmitter of the given EIRP
+/// at `from`, under the deployment's path-loss model and environment.
+double received_dbm(const DeploymentConfig& cfg, double eirp_dbm,
+                    const Position& from, const Position& to) {
+  // link_rss_dbm assumes the budget's own Tx power + antenna gain;
+  // rebase onto the requested EIRP.
+  return Deployment::link_rss_dbm(cfg, from, to) -
+         (cfg.link.tx_power_dbm + cfg.link.tx_antenna_gain_dbi) + eirp_dbm;
+}
+
+}  // namespace
+
+GatewaySim::GatewaySim(const GatewaySimConfig& cfg)
+    : cfg_(cfg), deployment_(Deployment::make(cfg.deployment)), model_(cfg.ber) {
+  if (cfg_.packets_per_window == 0) {
+    throw std::invalid_argument("GatewaySim: packets_per_window must be > 0");
+  }
+  cfg_.phy.validate();
+
+  const DeploymentConfig& dep_cfg = cfg_.deployment;
+  const std::size_t n_gateways = deployment_.gateways.size();
+  const std::size_t n_tags = deployment_.tags.size();
+
+  // A gateway carrier is received at the budget's own EIRP, so the
+  // tag↔gateway matrix serves both the handover scan (uplink RSS) and
+  // the downlink-interference terms.
+  tag_gw_rss_dbm_.resize(n_tags * n_gateways);
+  for (std::size_t t = 0; t < n_tags; ++t) {
+    for (std::size_t g = 0; g < n_gateways; ++g) {
+      tag_gw_rss_dbm_[t * n_gateways + g] = Deployment::link_rss_dbm(
+          dep_cfg, deployment_.gateways[g], deployment_.tags[t]);
+    }
+  }
+  gw_gw_rss_dbm_.resize(n_gateways * n_gateways);
+  for (std::size_t g = 0; g < n_gateways; ++g) {
+    for (std::size_t q = 0; q < n_gateways; ++q) {
+      // The diagonal is -inf (zero power) so a missed self-skip at a
+      // use site stays harmless instead of injecting a 0 dBm carrier.
+      gw_gw_rss_dbm_[g * n_gateways + q] =
+          g == q ? -std::numeric_limits<double>::infinity()
+                 : Deployment::link_rss_dbm(dep_cfg, deployment_.gateways[q],
+                                            deployment_.gateways[g]);
+    }
+  }
+  if (cfg_.jammed_channel >= 0) {
+    jammer_at_gw_dbm_.resize(n_gateways);
+    for (std::size_t g = 0; g < n_gateways; ++g) {
+      jammer_at_gw_dbm_[g] =
+          received_dbm(dep_cfg, cfg_.jammer_eirp_dbm, cfg_.jammer_position,
+                       deployment_.gateways[g]);
+    }
+  }
+}
+
+ShardResult GatewaySim::run_shard(std::size_t gateway, dsp::Rng& rng) const {
+  const DeploymentConfig& dep_cfg = cfg_.deployment;
+  const std::vector<std::size_t>& shard = deployment_.shard_tags[gateway];
+  const std::size_t n_gateways = deployment_.gateways.size();
+
+  ShardResult result;
+  result.gateway = gateway;
+  result.n_tags = shard.size();
+
+  // Mutable per-tag link state: handovers move a tag onto another
+  // gateway's link budget while this shard keeps simulating it.
+  struct TagState {
+    std::size_t serving;
+    double rss_dbm;
+  };
+  std::vector<TagState> state;
+  state.reserve(shard.size());
+  for (std::size_t t : shard) {
+    state.push_back({deployment_.serving_gateway[t],
+                     deployment_.serving_rss_dbm[t]});
+  }
+
+  int own_channel = deployment_.gateway_channel[gateway];
+  const double floor_dbm =
+      channel::noise_floor_dbm(cfg_.phy.bandwidth_hz, cfg_.noise_figure_db);
+
+  double penalty_sum_db = 0.0;
+  std::size_t penalty_samples = 0;
+  std::vector<double> interferers;
+  interferers.reserve(n_gateways);
+  std::vector<char> active(n_gateways, 0);
+
+  // Collect the active co-channel gateway carriers from a receiver's
+  // precomputed RSS row into `interferers` — one definition for the
+  // uplink (at the gateway) and downlink (at the tag) sides, so their
+  // filters cannot drift apart.
+  const auto collect_carriers = [&](const double* rss_row, int tag_channel,
+                                    std::size_t serving) {
+    interferers.clear();
+    if (!cfg_.interference_enabled) return;
+    for (std::size_t q = 0; q < n_gateways; ++q) {
+      if (!active[q] || deployment_.gateway_channel[q] != tag_channel ||
+          q == serving) {
+        continue;
+      }
+      interferers.push_back(rss_row[q]);
+    }
+  };
+
+  for (std::size_t w = 0; w < cfg_.n_windows; ++w) {
+    // Which gateways key their downlink carrier this window
+    // (co-channel interference sources). Every gateway gets a flag —
+    // including this shard's own, which matters for tags that handed
+    // over to a neighbor — and use sites skip the tag's current
+    // serving gateway. Drawn in gateway-index order so the stream is
+    // schedule-independent.
+    if (cfg_.interference_enabled && !cfg_.measured_link) {
+      for (std::size_t q = 0; q < n_gateways; ++q) {
+        active[q] = rng.chance(cfg_.interferer_activity) ? 1 : 0;
+      }
+    }
+
+    std::size_t window_offered = 0;
+    std::size_t window_delivered = 0;
+    double downlink_sum = 0.0;
+
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      TagState& tag = state[i];
+      const double* tag_rss_row = &tag_gw_rss_dbm_[shard[i] * n_gateways];
+      int tag_channel = tag.serving == gateway
+                            ? own_channel
+                            : deployment_.gateway_channel[tag.serving];
+
+      double shadow_db = 0.0;
+      if (cfg_.shadowing_sigma_db > 0.0) {
+        shadow_db = rng.gaussian() * cfg_.shadowing_sigma_db;
+      }
+
+      // Handover: when the (shadowed) serving link falls a hysteresis
+      // margin below the best alternative, the new gateway commands
+      // the switch over its downlink.
+      if (cfg_.handover_enabled && n_gateways > 1) {
+        std::size_t best_alt = tag.serving;
+        double best_alt_rss = -std::numeric_limits<double>::infinity();
+        for (std::size_t q = 0; q < n_gateways; ++q) {
+          if (q == tag.serving) continue;
+          if (tag_rss_row[q] > best_alt_rss) {
+            best_alt_rss = tag_rss_row[q];
+            best_alt = q;
+          }
+        }
+        if (best_alt != tag.serving &&
+            best_alt_rss > tag.rss_dbm + shadow_db + cfg_.handover_margin_db) {
+          const double command_success =
+              cfg_.measured_link
+                  ? cfg_.measured_link->downlink_success
+                  : 1.0 - model_.per(best_alt_rss, cfg_.mode, cfg_.phy,
+                                     cfg_.downlink_bits, cfg_.temperature_c);
+          if (rng.chance(command_success)) {
+            tag.serving = best_alt;
+            tag.rss_dbm = best_alt_rss;
+            // Handing back to this shard's own gateway rejoins its
+            // live (possibly hopped) channel, not the static plan.
+            tag_channel = best_alt == gateway
+                              ? own_channel
+                              : deployment_.gateway_channel[best_alt];
+            shadow_db = 0.0;  // fresh path, fresh shadowing state
+            ++result.handovers;
+          }
+        }
+      }
+
+      double uplink_success;
+      double downlink_success;
+      if (cfg_.measured_link) {
+        const bool jammed = tag_channel == cfg_.jammed_channel;
+        uplink_success = jammed ? cfg_.measured_link->jammed_uplink_success
+                                : cfg_.measured_link->uplink_success;
+        downlink_success = cfg_.measured_link->downlink_success;
+      } else {
+        // Uplink: co-channel downlink carriers + jammer land on the
+        // serving gateway's receiver.
+        collect_carriers(&gw_gw_rss_dbm_[tag.serving * n_gateways],
+                         tag_channel, tag.serving);
+        if (tag_channel == cfg_.jammed_channel) {
+          interferers.push_back(jammer_at_gw_dbm_[tag.serving]);
+        }
+        const double up_penalty_db =
+            channel::interference_penalty_db(interferers, floor_dbm);
+        penalty_sum_db += up_penalty_db;
+        ++penalty_samples;
+
+        // Downlink: co-channel gateway carriers received at the tag.
+        // The jammer targets the uplink band only (the Fig. 27 setup:
+        // the USRP jams tag transmissions while the AP's downlink
+        // keeps delivering), so it is excluded here.
+        collect_carriers(tag_rss_row, tag_channel, tag.serving);
+        const double down_penalty_db =
+            channel::interference_penalty_db(interferers, floor_dbm);
+
+        const double link_rss_db = tag.rss_dbm + shadow_db;
+        uplink_success =
+            1.0 - model_.per(link_rss_db - up_penalty_db, cfg_.mode, cfg_.phy,
+                             cfg_.payload_bits, cfg_.temperature_c);
+        downlink_success =
+            1.0 - model_.per(link_rss_db - down_penalty_db, cfg_.mode,
+                             cfg_.phy, cfg_.downlink_bits, cfg_.temperature_c);
+      }
+      downlink_sum += downlink_success;
+
+      for (std::size_t p = 0; p < cfg_.packets_per_window; ++p) {
+        const bool delivered = deliver_with_retransmissions(
+            uplink_success, downlink_success, cfg_.max_retransmissions,
+            /*tag_has_saiyan=*/true, rng, &result.retransmissions);
+        result.packets.add(delivered);
+        ++window_offered;
+        window_delivered += delivered ? 1 : 0;
+      }
+    }
+
+    if (window_offered == 0) continue;
+    const double cell_prr = static_cast<double>(window_delivered) /
+                            static_cast<double>(window_offered);
+    result.window_prr.add(cell_prr);
+
+    // Jammer escape (Fig. 27 mechanics): once the cell's windowed PRR
+    // collapses on the jammed channel, the gateway broadcasts a hop
+    // command; it must survive a representative downlink.
+    if (cfg_.hopping_enabled && own_channel == cfg_.jammed_channel &&
+        cell_prr < cfg_.hop_threshold && dep_cfg.n_channels > 1) {
+      const double broadcast_success =
+          downlink_sum / static_cast<double>(shard.size());
+      if (rng.chance(broadcast_success)) {
+        int next = (own_channel + 1) % dep_cfg.n_channels;
+        if (next == cfg_.jammed_channel) {
+          next = (next + 1) % dep_cfg.n_channels;
+        }
+        own_channel = next;
+        ++result.hops;
+      }
+    }
+  }
+
+  result.mean_interference_penalty_db =
+      penalty_samples ? penalty_sum_db / static_cast<double>(penalty_samples)
+                      : 0.0;
+  result.throughput_bps = cfg_.phy.data_rate_bps() * result.packets.prr() *
+                          static_cast<double>(result.n_tags);
+  return result;
+}
+
+NetworkResult GatewaySim::run(const sim::SweepEngine& engine) const {
+  const std::size_t n_gateways = deployment_.gateways.size();
+  NetworkResult net;
+  net.shards.resize(n_gateways);
+  engine.for_each(
+      n_gateways,
+      sim::SweepEngine::derive_seed(cfg_.deployment.seed, kShardStream),
+      [&](std::size_t g, dsp::Rng& rng) { net.shards[g] = run_shard(g, rng); });
+
+  // Merge in gateway-index order — never in completion order — so the
+  // floating-point sums are schedule-independent.
+  double penalty_weighted = 0.0;
+  std::size_t tags_total = 0;
+  for (const ShardResult& s : net.shards) {
+    net.packets.merge(s.packets);
+    net.retransmissions += s.retransmissions;
+    net.handovers += s.handovers;
+    net.hops += s.hops;
+    net.window_prr.merge(s.window_prr);
+    net.throughput_bps += s.throughput_bps;
+    penalty_weighted += s.mean_interference_penalty_db *
+                        static_cast<double>(s.n_tags);
+    tags_total += s.n_tags;
+  }
+  net.mean_interference_penalty_db =
+      tags_total ? penalty_weighted / static_cast<double>(tags_total) : 0.0;
+  return net;
+}
+
+double gateway_sim_retransmission_prr(const RetransmissionStudyConfig& cfg,
+                                      const sim::SweepEngine& engine) {
+  GatewaySimConfig gw;
+  gw.deployment.n_gateways = 1;
+  gw.deployment.n_tags = 1;
+  gw.deployment.n_channels = 1;
+  gw.deployment.seed = cfg.seed;
+  gw.deployment.gateway_positions = {{0.0, 0.0}};
+  gw.deployment.tag_positions = {{cfg.distance_m, 0.0}};
+  gw.n_windows = cfg.n_packets;
+  gw.packets_per_window = 1;
+  gw.max_retransmissions = cfg.tag_has_saiyan ? cfg.max_retransmissions : 0;
+  gw.handover_enabled = false;
+  gw.interference_enabled = false;
+  gw.hopping_enabled = false;
+  MeasuredLinkOverride link;
+  link.uplink_success = cfg.base_prr;
+  link.jammed_uplink_success = cfg.base_prr;
+  link.downlink_success = cfg.downlink_success;
+  gw.measured_link = link;
+  return GatewaySim(gw).run(engine).aggregate_prr();
+}
+
+ChannelHoppingResult gateway_sim_channel_hopping(
+    const ChannelHoppingStudyConfig& cfg, const sim::SweepEngine& engine) {
+  GatewaySimConfig gw;
+  gw.deployment.n_gateways = 1;
+  gw.deployment.n_tags = 1;
+  gw.deployment.n_channels = 2;  // home channel + the escape channel
+  gw.deployment.seed = cfg.seed;
+  gw.deployment.gateway_positions = {{0.0, 0.0}};
+  gw.deployment.tag_positions = {{cfg.distance_m, 0.0}};
+  gw.n_windows = cfg.n_windows;
+  gw.packets_per_window = cfg.packets_per_window;
+  gw.max_retransmissions = 0;  // the study measures raw windowed PRR
+  gw.handover_enabled = false;
+  gw.interference_enabled = false;
+  gw.hopping_enabled = cfg.hopping_enabled;
+  gw.hop_threshold = cfg.hop_threshold;
+  gw.jammed_channel = 0;  // the jammer sits on the home channel
+  MeasuredLinkOverride link;
+  link.uplink_success = cfg.clean_prr;
+  link.jammed_uplink_success = cfg.jammed_prr;
+  link.downlink_success = cfg.downlink_success;
+  gw.measured_link = link;
+
+  const NetworkResult net = GatewaySim(gw).run(engine);
+  ChannelHoppingResult result;
+  result.prr_cdf = net.window_prr;
+  result.hops = net.hops;
+  return result;
+}
+
+}  // namespace saiyan::mac

@@ -1,0 +1,148 @@
+// Sharded multi-gateway network simulator.
+//
+// Scales the single-AP case studies of network_sim to gateway-dense
+// deployments: N gateways and M tags are placed on a 2-D plane
+// (mac/deployment.hpp), each tag attaches to the gateway with the
+// strongest link budget, and every gateway cell runs as an independent
+// shard on sim::SweepEngine workers. Each shard draws from its own RNG
+// stream (SweepEngine::derive_seed) and writes its results by gateway
+// index, so the aggregate network metrics are bit-identical at any
+// worker-thread count.
+//
+// Per measurement window a shard simulates, for every attached tag:
+//   * log-normal shadowing on the serving link (optional),
+//   * handover to a stronger gateway when the serving link degrades
+//     past a hysteresis margin (the handover command must survive the
+//     new gateway's Saiyan downlink),
+//   * co-channel interference from neighboring gateways' downlink
+//     carriers (activity-gated) and from an optional jammer, through
+//     the reusable channel::interference hook (the jammer targets the
+//     uplink band only, matching the paper's Fig. 27 setup where the
+//     USRP jams tag transmissions while the Saiyan downlink keeps
+//     delivering),
+//   * the Fig. 26 ACK/retransmission loop for every uplink packet, and
+//   * the Fig. 27 channel-hop escape once the cell's windowed PRR
+//     collapses on a jammed channel.
+//
+// Sharding notes: a tag that hands over keeps being simulated by the
+// shard that initially owned it (ownership is fixed at assignment
+// time, which is what keeps shards independent); it simply continues
+// on the new gateway's link budget and static channel. Likewise a
+// shard sees neighboring gateways on their *static* channel plan —
+// another cell's jammer-escape hop is not observed across shards.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "mac/deployment.hpp"
+#include "mac/network_sim.hpp"
+#include "sim/ber_model.hpp"
+#include "sim/sweep_engine.hpp"
+
+namespace saiyan::mac {
+
+/// Case-study mode (paper §5.3): bypass the physical BER model and use
+/// measured per-link success probabilities, exactly like the Fig. 26 /
+/// Fig. 27 single-AP studies. This is what makes the 1-gateway
+/// GatewaySim the ported version of those studies.
+struct MeasuredLinkOverride {
+  double uplink_success = 0.95;         ///< clean-channel uplink PRR
+  double jammed_uplink_success = 0.45;  ///< uplink PRR under the jammer
+  double downlink_success = 0.98;       ///< Saiyan downlink delivery
+};
+
+struct GatewaySimConfig {
+  DeploymentConfig deployment;
+  lora::PhyParams phy;                 ///< uplink/downlink PHY
+  core::Mode mode = core::Mode::kSuper;
+  sim::BerModelConfig ber;             ///< physical link model constants
+
+  std::size_t n_windows = 50;          ///< PRR measurement windows
+  std::size_t packets_per_window = 20; ///< uplink packets per tag per window
+  std::size_t max_retransmissions = 2; ///< Fig. 26 ACK feedback loop
+  std::size_t payload_bits = 128;      ///< uplink packet size
+  std::size_t downlink_bits = 32;      ///< feedback frame size
+  double temperature_c = 25.0;
+
+  double shadowing_sigma_db = 0.0;     ///< per-(tag, window) serving-link
+                                       ///< log-normal shadowing
+  bool handover_enabled = true;
+  double handover_margin_db = 3.0;     ///< hysteresis before switching
+
+  bool interference_enabled = true;
+  double interferer_activity = 0.25;   ///< co-channel downlink duty cycle
+  double noise_figure_db = 6.0;
+
+  bool hopping_enabled = true;         ///< jammer escape (Fig. 27)
+  double hop_threshold = 0.6;          ///< windowed-PRR hop trigger
+  int jammed_channel = -1;             ///< -1: no jammer present
+  Position jammer_position{};
+  double jammer_eirp_dbm = 30.0;
+
+  std::optional<MeasuredLinkOverride> measured_link;  ///< case-study mode
+};
+
+/// Results of one gateway shard (merged in gateway-index order).
+struct ShardResult {
+  std::size_t gateway = 0;
+  std::size_t n_tags = 0;
+  sim::PacketCounter packets;       ///< offered vs delivered uplink data
+  std::size_t retransmissions = 0;  ///< feedback-requested repeats
+  std::size_t handovers = 0;        ///< tags moved to a stronger gateway
+  std::size_t hops = 0;             ///< jammer-escape channel hops
+  sim::Cdf window_prr;              ///< per-window cell PRR distribution
+  double mean_interference_penalty_db = 0.0;
+  double throughput_bps = 0.0;      ///< data rate × PRR × tags
+};
+
+struct NetworkResult {
+  std::vector<ShardResult> shards;  ///< by gateway index
+  sim::PacketCounter packets;       ///< network-wide merge
+  std::size_t retransmissions = 0;
+  std::size_t handovers = 0;
+  std::size_t hops = 0;
+  sim::Cdf window_prr;              ///< all cells' windows pooled
+  double throughput_bps = 0.0;      ///< aggregate network throughput
+  double mean_interference_penalty_db = 0.0;  ///< tag-weighted
+
+  double aggregate_prr() const { return packets.prr(); }
+};
+
+class GatewaySim {
+ public:
+  /// Builds the deployment (placement + link-budget assignment).
+  explicit GatewaySim(const GatewaySimConfig& cfg);
+
+  const GatewaySimConfig& config() const { return cfg_; }
+  const Deployment& deployment() const { return deployment_; }
+
+  /// Run every gateway shard on the engine's workers and merge. Pure
+  /// function of (config, seed) — bit-identical at any thread count.
+  NetworkResult run(const sim::SweepEngine& engine) const;
+
+ private:
+  ShardResult run_shard(std::size_t gateway, dsp::Rng& rng) const;
+
+  GatewaySimConfig cfg_;
+  Deployment deployment_;
+  sim::BerModel model_;
+  // Geometry is static, so every pairwise received power is computed
+  // once here instead of per (window × tag) in the shard hot loop.
+  std::vector<double> tag_gw_rss_dbm_;  ///< [tag * n_gateways + gw]
+  std::vector<double> gw_gw_rss_dbm_;   ///< [gw * n_gateways + other]
+  std::vector<double> jammer_at_gw_dbm_;  ///< per gateway (jammer set)
+};
+
+/// Fig. 26 port: the retransmission study as a 1-gateway, 1-tag
+/// deployment in case-study mode. Returns the network PRR.
+double gateway_sim_retransmission_prr(const RetransmissionStudyConfig& cfg,
+                                      const sim::SweepEngine& engine);
+
+/// Fig. 27 port: the channel-hopping study as a 1-gateway, 1-tag
+/// deployment with the jammer on the home channel.
+ChannelHoppingResult gateway_sim_channel_hopping(
+    const ChannelHoppingStudyConfig& cfg, const sim::SweepEngine& engine);
+
+}  // namespace saiyan::mac

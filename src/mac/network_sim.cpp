@@ -4,20 +4,40 @@
 
 namespace saiyan::mac {
 
+bool deliver_with_retransmissions(double uplink_success,
+                                  double downlink_success,
+                                  std::size_t max_retx, bool tag_has_saiyan,
+                                  dsp::Rng& rng, std::size_t* attempts) {
+  bool ok = rng.chance(uplink_success);
+  std::size_t tries = 0;
+  while (!ok && tries < max_retx) {
+    // The AP noticed the loss and asks for a re-transmission; the
+    // request must itself survive the Saiyan downlink.
+    if (!tag_has_saiyan || !rng.chance(downlink_success)) break;
+    ++tries;
+    ok = rng.chance(uplink_success);
+  }
+  if (attempts) *attempts += tries;
+  return ok;
+}
+
+double window_prr(double p, std::size_t packets, dsp::Rng& rng) {
+  std::size_t got = 0;
+  for (std::size_t k = 0; k < packets; ++k) {
+    got += rng.chance(p) ? 1 : 0;
+  }
+  return packets ? static_cast<double>(got) / static_cast<double>(packets) : 0.0;
+}
+
 double retransmission_prr(const RetransmissionStudyConfig& cfg) {
   dsp::Rng rng(cfg.seed);
   std::size_t delivered = 0;
   for (std::size_t p = 0; p < cfg.n_packets; ++p) {
-    bool ok = rng.chance(cfg.base_prr);
-    std::size_t attempts = 0;
-    while (!ok && attempts < cfg.max_retransmissions) {
-      // The AP noticed the loss and asks for a re-transmission; the
-      // request must itself survive the Saiyan downlink.
-      if (!cfg.tag_has_saiyan || !rng.chance(cfg.downlink_success)) break;
-      ++attempts;
-      ok = rng.chance(cfg.base_prr);
-    }
-    delivered += ok ? 1 : 0;
+    delivered += deliver_with_retransmissions(
+                     cfg.base_prr, cfg.downlink_success,
+                     cfg.max_retransmissions, cfg.tag_has_saiyan, rng)
+                     ? 1
+                     : 0;
   }
   return static_cast<double>(delivered) / static_cast<double>(cfg.n_packets);
 }
@@ -28,12 +48,7 @@ ChannelHoppingResult channel_hopping_study(const ChannelHoppingStudyConfig& cfg)
   bool on_jammed_channel = true;  // the jammer sits on the home channel
   for (std::size_t w = 0; w < cfg.n_windows; ++w) {
     const double p = on_jammed_channel ? cfg.jammed_prr : cfg.clean_prr;
-    std::size_t got = 0;
-    for (std::size_t k = 0; k < cfg.packets_per_window; ++k) {
-      got += rng.chance(p) ? 1 : 0;
-    }
-    const double prr =
-        static_cast<double>(got) / static_cast<double>(cfg.packets_per_window);
+    const double prr = window_prr(p, cfg.packets_per_window, rng);
     result.prr_cdf.add(prr);
     if (cfg.hopping_enabled && on_jammed_channel && prr < cfg.hop_threshold) {
       // AP issues the hop command over the Saiyan downlink.

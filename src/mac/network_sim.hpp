@@ -5,11 +5,37 @@
 
 #include <vector>
 
+#include "dsp/rng.hpp"
 #include "mac/feedback_controller.hpp"
 #include "mac/tag.hpp"
 #include "sim/metrics.hpp"
 
 namespace saiyan::mac {
+
+// ------------------------------------------------------------------
+// Shared Monte-Carlo kernels. The single-AP case studies below and the
+// multi-gateway GatewaySim shards both run their loss processes
+// through these, so the two layers stay in lock-step (the 1-gateway
+// GatewaySim is the same process, just sharded and reseeded).
+
+/// One uplink delivery with up to `max_retx` feedback-requested
+/// repeats (Fig. 26 mechanics). Draw order: uplink attempt, then per
+/// retry a downlink-request draw followed by the repeated uplink.
+/// When `attempts` is non-null it accumulates the retransmissions
+/// actually requested.
+bool deliver_with_retransmissions(double uplink_success,
+                                  double downlink_success,
+                                  std::size_t max_retx, bool tag_has_saiyan,
+                                  dsp::Rng& rng,
+                                  std::size_t* attempts = nullptr);
+
+/// One PRR measurement window: `packets` Bernoulli(p) receptions.
+double window_prr(double p, std::size_t packets, dsp::Rng& rng);
+
+// ------------------------------------------------------------------
+// Single-AP case studies (paper §5.3). Kept as the reference
+// implementations; GatewaySim reproduces them as its 1-gateway
+// special case (tests/test_gateway_sim.cpp pins both).
 
 struct RetransmissionStudyConfig {
   double distance_m = 100.0;        ///< paper §5.3.1 link distance

@@ -26,6 +26,13 @@ void ErrorCounter::add_bits(std::size_t errors, std::size_t total) {
   bits_ += total;
 }
 
+void ErrorCounter::merge(const ErrorCounter& other) {
+  bit_errors_ += other.bit_errors_;
+  bits_ += other.bits_;
+  symbol_errors_ += other.symbol_errors_;
+  symbols_ += other.symbols_;
+}
+
 double ErrorCounter::ber() const {
   return bits_ ? static_cast<double>(bit_errors_) / static_cast<double>(bits_) : 0.0;
 }

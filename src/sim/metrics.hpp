@@ -17,6 +17,11 @@ class ErrorCounter {
 
   void add_bits(std::size_t errors, std::size_t total);
 
+  /// Fold another counter in (shard-aware merge: commutative and
+  /// associative, so per-shard results can be combined in index order
+  /// regardless of which worker produced them).
+  void merge(const ErrorCounter& other);
+
   double ber() const;
   double ser() const;
   std::size_t bit_errors() const { return bit_errors_; }
@@ -35,7 +40,16 @@ class ErrorCounter {
 class PacketCounter {
  public:
   void add(bool received) { received_ += received ? 1 : 0; ++total_; }
+  void add_many(std::size_t received, std::size_t total) {
+    received_ += received;
+    total_ += total;
+  }
+  /// Fold another counter in (shard-aware merge).
+  void merge(const PacketCounter& other) {
+    add_many(other.received_, other.total_);
+  }
   double prr() const { return total_ ? static_cast<double>(received_) / total_ : 0.0; }
+  std::size_t received() const { return received_; }
   std::size_t total() const { return total_; }
 
  private:
@@ -47,6 +61,12 @@ class PacketCounter {
 class Cdf {
  public:
   void add(double sample) { samples_.push_back(sample); }
+  /// Append another CDF's samples (shard-aware merge; quantiles sort,
+  /// so sample order does not affect the result).
+  void merge(const Cdf& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
   /// Value at quantile q in [0,1].
   double quantile(double q) const;
   double median() const { return quantile(0.5); }

@@ -71,4 +71,8 @@ std::string fmt_sci(double value, int precision) {
   return buf;
 }
 
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(100.0 * fraction, precision);
+}
+
 }  // namespace saiyan::sim

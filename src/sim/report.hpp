@@ -34,4 +34,7 @@ std::string fmt(double value, int precision = 2);
 /// Scientific notation, e.g. "1.8e-03".
 std::string fmt_sci(double value, int precision = 1);
 
+/// Fraction rendered as a percentage, e.g. fmt_pct(0.818) == "81.8".
+std::string fmt_pct(double fraction, int precision = 1);
+
 }  // namespace saiyan::sim

@@ -1,0 +1,384 @@
+// Sharded multi-gateway network simulator: deployment geometry and
+// link-budget assignment, shard-count determinism, the co-channel
+// interference hook, handover, jammer escape, shard-aware metric
+// merging, and the golden-value regression pinning the Fig. 26/27
+// case studies across the kernel refactor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "channel/interference.hpp"
+#include "mac/gateway_sim.hpp"
+
+namespace saiyan::mac {
+namespace {
+
+// ------------------------------------------------------------------
+// channel::interference hook
+
+TEST(InterferenceHook, NoiseFloorMatchesHandComputation) {
+  // -174 dBm/Hz + 10·log10(500 kHz) + 6 dB NF.
+  EXPECT_NEAR(channel::noise_floor_dbm(500e3, 6.0), -111.0103, 1e-3);
+  EXPECT_THROW(channel::noise_floor_dbm(0.0), std::invalid_argument);
+}
+
+TEST(InterferenceHook, SumPowerMatchesHandComputation) {
+  // Two equal -90 dBm sources add 3.01 dB.
+  const std::vector<double> two = {-90.0, -90.0};
+  EXPECT_NEAR(channel::sum_power_dbm(two), -86.9897, 1e-3);
+  EXPECT_TRUE(std::isinf(channel::sum_power_dbm({})));
+}
+
+TEST(InterferenceHook, SinrAgainstFloorAndInterferers) {
+  // No interference: SINR is just SNR.
+  EXPECT_NEAR(channel::sinr_db(-80.0, {}, -100.0), 20.0, 1e-9);
+  // One interferer at the floor halves the denominator margin.
+  const std::vector<double> one = {-100.0};
+  EXPECT_NEAR(channel::sinr_db(-80.0, one, -100.0), 20.0 - 3.0103, 1e-3);
+}
+
+TEST(InterferenceHook, PenaltyMatchesHandComputation) {
+  EXPECT_EQ(channel::interference_penalty_db({}, -110.0), 0.0);
+  // Interference equal to the floor: 10·log10(2).
+  const std::vector<double> eq = {-110.0};
+  EXPECT_NEAR(channel::interference_penalty_db(eq, -110.0), 3.0103, 1e-3);
+  // Interference 10 dB under the floor: 10·log10(1.1).
+  const std::vector<double> weak = {-120.0};
+  EXPECT_NEAR(channel::interference_penalty_db(weak, -110.0), 0.4139, 1e-3);
+}
+
+// ------------------------------------------------------------------
+// Deployment: placement + link-budget assignment
+
+TEST(Deployment, AssignmentMatchesHandComputedLinkBudgets) {
+  DeploymentConfig cfg;
+  cfg.n_gateways = 2;
+  cfg.n_tags = 3;
+  cfg.gateway_positions = {{0.0, 0.0}, {200.0, 0.0}};
+  cfg.tag_positions = {{50.0, 0.0}, {150.0, 0.0}, {100.0, 0.0}};
+  const Deployment d = Deployment::make(cfg);
+
+  // Tag 0 is 50 m from gateway 0 and 150 m from gateway 1; with a
+  // monotone path-loss model the nearer gateway wins.
+  EXPECT_EQ(d.serving_gateway[0], 0u);
+  EXPECT_EQ(d.serving_gateway[1], 1u);
+  // Equidistant tie breaks to the lowest index, deterministically.
+  EXPECT_EQ(d.serving_gateway[2], 0u);
+
+  // The stored serving RSS is exactly the link budget at the
+  // tag-to-gateway distance.
+  EXPECT_DOUBLE_EQ(d.serving_rss_dbm[0], cfg.link.rss_dbm(50.0, cfg.env));
+  EXPECT_DOUBLE_EQ(d.serving_rss_dbm[1], cfg.link.rss_dbm(50.0, cfg.env));
+  EXPECT_DOUBLE_EQ(d.serving_rss_dbm[2], cfg.link.rss_dbm(100.0, cfg.env));
+
+  // Wall losses shift every link identically, so assignment holds.
+  DeploymentConfig walls = cfg;
+  walls.env.concrete_walls = 2;
+  const Deployment dw = Deployment::make(walls);
+  EXPECT_EQ(dw.serving_gateway, d.serving_gateway);
+  EXPECT_DOUBLE_EQ(dw.serving_rss_dbm[0], walls.link.rss_dbm(50.0, walls.env));
+  EXPECT_LT(dw.serving_rss_dbm[0], d.serving_rss_dbm[0]);
+}
+
+TEST(Deployment, ShardPartitionCoversEveryTagOnce) {
+  DeploymentConfig cfg;
+  cfg.n_gateways = 5;
+  cfg.n_tags = 97;
+  const Deployment d = Deployment::make(cfg);
+  std::vector<int> seen(cfg.n_tags, 0);
+  for (std::size_t g = 0; g < d.shard_tags.size(); ++g) {
+    for (std::size_t t : d.shard_tags[g]) {
+      ASSERT_LT(t, cfg.n_tags);
+      EXPECT_EQ(d.serving_gateway[t], g);
+      ++seen[t];
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int n) { return n == 1; }));
+}
+
+TEST(Deployment, PlacementDeterministicAndInBounds) {
+  DeploymentConfig cfg;
+  cfg.n_gateways = 4;
+  cfg.n_tags = 64;
+  cfg.area_side_m = 250.0;
+  const Deployment a = Deployment::make(cfg);
+  const Deployment b = Deployment::make(cfg);
+  ASSERT_EQ(a.tags.size(), 64u);
+  for (std::size_t t = 0; t < a.tags.size(); ++t) {
+    EXPECT_DOUBLE_EQ(a.tags[t].x_m, b.tags[t].x_m);
+    EXPECT_DOUBLE_EQ(a.tags[t].y_m, b.tags[t].y_m);
+    EXPECT_GE(a.tags[t].x_m, 0.0);
+    EXPECT_LE(a.tags[t].x_m, cfg.area_side_m);
+    EXPECT_GE(a.tags[t].y_m, 0.0);
+    EXPECT_LE(a.tags[t].y_m, cfg.area_side_m);
+  }
+  // A different seed moves the tags.
+  DeploymentConfig other = cfg;
+  other.seed = 43;
+  const Deployment c = Deployment::make(other);
+  EXPECT_NE(a.tags[0].x_m, c.tags[0].x_m);
+}
+
+TEST(Deployment, RejectsBadConfigs) {
+  DeploymentConfig cfg;
+  cfg.n_gateways = 0;
+  EXPECT_THROW(Deployment::make(cfg), std::invalid_argument);
+  cfg.n_gateways = 2;
+  cfg.n_channels = 0;
+  EXPECT_THROW(Deployment::make(cfg), std::invalid_argument);
+  cfg.n_channels = 2;
+  cfg.gateway_positions = {{0.0, 0.0}};  // 1 position for 2 gateways
+  EXPECT_THROW(Deployment::make(cfg), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------
+// Shard-count determinism (the acceptance bar: ≥4 gateways, ≥64 tags,
+// bit-identical at 1, 2 and 8 workers)
+
+GatewaySimConfig busy_network() {
+  GatewaySimConfig cfg;
+  cfg.deployment.n_gateways = 4;
+  cfg.deployment.n_tags = 64;
+  cfg.deployment.area_side_m = 500.0;
+  cfg.deployment.n_channels = 2;
+  cfg.deployment.seed = 7;
+  cfg.n_windows = 12;
+  cfg.packets_per_window = 8;
+  cfg.max_retransmissions = 2;
+  cfg.shadowing_sigma_db = 6.0;   // exercises the shadowing draws
+  cfg.interference_enabled = true;
+  cfg.handover_enabled = true;
+  cfg.jammed_channel = 0;         // and the jammer + hop paths
+  cfg.jammer_position = {250.0, 250.0};
+  cfg.jammer_eirp_dbm = 36.0;
+  return cfg;
+}
+
+TEST(GatewaySim, AggregatePrrBitIdenticalAcrossWorkerCounts) {
+  const GatewaySim gw(busy_network());
+  std::vector<NetworkResult> runs;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    runs.push_back(gw.run(sim::SweepEngine(threads)));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].aggregate_prr(), runs[0].aggregate_prr());
+    EXPECT_EQ(runs[r].throughput_bps, runs[0].throughput_bps);
+    EXPECT_EQ(runs[r].packets.received(), runs[0].packets.received());
+    EXPECT_EQ(runs[r].packets.total(), runs[0].packets.total());
+    EXPECT_EQ(runs[r].retransmissions, runs[0].retransmissions);
+    EXPECT_EQ(runs[r].handovers, runs[0].handovers);
+    EXPECT_EQ(runs[r].hops, runs[0].hops);
+    EXPECT_EQ(runs[r].mean_interference_penalty_db,
+              runs[0].mean_interference_penalty_db);
+    ASSERT_EQ(runs[r].shards.size(), runs[0].shards.size());
+    for (std::size_t g = 0; g < runs[0].shards.size(); ++g) {
+      EXPECT_EQ(runs[r].shards[g].packets.prr(),
+                runs[0].shards[g].packets.prr());
+      EXPECT_EQ(runs[r].shards[g].retransmissions,
+                runs[0].shards[g].retransmissions);
+    }
+  }
+  // The run does real work: packets flowed and feedback fired.
+  EXPECT_EQ(runs[0].packets.total(), 64u * 12u * 8u);
+  EXPECT_GT(runs[0].retransmissions, 0u);
+}
+
+TEST(GatewaySim, RepeatedRunsAreIdentical) {
+  const GatewaySim gw(busy_network());
+  const sim::SweepEngine engine(4);
+  const NetworkResult a = gw.run(engine);
+  const NetworkResult b = gw.run(engine);
+  EXPECT_EQ(a.aggregate_prr(), b.aggregate_prr());
+  EXPECT_EQ(a.handovers, b.handovers);
+  EXPECT_EQ(a.hops, b.hops);
+}
+
+// ------------------------------------------------------------------
+// Scenario behavior
+
+TEST(GatewaySim, CoChannelInterferenceCostsPrr) {
+  GatewaySimConfig cfg;
+  cfg.deployment.n_gateways = 9;
+  cfg.deployment.n_tags = 96;
+  cfg.deployment.area_side_m = 600.0;
+  cfg.deployment.n_channels = 3;
+  cfg.n_windows = 10;
+  cfg.packets_per_window = 10;
+  cfg.handover_enabled = false;
+  GatewaySimConfig quiet = cfg;
+  quiet.interference_enabled = false;
+  const sim::SweepEngine engine(2);
+  const NetworkResult noisy = GatewaySim(cfg).run(engine);
+  const NetworkResult silent = GatewaySim(quiet).run(engine);
+  EXPECT_GT(noisy.mean_interference_penalty_db, 0.0);
+  EXPECT_EQ(silent.mean_interference_penalty_db, 0.0);
+  EXPECT_GT(silent.aggregate_prr(), noisy.aggregate_prr());
+}
+
+TEST(GatewaySim, HandoverMovesTagsToStrongerGateways) {
+  GatewaySimConfig cfg;
+  cfg.deployment.n_gateways = 4;
+  cfg.deployment.n_tags = 64;
+  cfg.deployment.area_side_m = 500.0;
+  cfg.deployment.seed = 11;
+  cfg.n_windows = 20;
+  cfg.packets_per_window = 5;
+  cfg.shadowing_sigma_db = 8.0;  // deep fades push tags across cells
+  cfg.interference_enabled = false;
+  GatewaySimConfig pinned = cfg;
+  pinned.handover_enabled = false;
+  const sim::SweepEngine engine(2);
+  const NetworkResult mobile = GatewaySim(cfg).run(engine);
+  const NetworkResult stuck = GatewaySim(pinned).run(engine);
+  EXPECT_GT(mobile.handovers, 0u);
+  EXPECT_EQ(stuck.handovers, 0u);
+}
+
+TEST(GatewaySim, JammerEscapeLiftsJammedCells) {
+  GatewaySimConfig cfg;
+  cfg.deployment.n_gateways = 4;
+  cfg.deployment.n_tags = 64;
+  cfg.deployment.area_side_m = 400.0;
+  cfg.deployment.n_channels = 4;
+  cfg.n_windows = 30;
+  cfg.packets_per_window = 10;
+  cfg.handover_enabled = false;
+  cfg.interference_enabled = false;
+  cfg.jammed_channel = 0;
+  cfg.jammer_position = {200.0, 200.0};
+  cfg.jammer_eirp_dbm = 40.0;
+  cfg.hopping_enabled = true;
+  GatewaySimConfig pinned = cfg;
+  pinned.hopping_enabled = false;
+  const sim::SweepEngine engine(2);
+  const NetworkResult escaped = GatewaySim(cfg).run(engine);
+  const NetworkResult jammed = GatewaySim(pinned).run(engine);
+  EXPECT_GT(escaped.hops, 0u);
+  EXPECT_EQ(jammed.hops, 0u);
+  EXPECT_GT(escaped.aggregate_prr(), jammed.aggregate_prr());
+}
+
+// ------------------------------------------------------------------
+// Shard-aware metric merging
+
+TEST(MetricsMerge, CountersFoldLikeSequentialAccumulation) {
+  sim::PacketCounter a, b, whole;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i % 2 == 0);
+    whole.add(i % 2 == 0);
+  }
+  for (int i = 0; i < 7; ++i) {
+    b.add(i % 3 == 0);
+    whole.add(i % 3 == 0);
+  }
+  sim::PacketCounter merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.received(), whole.received());
+  EXPECT_EQ(merged.total(), whole.total());
+  EXPECT_EQ(merged.prr(), whole.prr());
+
+  sim::ErrorCounter ea, eb;
+  ea.add_symbol(1, 2, 3);
+  eb.add_symbol(5, 5, 3);
+  eb.add_bits(2, 10);
+  sim::ErrorCounter em;
+  em.merge(ea);
+  em.merge(eb);
+  EXPECT_EQ(em.symbols(), 2u);
+  EXPECT_EQ(em.symbol_errors(), 1u);
+  EXPECT_EQ(em.bits(), 16u);
+  EXPECT_EQ(em.bit_errors(), 2u + 2u);
+}
+
+TEST(MetricsMerge, CdfMergePoolsSamples) {
+  sim::Cdf a, b, whole;
+  for (double v : {0.1, 0.5, 0.9}) {
+    a.add(v);
+    whole.add(v);
+  }
+  for (double v : {0.2, 0.8}) {
+    b.add(v);
+    whole.add(v);
+  }
+  sim::Cdf merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.size(), whole.size());
+  EXPECT_DOUBLE_EQ(merged.median(), whole.median());
+  EXPECT_DOUBLE_EQ(merged.quantile(0.25), whole.quantile(0.25));
+}
+
+// ------------------------------------------------------------------
+// Golden-value regression: the kernel refactor (network_sim now runs
+// through deliver_with_retransmissions / window_prr, shared with the
+// GatewaySim shards) must not move a single draw of the legacy
+// single-AP studies. Values captured from the pre-refactor build.
+
+TEST(GoldenCaseStudies, RetransmissionExactValuesUnchanged) {
+  const double plora_expect[4] = {0.81345000000000001, 0.96389999999999998,
+                                  0.99109999999999998, 0.995};
+  const double aloba_expect[4] = {0.45534999999999998, 0.70089999999999997,
+                                  0.82994999999999997, 0.89929999999999999};
+  for (std::size_t n = 0; n <= 3; ++n) {
+    RetransmissionStudyConfig cfg;
+    cfg.n_packets = 20000;
+    cfg.max_retransmissions = n;
+    cfg.base_prr = 0.818;
+    EXPECT_EQ(retransmission_prr(cfg), plora_expect[n]) << "plora n=" << n;
+    cfg.base_prr = 0.456;
+    EXPECT_EQ(retransmission_prr(cfg), aloba_expect[n]) << "aloba n=" << n;
+  }
+  RetransmissionStudyConfig no_saiyan;
+  no_saiyan.base_prr = 0.456;
+  no_saiyan.max_retransmissions = 3;
+  no_saiyan.tag_has_saiyan = false;
+  no_saiyan.n_packets = 10000;
+  EXPECT_EQ(retransmission_prr(no_saiyan), 0.45700000000000002);
+}
+
+TEST(GoldenCaseStudies, ChannelHoppingExactValuesUnchanged) {
+  ChannelHoppingStudyConfig jammed;
+  jammed.hopping_enabled = false;
+  const ChannelHoppingResult before = channel_hopping_study(jammed);
+  EXPECT_EQ(before.prr_cdf.median(), 0.45000000000000001);
+  EXPECT_EQ(before.hops, 0u);
+
+  ChannelHoppingStudyConfig hopping;
+  const ChannelHoppingResult after = channel_hopping_study(hopping);
+  EXPECT_EQ(after.prr_cdf.median(), 0.94999999999999996);
+  EXPECT_EQ(after.prr_cdf.quantile(0.1), 0.84999999999999998);
+  EXPECT_EQ(after.prr_cdf.quantile(0.9), 1.0);
+  EXPECT_EQ(after.hops, 1u);
+}
+
+TEST(GoldenCaseStudies, GatewaySimPortReproducesLegacyStudies) {
+  // The 1-gateway GatewaySim port runs the same loss process from
+  // reseeded shard streams — equal within Monte-Carlo tolerance.
+  const sim::SweepEngine engine(2);
+  for (std::size_t n = 0; n <= 3; ++n) {
+    RetransmissionStudyConfig cfg;
+    cfg.base_prr = 0.456;
+    cfg.n_packets = 20000;
+    cfg.max_retransmissions = n;
+    EXPECT_NEAR(gateway_sim_retransmission_prr(cfg, engine),
+                retransmission_prr(cfg), 0.015)
+        << "n=" << n;
+  }
+
+  ChannelHoppingStudyConfig hop;
+  const ChannelHoppingResult legacy = channel_hopping_study(hop);
+  const ChannelHoppingResult ported = gateway_sim_channel_hopping(hop, engine);
+  EXPECT_NEAR(ported.prr_cdf.median(), legacy.prr_cdf.median(), 0.05);
+  EXPECT_GE(ported.hops, 1u);
+  ChannelHoppingStudyConfig stay;
+  stay.hopping_enabled = false;
+  const ChannelHoppingResult stayed = gateway_sim_channel_hopping(stay, engine);
+  EXPECT_EQ(stayed.hops, 0u);
+  EXPECT_NEAR(stayed.prr_cdf.median(), 0.45, 0.08);
+}
+
+}  // namespace
+}  // namespace saiyan::mac
