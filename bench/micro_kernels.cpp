@@ -4,9 +4,11 @@
 #include <benchmark/benchmark.h>
 
 #include "channel/awgn_channel.hpp"
+#include "core/batch_demod.hpp"
 #include "core/demodulator.hpp"
 #include "dsp/correlate.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/simd.hpp"
 #include "frontend/envelope_detector.hpp"
 #include "dsp/noise.hpp"
 #include "lora/chirp.hpp"
@@ -40,7 +42,101 @@ void BM_Fft(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
-BENCHMARK(BM_Fft)->Arg(1024)->Arg(16384)->Arg(65536);
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(16384)->Arg(49152)->Arg(65536);
+
+// ---------------------------------------------------- per-sample kernels
+// The runtime-dispatched SIMD passes (dsp/simd.hpp). range(0) selects
+// the ISA: 0 = dispatched (native), 1 = forced scalar, so the JSON
+// records both sides of every kernel.
+
+dsp::simd::Isa bench_isa(std::int64_t arg) {
+  return arg == 1 ? dsp::simd::Isa::kScalar : dsp::simd::Isa::kAuto;
+}
+
+void BM_SquareLaw(benchmark::State& state) {
+  constexpr std::size_t n = 49152;
+  dsp::Rng rng(11);
+  const dsp::Signal x = dsp::complex_awgn(n, 1e-9, rng);
+  dsp::RealSignal y(n);
+  dsp::simd::set_isa(bench_isa(state.range(0)));
+  for (auto _ : state) {
+    dsp::simd::square_law(x.data(), n, 0.5, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  dsp::simd::set_isa(dsp::simd::Isa::kAuto);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SquareLaw)->Arg(0)->Arg(1);
+
+void BM_ScaleAddGaussian(benchmark::State& state) {
+  // The AWGN channel pass over 2n doubles: fused draw + inject.
+  constexpr std::size_t n = 2 * 49152;
+  dsp::Rng data_rng(12);
+  dsp::RealSignal x(n), out(n);
+  for (auto& v : x) v = data_rng.gaussian();
+  dsp::Rng rng(121);
+  dsp::simd::set_isa(bench_isa(state.range(0)));
+  for (auto _ : state) {
+    dsp::simd::scale_add_gaussian(x.data(), n, 1e-4, 1e-8, out.data(), rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  dsp::simd::set_isa(dsp::simd::Isa::kAuto);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ScaleAddGaussian)->Arg(0)->Arg(1);
+
+void BM_MixLoTable(benchmark::State& state) {
+  // The CFS output mixer against the cached LO table. Out-of-place so
+  // the operands stay representative (in-place would decay x to
+  // denormals/inf over the iteration count).
+  constexpr std::size_t n = 49152;
+  dsp::Rng rng(13);
+  dsp::RealSignal x(n), lo(n), out(n);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto& v : lo) v = rng.gaussian();
+  dsp::simd::set_isa(bench_isa(state.range(0)));
+  for (auto _ : state) {
+    dsp::simd::multiply(x.data(), lo.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  dsp::simd::set_isa(dsp::simd::Isa::kAuto);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MixLoTable)->Arg(0)->Arg(1);
+
+void BM_SumSquares(benchmark::State& state) {
+  constexpr std::size_t n = 2 * 49152;
+  dsp::Rng rng(14);
+  dsp::RealSignal x(n);
+  for (auto& v : x) v = rng.gaussian();
+  dsp::simd::set_isa(bench_isa(state.range(0)));
+  for (auto _ : state) {
+    double s = dsp::simd::sum_squares(x.data(), n);
+    benchmark::DoNotOptimize(s);
+  }
+  dsp::simd::set_isa(dsp::simd::Isa::kAuto);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SumSquares)->Arg(0)->Arg(1);
+
+void BM_FillGaussian(benchmark::State& state) {
+  constexpr std::size_t n = 2 * 49152;
+  dsp::Rng rng(15);
+  dsp::RealSignal out(n);
+  dsp::simd::set_isa(bench_isa(state.range(0)));
+  for (auto _ : state) {
+    dsp::simd::fill_gaussian(rng, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  dsp::simd::set_isa(dsp::simd::Isa::kAuto);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FillGaussian)->Arg(0)->Arg(1);
 
 void BM_SawFilter(benchmark::State& state) {
   const lora::PhyParams p = phy();
@@ -83,6 +179,37 @@ void BM_SaiyanDemodPacket(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SaiyanDemodPacket)
+    ->Arg(static_cast<int>(core::Mode::kVanilla))
+    ->Arg(static_cast<int>(core::Mode::kFrequencyShifting))
+    ->Arg(static_cast<int>(core::Mode::kSuper));
+
+void BM_BatchDecode(benchmark::State& state) {
+  // The zero-allocation batch engine running the full per-packet sweep
+  // loop — fresh payload, modulate, channel, aligned decode — through
+  // one warm DemodWorkspace. items/sec = packets/sec; compare against
+  // BM_SaiyanDemodPacket (decode stage only, allocating API).
+  const auto mode = static_cast<core::Mode>(state.range(0));
+  const core::SaiyanConfig cfg = core::SaiyanConfig::make(phy(), mode);
+  core::BatchDemodulator batch(cfg);
+  lora::Modulator mod(cfg.phy);
+  channel::AwgnChannel chan(cfg.phy.sample_rate_hz, 6.0);
+  core::DemodWorkspace& ws = batch.workspace();
+  const lora::PacketLayout lay = mod.layout(32);
+  dsp::Rng rng(16);
+  for (auto _ : state) {
+    ws.tx.resize(32);
+    for (std::uint32_t& v : ws.tx) {
+      v = static_cast<std::uint32_t>(
+          rng.uniform_int(0, cfg.phy.symbol_alphabet() - 1));
+    }
+    mod.modulate_into(ws.tx, ws.wave);
+    chan.apply_into(ws.wave, -55.0, rng, ws.rx);
+    auto symbols = batch.decode_aligned(ws.rx, lay.payload_start, 32, rng);
+    benchmark::DoNotOptimize(symbols.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BatchDecode)
     ->Arg(static_cast<int>(core::Mode::kVanilla))
     ->Arg(static_cast<int>(core::Mode::kFrequencyShifting))
     ->Arg(static_cast<int>(core::Mode::kSuper));

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dsp/simd.hpp"
 #include "dsp/utils.hpp"
 
 namespace saiyan::channel {
@@ -11,18 +12,24 @@ AwgnChannel::AwgnChannel(double noise_bandwidth_hz, double noise_figure_db)
 
 dsp::Signal AwgnChannel::apply(const dsp::Signal& x, double rss_dbm,
                                dsp::Rng& rng) const {
+  dsp::Signal out;
+  apply_into(x, rss_dbm, rng, out);
+  return out;
+}
+
+void AwgnChannel::apply_into(const dsp::Signal& x, double rss_dbm,
+                             dsp::Rng& rng, dsp::Signal& out) const {
   // Fused scale-to-RSS + AWGN pass (same draws in the same order as
-  // the set_power_dbm + add_awgn sequence it replaces).
+  // the set_power_dbm + add_awgn sequence it replaces); the gaussians
+  // are drawn inside the SIMD-dispatched kernel, one memory sweep.
   const double p = dsp::signal_power(x);
   const double scale =
       (p > 0.0) ? std::sqrt(dsp::dbm_to_watts(rss_dbm) / p) : 1.0;
   const double sigma = std::sqrt(dsp::dbm_to_watts(noise_floor_dbm_) / 2.0);
-  dsp::Signal out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    out[i] = dsp::Complex(scale * x[i].real() + sigma * rng.gaussian(),
-                          scale * x[i].imag() + sigma * rng.gaussian());
-  }
-  return out;
+  out.resize(x.size());
+  dsp::simd::scale_add_gaussian(reinterpret_cast<const double*>(x.data()),
+                                2 * x.size(), scale, sigma,
+                                reinterpret_cast<double*>(out.data()), rng);
 }
 
 dsp::Signal AwgnChannel::apply_snr(const dsp::Signal& x, double snr_db,

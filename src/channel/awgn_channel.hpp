@@ -21,6 +21,12 @@ class AwgnChannel {
   /// thermal floor. Returns a new waveform.
   dsp::Signal apply(const dsp::Signal& x, double rss_dbm, dsp::Rng& rng) const;
 
+  /// Workspace variant: writes into `out` through the fused
+  /// draw-and-inject kernel. Identical values and RNG consumption to
+  /// apply().
+  void apply_into(const dsp::Signal& x, double rss_dbm, dsp::Rng& rng,
+                  dsp::Signal& out) const;
+
   /// Scale to an explicit SNR (dB) measured in the noise bandwidth.
   dsp::Signal apply_snr(const dsp::Signal& x, double snr_db, dsp::Rng& rng) const;
 

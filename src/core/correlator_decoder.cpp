@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dsp/simd.hpp"
 #include "dsp/utils.hpp"
 
 namespace saiyan::core {
@@ -24,7 +25,7 @@ std::uint32_t CorrelatorDecoder::decode_window(std::span<const double> window) c
     const dsp::RealSignal& t = templates[v];
     double dot = 0.0;
     if (window.size() >= t.size()) {
-      for (std::size_t i = 0; i < t.size(); ++i) dot += window[i] * t[i];
+      dot = dsp::simd::dot(window.data(), t.data(), t.size());
     } else {
       const double mean = dsp::mean(window);
       double t_sum = 0.0;
@@ -46,6 +47,15 @@ std::vector<std::uint32_t> CorrelatorDecoder::decode_stream(
     std::span<const double> envelope, std::size_t start_index,
     std::size_t n_symbols) const {
   std::vector<std::uint32_t> out;
+  decode_stream_into(envelope, start_index, n_symbols, out);
+  return out;
+}
+
+void CorrelatorDecoder::decode_stream_into(std::span<const double> envelope,
+                                           std::size_t start_index,
+                                           std::size_t n_symbols,
+                                           std::vector<std::uint32_t>& out) const {
+  out.clear();
   out.reserve(n_symbols);
   for (std::size_t s = 0; s < n_symbols; ++s) {
     const std::size_t lo = start_index + s * sps_;
@@ -59,7 +69,6 @@ std::vector<std::uint32_t> CorrelatorDecoder::decode_stream(
     const std::size_t len = std::min(sps_, envelope.size() - lo);
     out.push_back(decode_window(envelope.subspan(lo, len)));
   }
-  return out;
 }
 
 }  // namespace saiyan::core

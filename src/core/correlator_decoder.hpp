@@ -35,6 +35,12 @@ class CorrelatorDecoder {
                                            std::size_t start_index,
                                            std::size_t n_symbols) const;
 
+  /// decode_stream into a caller-owned vector (zero-allocation path
+  /// once the vector's capacity is warm).
+  void decode_stream_into(std::span<const double> envelope,
+                          std::size_t start_index, std::size_t n_symbols,
+                          std::vector<std::uint32_t>& out) const;
+
   std::size_t samples_per_symbol() const { return sps_; }
 
  private:

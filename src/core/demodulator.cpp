@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/batch_demod.hpp"
 #include "core/template_cache.hpp"
 #include "dsp/utils.hpp"
 #include "frontend/comparator.hpp"
@@ -69,15 +70,19 @@ void SaiyanDemodulator::calibrate_edge_bias() {
   ref->edge_bias.emplace(key, bias);
 }
 
-DemodResult SaiyanDemodulator::decode_from_envelope(
-    const dsp::RealSignal& env, std::optional<std::size_t> payload_start_fs,
-    std::size_t n_payload,
-    std::optional<frontend::ThresholdPair> hint) const {
+void SaiyanDemodulator::decode_from_envelope_ws(
+    DemodWorkspace& ws, std::optional<std::size_t> payload_start_fs,
+    std::size_t n_payload, std::optional<frontend::ThresholdPair> hint) const {
   const SaiyanConfig& cfg = chain_.config();
-  DemodResult result;
-  result.thresholds = hint.has_value()
-                          ? *hint
-                          : auto_thresholds(env, cfg.threshold_gap_db);
+  const dsp::RealSignal& env = ws.env;
+  ws.preamble_found = false;
+  ws.preamble_score = 0.0;
+  ws.sampler_rate_hz = 0.0;
+  ws.symbols.clear();
+  ws.thresholds =
+      hint.has_value()
+          ? *hint
+          : auto_thresholds(env, cfg.threshold_gap_db, ws.threshold_scratch);
 
   if (cfg.mode == Mode::kSuper) {
     // Correlation path: timing and symbols both from the analog
@@ -85,62 +90,94 @@ DemodResult SaiyanDemodulator::decode_from_envelope(
     std::size_t start = 0;
     if (payload_start_fs.has_value()) {
       start = *payload_start_fs;
-      result.preamble_found = true;
-      result.preamble_score = 1.0;
+      ws.preamble_found = true;
+      ws.preamble_score = 1.0;
     } else {
-      const std::optional<PreambleTiming> t = preamble_.detect_envelope(env);
-      if (!t.has_value()) return result;
-      result.preamble_found = true;
-      result.preamble_score = t->score;
+      const std::optional<PreambleTiming> t =
+          preamble_.detect_envelope_ws(env, ws.sync_a);
+      if (!t.has_value()) return;
+      ws.preamble_found = true;
+      ws.preamble_score = t->score;
       start = t->payload_start;
     }
-    result.symbols = corr_decoder_.decode_stream(env, start, n_payload);
-    result.sampler_rate_hz = cfg.phy.sample_rate_hz;
-    return result;
+    corr_decoder_.decode_stream_into(env, start, n_payload, ws.symbols);
+    ws.sampler_rate_hz = cfg.phy.sample_rate_hz;
+    return;
   }
 
   // Comparator path: quantize at the simulation rate, tick at the
   // low-power sampler rate, then edge-decode.
-  frontend::DoubleThresholdComparator comp(result.thresholds.u_high,
-                                           result.thresholds.u_low);
-  const dsp::BitVector bits_fs = comp.quantize(env);
+  frontend::DoubleThresholdComparator comp(ws.thresholds.u_high,
+                                           ws.thresholds.u_low);
+  comp.quantize_into(env, ws.bits_fs);
   frontend::VoltageSampler sampler(cfg.phy, cfg.sampling_rate_multiplier);
-  const frontend::SampledBits sampled =
-      sampler.sample(bits_fs, cfg.phy.sample_rate_hz);
-  result.sampler_rate_hz = sampled.sample_rate_hz;
+  sampler.sample_into(ws.bits_fs, cfg.phy.sample_rate_hz, ws.sampled);
+  ws.sampler_rate_hz = ws.sampled.sample_rate_hz;
 
   double payload_start_ticks = 0.0;
   if (payload_start_fs.has_value()) {
     payload_start_ticks = static_cast<double>(*payload_start_fs) /
-                          cfg.phy.sample_rate_hz * sampled.sample_rate_hz;
-    result.preamble_found = true;
-    result.preamble_score = 1.0;
+                          cfg.phy.sample_rate_hz * ws.sampled.sample_rate_hz;
+    ws.preamble_found = true;
+    ws.preamble_score = 1.0;
   } else {
-    const std::optional<PreambleTiming> t =
-        preamble_.detect_bits(sampled.bits, sampled.sample_rate_hz);
-    if (!t.has_value()) return result;
-    result.preamble_found = true;
-    result.preamble_score = t->score;
+    const std::optional<PreambleTiming> t = preamble_.detect_bits_ws(
+        ws.sampled.bits, ws.sampled.sample_rate_hz, ws.sync_a, ws.sync_b);
+    if (!t.has_value()) return;
+    ws.preamble_found = true;
+    ws.preamble_score = t->score;
     payload_start_ticks = static_cast<double>(t->payload_start);
   }
-  result.symbols = edge_decoder_.decode_stream(
-      sampled.bits, payload_start_ticks, sampled.samples_per_symbol, n_payload);
+  edge_decoder_.decode_stream_into(ws.sampled.bits, payload_start_ticks,
+                                   ws.sampled.samples_per_symbol, n_payload,
+                                   ws.symbols);
+}
+
+void SaiyanDemodulator::demodulate_ws(
+    DemodWorkspace& ws, std::span<const dsp::Complex> rf, std::size_t n_payload,
+    dsp::Rng& rng, std::optional<frontend::ThresholdPair> threshold_hint) const {
+  chain_.envelope_into(rf, rng, ws);
+  decode_from_envelope_ws(ws, std::nullopt, n_payload, threshold_hint);
+}
+
+void SaiyanDemodulator::demodulate_aligned_ws(
+    DemodWorkspace& ws, std::span<const dsp::Complex> rf,
+    std::size_t payload_start_fs, std::size_t n_payload, dsp::Rng& rng,
+    std::optional<frontend::ThresholdPair> threshold_hint) const {
+  chain_.envelope_into(rf, rng, ws);
+  decode_from_envelope_ws(ws, payload_start_fs, n_payload, threshold_hint);
+}
+
+namespace {
+
+DemodResult result_from_workspace(DemodWorkspace&& ws) {
+  DemodResult result;
+  result.preamble_found = ws.preamble_found;
+  result.preamble_score = ws.preamble_score;
+  result.symbols = std::move(ws.symbols);
+  result.sampler_rate_hz = ws.sampler_rate_hz;
+  result.thresholds = ws.thresholds;
   return result;
 }
+
+}  // namespace
 
 DemodResult SaiyanDemodulator::demodulate(
     std::span<const dsp::Complex> rf, std::size_t n_payload, dsp::Rng& rng,
     std::optional<frontend::ThresholdPair> threshold_hint) const {
-  const dsp::RealSignal env = chain_.envelope(rf, rng);
-  return decode_from_envelope(env, std::nullopt, n_payload, threshold_hint);
+  DemodWorkspace ws;
+  demodulate_ws(ws, rf, n_payload, rng, threshold_hint);
+  return result_from_workspace(std::move(ws));
 }
 
 DemodResult SaiyanDemodulator::demodulate_aligned(
     std::span<const dsp::Complex> rf, std::size_t payload_start_fs,
     std::size_t n_payload, dsp::Rng& rng,
     std::optional<frontend::ThresholdPair> threshold_hint) const {
-  const dsp::RealSignal env = chain_.envelope(rf, rng);
-  return decode_from_envelope(env, payload_start_fs, n_payload, threshold_hint);
+  DemodWorkspace ws;
+  demodulate_aligned_ws(ws, rf, payload_start_fs, n_payload, rng,
+                        threshold_hint);
+  return result_from_workspace(std::move(ws));
 }
 
 bool SaiyanDemodulator::detect_packet(std::span<const dsp::Complex> rf,

@@ -22,6 +22,8 @@
 
 namespace saiyan::core {
 
+struct DemodWorkspace;  // core/batch_demod.hpp
+
 struct DemodResult {
   bool preamble_found = false;
   double preamble_score = 0.0;
@@ -56,15 +58,29 @@ class SaiyanDemodulator {
   /// preamble correlator fires anywhere in the waveform.
   bool detect_packet(std::span<const dsp::Complex> rf, dsp::Rng& rng) const;
 
+  /// Workspace variants (the BatchDemodulator engine): decode into the
+  /// workspace's buffers and result fields — zero allocations once the
+  /// workspace is warm, bit-identical results to the allocating API.
+  void demodulate_ws(DemodWorkspace& ws, std::span<const dsp::Complex> rf,
+                     std::size_t n_payload, dsp::Rng& rng,
+                     std::optional<frontend::ThresholdPair> threshold_hint =
+                         std::nullopt) const;
+  void demodulate_aligned_ws(DemodWorkspace& ws,
+                             std::span<const dsp::Complex> rf,
+                             std::size_t payload_start_fs,
+                             std::size_t n_payload, dsp::Rng& rng,
+                             std::optional<frontend::ThresholdPair>
+                                 threshold_hint = std::nullopt) const;
+
   const ReceiverChain& chain() const { return chain_; }
   const SaiyanConfig& config() const { return chain_.config(); }
 
  private:
   void calibrate_edge_bias();
-  DemodResult decode_from_envelope(const dsp::RealSignal& env,
-                                   std::optional<std::size_t> payload_start_fs,
-                                   std::size_t n_payload,
-                                   std::optional<frontend::ThresholdPair> hint) const;
+  void decode_from_envelope_ws(DemodWorkspace& ws,
+                               std::optional<std::size_t> payload_start_fs,
+                               std::size_t n_payload,
+                               std::optional<frontend::ThresholdPair> hint) const;
 
   ReceiverChain chain_;
   PreambleDetector preamble_;

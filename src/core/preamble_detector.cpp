@@ -55,6 +55,15 @@ const PreambleDetector::BitsTemplate* PreambleDetector::bits_template_for(
 
 std::optional<PreambleTiming> PreambleDetector::detect_bits(
     std::span<const std::uint8_t> bits, double rate_hz, double min_score) const {
+  dsp::RealSignal sig_scratch;
+  dsp::RealSignal corr_scratch;
+  return detect_bits_ws(bits, rate_hz, sig_scratch, corr_scratch, min_score);
+}
+
+std::optional<PreambleTiming> PreambleDetector::detect_bits_ws(
+    std::span<const std::uint8_t> bits, double rate_hz,
+    dsp::RealSignal& sig_scratch, dsp::RealSignal& corr_scratch,
+    double min_score) const {
   const BitsTemplate* tmpl = bits_template_for(rate_hz);
   if (tmpl == nullptr) return std::nullopt;
   if (bits.size() < tmpl->ref.size() || tmpl->ref.empty()) return std::nullopt;
@@ -62,11 +71,12 @@ std::optional<PreambleTiming> PreambleDetector::detect_bits(
   // Pearson-style matching: mean-removed template against mean-removed
   // windows, normalized by both energies — a constant (all-low or
   // all-high) stream scores 0 instead of spuriously matching.
-  dsp::RealSignal sig(bits.size());
+  dsp::RealSignal& sig = sig_scratch;
+  sig.resize(bits.size());
   for (std::size_t i = 0; i < bits.size(); ++i) sig[i] = bits[i] ? 1.0 : -1.0;
 
-  const dsp::RealSignal corr =
-      tmpl->prepared->correlate_signed(std::span<const double>(sig));
+  dsp::RealSignal& corr = corr_scratch;
+  tmpl->prepared->correlate_signed_into(std::span<const double>(sig), corr);
   if (corr.empty()) return std::nullopt;
   // corr against a zero-mean template is insensitive to the window
   // mean; normalize by window variance computed with a sliding sum.
@@ -97,8 +107,16 @@ std::optional<PreambleTiming> PreambleDetector::detect_bits(
 
 std::optional<PreambleTiming> PreambleDetector::detect_envelope(
     std::span<const double> envelope, double min_score) const {
+  dsp::RealSignal sig_scratch;
+  return detect_envelope_ws(envelope, sig_scratch, min_score);
+}
+
+std::optional<PreambleTiming> PreambleDetector::detect_envelope_ws(
+    std::span<const double> envelope, dsp::RealSignal& sig_scratch,
+    double min_score) const {
   if (envelope.size() < ref_->preamble_envelope.size()) return std::nullopt;
-  const dsp::RealSignal sig = dsp::mean_removed(envelope);
+  dsp::mean_removed_into(envelope, sig_scratch);
+  const dsp::RealSignal& sig = sig_scratch;
   const dsp::CorrelationPeak pk =
       env_prepared_.find_peak(std::span<const double>(sig));
   PreambleTiming t;

@@ -42,10 +42,22 @@ class PreambleDetector {
                                             double rate_hz,
                                             double min_score = 0.55) const;
 
+  /// Workspace variant of detect_bits: the bipolar stream and the
+  /// correlation output live in the caller's scratch buffers.
+  std::optional<PreambleTiming> detect_bits_ws(
+      std::span<const std::uint8_t> bits, double rate_hz,
+      dsp::RealSignal& sig_scratch, dsp::RealSignal& corr_scratch,
+      double min_score = 0.55) const;
+
   /// Locate the preamble in the analog envelope at the simulation
   /// rate (correlation mode).
   std::optional<PreambleTiming> detect_envelope(std::span<const double> envelope,
                                                 double min_score = 0.35) const;
+
+  /// Workspace variant of detect_envelope.
+  std::optional<PreambleTiming> detect_envelope_ws(
+      std::span<const double> envelope, dsp::RealSignal& sig_scratch,
+      double min_score = 0.35) const;
 
   /// Reference envelope of preamble+sync at the simulation rate.
   const dsp::RealSignal& envelope_template() const {

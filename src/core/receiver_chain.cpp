@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/batch_demod.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/utils.hpp"
 
 namespace saiyan::core {
@@ -42,37 +44,60 @@ ReceiverChain::ReceiverChain(const SaiyanConfig& cfg)
   }
 }
 
-dsp::RealSignal ReceiverChain::run(std::span<const dsp::Complex> rf, dsp::Rng& rng,
-                                   bool with_impairments) const {
-  const dsp::Signal after_saw =
-      saw_.filter(rf, cfg_.phy.sample_rate_hz, cfg_.effective_rf_center_hz());
-  dsp::Signal after_lna;
-  if (with_impairments) {
-    after_lna = lna_.amplify(after_saw, rng);
-  } else {
-    after_lna = after_saw;
-    const double g = dsp::db_to_amp(cfg_.lna.gain_db);
-    for (dsp::Complex& v : after_lna) v *= g;
-  }
+void ReceiverChain::run_into(std::span<const dsp::Complex> rf, dsp::Rng& rng,
+                             bool with_impairments, DemodWorkspace& ws) const {
+  saw_.filter_into(rf, cfg_.phy.sample_rate_hz, cfg_.effective_rf_center_hz(),
+                   ws.rf_filtered, ws.fft_scratch);
 
   frontend::EnvelopeDetectorConfig ed_cfg = cfg_.envelope;
   ed_cfg.enable_impairments = with_impairments;
+  if (with_impairments) {
+    // The CG-LNA folds into the square-law kernel (fused draw +
+    // amplify + detect): the amplified waveform is never materialized.
+    const double g = dsp::db_to_amp(cfg_.lna.gain_db);
+    const double sigma = lna_.noise_sigma();
+    if (cfg_.mode == Mode::kVanilla) {
+      frontend::EnvelopeDetector ed(ed_cfg);
+      ed.detect_amplified_into(ws.rf_filtered, g, sigma, rng, ws.env, ws.fe);
+      return;
+    }
+    frontend::CyclicFrequencyShifter cfs(cfg_.cfs, ed_cfg);
+    cfs.process_amplified_into(ws.rf_filtered, g, sigma, rng, ws.env, ws.fe);
+    return;
+  }
+
+  // Reference (noiseless) path: plain gain, then the unfused chain.
+  ws.rf_amplified.resize(ws.rf_filtered.size());
+  const double g = dsp::db_to_amp(cfg_.lna.gain_db);
+  dsp::simd::scale(reinterpret_cast<const double*>(ws.rf_filtered.data()),
+                   2 * ws.rf_filtered.size(), g,
+                   reinterpret_cast<double*>(ws.rf_amplified.data()));
   if (cfg_.mode == Mode::kVanilla) {
     frontend::EnvelopeDetector ed(ed_cfg);
-    return ed.detect(after_lna, rng);
+    ed.detect_into(ws.rf_amplified, rng, ws.env, ws.fe);
+    return;
   }
   frontend::CyclicFrequencyShifter cfs(cfg_.cfs, ed_cfg);
-  return cfs.process(after_lna, rng);
+  cfs.process_into(ws.rf_amplified, rng, ws.env, ws.fe);
+}
+
+void ReceiverChain::envelope_into(std::span<const dsp::Complex> rf,
+                                  dsp::Rng& rng, DemodWorkspace& ws) const {
+  run_into(rf, rng, /*with_impairments=*/true, ws);
 }
 
 dsp::RealSignal ReceiverChain::envelope(std::span<const dsp::Complex> rf,
                                         dsp::Rng& rng) const {
-  return run(rf, rng, /*with_impairments=*/true);
+  DemodWorkspace ws;
+  run_into(rf, rng, /*with_impairments=*/true, ws);
+  return std::move(ws.env);
 }
 
 dsp::RealSignal ReceiverChain::reference_envelope(std::span<const dsp::Complex> rf) const {
   dsp::Rng unused(1);
-  return run(rf, unused, /*with_impairments=*/false);
+  DemodWorkspace ws;
+  run_into(rf, unused, /*with_impairments=*/false, ws);
+  return std::move(ws.env);
 }
 
 }  // namespace saiyan::core

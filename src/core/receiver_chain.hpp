@@ -15,6 +15,8 @@
 
 namespace saiyan::core {
 
+struct DemodWorkspace;  // core/batch_demod.hpp
+
 class ReceiverChain {
  public:
   explicit ReceiverChain(const SaiyanConfig& cfg);
@@ -22,6 +24,12 @@ class ReceiverChain {
   /// Process an RF complex-baseband waveform into the analog envelope
   /// the comparator sees.
   dsp::RealSignal envelope(std::span<const dsp::Complex> rf, dsp::Rng& rng) const;
+
+  /// Workspace variant: writes the envelope into ws.env through the
+  /// workspace's reusable chain buffers. Identical values and RNG
+  /// consumption to envelope(); zero allocations once warm.
+  void envelope_into(std::span<const dsp::Complex> rf, dsp::Rng& rng,
+                     DemodWorkspace& ws) const;
 
   /// Deterministic reference envelope: same chain with every noise
   /// source disabled. Used to build preamble/symbol templates for the
@@ -31,8 +39,8 @@ class ReceiverChain {
   const SaiyanConfig& config() const { return cfg_; }
 
  private:
-  dsp::RealSignal run(std::span<const dsp::Complex> rf, dsp::Rng& rng,
-                      bool with_impairments) const;
+  void run_into(std::span<const dsp::Complex> rf, dsp::Rng& rng,
+                bool with_impairments, DemodWorkspace& ws) const;
 
   SaiyanConfig cfg_;
   frontend::SawFilter saw_;

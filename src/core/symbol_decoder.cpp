@@ -37,6 +37,16 @@ std::vector<std::uint32_t> SymbolDecoder::decode_stream(
     std::span<const std::uint8_t> bits, double start_index,
     double samples_per_symbol, std::size_t n_symbols) const {
   std::vector<std::uint32_t> out;
+  decode_stream_into(bits, start_index, samples_per_symbol, n_symbols, out);
+  return out;
+}
+
+void SymbolDecoder::decode_stream_into(std::span<const std::uint8_t> bits,
+                                       double start_index,
+                                       double samples_per_symbol,
+                                       std::size_t n_symbols,
+                                       std::vector<std::uint32_t>& out) const {
+  out.clear();
   out.reserve(n_symbols);
   const auto m = static_cast<std::int64_t>(params_.symbol_alphabet());
   for (std::size_t s = 0; s < n_symbols; ++s) {
@@ -50,7 +60,6 @@ std::vector<std::uint32_t> SymbolDecoder::decode_stream(
     const auto v = static_cast<std::int64_t>(std::llround(*est + bias_));
     out.push_back(static_cast<std::uint32_t>(((v % m) + m) % m));
   }
-  return out;
 }
 
 }  // namespace saiyan::core

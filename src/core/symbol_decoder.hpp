@@ -41,6 +41,13 @@ class SymbolDecoder {
                                            double samples_per_symbol,
                                            std::size_t n_symbols) const;
 
+  /// decode_stream into a caller-owned vector (zero-allocation path
+  /// once the vector's capacity is warm).
+  void decode_stream_into(std::span<const std::uint8_t> bits,
+                          double start_index, double samples_per_symbol,
+                          std::size_t n_symbols,
+                          std::vector<std::uint32_t>& out) const;
+
   /// Systematic edge-lag correction in symbol-value units, subtracted
   /// before rounding. Set by SaiyanDemodulator's self-calibration.
   void set_bias(double bias_values) { bias_ = bias_values; }

@@ -8,24 +8,41 @@
 #include "lora/modulator.hpp"
 
 namespace saiyan::core {
-namespace {
-
-double percentile(std::span<const double> x, double p) {
-  if (x.empty()) return 0.0;
-  std::vector<double> copy(x.begin(), x.end());
-  const std::size_t k = static_cast<std::size_t>(
-      std::clamp(p, 0.0, 1.0) * static_cast<double>(copy.size() - 1));
-  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(k),
-                   copy.end());
-  return copy[k];
-}
-
-}  // namespace
 
 frontend::ThresholdPair auto_thresholds(std::span<const double> envelope,
                                         double gap_db) {
-  const double a_max = percentile(envelope, 0.998);
-  const double median = percentile(envelope, 0.5);
+  dsp::RealSignal scratch;
+  return auto_thresholds(envelope, gap_db, scratch);
+}
+
+frontend::ThresholdPair auto_thresholds(std::span<const double> envelope,
+                                        double gap_db,
+                                        dsp::RealSignal& scratch) {
+  // Both order statistics from one copy: after selecting the 0.998
+  // element, the median (a lower rank) lies in the left partition, so
+  // a second nth_element over that partition selects the exact same
+  // value a fresh full-range selection would.
+  double a_max = 0.0;
+  double median = 0.0;
+  if (!envelope.empty()) {
+    scratch.assign(envelope.begin(), envelope.end());
+    const auto rank = [&](double p) {
+      return static_cast<std::size_t>(
+          std::clamp(p, 0.0, 1.0) * static_cast<double>(scratch.size() - 1));
+    };
+    const std::size_t k_max = rank(0.998);
+    const std::size_t k_med = rank(0.5);
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(k_max),
+                     scratch.end());
+    a_max = scratch[k_max];
+    if (k_med < k_max) {
+      std::nth_element(scratch.begin(),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(k_med),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(k_max));
+    }
+    median = scratch[k_med];
+  }
   if (a_max <= median) {
     // Degenerate (no modulation visible); fall back to something sane.
     return frontend::ThresholdPair{a_max * 0.9, a_max * 0.5};

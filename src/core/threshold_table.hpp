@@ -46,4 +46,11 @@ class ThresholdTable {
 frontend::ThresholdPair auto_thresholds(std::span<const double> envelope,
                                         double gap_db);
 
+/// Workspace variant: the percentile estimator's scratch copy of the
+/// envelope lives in `scratch` (reused across packets) instead of a
+/// fresh allocation. Identical result to auto_thresholds().
+frontend::ThresholdPair auto_thresholds(std::span<const double> envelope,
+                                        double gap_db,
+                                        dsp::RealSignal& scratch);
+
 }  // namespace saiyan::core

@@ -188,11 +188,20 @@ RealSignal PreparedTemplate::correlate(std::span<const Complex> x) const {
 }
 
 RealSignal PreparedTemplate::correlate_signed(std::span<const double> x) const {
-  if (!correlate_core(x)) return {};
-  const std::size_t n_valid = x.size() - t_len_ + 1;
-  RealSignal out(n_valid);
-  for (std::size_t i = 0; i < n_valid; ++i) out[i] = work_[i + t_len_ - 1].real();
+  RealSignal out;
+  correlate_signed_into(x, out);
   return out;
+}
+
+void PreparedTemplate::correlate_signed_into(std::span<const double> x,
+                                             RealSignal& out) const {
+  if (!correlate_core(x)) {
+    out.clear();
+    return;
+  }
+  const std::size_t n_valid = x.size() - t_len_ + 1;
+  out.resize(n_valid);
+  for (std::size_t i = 0; i < n_valid; ++i) out[i] = work_[i + t_len_ - 1].real();
 }
 
 namespace {

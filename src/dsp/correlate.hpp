@@ -65,6 +65,10 @@ class PreparedTemplate {
   /// Signed real correlation; matches cross_correlate_signed().
   RealSignal correlate_signed(std::span<const double> x) const;
 
+  /// correlate_signed into a caller-owned buffer (zero-allocation
+  /// path); `out` is left empty when x is shorter than the template.
+  void correlate_signed_into(std::span<const double> x, RealSignal& out) const;
+
   /// Peak search with the same normalization as the free find_peak().
   CorrelationPeak find_peak(std::span<const double> x) const;
   CorrelationPeak find_peak(std::span<const Complex> x) const;

@@ -8,8 +8,11 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <utility>
+
+#include "dsp/simd.hpp"
 
 namespace saiyan::dsp {
 
@@ -24,6 +27,13 @@ std::size_t next_pow2(std::size_t n) {
 }
 
 bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_fast_len(std::size_t n) {
+  const std::size_t p2 = next_pow2(n);
+  // Smallest 3·2^k >= n: next_pow2(ceil(n/3)) >= n/3, so 3x it covers n.
+  const std::size_t p3 = 3 * next_pow2(n <= 3 ? 1 : (n + 2) / 3);
+  return std::min(p2, p3);
+}
 
 FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
   if (n == 0) throw std::invalid_argument("FftPlan: length must be >= 1");
@@ -65,6 +75,24 @@ FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
       m = len;
     }
     if (n >= 4) half_ = fft_plan(n / 2);
+    return;
+  }
+
+  if (n % 3 == 0 && is_pow2(n / 3)) {
+    // Radix-3 split: X[k], X[k+m], X[k+2m] from three m = n/3
+    // power-of-two sub-transforms over the decimated sequences
+    // x[3j], x[3j+1], x[3j+2], combined with the twiddles w^k, w^2k.
+    radix3_ = true;
+    const std::size_t m = n / 3;
+    third_ = fft_plan(m);
+    tw3_.resize(2 * m);
+    for (std::size_t k = 0; k < m; ++k) {
+      const double a1 = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+      const double a2 =
+          -kTwoPi * static_cast<double>(2 * k % n) / static_cast<double>(n);
+      tw3_[2 * k] = Complex(std::cos(a1), std::sin(a1));
+      tw3_[2 * k + 1] = Complex(std::cos(a2), std::sin(a2));
+    }
     return;
   }
 
@@ -201,10 +229,93 @@ __attribute__((target("avx2,fma"))) void fused_pass_avx2(
   }
 }
 
-bool have_avx2_fma() {
-  static const bool ok =
-      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
-  return ok;
+// FFT dispatch is by CPUID alone (simd::set_isa does not reach it):
+// these butterflies use FMA and are allowed to round differently from
+// the portable path, unlike the dsp/simd.hpp kernels.
+bool have_avx2_fma() { return simd::cpu_has_avx2_fma(); }
+
+// Radix-3 split passes, two k per iteration. De-interleave gathers the
+// three decimated sequences with cross-lane permutes; the combine does
+// the twiddle products with the same fmaddsub complex multiply as the
+// radix-2 butterflies.
+__attribute__((target("avx2,fma"))) void radix3_deinterleave_avx2(
+    const double* x, double* s, std::size_t m) {
+  std::size_t j = 0;
+  for (; j + 2 <= m; j += 2) {
+    // Six consecutive complex values = three vectors:
+    // v0 = [A0 B0], v1 = [C0 A1], v2 = [B1 C1].
+    const __m256d v0 = _mm256_loadu_pd(x + 6 * j);
+    const __m256d v1 = _mm256_loadu_pd(x + 6 * j + 4);
+    const __m256d v2 = _mm256_loadu_pd(x + 6 * j + 8);
+    _mm256_storeu_pd(s + 2 * j, _mm256_permute2f128_pd(v0, v1, 0x30));
+    _mm256_storeu_pd(s + 2 * (m + j), _mm256_permute2f128_pd(v0, v2, 0x21));
+    _mm256_storeu_pd(s + 2 * (2 * m + j), _mm256_permute2f128_pd(v1, v2, 0x30));
+  }
+  for (; j < m; ++j) {
+    s[2 * j] = x[6 * j];
+    s[2 * j + 1] = x[6 * j + 1];
+    s[2 * (m + j)] = x[6 * j + 2];
+    s[2 * (m + j) + 1] = x[6 * j + 3];
+    s[2 * (2 * m + j)] = x[6 * j + 4];
+    s[2 * (2 * m + j) + 1] = x[6 * j + 5];
+  }
+}
+
+__attribute__((target("avx2,fma"))) void radix3_combine_avx2(
+    double* out, const double* sd, const Complex* tw, std::size_t m,
+    bool inverse) {
+  const __m256d conj_mask =
+      inverse ? _mm256_setr_pd(0.0, -0.0, 0.0, -0.0) : _mm256_setzero_pd();
+  // i·h·v = h·(−v.im, v.re): swap lanes, negate the re lane, scale.
+  const __m256d re_neg = _mm256_setr_pd(-0.0, 0.0, -0.0, 0.0);
+  const double h = (inverse ? 1.0 : -1.0) * 0.86602540378443864676;
+  const __m256d hv = _mm256_set1_pd(h);
+  const __m256d half = _mm256_set1_pd(0.5);
+  std::size_t k = 0;
+  for (; k + 2 <= m; k += 2) {
+    const __m256d ta = _mm256_loadu_pd(reinterpret_cast<const double*>(tw + 2 * k));
+    const __m256d tb = _mm256_loadu_pd(reinterpret_cast<const double*>(tw + 2 * k + 2));
+    const __m256d w1 =
+        _mm256_xor_pd(_mm256_permute2f128_pd(ta, tb, 0x20), conj_mask);
+    const __m256d w2 =
+        _mm256_xor_pd(_mm256_permute2f128_pd(ta, tb, 0x31), conj_mask);
+    const __m256d av = _mm256_loadu_pd(sd + 2 * k);
+    const __m256d bv = cmul_avx2(_mm256_loadu_pd(sd + 2 * (m + k)), w1);
+    const __m256d cv = cmul_avx2(_mm256_loadu_pd(sd + 2 * (2 * m + k)), w2);
+    const __m256d t1 = _mm256_add_pd(bv, cv);
+    const __m256d t2 = _mm256_fnmadd_pd(half, t1, av);  // A - t1/2
+    const __m256d diff = _mm256_sub_pd(bv, cv);
+    const __m256d rot = _mm256_xor_pd(_mm256_permute_pd(diff, 0x5), re_neg);
+    const __m256d d = _mm256_mul_pd(hv, rot);
+    _mm256_storeu_pd(out + 2 * k, _mm256_add_pd(av, t1));
+    _mm256_storeu_pd(out + 2 * (k + m), _mm256_add_pd(t2, d));
+    _mm256_storeu_pd(out + 2 * (k + 2 * m), _mm256_sub_pd(t2, d));
+  }
+  const double csign = inverse ? -1.0 : 1.0;
+  for (; k < m; ++k) {
+    const double w1r = tw[2 * k].real();
+    const double w1i = csign * tw[2 * k].imag();
+    const double w2r = tw[2 * k + 1].real();
+    const double w2i = csign * tw[2 * k + 1].imag();
+    const double ar = sd[2 * k], ai = sd[2 * k + 1];
+    const double b0r = sd[2 * (m + k)], b0i = sd[2 * (m + k) + 1];
+    const double c0r = sd[2 * (2 * m + k)], c0i = sd[2 * (2 * m + k) + 1];
+    const double br = b0r * w1r - b0i * w1i;
+    const double bi = b0r * w1i + b0i * w1r;
+    const double cr = c0r * w2r - c0i * w2i;
+    const double ci = c0r * w2i + c0i * w2r;
+    const double t1r = br + cr, t1i = bi + ci;
+    const double t2r = ar - 0.5 * t1r;
+    const double t2i = ai - 0.5 * t1i;
+    const double dvr = -h * (bi - ci);
+    const double dvi = h * (br - cr);
+    out[2 * k] = ar + t1r;
+    out[2 * k + 1] = ai + t1i;
+    out[2 * (k + m)] = t2r + dvr;
+    out[2 * (k + m) + 1] = t2i + dvi;
+    out[2 * (k + 2 * m)] = t2r - dvr;
+    out[2 * (k + 2 * m) + 1] = t2i - dvi;
+  }
 }
 #endif  // SAIYAN_FFT_AVX2
 
@@ -291,6 +402,74 @@ void FftPlan::transform_pow2(Complex* xc, bool inverse) const {
   }
 }
 
+// Radix-3 DIT split for n = 3·2^k. Scratch holds the three decimated
+// sequences contiguously; each runs the iterative power-of-two kernel
+// and the results are combined with the precomputed w^k / w^2k
+// twiddles (conjugated on the fly for the inverse).
+void FftPlan::transform_radix3(Signal& x, Signal& scratch, bool inverse) const {
+  const std::size_t m = n_ / 3;
+  scratch.resize(n_);
+  Complex* s = scratch.data();
+#ifdef SAIYAN_FFT_AVX2
+  const bool avx2 = have_avx2_fma();
+#else
+  const bool avx2 = false;
+#endif
+  if (!avx2) {
+    for (std::size_t j = 0; j < m; ++j) {
+      s[j] = x[3 * j];
+      s[m + j] = x[3 * j + 1];
+      s[2 * m + j] = x[3 * j + 2];
+    }
+  }
+#ifdef SAIYAN_FFT_AVX2
+  else {
+    radix3_deinterleave_avx2(reinterpret_cast<const double*>(x.data()),
+                             reinterpret_cast<double*>(s), m);
+  }
+#endif
+  third_->transform_pow2(s, inverse);
+  third_->transform_pow2(s + m, inverse);
+  third_->transform_pow2(s + 2 * m, inverse);
+
+  double* out = reinterpret_cast<double*>(x.data());
+  const double* sd = reinterpret_cast<const double*>(s);
+#ifdef SAIYAN_FFT_AVX2
+  if (avx2) {
+    radix3_combine_avx2(out, sd, tw3_.data(), m, inverse);
+    return;
+  }
+#endif
+  // w3 = exp(∓2πi/3) = -1/2 ∓ i·√3/2; the ±h terms below realize the
+  // w3/w3² cross-multiplications without complex products.
+  const double csign = inverse ? -1.0 : 1.0;  // twiddle conjugation
+  const double h = (inverse ? 1.0 : -1.0) * 0.86602540378443864676;  // ±√3/2
+  for (std::size_t k = 0; k < m; ++k) {
+    const double w1r = tw3_[2 * k].real();
+    const double w1i = csign * tw3_[2 * k].imag();
+    const double w2r = tw3_[2 * k + 1].real();
+    const double w2i = csign * tw3_[2 * k + 1].imag();
+    const double ar = sd[2 * k], ai = sd[2 * k + 1];
+    const double b0r = sd[2 * (m + k)], b0i = sd[2 * (m + k) + 1];
+    const double c0r = sd[2 * (2 * m + k)], c0i = sd[2 * (2 * m + k) + 1];
+    const double br = b0r * w1r - b0i * w1i;
+    const double bi = b0r * w1i + b0i * w1r;
+    const double cr = c0r * w2r - c0i * w2i;
+    const double ci = c0r * w2i + c0i * w2r;
+    const double t1r = br + cr, t1i = bi + ci;    // B + C
+    const double t2r = ar - 0.5 * t1r;            // A - (B+C)/2
+    const double t2i = ai - 0.5 * t1i;
+    const double dvr = -h * (bi - ci);            // i·h·(B - C)
+    const double dvi = h * (br - cr);
+    out[2 * k] = ar + t1r;
+    out[2 * k + 1] = ai + t1i;
+    out[2 * (k + m)] = t2r + dvr;
+    out[2 * (k + m) + 1] = t2i + dvi;
+    out[2 * (k + 2 * m)] = t2r - dvr;
+    out[2 * (k + 2 * m) + 1] = t2i - dvi;
+  }
+}
+
 void FftPlan::bluestein(Signal& x, bool inverse) const {
   const std::size_t n = n_;
   const Signal& chirp = inverse ? chirp_inv_ : chirp_fwd_;
@@ -321,25 +500,49 @@ void FftPlan::bluestein(Signal& x, bool inverse) const {
   }
 }
 
-void FftPlan::forward(Signal& x) const {
+void FftPlan::forward(Signal& x, Signal& scratch) const {
   if (x.size() != n_) throw std::invalid_argument("FftPlan::forward: size mismatch");
   if (pow2_) {
     transform_pow2(x.data(), false);
+  } else if (radix3_) {
+    transform_radix3(x, scratch, false);
   } else {
     bluestein(x, false);
   }
 }
 
-void FftPlan::inverse(Signal& x) const {
+void FftPlan::inverse_raw(Signal& x, Signal& scratch) const {
   if (x.size() != n_) throw std::invalid_argument("FftPlan::inverse: size mismatch");
   if (pow2_) {
     transform_pow2(x.data(), true);
+  } else if (radix3_) {
+    transform_radix3(x, scratch, true);
   } else {
     bluestein(x, true);
   }
+}
+
+void FftPlan::inverse(Signal& x, Signal& scratch) const {
+  inverse_raw(x, scratch);
   const double scale = 1.0 / static_cast<double>(n_);
   for (Complex& v : x) v *= scale;
 }
+
+namespace {
+
+// Fallback scratch for the no-scratch overloads: per-thread so the
+// radix-3 de-interleave does not allocate (and page-fault) per
+// transform. Callers on the zero-allocation path pass their own.
+Signal& thread_scratch() {
+  thread_local Signal scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void FftPlan::forward(Signal& x) const { forward(x, thread_scratch()); }
+
+void FftPlan::inverse(Signal& x) const { inverse(x, thread_scratch()); }
 
 void FftPlan::forward_real(std::span<const double> x, Signal& out) const {
   if (x.size() > n_) {
@@ -382,17 +585,21 @@ void FftPlan::forward_real(std::span<const double> x, Signal& out) const {
 }
 
 std::shared_ptr<const FftPlan> fft_plan(std::size_t n) {
-  static std::mutex mu;
+  static std::shared_mutex mu;
   static std::map<std::size_t, std::shared_ptr<const FftPlan>> cache;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    // Steady-state path: a shared (read) lock only, so SweepEngine
+    // workers looking up the same few plans never serialize on the
+    // cache — the exclusive lock is paid once per distinct length.
+    std::shared_lock<std::shared_mutex> lock(mu);
     auto it = cache.find(n);
     if (it != cache.end()) return it->second;
   }
-  // Built outside the lock: plan construction recurses into fft_plan
-  // for the half-size and Bluestein convolution plans.
+  // Built outside any lock: plan construction recurses into fft_plan
+  // for the half-size / radix-3 / Bluestein sub-plans. Losing the
+  // insertion race just discards the duplicate plan.
   auto plan = std::make_shared<const FftPlan>(n);
-  std::lock_guard<std::mutex> lock(mu);
+  std::unique_lock<std::shared_mutex> lock(mu);
   auto [it, inserted] = cache.emplace(n, std::move(plan));
   return it->second;
 }

@@ -1,8 +1,11 @@
 // Fast Fourier transform.
 //
 // Power-of-two lengths use an iterative radix-2 Cooley–Tukey kernel;
-// arbitrary lengths fall back to Bluestein's chirp-z algorithm so the
-// rest of the library never needs to care about padding.
+// 3·2^k lengths run a radix-3 split over three power-of-two
+// sub-transforms (packet waveforms are ~45k samples, so planning
+// 49152 directly beats padding 1.45x to 65536); arbitrary other
+// lengths fall back to Bluestein's chirp-z algorithm so the rest of
+// the library never needs to care about padding.
 //
 // Transforms are executed through `FftPlan` objects that precompute
 // everything reusable for a given length — bit-reversal permutation,
@@ -38,6 +41,18 @@ class FftPlan {
   /// In-place inverse DFT, normalized by 1/N; x.size() must equal size().
   void inverse(Signal& x) const;
 
+  /// Like forward()/inverse(), but radix-3 lengths use the caller's
+  /// scratch buffer for the de-interleave pass instead of allocating
+  /// one per transform (the zero-allocation batch-decode path). For
+  /// power-of-two and Bluestein lengths the scratch is unused.
+  void forward(Signal& x, Signal& scratch) const;
+  void inverse(Signal& x, Signal& scratch) const;
+
+  /// Inverse DFT without the 1/N normalization pass — for callers that
+  /// fold the scale into another per-bin table (the SAW filter bakes
+  /// it into its gain table, saving one full sweep per packet).
+  void inverse_raw(Signal& x, Signal& scratch) const;
+
   /// Forward DFT of a real sequence, zero-padded to size(). Writes the
   /// full N-bin spectrum into `out`. For even power-of-two lengths this
   /// runs one half-size complex transform (the packed-real trick)
@@ -46,10 +61,12 @@ class FftPlan {
 
  private:
   void transform_pow2(Complex* x, bool inverse) const;
+  void transform_radix3(Signal& x, Signal& scratch, bool inverse) const;
   void bluestein(Signal& x, bool inverse) const;
 
   std::size_t n_;
   bool pow2_;
+  bool radix3_ = false;  ///< n = 3 · 2^k (handled by the split kernel)
 
   // Radix-2 path.
   std::vector<std::uint32_t> bitrev_;
@@ -57,6 +74,10 @@ class FftPlan {
   std::vector<Complex> stage_twa_;    ///< inner-stage twiddles, access order
   std::vector<Complex> stage_twb_;    ///< outer-stage twiddles, access order
   std::shared_ptr<const FftPlan> half_;  ///< n/2 plan for forward_real
+
+  // Radix-3 path (n = 3 · 2^k).
+  std::shared_ptr<const FftPlan> third_;  ///< n/3 power-of-two sub-plan
+  std::vector<Complex> tw3_;  ///< [2k] = w^k, [2k+1] = w^2k (w = e^{-2πi/n})
 
   // Bluestein path (non-power-of-two lengths).
   std::size_t m_ = 0;                    ///< convolution length (pow2)
@@ -86,6 +107,12 @@ std::size_t next_pow2(std::size_t n);
 
 /// True when n is a power of two (n >= 1).
 bool is_pow2(std::size_t n);
+
+/// Smallest FFT-friendly length >= n: min of the next power of two and
+/// the next 3·2^k (both planned directly, no Bluestein). Zero-padding
+/// targets should use this instead of next_pow2 — a ~45k-sample packet
+/// pads to 49152 instead of 65536.
+std::size_t next_fast_len(std::size_t n);
 
 /// Frequency (Hz) of FFT bin `k` for an N-point transform at sample
 /// rate `fs`, mapped into [-fs/2, fs/2).

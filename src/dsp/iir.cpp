@@ -62,6 +62,10 @@ RealSignal Biquad::process(std::span<const double> x) {
   return out;
 }
 
+void Biquad::process_inplace(std::span<double> x) {
+  for (double& v : x) v = step(v);
+}
+
 void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
 
 void Biquad::scale_output(double g) {
@@ -98,6 +102,10 @@ RealSignal OnePole::process(std::span<const double> x) {
   RealSignal out(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = step(x[i]);
   return out;
+}
+
+void OnePole::process_inplace(std::span<double> x) {
+  for (double& v : x) v = step(v);
 }
 
 void OnePole::reset() { y_ = 0.0; }

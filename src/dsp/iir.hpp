@@ -24,6 +24,9 @@ class Biquad {
 
   double step(double x);
   RealSignal process(std::span<const double> x);
+  /// Filter in place (x[i] overwritten with y[i]) — the
+  /// zero-allocation workspace path. Same values as process().
+  void process_inplace(std::span<double> x);
   void reset();
 
   /// Fold a constant output gain into the feed-forward coefficients
@@ -46,6 +49,8 @@ class OnePole {
 
   double step(double x);
   RealSignal process(std::span<const double> x);
+  /// Filter in place — same values as process().
+  void process_inplace(std::span<double> x);
   void reset();
   double alpha() const { return alpha_; }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/simd.hpp"
 #include "dsp/utils.hpp"
 
 namespace saiyan::dsp {
@@ -12,9 +13,9 @@ Signal complex_awgn(std::size_t n, double power_watts, Rng& rng) {
   if (power_watts < 0.0) throw std::invalid_argument("complex_awgn: negative power");
   const double sigma = std::sqrt(power_watts / 2.0);
   Signal out(n);
-  for (Complex& v : out) {
-    v = Complex(sigma * rng.gaussian(), sigma * rng.gaussian());
-  }
+  double* d = reinterpret_cast<double*>(out.data());
+  simd::fill_gaussian(rng, d, 2 * n);
+  simd::scale(d, 2 * n, sigma, d);
   return out;
 }
 
@@ -30,11 +31,20 @@ RealSignal real_white_noise(std::size_t n, double power_watts, Rng& rng) {
   if (power_watts < 0.0) throw std::invalid_argument("real_white_noise: negative power");
   const double sigma = std::sqrt(power_watts);
   RealSignal out(n);
-  for (double& v : out) v = sigma * rng.gaussian();
+  simd::fill_gaussian(rng, out.data(), n);
+  simd::scale(out.data(), n, sigma, out.data());
   return out;
 }
 
 RealSignal flicker_noise(std::size_t n, double power_watts, Rng& rng) {
+  RealSignal out;
+  RealSignal drive;
+  flicker_noise_into(n, power_watts, rng, out, drive);
+  return out;
+}
+
+void flicker_noise_into(std::size_t n, double power_watts, Rng& rng,
+                        RealSignal& out, RealSignal& drive_scratch) {
   if (power_watts < 0.0) throw std::invalid_argument("flicker_noise: negative power");
   // Sum of octave-spaced one-pole low-pass stages driven by white
   // noise, each normalized to equal variance — equal power per
@@ -54,7 +64,7 @@ RealSignal flicker_noise(std::size_t n, double power_watts, Rng& rng) {
     gain[s] = 1.0 / std::sqrt(alpha[s] / (2.0 - alpha[s]));
     fc_over_fs /= 4.0;
   }
-  RealSignal out(n);
+  out.resize(n);
   // One shared white draw drives all stages (Kellet-style pink
   // filter): same 1/f-dominated spectrum, one gaussian per sample
   // instead of one per stage — this is the hottest noise source in the
@@ -63,22 +73,25 @@ RealSignal flicker_noise(std::size_t n, double power_watts, Rng& rng) {
   // normalization below the measured effect on the envelope band is
   // negligible: <0.2 dB in 0–200 kHz and ~0.5 dB across sub-bands
   // versus independent drives at fs = 4 MHz (docs/PERFORMANCE.md).
-  for (double& v : out) {
-    const double w = rng.gaussian();
+  // The drive is batch-drawn (same stream order as per-sample draws);
+  // the stage recurrence itself is inherently sequential.
+  drive_scratch.resize(n);
+  simd::fill_gaussian(rng, drive_scratch.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = drive_scratch[i];
     double acc = 0.0;
     for (std::size_t s = 0; s < kStages; ++s) {
       state[s] += alpha[s] * (w - state[s]);
       acc += gain[s] * state[s];
     }
-    v = acc;
+    out[i] = acc;
   }
   // Normalize to the requested power.
   const double p = signal_power(std::span<const double>(out));
   if (p > 0.0) {
     const double scale = std::sqrt(power_watts / p);
-    for (double& v : out) v *= scale;
+    simd::scale(out.data(), n, scale, out.data());
   }
-  return out;
 }
 
 double thermal_noise_floor_dbm(double bandwidth_hz, double noise_figure_db) {

@@ -26,6 +26,12 @@ RealSignal real_white_noise(std::size_t n, double power_watts, Rng& rng);
 /// filtered white noise (Voss–McCartney style IIR approximation).
 RealSignal flicker_noise(std::size_t n, double power_watts, Rng& rng);
 
+/// flicker_noise into a caller-owned buffer, with the white drive
+/// batch-drawn into `drive_scratch` — the zero-allocation workspace
+/// path. Identical draws and values to flicker_noise().
+void flicker_noise_into(std::size_t n, double power_watts, Rng& rng,
+                        RealSignal& out, RealSignal& drive_scratch);
+
 /// Thermal noise floor in dBm for a given bandwidth and noise figure:
 /// -174 dBm/Hz + 10 log10(BW) + NF.
 double thermal_noise_floor_dbm(double bandwidth_hz, double noise_figure_db);

@@ -1,0 +1,123 @@
+// Runtime-dispatched SIMD kernels for the per-sample hot passes.
+//
+// The FFT butterflies (dsp/fft.cpp) set the pattern: AVX2+FMA variants
+// compiled behind function-level `target` attributes and selected with
+// `__builtin_cpu_supports`, so the default build stays portable. This
+// module applies it to the remaining per-sample passes the profile is
+// dominated by once the transforms are fast — square-law envelope
+// detection, noise injection, mixing and the power reductions.
+//
+// Every kernel here is **bit-identical** between the scalar reference
+// and the AVX2 variant:
+//   * element-wise kernels use plain mul/add intrinsics in the exact
+//     association of the scalar expression (no FMA contraction);
+//   * reductions define the reference as a fixed 4-accumulator blocked
+//     sum (lane j accumulates elements i*4+j, lanes combined as
+//     ((l0+l1)+l2)+l3, scalar tail appended last) which is precisely
+//     what the vector version computes;
+//   * the gaussian batch fill consumes the xoshiro engine in the exact
+//     order of repeated `Rng::gaussian()` calls — the AVX2 fast path
+//     only vectorizes the accept test of a 4-candidate block and
+//     replays rejected candidates through the scalar ziggurat.
+// So nothing in *these* kernels makes a Monte-Carlo result depend on
+// the dispatch target. (The FFT butterflies keep their own, older
+// convention: their AVX2+FMA path rounds differently from the portable
+// one and is selected by CPUID alone — see dsp/fft.cpp — so exact
+// cross-machine reproducibility still requires matching FFT ISAs.)
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace saiyan::dsp::simd {
+
+/// Dispatch target. kAuto resolves to the best ISA the CPU supports.
+enum class Isa {
+  kAuto,
+  kScalar,
+  kAvx2,
+};
+
+/// True when the CPU supports AVX2+FMA (cached CPUID probe).
+bool cpu_has_avx2_fma();
+
+/// Force the dispatch target (tests use this to compare scalar vs.
+/// native output). kAuto restores runtime detection. Requesting kAvx2
+/// on a CPU without AVX2+FMA falls back to scalar.
+void set_isa(Isa isa);
+
+/// The ISA the kernels currently dispatch to (kScalar or kAvx2).
+Isa active_isa();
+
+/// y[i] = k * (re(x[i])^2 + im(x[i])^2) — square-law envelope (Eq. 4).
+void square_law(const Complex* x, std::size_t n, double k, double* y);
+
+/// y[i] = (k * gain[i]^2) * (re^2 + im^2) — square-law of a waveform
+/// pre-multiplied by a real mixer gain (the CFS input mixer fusion).
+void square_law_mixed(const Complex* x, const double* gain, std::size_t n,
+                      double k, double* y);
+
+/// out[i] = g * x[i] (real arrays; complex data can be passed as 2n
+/// doubles).
+void scale(const double* x, std::size_t n, double g, double* out);
+
+/// out[i] = x[i] * y[i] (mixing against a precomputed LO table).
+/// In-place (out == x) is allowed.
+void multiply(const double* x, const double* y, std::size_t n, double* out);
+
+/// x[i] *= g[i] — complex waveform scaled by a real per-bin table (the
+/// SAW filter's frequency-domain gain pass).
+void complex_scale_table(Complex* x, const double* g, std::size_t n);
+
+/// Blocked sum (fixed 4-accumulator association) — the basis of mean().
+double sum(const double* x, std::size_t n);
+
+/// Blocked sum of squares (see header comment for the fixed
+/// association). The basis of signal_power()/rms().
+double sum_squares(const double* x, std::size_t n);
+
+/// Sum of |x[i]|^2 — same blocked reduction over the interleaved
+/// re/im doubles.
+double sum_squares(const Complex* x, std::size_t n);
+
+/// Fill out[0..n) with standard-normal draws, consuming `rng` in the
+/// exact order of n successive rng.gaussian() calls (bit-identical
+/// stream at any dispatch target).
+void fill_gaussian(Rng& rng, double* out, std::size_t n);
+
+// Fused draw + inject kernels: the gaussians are drawn inside the
+// pass (same stream order as per-sample draws) and never materialized
+// in a scratch buffer — one memory sweep instead of three. These are
+// the per-packet noise stages of the receive chain.
+
+/// out[i] = a * x[i] + sigma * gaussian_i — the AWGN channel pass
+/// (complex data as 2n doubles: draws alternate re/im).
+void scale_add_gaussian(const double* x, std::size_t n, double a, double sigma,
+                        double* out, Rng& rng);
+
+/// out[i] = g * (x[i] + sigma * gaussian_i) — the LNA pass.
+void gain_add_gaussian(const double* x, std::size_t n, double g, double sigma,
+                       double* out, Rng& rng);
+
+/// y[i] += dc + flicker[i] + sigma * gaussian_i — the envelope
+/// detector's impairment pass.
+void add_dc_flicker_gaussian(double* y, const double* flicker, std::size_t n,
+                             double dc, double sigma, Rng& rng);
+
+/// Fused LNA + square-law: amplify each complex sample with
+/// input-referred noise (re' = g·(re + sigma·gaussian), likewise im —
+/// two draws per sample in re/im order) and emit
+/// y[i] = k · gain[i]² · (re'² + im'²) without materializing the
+/// amplified waveform. `gain` may be null (plain square law). Values
+/// and draw stream identical to gain_add_gaussian followed by
+/// square_law_mixed / square_law.
+void lna_square_law(const Complex* x, const double* gain, std::size_t n,
+                    double g, double sigma, double k, double* y, Rng& rng);
+
+/// Blocked dot product (same fixed 4-accumulator association as
+/// sum/sum_squares) — the correlation decoder's template score.
+double dot(const double* x, const double* y, std::size_t n);
+
+}  // namespace saiyan::dsp::simd

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "dsp/simd.hpp"
+
 namespace saiyan::dsp {
 
 double lin_to_db(double ratio) {
@@ -36,16 +38,19 @@ double db_to_amp(double db) { return std::pow(10.0, db / 20.0); }
 
 double mean(std::span<const double> x) {
   if (x.empty()) return 0.0;
-  double acc = 0.0;
-  for (double v : x) acc += v;
-  return acc / static_cast<double>(x.size());
+  return simd::sum(x.data(), x.size()) / static_cast<double>(x.size());
 }
 
 RealSignal mean_removed(std::span<const double> x) {
-  const double m = mean(x);
-  RealSignal out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - m;
+  RealSignal out;
+  mean_removed_into(x, out);
   return out;
+}
+
+void mean_removed_into(std::span<const double> x, RealSignal& out) {
+  const double m = mean(x);
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - m;
 }
 
 double variance(std::span<const double> x) {
@@ -62,16 +67,13 @@ double rms(std::span<const double> x) {
 
 double signal_power(std::span<const Complex> x) {
   if (x.empty()) return 0.0;
-  double acc = 0.0;
-  for (const Complex& v : x) acc += std::norm(v);
-  return acc / static_cast<double>(x.size());
+  // Blocked SIMD-dispatched reduction; bit-identical at any ISA.
+  return simd::sum_squares(x.data(), x.size()) / static_cast<double>(x.size());
 }
 
 double signal_power(std::span<const double> x) {
   if (x.empty()) return 0.0;
-  double acc = 0.0;
-  for (double v : x) acc += v * v;
-  return acc / static_cast<double>(x.size());
+  return simd::sum_squares(x.data(), x.size()) / static_cast<double>(x.size());
 }
 
 double signal_power_dbm(std::span<const Complex> x) {

@@ -32,6 +32,9 @@ double mean(std::span<const double> x);
 /// by the correlation matchers).
 RealSignal mean_removed(std::span<const double> x);
 
+/// mean_removed into a caller-owned buffer (zero-allocation path).
+void mean_removed_into(std::span<const double> x, RealSignal& out);
+
 /// Population variance of a real sequence; 0 for fewer than 2 samples.
 double variance(std::span<const double> x);
 

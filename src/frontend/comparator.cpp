@@ -27,7 +27,14 @@ DoubleThresholdComparator::DoubleThresholdComparator(double u_high, double u_low
 
 dsp::BitVector DoubleThresholdComparator::quantize(
     std::span<const double> envelope) const {
-  dsp::BitVector out(envelope.size());
+  dsp::BitVector out;
+  quantize_into(envelope, out);
+  return out;
+}
+
+void DoubleThresholdComparator::quantize_into(std::span<const double> envelope,
+                                              dsp::BitVector& out) const {
+  out.resize(envelope.size());
   bool high = false;
   for (std::size_t i = 0; i < envelope.size(); ++i) {
     const double a = envelope[i];
@@ -38,7 +45,6 @@ dsp::BitVector DoubleThresholdComparator::quantize(
     }
     out[i] = high ? 1 : 0;
   }
-  return out;
 }
 
 ThresholdPair thresholds_from_peak(double a_max, double gap_db, double ripple) {

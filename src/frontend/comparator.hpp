@@ -38,6 +38,10 @@ class DoubleThresholdComparator {
 
   dsp::BitVector quantize(std::span<const double> envelope) const;
 
+  /// Workspace variant: writes into a caller-owned bit buffer (the
+  /// zero-allocation batch-decode path). Identical to quantize().
+  void quantize_into(std::span<const double> envelope, dsp::BitVector& out) const;
+
   double u_high() const { return u_high_; }
   double u_low() const { return u_low_; }
 

@@ -14,6 +14,7 @@
 
 #include "dsp/rng.hpp"
 #include "dsp/types.hpp"
+#include "frontend/workspace.hpp"
 
 namespace saiyan::frontend {
 
@@ -50,12 +51,40 @@ class EnvelopeDetector {
                                    std::span<const double> mix_gain,
                                    dsp::Rng& rng) const;
 
+  /// Workspace variants: write into a caller-owned buffer, drawing the
+  /// impairment noise through the scratch's reusable buffers. Values
+  /// and RNG consumption are identical to the allocating overloads.
+  void detect_into(std::span<const dsp::Complex> x, dsp::Rng& rng,
+                   dsp::RealSignal& out, FrontendScratch& scratch) const;
+  void detect_raw_into(std::span<const dsp::Complex> x, dsp::Rng& rng,
+                       dsp::RealSignal& out, FrontendScratch& scratch) const;
+  void detect_raw_mixed_into(std::span<const dsp::Complex> x,
+                             std::span<const double> mix_gain, dsp::Rng& rng,
+                             dsp::RealSignal& out,
+                             FrontendScratch& scratch) const;
+
+  /// Fused-LNA variants: `x` is the *unamplified* waveform; the CG-LNA
+  /// stage (y = lna_gain·(x + noise), noise sigma per I/Q component)
+  /// is applied inside the square-law kernel without materializing the
+  /// amplified waveform. Values and RNG consumption identical to
+  /// Lna::amplify_into followed by the corresponding detect method.
+  void detect_amplified_into(std::span<const dsp::Complex> x, double lna_gain,
+                             double lna_sigma, dsp::Rng& rng,
+                             dsp::RealSignal& out,
+                             FrontendScratch& scratch) const;
+  void detect_raw_mixed_amplified_into(std::span<const dsp::Complex> x,
+                                       std::span<const double> mix_gain,
+                                       double lna_gain, double lna_sigma,
+                                       dsp::Rng& rng, dsp::RealSignal& out,
+                                       FrontendScratch& scratch) const;
+
   const EnvelopeDetectorConfig& config() const { return cfg_; }
 
  private:
   /// Adds DC offset, 1/f flicker and white noise to a detector output
   /// (shared by the plain and mixer-scaled square-law paths).
-  void add_impairments(dsp::RealSignal& y, dsp::Rng& rng) const;
+  void add_impairments(dsp::RealSignal& y, dsp::Rng& rng,
+                       FrontendScratch& scratch) const;
 
   EnvelopeDetectorConfig cfg_;
   double dc_level_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/noise.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/utils.hpp"
 
 namespace saiyan::frontend {
@@ -16,18 +17,24 @@ Lna::Lna(const LnaConfig& cfg) : cfg_(cfg) {
   input_noise_watts_ = kt_b_watts * std::max(0.0, f_lin - 1.0);
 }
 
+double Lna::noise_sigma() const { return std::sqrt(input_noise_watts_ / 2.0); }
+
 dsp::Signal Lna::amplify(std::span<const dsp::Complex> x, dsp::Rng& rng) const {
-  // Single fused pass: y = g (x + n). Same draws in the same order as
-  // the copy + add_awgn + scale sequence it replaces.
-  dsp::Signal out(x.size());
+  dsp::Signal out;
+  amplify_into(x, rng, out);
+  return out;
+}
+
+void Lna::amplify_into(std::span<const dsp::Complex> x, dsp::Rng& rng,
+                       dsp::Signal& out) const {
+  // Fused pass: y = g (x + n), the gaussians drawn inside the
+  // SIMD-dispatched kernel in the per-sample re/im order.
+  out.resize(x.size());
   const double g = dsp::db_to_amp(cfg_.gain_db);
   const double sigma = std::sqrt(input_noise_watts_ / 2.0);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double nr = sigma * rng.gaussian();
-    const double ni = sigma * rng.gaussian();
-    out[i] = dsp::Complex(g * (x[i].real() + nr), g * (x[i].imag() + ni));
-  }
-  return out;
+  dsp::simd::gain_add_gaussian(reinterpret_cast<const double*>(x.data()),
+                               2 * x.size(), g, sigma,
+                               reinterpret_cast<double*>(out.data()), rng);
 }
 
 }  // namespace saiyan::frontend

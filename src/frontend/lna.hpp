@@ -23,7 +23,17 @@ class Lna {
 
   dsp::Signal amplify(std::span<const dsp::Complex> x, dsp::Rng& rng) const;
 
+  /// Workspace variant: writes into `out` through the fused
+  /// draw-and-inject kernel. Identical values and RNG consumption to
+  /// amplify().
+  void amplify_into(std::span<const dsp::Complex> x, dsp::Rng& rng,
+                    dsp::Signal& out) const;
+
   double gain_db() const { return cfg_.gain_db; }
+
+  /// Per-I/Q-component input noise sigma (the fused-LNA kernels take
+  /// the amplifier as plain (gain, sigma) parameters).
+  double noise_sigma() const;
 
  private:
   LnaConfig cfg_;

@@ -18,11 +18,17 @@ VoltageSampler::VoltageSampler(const lora::PhyParams& params, double rate_multip
 
 SampledBits VoltageSampler::sample(std::span<const std::uint8_t> comparator_bits,
                                    double fs_hz) const {
+  SampledBits out;
+  sample_into(comparator_bits, fs_hz, out);
+  return out;
+}
+
+void VoltageSampler::sample_into(std::span<const std::uint8_t> comparator_bits,
+                                 double fs_hz, SampledBits& out) const {
   if (fs_hz <= 0.0) throw std::invalid_argument("VoltageSampler: fs must be > 0");
   if (rate_hz_ > fs_hz) {
     throw std::invalid_argument("VoltageSampler: tick rate exceeds simulation rate");
   }
-  SampledBits out;
   out.sample_rate_hz = rate_hz_;
   out.samples_per_symbol = rate_hz_ * params_.symbol_duration_s();
   const double ratio = fs_hz / rate_hz_;
@@ -35,7 +41,6 @@ SampledBits VoltageSampler::sample(std::span<const std::uint8_t> comparator_bits
     const std::size_t idx = static_cast<std::size_t>(std::floor(k * ratio));
     out.bits[k] = comparator_bits[std::min(idx, comparator_bits.size() - 1)];
   }
-  return out;
 }
 
 dsp::RealSignal VoltageSampler::sample_analog(std::span<const double> envelope,

@@ -30,6 +30,11 @@ class VoltageSampler {
   SampledBits sample(std::span<const std::uint8_t> comparator_bits,
                      double fs_hz) const;
 
+  /// Workspace variant: fills a caller-owned SampledBits, reusing its
+  /// bit buffer's capacity. Identical to sample().
+  void sample_into(std::span<const std::uint8_t> comparator_bits, double fs_hz,
+                   SampledBits& out) const;
+
   /// Sample the analog envelope directly (used by the correlation
   /// decoder, which consumes amplitude samples rather than logic
   /// levels).

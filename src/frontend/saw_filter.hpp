@@ -32,9 +32,19 @@ class SawFilter {
   double response_db(double rf_frequency_hz) const;
 
   /// Filter a complex-baseband waveform whose sample k / FFT bin f
-  /// corresponds to RF frequency `rf_center_hz + f`.
+  /// corresponds to RF frequency `rf_center_hz + f`. The waveform is
+  /// zero-padded to the next FFT-friendly length (power of two or
+  /// 3·2^k — a ~45k-sample packet transforms at 49152, not 65536).
   dsp::Signal filter(std::span<const dsp::Complex> x, double fs_hz,
                      double rf_center_hz) const;
+
+  /// Workspace variant: `out` receives the filtered waveform (trimmed
+  /// back to x.size()); `fft_scratch` backs the radix-3 de-interleave
+  /// pass. Identical values to filter(), zero allocations once the
+  /// buffers are warm.
+  void filter_into(std::span<const dsp::Complex> x, double fs_hz,
+                   double rf_center_hz, dsp::Signal& out,
+                   dsp::Signal& fft_scratch) const;
 
   /// Center the chirp band so its top edge hits the passband edge
   /// (434 MHz): rf_center = 434 MHz - BW/2. This is how Saiyan aligns

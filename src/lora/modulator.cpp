@@ -1,5 +1,6 @@
 #include "lora/modulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "lora/chirp.hpp"
@@ -27,7 +28,9 @@ const dsp::Signal& Modulator::symbol_waveform(std::uint32_t value) const {
   return slot;
 }
 
-dsp::Signal Modulator::preamble() const {
+dsp::Signal Modulator::preamble() const { return preamble_ref(); }
+
+const dsp::Signal& Modulator::preamble_ref() const {
   if (preamble_cache_.empty()) {
     const dsp::Signal up = upchirp(params_, 0);
     const dsp::Signal down = downchirp(params_);
@@ -63,10 +66,22 @@ dsp::Signal Modulator::modulate_payload(const std::vector<std::uint32_t>& symbol
 }
 
 dsp::Signal Modulator::modulate(const std::vector<std::uint32_t>& symbols) const {
-  dsp::Signal out = preamble();
-  const dsp::Signal payload = modulate_payload(symbols);
-  out.insert(out.end(), payload.begin(), payload.end());
+  dsp::Signal out;
+  modulate_into(symbols, out);
   return out;
+}
+
+void Modulator::modulate_into(const std::vector<std::uint32_t>& symbols,
+                              dsp::Signal& out) const {
+  const dsp::Signal& pre = preamble_ref();
+  const std::size_t sps = params_.samples_per_symbol();
+  out.resize(pre.size() + symbols.size() * sps);
+  std::copy(pre.begin(), pre.end(), out.begin());
+  auto dst = out.begin() + static_cast<std::ptrdiff_t>(pre.size());
+  for (std::uint32_t v : symbols) {
+    const dsp::Signal& w = symbol_waveform(v);
+    dst = std::copy(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(sps), dst);
+  }
 }
 
 PacketLayout Modulator::layout(std::size_t n_payload_symbols) const {

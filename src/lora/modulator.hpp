@@ -34,6 +34,11 @@ class Modulator {
   /// Modulate a full packet from K-bit symbol values; unit amplitude.
   dsp::Signal modulate(const std::vector<std::uint32_t>& symbols) const;
 
+  /// modulate into a caller-owned buffer (zero-allocation path once
+  /// the buffer and the symbol/preamble caches are warm).
+  void modulate_into(const std::vector<std::uint32_t>& symbols,
+                     dsp::Signal& out) const;
+
   /// Modulate only the payload (no preamble/sync) — used by unit tests
   /// and symbol-level benchmarks.
   dsp::Signal modulate_payload(const std::vector<std::uint32_t>& symbols) const;
@@ -49,6 +54,10 @@ class Modulator {
  private:
   /// Cached waveform of one payload symbol value.
   const dsp::Signal& symbol_waveform(std::uint32_t value) const;
+
+  /// Cached preamble+sync waveform (filled on first use; the public
+  /// preamble() returns a copy of this).
+  const dsp::Signal& preamble_ref() const;
 
   PhyParams params_;
   mutable std::vector<dsp::Signal> symbol_cache_;  // indexed by value

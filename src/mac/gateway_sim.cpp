@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "channel/interference.hpp"
@@ -69,7 +70,22 @@ GatewaySim::GatewaySim(const GatewaySimConfig& cfg)
   }
 }
 
-ShardResult GatewaySim::run_shard(std::size_t gateway, dsp::Rng& rng) const {
+/// Per-worker buffers for the shard hot loop: tag link state, the
+/// interferer collector and the activity flags are reused across every
+/// shard a worker claims, so a network run allocates per worker, not
+/// per shard.
+struct GatewaySim::ShardWorkspace {
+  struct TagState {
+    std::size_t serving;
+    double rss_dbm;
+  };
+  std::vector<TagState> state;
+  std::vector<double> interferers;
+  std::vector<char> active;
+};
+
+ShardResult GatewaySim::run_shard(std::size_t gateway, dsp::Rng& rng,
+                                  ShardWorkspace& ws) const {
   const DeploymentConfig& dep_cfg = cfg_.deployment;
   const std::vector<std::size_t>& shard = deployment_.shard_tags[gateway];
   const std::size_t n_gateways = deployment_.gateways.size();
@@ -80,11 +96,9 @@ ShardResult GatewaySim::run_shard(std::size_t gateway, dsp::Rng& rng) const {
 
   // Mutable per-tag link state: handovers move a tag onto another
   // gateway's link budget while this shard keeps simulating it.
-  struct TagState {
-    std::size_t serving;
-    double rss_dbm;
-  };
-  std::vector<TagState> state;
+  using TagState = ShardWorkspace::TagState;
+  std::vector<TagState>& state = ws.state;
+  state.clear();
   state.reserve(shard.size());
   for (std::size_t t : shard) {
     state.push_back({deployment_.serving_gateway[t],
@@ -97,9 +111,11 @@ ShardResult GatewaySim::run_shard(std::size_t gateway, dsp::Rng& rng) const {
 
   double penalty_sum_db = 0.0;
   std::size_t penalty_samples = 0;
-  std::vector<double> interferers;
+  std::vector<double>& interferers = ws.interferers;
+  interferers.clear();
   interferers.reserve(n_gateways);
-  std::vector<char> active(n_gateways, 0);
+  std::vector<char>& active = ws.active;
+  active.assign(n_gateways, 0);
 
   // Collect the active co-channel gateway carriers from a receiver's
   // precomputed RSS row into `interferers` — one definition for the
@@ -264,10 +280,18 @@ NetworkResult GatewaySim::run(const sim::SweepEngine& engine) const {
   const std::size_t n_gateways = deployment_.gateways.size();
   NetworkResult net;
   net.shards.resize(n_gateways);
-  engine.for_each(
+  engine.for_each_with_context(
       n_gateways,
       sim::SweepEngine::derive_seed(cfg_.deployment.seed, kShardStream),
-      [&](std::size_t g, dsp::Rng& rng) { net.shards[g] = run_shard(g, rng); });
+      [&]() {
+        // Per-worker workspace: shard-loop buffers are reused across
+        // the shards this worker claims (results stay index-addressed,
+        // so determinism is unaffected).
+        auto ws = std::make_shared<ShardWorkspace>();
+        return [this, &net, ws](std::size_t g, dsp::Rng& rng) {
+          net.shards[g] = run_shard(g, rng, *ws);
+        };
+      });
 
   // Merge in gateway-index order — never in completion order — so the
   // floating-point sums are schedule-independent.

@@ -123,7 +123,10 @@ class GatewaySim {
   NetworkResult run(const sim::SweepEngine& engine) const;
 
  private:
-  ShardResult run_shard(std::size_t gateway, dsp::Rng& rng) const;
+  struct ShardWorkspace;  // per-worker tag/interferer state buffers
+
+  ShardResult run_shard(std::size_t gateway, dsp::Rng& rng,
+                        ShardWorkspace& ws) const;
 
   GatewaySimConfig cfg_;
   Deployment deployment_;

@@ -3,18 +3,34 @@
 #include <cmath>
 #include <memory>
 
+#include "core/batch_demod.hpp"
 #include "lora/modulator.hpp"
 #include "sim/sweep_engine.hpp"
 
 namespace saiyan::sim {
 namespace {
 
-/// Decode outcome of one packet, accumulated in index order so the
-/// aggregate is independent of worker scheduling.
+/// Decode outcome of one packet — plain counters, no per-packet
+/// vectors — accumulated in index order so the aggregate is
+/// independent of worker scheduling.
 struct PacketOutcome {
   bool detected = false;
-  std::vector<std::uint32_t> tx;
-  std::vector<std::uint32_t> rx;
+  ErrorCounter errors;
+};
+
+/// Per-worker context: the batch demodulator (with its workspace),
+/// modulator and channel hold non-thread-safe caches and pre-sized
+/// buffers; each worker owns one of each and reuses them for every
+/// packet it claims — zero allocations per packet once warm.
+struct PacketWorker {
+  PacketWorker(const core::SaiyanConfig& saiyan, double noise_figure_db)
+      : batch(saiyan),
+        mod(saiyan.phy),
+        chan(saiyan.phy.sample_rate_hz, noise_figure_db) {}
+
+  core::BatchDemodulator batch;
+  lora::Modulator mod;
+  channel::AwgnChannel chan;
 };
 
 }  // namespace
@@ -40,41 +56,39 @@ PipelineResult WaveformPipeline::run_impl(double rss_dbm, std::size_t n_packets)
 
   SweepEngine engine(cfg_.threads);
   engine.for_each_with_context(n_packets, batch_seed, [&]() {
-    // Per-worker context: the demodulator, modulator and channel hold
-    // non-thread-safe caches (templates, chirps, filter tables).
-    auto demod = std::make_shared<core::SaiyanDemodulator>(cfg_.saiyan);
-    auto mod = std::make_shared<lora::Modulator>(phy);
-    auto chan = std::make_shared<channel::AwgnChannel>(phy.sample_rate_hz,
-                                                      cfg_.noise_figure_db);
-    return [this, &phy, &outcomes, rss_dbm, demod, mod,
-            chan](std::size_t p, dsp::Rng& rng) {
-      PacketOutcome& out = outcomes[p];
-      out.tx.resize(cfg_.payload_symbols);
-      for (std::uint32_t& v : out.tx) {
+    auto worker =
+        std::make_shared<PacketWorker>(cfg_.saiyan, cfg_.noise_figure_db);
+    return [this, &phy, &outcomes, rss_dbm, worker](std::size_t p,
+                                                    dsp::Rng& rng) {
+      core::DemodWorkspace& ws = worker->batch.workspace();
+      ws.tx.resize(cfg_.payload_symbols);
+      for (std::uint32_t& v : ws.tx) {
         v = static_cast<std::uint32_t>(
             rng.uniform_int(0, phy.symbol_alphabet() - 1));
       }
-      const dsp::Signal wave = mod->modulate(out.tx);
-      const dsp::Signal rx = chan->apply(wave, rss_dbm, rng);
+      worker->mod.modulate_into(ws.tx, ws.wave);
+      worker->chan.apply_into(ws.wave, rss_dbm, rng, ws.rx);
 
-      core::DemodResult dr;
+      std::span<const std::uint32_t> decoded;
       if (cfg_.aligned) {
-        const lora::PacketLayout lay = mod->layout(out.tx.size());
-        dr = demod->demodulate_aligned(rx, lay.payload_start, out.tx.size(), rng);
+        const lora::PacketLayout lay = worker->mod.layout(ws.tx.size());
+        decoded = worker->batch.decode_aligned(ws.rx, lay.payload_start,
+                                               ws.tx.size(), rng);
       } else {
-        dr = demod->demodulate(rx, out.tx.size(), rng);
+        decoded = worker->batch.decode(ws.rx, ws.tx.size(), rng);
       }
-      out.detected = dr.preamble_found;
-      out.rx = std::move(dr.symbols);
+      PacketOutcome& out = outcomes[p];
+      out.detected = ws.preamble_found;
+      for (std::size_t i = 0; i < ws.tx.size(); ++i) {
+        const std::uint32_t actual = i < decoded.size() ? decoded[i] : 0;
+        out.errors.add_symbol(ws.tx[i], actual, phy.bits_per_symbol);
+      }
     };
   });
 
   for (const PacketOutcome& out : outcomes) {
     result.detections.add(out.detected);
-    for (std::size_t i = 0; i < out.tx.size(); ++i) {
-      const std::uint32_t actual = i < out.rx.size() ? out.rx[i] : 0;
-      result.errors.add_symbol(out.tx[i], actual, phy.bits_per_symbol);
-    }
+    result.errors.merge(out.errors);
   }
   result.throughput_bps =
       effective_throughput_bps(phy.data_rate_bps(), result.errors.ber());

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 #include <span>
+#include <thread>
+#include <vector>
 
 #include "dsp/fft.hpp"
 #include "dsp/rng.hpp"
@@ -137,7 +139,7 @@ TEST(FftBasics, NextPow2OverflowGuard) {
 // plan's precomputed tables must track a brute-force DFT tightly even
 // at n = 65536 (sampled bins — the full O(n^2) check is done at 1536).
 TEST(FftPrecision, MatchesNaiveDftAt1536) {
-  const std::size_t n = 1536;  // 3·2^9: exercises the Bluestein path
+  const std::size_t n = 1536;  // 3·2^9: exercises the radix-3 split path
   Rng rng(42);
   Signal x(n);
   for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
@@ -198,6 +200,94 @@ TEST(FftRealInput, PackedRealTransformMatchesComplex) {
     for (std::size_t k = 0; k < n; ++k) {
       EXPECT_NEAR(std::abs(via_real[k] - via_complex[k]), 0.0, 1e-10)
           << "n=" << n << " bin " << k;
+    }
+  }
+}
+
+TEST(FftBasics, NextFastLen) {
+  EXPECT_EQ(next_fast_len(0), 1u);
+  EXPECT_EQ(next_fast_len(1), 1u);
+  EXPECT_EQ(next_fast_len(2), 2u);
+  EXPECT_EQ(next_fast_len(3), 3u);    // 3·2^0, planned directly
+  EXPECT_EQ(next_fast_len(4), 4u);
+  EXPECT_EQ(next_fast_len(5), 6u);    // 3·2^1 beats 8
+  EXPECT_EQ(next_fast_len(1025), 1536u);
+  EXPECT_EQ(next_fast_len(1537), 2048u);
+  // The packet-waveform case from the ROADMAP: ~45k samples pad to
+  // 49152 = 3·2^14 instead of 65536.
+  EXPECT_EQ(next_fast_len(45000), 49152u);
+  EXPECT_EQ(next_fast_len(49152), 49152u);
+  EXPECT_EQ(next_fast_len(49153), 65536u);
+}
+
+// Full O(n²) check of the radix-3 split at small sizes, including the
+// degenerate m = 1 sub-transform (n = 3).
+TEST(FftRadix3, MatchesNaiveDftAtSmallSizes) {
+  for (std::size_t n : {3u, 6u, 12u, 48u, 96u}) {
+    Rng rng(n + 17);
+    Signal x(n);
+    for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+    const Signal X = fft(x);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(std::abs(X[k] - naive_dft_bin(x, k)), 0.0, 1e-9)
+          << "n=" << n << " bin " << k;
+    }
+  }
+}
+
+TEST(FftRadix3, RoundTripAtPacketLength) {
+  // The SAW filter's packet transform length (49152 = 3·2^14).
+  const std::size_t n = 49152;
+  Rng rng(3);
+  Signal x(n);
+  for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  Signal y = x;
+  Signal scratch;
+  const auto plan = fft_plan(n);
+  plan->forward(y, scratch);
+  plan->inverse(y, scratch);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_err = std::max(max_err, std::abs(y[i] - x[i]));
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(FftRadix3, ExternalAndInternalScratchAgree) {
+  const std::size_t n = 1536;
+  Rng rng(8);
+  Signal x(n);
+  for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  Signal a = x;
+  fft_plan(n)->forward(a);  // internal scratch
+  Signal b = x;
+  Signal scratch;
+  fft_plan(n)->forward(b, scratch);  // caller-owned scratch
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(a[i], b[i]) << "bin " << i;
+  }
+}
+
+TEST(FftPlanCache, ConcurrentLookupsReturnOneInstance) {
+  // The shared-lock read path must serve concurrent workers one
+  // consistent plan per length (the SweepEngine steady state).
+  const std::size_t lengths[] = {256, 384, 512, 768, 1000};
+  std::vector<std::thread> pool;
+  std::vector<const FftPlan*> seen(4 * std::size(lengths), nullptr);
+  for (unsigned t = 0; t < 4; ++t) {
+    pool.emplace_back([t, &lengths, &seen]() {
+      for (int rep = 0; rep < 200; ++rep) {
+        for (std::size_t i = 0; i < std::size(lengths); ++i) {
+          const auto plan = fft_plan(lengths[i]);
+          seen[t * std::size(lengths) + i] = plan.get();
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (std::size_t i = 0; i < std::size(lengths); ++i) {
+    for (unsigned t = 1; t < 4; ++t) {
+      EXPECT_EQ(seen[i], seen[t * std::size(lengths) + i]);
     }
   }
 }
