@@ -14,7 +14,9 @@
 #include "lora/chirp.hpp"
 #include "frontend/saw_filter.hpp"
 #include "lora/modulator.hpp"
+#include "sim/capture.hpp"
 #include "sim/sweep_engine.hpp"
+#include "stream/streaming_demod.hpp"
 
 using namespace saiyan;
 
@@ -282,6 +284,41 @@ void BM_DemodulatorConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DemodulatorConstruction);
+
+void BM_StreamReplay(benchmark::State& state) {
+  // Streaming continuous-capture decode of a multi-tag gateway
+  // capture: ring carry-over, blockwise scan envelope, incremental
+  // preamble correlation and framed batch decode, end to end.
+  // items/sec = decoded packets/sec (the bench/stream_replay driver
+  // reports the duty-cycle sweep).
+  sim::CaptureConfig cfg;
+  cfg.saiyan = core::SaiyanConfig::make(phy(), core::Mode::kSuper);
+  cfg.payload_symbols = 16;
+  cfg.packets_per_tag = 3;
+  cfg.seed = 5;
+  cfg.tag_rss_dbm = {-55.0, -58.0};
+  const sim::Capture cap = sim::generate_capture(cfg);
+  stream::StreamConfig sc;
+  sc.saiyan = cfg.saiyan;
+  sc.payload_symbols = cfg.payload_symbols;
+  stream::StreamingDemodulator demod(sc);
+  std::size_t decoded = 0;
+  for (auto _ : state) {
+    demod.reset();
+    demod.clear_packets();
+    std::span<const dsp::Complex> rest(cap.samples);
+    while (!rest.empty()) {
+      const std::size_t take = std::min<std::size_t>(16384, rest.size());
+      demod.push(rest.first(take));
+      rest = rest.subspan(take);
+    }
+    demod.finish();
+    decoded += demod.packets().size();
+    benchmark::DoNotOptimize(demod.packets().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(decoded));
+}
+BENCHMARK(BM_StreamReplay);
 
 void BM_FullSweepThroughput(benchmark::State& state) {
   // End-to-end Monte-Carlo sweep: BER curve over an RSS grid, the

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Run the micro-kernel benchmarks and emit a machine-readable
 # BENCH_micro.json so the perf trajectory can be tracked across PRs.
+# The suite covers the FFT/correlator/per-sample kernels, the batch
+# decode loop, the streaming trace replay (BM_StreamReplay) and the
+# end-to-end sweep; scripts/bench_compare.py gates every kernel in the
+# emitted JSON against the committed baseline.
 #
 # Usage: scripts/bench_micro.sh [build_dir] [output_json]
 #   build_dir    cmake build directory (default: build). Configured

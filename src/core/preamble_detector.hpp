@@ -64,6 +64,20 @@ class PreambleDetector {
     return ref_->preamble_envelope;
   }
 
+  /// The receive chain the templates were built for.
+  const ReceiverChain& chain() const { return chain_; }
+
+  /// Incremental-scan primitives (stream::PacketScanner): the
+  /// mean-removed reference envelope and its prepared correlator. The
+  /// correlator's workspace caches are mutable and not thread-safe —
+  /// a scanner must own its detector instance, like any other worker.
+  const dsp::RealSignal& envelope_template_zero_mean() const {
+    return env_template_zm_;
+  }
+  const dsp::PreparedTemplate& envelope_correlator() const {
+    return env_prepared_;
+  }
+
  private:
   /// Bit-pattern template resampled to one sampler rate: the bipolar
   /// mean-removed reference, its energy, and the prepared correlator.

@@ -94,10 +94,17 @@ dsp::RealSignal ReceiverChain::envelope(std::span<const dsp::Complex> rf,
 }
 
 dsp::RealSignal ReceiverChain::reference_envelope(std::span<const dsp::Complex> rf) const {
-  dsp::Rng unused(1);
   DemodWorkspace ws;
-  run_into(rf, unused, /*with_impairments=*/false, ws);
+  reference_envelope_into(rf, ws);
   return std::move(ws.env);
+}
+
+void ReceiverChain::reference_envelope_into(std::span<const dsp::Complex> rf,
+                                            DemodWorkspace& ws) const {
+  // The noiseless path never draws from the Rng; a local stub keeps
+  // the signature of run_into uniform.
+  dsp::Rng unused(1);
+  run_into(rf, unused, /*with_impairments=*/false, ws);
 }
 
 }  // namespace saiyan::core

@@ -36,6 +36,15 @@ class ReceiverChain {
   /// pattern matcher and the correlation decoder.
   dsp::RealSignal reference_envelope(std::span<const dsp::Complex> rf) const;
 
+  /// Workspace variant of reference_envelope(): writes into ws.env
+  /// through the workspace's reusable buffers — zero allocations once
+  /// warm. This is the per-block front end of the streaming packet
+  /// scanner (stream::PacketScanner), which must turn arbitrary
+  /// capture blocks into scan envelopes without touching the
+  /// allocator.
+  void reference_envelope_into(std::span<const dsp::Complex> rf,
+                               DemodWorkspace& ws) const;
+
   const SaiyanConfig& config() const { return cfg_; }
 
  private:

@@ -152,7 +152,7 @@ bool PreparedTemplate::correlate_core(std::span<const double> x) const {
   const std::size_t n = next_pow2(x.size() + t_len_ - 1);
   const Signal& spec = spectrum_for(n);
   const auto plan = fft_plan(n);
-  plan->forward_real(x, work_);
+  plan->forward_real(x, work_, fft_scratch_);
   spectral_product(work_, spec);
   plan->inverse(work_);
   return true;

@@ -93,6 +93,7 @@ class PreparedTemplate {
   mutable std::size_t cached_n_ = 0;
   mutable Signal spec_;  ///< template spectrum at cached_n_
   mutable Signal work_;  ///< transform workspace
+  mutable Signal fft_scratch_;  ///< real-input packing buffer
 };
 
 }  // namespace saiyan::dsp

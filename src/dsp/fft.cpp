@@ -123,6 +123,44 @@ FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
 
 namespace {
 
+// Scalar radix-3 combine over k in [k0, m) — the reference kernel the
+// AVX2 variant must match bit for bit, and the tail path it falls back
+// to for the odd final k. w3 = exp(∓2πi/3) = -1/2 ∓ i·√3/2; the ±h
+// terms realize the w3/w3² cross-multiplications without complex
+// products.
+void radix3_combine_scalar_range(Complex* outc, const Complex* s,
+                                 const Complex* tw, std::size_t m,
+                                 std::size_t k0, bool inverse) {
+  double* out = reinterpret_cast<double*>(outc);
+  const double* sd = reinterpret_cast<const double*>(s);
+  const double csign = inverse ? -1.0 : 1.0;  // twiddle conjugation
+  const double h = (inverse ? 1.0 : -1.0) * 0.86602540378443864676;  // ±√3/2
+  for (std::size_t k = k0; k < m; ++k) {
+    const double w1r = tw[2 * k].real();
+    const double w1i = csign * tw[2 * k].imag();
+    const double w2r = tw[2 * k + 1].real();
+    const double w2i = csign * tw[2 * k + 1].imag();
+    const double ar = sd[2 * k], ai = sd[2 * k + 1];
+    const double b0r = sd[2 * (m + k)], b0i = sd[2 * (m + k) + 1];
+    const double c0r = sd[2 * (2 * m + k)], c0i = sd[2 * (2 * m + k) + 1];
+    const double br = b0r * w1r - b0i * w1i;
+    const double bi = b0r * w1i + b0i * w1r;
+    const double cr = c0r * w2r - c0i * w2i;
+    const double ci = c0r * w2i + c0i * w2r;
+    const double t1r = br + cr, t1i = bi + ci;    // B + C
+    const double t2r = ar - 0.5 * t1r;            // A - (B+C)/2
+    const double t2i = ai - 0.5 * t1i;
+    const double dvr = -h * (bi - ci);            // i·h·(B - C)
+    const double dvi = h * (br - cr);
+    out[2 * k] = ar + t1r;
+    out[2 * k + 1] = ai + t1i;
+    out[2 * (k + m)] = t2r + dvr;
+    out[2 * (k + m) + 1] = t2i + dvi;
+    out[2 * (k + 2 * m)] = t2r - dvr;
+    out[2 * (k + 2 * m) + 1] = t2i - dvi;
+  }
+}
+
 // One fused pass (two radix-2 stages) in portable scalar code.
 // Butterfly k of each sub-block combines elements k, k+q, k+2q, k+3q;
 // twiddle tables are pre-laid-out in access order.
@@ -235,10 +273,12 @@ __attribute__((target("avx2,fma"))) void fused_pass_avx2(
 bool have_avx2_fma() { return simd::cpu_has_avx2_fma(); }
 
 // Radix-3 split passes, two k per iteration. De-interleave gathers the
-// three decimated sequences with cross-lane permutes; the combine does
-// the twiddle products with the same fmaddsub complex multiply as the
-// radix-2 butterflies.
-__attribute__((target("avx2,fma"))) void radix3_deinterleave_avx2(
+// three decimated sequences with cross-lane permutes; the combine
+// keeps the scalar association (mul + addsub instead of fmaddsub), so
+// both passes are bit-identical to their scalar references — the
+// property the streaming/batch equivalence tests pin at every tail
+// length.
+__attribute__((target("avx2,fma"))) void radix3_deinterleave_avx2_impl(
     const double* x, double* s, std::size_t m) {
   std::size_t j = 0;
   for (; j + 2 <= m; j += 2) {
@@ -261,7 +301,22 @@ __attribute__((target("avx2,fma"))) void radix3_deinterleave_avx2(
   }
 }
 
-__attribute__((target("avx2,fma"))) void radix3_combine_avx2(
+// Complex multiply with the exact scalar association: separate mul
+// passes and one addsub, no FMA. Lane-wise this performs the same IEEE
+// operations as (ar·wr − ai·wi, ar·wi + ai·wr), so it is bit-identical
+// to the scalar combine. Compiled with target("avx2") — deliberately
+// *without* "fma", like the dsp/simd.hpp kernels — because GCC
+// contracts even intrinsic mul/add pairs into FMA when the fma target
+// is enabled, which would break the bit-equality.
+__attribute__((target("avx2"), always_inline)) inline __m256d
+cmul_exact_avx2(__m256d a, __m256d w) {
+  const __m256d wre = _mm256_movedup_pd(w);
+  const __m256d wim = _mm256_permute_pd(w, 0xF);
+  const __m256d aswap = _mm256_permute_pd(a, 0x5);
+  return _mm256_addsub_pd(_mm256_mul_pd(a, wre), _mm256_mul_pd(aswap, wim));
+}
+
+__attribute__((target("avx2"))) void radix3_combine_avx2_impl(
     double* out, const double* sd, const Complex* tw, std::size_t m,
     bool inverse) {
   const __m256d conj_mask =
@@ -280,10 +335,10 @@ __attribute__((target("avx2,fma"))) void radix3_combine_avx2(
     const __m256d w2 =
         _mm256_xor_pd(_mm256_permute2f128_pd(ta, tb, 0x31), conj_mask);
     const __m256d av = _mm256_loadu_pd(sd + 2 * k);
-    const __m256d bv = cmul_avx2(_mm256_loadu_pd(sd + 2 * (m + k)), w1);
-    const __m256d cv = cmul_avx2(_mm256_loadu_pd(sd + 2 * (2 * m + k)), w2);
+    const __m256d bv = cmul_exact_avx2(_mm256_loadu_pd(sd + 2 * (m + k)), w1);
+    const __m256d cv = cmul_exact_avx2(_mm256_loadu_pd(sd + 2 * (2 * m + k)), w2);
     const __m256d t1 = _mm256_add_pd(bv, cv);
-    const __m256d t2 = _mm256_fnmadd_pd(half, t1, av);  // A - t1/2
+    const __m256d t2 = _mm256_sub_pd(av, _mm256_mul_pd(half, t1));  // A - t1/2
     const __m256d diff = _mm256_sub_pd(bv, cv);
     const __m256d rot = _mm256_xor_pd(_mm256_permute_pd(diff, 0x5), re_neg);
     const __m256d d = _mm256_mul_pd(hv, rot);
@@ -291,35 +346,64 @@ __attribute__((target("avx2,fma"))) void radix3_combine_avx2(
     _mm256_storeu_pd(out + 2 * (k + m), _mm256_add_pd(t2, d));
     _mm256_storeu_pd(out + 2 * (k + 2 * m), _mm256_sub_pd(t2, d));
   }
-  const double csign = inverse ? -1.0 : 1.0;
-  for (; k < m; ++k) {
-    const double w1r = tw[2 * k].real();
-    const double w1i = csign * tw[2 * k].imag();
-    const double w2r = tw[2 * k + 1].real();
-    const double w2i = csign * tw[2 * k + 1].imag();
-    const double ar = sd[2 * k], ai = sd[2 * k + 1];
-    const double b0r = sd[2 * (m + k)], b0i = sd[2 * (m + k) + 1];
-    const double c0r = sd[2 * (2 * m + k)], c0i = sd[2 * (2 * m + k) + 1];
-    const double br = b0r * w1r - b0i * w1i;
-    const double bi = b0r * w1i + b0i * w1r;
-    const double cr = c0r * w2r - c0i * w2i;
-    const double ci = c0r * w2i + c0i * w2r;
-    const double t1r = br + cr, t1i = bi + ci;
-    const double t2r = ar - 0.5 * t1r;
-    const double t2i = ai - 0.5 * t1i;
-    const double dvr = -h * (bi - ci);
-    const double dvi = h * (br - cr);
-    out[2 * k] = ar + t1r;
-    out[2 * k + 1] = ai + t1i;
-    out[2 * (k + m)] = t2r + dvr;
-    out[2 * (k + m) + 1] = t2i + dvi;
-    out[2 * (k + 2 * m)] = t2r - dvr;
-    out[2 * (k + 2 * m) + 1] = t2i - dvi;
+  if (k < m) {
+    // Odd tail: finish with the scalar reference iterations.
+    radix3_combine_scalar_range(reinterpret_cast<Complex*>(out),
+                                reinterpret_cast<const Complex*>(sd), tw, m, k,
+                                inverse);
   }
 }
 #endif  // SAIYAN_FFT_AVX2
 
 }  // namespace
+
+namespace detail {
+
+void radix3_deinterleave_scalar(const Complex* x, Complex* s, std::size_t m) {
+  for (std::size_t j = 0; j < m; ++j) {
+    s[j] = x[3 * j];
+    s[m + j] = x[3 * j + 1];
+    s[2 * m + j] = x[3 * j + 2];
+  }
+}
+
+bool radix3_deinterleave_avx2(const Complex* x, Complex* s, std::size_t m) {
+#ifdef SAIYAN_FFT_AVX2
+  if (!have_avx2_fma()) return false;
+  radix3_deinterleave_avx2_impl(reinterpret_cast<const double*>(x),
+                                reinterpret_cast<double*>(s), m);
+  return true;
+#else
+  (void)x;
+  (void)s;
+  (void)m;
+  return false;
+#endif
+}
+
+void radix3_combine_scalar(Complex* out, const Complex* s, const Complex* tw,
+                           std::size_t m, bool inverse) {
+  radix3_combine_scalar_range(out, s, tw, m, 0, inverse);
+}
+
+bool radix3_combine_avx2(Complex* out, const Complex* s, const Complex* tw,
+                         std::size_t m, bool inverse) {
+#ifdef SAIYAN_FFT_AVX2
+  if (!have_avx2_fma()) return false;
+  radix3_combine_avx2_impl(reinterpret_cast<double*>(out),
+                           reinterpret_cast<const double*>(s), tw, m, inverse);
+  return true;
+#else
+  (void)out;
+  (void)s;
+  (void)tw;
+  (void)m;
+  (void)inverse;
+  return false;
+#endif
+}
+
+}  // namespace detail
 
 // Butterflies over raw doubles with two radix-2 stages fused per
 // memory pass (radix-2² access pattern). std::complex multiplication
@@ -405,68 +489,23 @@ void FftPlan::transform_pow2(Complex* xc, bool inverse) const {
 // Radix-3 DIT split for n = 3·2^k. Scratch holds the three decimated
 // sequences contiguously; each runs the iterative power-of-two kernel
 // and the results are combined with the precomputed w^k / w^2k
-// twiddles (conjugated on the fly for the inverse).
+// twiddles (conjugated on the fly for the inverse). Both split passes
+// dispatch to AVX2 variants that are bit-identical to the scalar
+// references (detail::radix3_*), so the radix-3 spectrum — unlike the
+// FMA radix-2 butterflies — is ISA-invariant.
 void FftPlan::transform_radix3(Signal& x, Signal& scratch, bool inverse) const {
   const std::size_t m = n_ / 3;
   scratch.resize(n_);
   Complex* s = scratch.data();
-#ifdef SAIYAN_FFT_AVX2
-  const bool avx2 = have_avx2_fma();
-#else
-  const bool avx2 = false;
-#endif
-  if (!avx2) {
-    for (std::size_t j = 0; j < m; ++j) {
-      s[j] = x[3 * j];
-      s[m + j] = x[3 * j + 1];
-      s[2 * m + j] = x[3 * j + 2];
-    }
+  if (!detail::radix3_deinterleave_avx2(x.data(), s, m)) {
+    detail::radix3_deinterleave_scalar(x.data(), s, m);
   }
-#ifdef SAIYAN_FFT_AVX2
-  else {
-    radix3_deinterleave_avx2(reinterpret_cast<const double*>(x.data()),
-                             reinterpret_cast<double*>(s), m);
-  }
-#endif
   third_->transform_pow2(s, inverse);
   third_->transform_pow2(s + m, inverse);
   third_->transform_pow2(s + 2 * m, inverse);
 
-  double* out = reinterpret_cast<double*>(x.data());
-  const double* sd = reinterpret_cast<const double*>(s);
-#ifdef SAIYAN_FFT_AVX2
-  if (avx2) {
-    radix3_combine_avx2(out, sd, tw3_.data(), m, inverse);
-    return;
-  }
-#endif
-  // w3 = exp(∓2πi/3) = -1/2 ∓ i·√3/2; the ±h terms below realize the
-  // w3/w3² cross-multiplications without complex products.
-  const double csign = inverse ? -1.0 : 1.0;  // twiddle conjugation
-  const double h = (inverse ? 1.0 : -1.0) * 0.86602540378443864676;  // ±√3/2
-  for (std::size_t k = 0; k < m; ++k) {
-    const double w1r = tw3_[2 * k].real();
-    const double w1i = csign * tw3_[2 * k].imag();
-    const double w2r = tw3_[2 * k + 1].real();
-    const double w2i = csign * tw3_[2 * k + 1].imag();
-    const double ar = sd[2 * k], ai = sd[2 * k + 1];
-    const double b0r = sd[2 * (m + k)], b0i = sd[2 * (m + k) + 1];
-    const double c0r = sd[2 * (2 * m + k)], c0i = sd[2 * (2 * m + k) + 1];
-    const double br = b0r * w1r - b0i * w1i;
-    const double bi = b0r * w1i + b0i * w1r;
-    const double cr = c0r * w2r - c0i * w2i;
-    const double ci = c0r * w2i + c0i * w2r;
-    const double t1r = br + cr, t1i = bi + ci;    // B + C
-    const double t2r = ar - 0.5 * t1r;            // A - (B+C)/2
-    const double t2i = ai - 0.5 * t1i;
-    const double dvr = -h * (bi - ci);            // i·h·(B - C)
-    const double dvi = h * (br - cr);
-    out[2 * k] = ar + t1r;
-    out[2 * k + 1] = ai + t1i;
-    out[2 * (k + m)] = t2r + dvr;
-    out[2 * (k + m) + 1] = t2i + dvi;
-    out[2 * (k + 2 * m)] = t2r - dvr;
-    out[2 * (k + 2 * m) + 1] = t2i - dvi;
+  if (!detail::radix3_combine_avx2(x.data(), s, tw3_.data(), m, inverse)) {
+    detail::radix3_combine_scalar(x.data(), s, tw3_.data(), m, inverse);
   }
 }
 
@@ -545,20 +584,26 @@ void FftPlan::forward(Signal& x) const { forward(x, thread_scratch()); }
 void FftPlan::inverse(Signal& x) const { inverse(x, thread_scratch()); }
 
 void FftPlan::forward_real(std::span<const double> x, Signal& out) const {
+  forward_real(x, out, thread_scratch());
+}
+
+void FftPlan::forward_real(std::span<const double> x, Signal& out,
+                           Signal& scratch) const {
   if (x.size() > n_) {
     throw std::invalid_argument("FftPlan::forward_real: input longer than plan");
   }
   if (!pow2_ || n_ < 4) {
     out.assign(n_, Complex{});
     for (std::size_t i = 0; i < x.size(); ++i) out[i] = Complex(x[i], 0.0);
-    forward(out);
+    forward(out, scratch);
     return;
   }
   // Pack even/odd real samples into one half-length complex signal:
   // z[j] = x[2j] + i·x[2j+1]. One n/2-point transform then untangles
   // into the even/odd spectra E, O and recombines X = E + w^k·O.
   const std::size_t h = n_ / 2;
-  Signal z(h, Complex{});
+  Signal& z = scratch;
+  z.assign(h, Complex{});
   for (std::size_t j = 0; 2 * j < x.size(); ++j) {
     const double re = x[2 * j];
     const double im = (2 * j + 1 < x.size()) ? x[2 * j + 1] : 0.0;

@@ -59,6 +59,12 @@ class FftPlan {
   /// instead of a full complex one.
   void forward_real(std::span<const double> x, Signal& out) const;
 
+  /// forward_real with the packing buffer supplied by the caller — the
+  /// zero-allocation path for repeated transforms (the prepared
+  /// correlators and the streaming scanner live on this).
+  void forward_real(std::span<const double> x, Signal& out,
+                    Signal& scratch) const;
+
  private:
   void transform_pow2(Complex* x, bool inverse) const;
   void transform_radix3(Signal& x, Signal& scratch, bool inverse) const;
@@ -117,5 +123,26 @@ std::size_t next_fast_len(std::size_t n);
 /// Frequency (Hz) of FFT bin `k` for an N-point transform at sample
 /// rate `fs`, mapped into [-fs/2, fs/2).
 double bin_frequency(std::size_t k, std::size_t n, double fs);
+
+namespace detail {
+
+/// Radix-3 split passes of the 3·2^k plan, exposed for the
+/// scalar/AVX2 bit-equality tests. The de-interleave gathers the three
+/// decimated sequences x[3j+r] into s[r*m + j]; the combine produces
+/// the full spectrum from the three m-point sub-spectra and the
+/// w^k / w^2k twiddle table (tw[2k], tw[2k+1]). Unlike the radix-2
+/// butterflies (which use FMA and may round machine-dependently), both
+/// AVX2 variants keep the scalar association with no FMA contraction,
+/// so they are bit-identical to the scalar references at every m and
+/// tail length. The AVX2 entry points return false on hosts without
+/// AVX2+FMA (callers fall back to the scalar reference).
+void radix3_deinterleave_scalar(const Complex* x, Complex* s, std::size_t m);
+bool radix3_deinterleave_avx2(const Complex* x, Complex* s, std::size_t m);
+void radix3_combine_scalar(Complex* out, const Complex* s, const Complex* tw,
+                           std::size_t m, bool inverse);
+bool radix3_combine_avx2(Complex* out, const Complex* s, const Complex* tw,
+                         std::size_t m, bool inverse);
+
+}  // namespace detail
 
 }  // namespace saiyan::dsp

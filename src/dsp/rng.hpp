@@ -143,6 +143,22 @@ inline double gaussian_from(const ZigguratTables& t, Next&& next) {
 
 }  // namespace detail
 
+/// Independent RNG stream seed for (seed, index): the splitmix64
+/// finalizer over the golden-ratio sequence — statistically
+/// independent streams for adjacent indices, stable across platforms.
+/// This is the single substream derivation of the codebase:
+/// sim::SweepEngine::derive_seed delegates here, and
+/// stream::StreamingDemodulator derives its per-packet decode streams
+/// from it, which is what makes a streamed trace replay bit-identical
+/// to batch decode of the individually framed packets.
+inline std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                        std::uint64_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Thin wrapper over xoshiro256++ with convenience draws.
 class Rng {
  public:

@@ -276,6 +276,29 @@ ShardResult GatewaySim::run_shard(std::size_t gateway, dsp::Rng& rng,
   return result;
 }
 
+sim::CaptureConfig GatewaySim::capture_config(std::size_t gateway,
+                                              std::size_t packets_per_tag,
+                                              std::size_t payload_symbols) const {
+  if (gateway >= deployment_.gateways.size()) {
+    throw std::out_of_range("GatewaySim::capture_config: bad gateway index");
+  }
+  sim::CaptureConfig cap;
+  cap.saiyan = core::SaiyanConfig::make(cfg_.phy, cfg_.mode);
+  cap.packets_per_tag = packets_per_tag;
+  cap.payload_symbols = payload_symbols;
+  cap.noise_figure_db = cfg_.noise_figure_db;
+  // Distinct stream from the shard-simulation seeds (kShardStream):
+  // recording a cell must not perturb its analytic simulation.
+  cap.seed = sim::SweepEngine::derive_seed(cfg_.deployment.seed,
+                                           0xca97u + gateway);
+  const std::vector<std::size_t>& shard = deployment_.shard_tags[gateway];
+  cap.tag_rss_dbm.reserve(shard.size());
+  for (std::size_t tag : shard) {
+    cap.tag_rss_dbm.push_back(deployment_.serving_rss_dbm[tag]);
+  }
+  return cap;
+}
+
 NetworkResult GatewaySim::run(const sim::SweepEngine& engine) const {
   const std::size_t n_gateways = deployment_.gateways.size();
   NetworkResult net;

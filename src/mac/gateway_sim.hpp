@@ -39,6 +39,7 @@
 #include "mac/deployment.hpp"
 #include "mac/network_sim.hpp"
 #include "sim/ber_model.hpp"
+#include "sim/capture.hpp"
 #include "sim/sweep_engine.hpp"
 
 namespace saiyan::mac {
@@ -121,6 +122,18 @@ class GatewaySim {
   /// Run every gateway shard on the engine's workers and merge. Pure
   /// function of (config, seed) — bit-identical at any thread count.
   NetworkResult run(const sim::SweepEngine& engine) const;
+
+  /// Record/replay bridge: a sim::CaptureConfig describing one gateway
+  /// cell's uplink air interface — every tag attached to `gateway`
+  /// transmits at its link-budget RSS. Feed it to
+  /// sim::generate_capture / write_capture to record a synthetic
+  /// multi-tag trace for this cell, and replay it deterministically
+  /// through stream::StreamingDemodulator. The capture seed derives
+  /// from the deployment seed and the gateway index, so traces are a
+  /// pure function of the deployment.
+  sim::CaptureConfig capture_config(std::size_t gateway,
+                                    std::size_t packets_per_tag = 5,
+                                    std::size_t payload_symbols = 16) const;
 
  private:
   struct ShardWorkspace;  // per-worker tag/interferer state buffers

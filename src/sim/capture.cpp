@@ -1,0 +1,168 @@
+#include "sim/capture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/noise.hpp"
+#include "dsp/utils.hpp"
+#include "lora/modulator.hpp"
+
+namespace saiyan::sim {
+
+Capture generate_capture(const CaptureConfig& cfg) {
+  cfg.saiyan.phy.validate();
+  if (cfg.tag_rss_dbm.empty()) {
+    throw std::invalid_argument("generate_capture: no tags");
+  }
+  if (cfg.payload_symbols == 0 || cfg.packets_per_tag == 0) {
+    throw std::invalid_argument("generate_capture: empty schedule");
+  }
+  const lora::PhyParams& phy = cfg.saiyan.phy;
+  const std::size_t spsym = phy.samples_per_symbol();
+  const std::size_t n_tags = cfg.tag_rss_dbm.size();
+  const std::size_t n_packets = n_tags * cfg.packets_per_tag;
+  lora::Modulator mod(phy);
+  const lora::PacketLayout lay = mod.layout(cfg.payload_symbols);
+
+  // One deterministic stream drives the whole capture: schedule and
+  // payload draws first (in packet order), then the noise fill.
+  dsp::Rng rng(dsp::derive_stream_seed(cfg.seed, 0x7c5));
+  const std::uint64_t gap_lo = static_cast<std::uint64_t>(
+      std::llround(std::max(0.0, cfg.min_gap_symbols) *
+                   static_cast<double>(spsym)));
+  const std::uint64_t gap_hi = std::max(
+      gap_lo, static_cast<std::uint64_t>(std::llround(
+                  std::max(0.0, cfg.max_gap_symbols) *
+                  static_cast<double>(spsym))));
+
+  Capture cap;
+  cap.markers.reserve(n_packets);
+  std::uint64_t cursor = rng.uniform_int(gap_lo, gap_hi);
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    stream::TraceMarker m;
+    m.sample_offset = cursor;
+    m.tag_id = static_cast<std::uint32_t>(p % n_tags);
+    m.symbols.resize(cfg.payload_symbols);
+    for (std::uint32_t& v : m.symbols) {
+      v = static_cast<std::uint32_t>(
+          rng.uniform_int(0, phy.symbol_alphabet() - 1));
+    }
+    cap.markers.push_back(std::move(m));
+    cursor += lay.total_samples + rng.uniform_int(gap_lo, gap_hi);
+  }
+  // A trailing idle symbol keeps the last frame clear of the capture
+  // end (a *truncated* capture is produced by cutting the waveform,
+  // not by the generator).
+  const std::uint64_t total = cursor + spsym;
+
+  cap.samples.assign(static_cast<std::size_t>(total), dsp::Complex{});
+  dsp::Signal wave;
+  for (const stream::TraceMarker& m : cap.markers) {
+    mod.modulate_into(m.symbols, wave);
+    const double p_avg = dsp::signal_power(wave);
+    const double scale =
+        p_avg > 0.0
+            ? std::sqrt(dsp::dbm_to_watts(cfg.tag_rss_dbm[m.tag_id]) / p_avg)
+            : 1.0;
+    dsp::Complex* dst = cap.samples.data() + m.sample_offset;
+    for (std::size_t i = 0; i < wave.size(); ++i) dst[i] += scale * wave[i];
+  }
+  // Thermal floor over the whole capture — gaps carry noise too, like
+  // a real gateway front end.
+  const double floor_dbm =
+      dsp::thermal_noise_floor_dbm(phy.sample_rate_hz, cfg.noise_figure_db);
+  const double sigma = std::sqrt(dsp::dbm_to_watts(floor_dbm) / 2.0);
+  for (dsp::Complex& v : cap.samples) {
+    v += dsp::Complex(sigma * rng.gaussian(), sigma * rng.gaussian());
+  }
+  return cap;
+}
+
+void write_capture(const Capture& capture, const CaptureConfig& cfg,
+                   const std::string& path, std::size_t chunk_samples) {
+  if (chunk_samples == 0) {
+    throw std::invalid_argument("write_capture: chunk_samples == 0");
+  }
+  stream::TraceMeta meta;
+  meta.phy = cfg.saiyan.phy;
+  meta.mode = cfg.saiyan.mode;
+  meta.payload_symbols = cfg.payload_symbols;
+  stream::TraceWriter writer(path, meta, capture.markers);
+  std::span<const dsp::Complex> rest(capture.samples);
+  while (!rest.empty()) {
+    const std::size_t take = std::min(chunk_samples, rest.size());
+    writer.write_chunk(rest.first(take));
+    rest = rest.subspan(take);
+  }
+  writer.close();
+}
+
+ReplayStats score_replay(const stream::StreamingDemodulator& demod,
+                         std::span<const stream::TraceMarker> markers,
+                         std::size_t tolerance_samples) {
+  ReplayStats stats;
+  stats.markers = markers.size();
+  stats.decoded = demod.packets().size();
+  stats.truncated = demod.truncated_packets();
+  stats.samples = demod.samples_consumed();
+  // Both lists are offset-ordered; walk them together, pairing each
+  // decoded packet with the nearest unconsumed marker in range.
+  std::size_t mi = 0;
+  for (const stream::DecodedPacket& p : demod.packets()) {
+    while (mi < markers.size() &&
+           markers[mi].sample_offset + tolerance_samples < p.packet_start) {
+      ++mi;  // marker missed entirely
+    }
+    if (mi >= markers.size() ||
+        p.packet_start + tolerance_samples < markers[mi].sample_offset) {
+      ++stats.false_detections;
+      continue;
+    }
+    const stream::TraceMarker& m = markers[mi++];
+    ++stats.matched;
+    const std::span<const std::uint32_t> got = demod.symbols(p);
+    stats.symbols += m.symbols.size();
+    for (std::size_t i = 0; i < m.symbols.size(); ++i) {
+      const std::uint32_t actual = i < got.size() ? got[i] : ~0u;
+      if (actual != m.symbols[i]) ++stats.symbol_errors;
+    }
+  }
+  return stats;
+}
+
+ReplayStats replay_trace(const std::string& path, const ReplayConfig& cfg) {
+  stream::TraceReader reader(path);
+  stream::StreamConfig sc;
+  sc.saiyan = core::SaiyanConfig::make(reader.meta().phy, reader.meta().mode);
+  sc.payload_symbols = reader.meta().payload_symbols;
+  sc.seed = cfg.seed;
+  sc.min_score = cfg.min_score;
+  sc.block_samples = cfg.block_samples;
+  stream::StreamingDemodulator demod(sc);
+
+  std::size_t corrupt = 0;
+  dsp::Signal chunk;
+  for (;;) {
+    const stream::ChunkStatus st = reader.next_chunk(chunk);
+    if (st == stream::ChunkStatus::kOk) {
+      std::span<const dsp::Complex> rest(chunk);
+      while (!rest.empty()) {
+        const std::size_t take = std::min(cfg.chunk_samples, rest.size());
+        demod.push(rest.first(take));
+        rest = rest.subspan(take);
+      }
+      continue;
+    }
+    if (st == stream::ChunkStatus::kCorrupt) ++corrupt;
+    break;  // kEof or a corrupted chunk both end the replay
+  }
+  demod.finish();
+  ReplayStats stats =
+      score_replay(demod, reader.markers(),
+                   reader.meta().phy.samples_per_symbol() / 2);
+  stats.corrupt_chunks = corrupt;
+  return stats;
+}
+
+}  // namespace saiyan::sim

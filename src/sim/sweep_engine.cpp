@@ -15,12 +15,10 @@ SweepEngine::SweepEngine(unsigned threads) : threads_(threads) {
 }
 
 std::uint64_t SweepEngine::derive_seed(std::uint64_t seed, std::uint64_t index) {
-  // splitmix64 finalizer over the golden-ratio sequence: statistically
-  // independent streams for adjacent indices, stable across platforms.
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  // Delegates to the shared dsp-level derivation so layers that must
+  // match SweepEngine substreams (the streaming replay path) don't
+  // have to depend on the sim engine.
+  return dsp::derive_stream_seed(seed, index);
 }
 
 void SweepEngine::for_each_with_context(

@@ -1,0 +1,102 @@
+// Fixed-capacity sample ring with absolute stream indexing — the
+// carry-over substrate of the streaming (continuous-capture) decode
+// path.
+//
+// A gateway capture arrives as arbitrary-sized chunks; the scanner and
+// demodulator consume it as absolute-indexed windows (an envelope
+// correlation window, a framed packet span) that routinely straddle
+// chunk boundaries and the physical wrap-around point. SampleRing
+// keeps the last `capacity` samples addressable by their absolute
+// stream index and serves contiguous views: when a requested window is
+// physically contiguous it returns a span straight into the buffer,
+// otherwise it stitches the two arcs into a reusable scratch buffer.
+// After the scratch has grown to its steady-state size, pushes and
+// views never touch the allocator.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace saiyan::stream {
+
+template <typename T>
+class SampleRing {
+ public:
+  SampleRing() = default;
+  explicit SampleRing(std::size_t capacity) { reserve(capacity); }
+
+  /// (Re)allocate to hold the last `capacity` samples. Clears content.
+  void reserve(std::size_t capacity) {
+    buf_.assign(capacity, T{});
+    end_ = 0;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Total samples ever appended — one past the newest absolute index.
+  std::uint64_t end() const { return end_; }
+
+  /// Oldest absolute index still retained.
+  std::uint64_t begin() const {
+    return end_ > buf_.size() ? end_ - buf_.size() : 0;
+  }
+
+  void clear() { end_ = 0; }
+
+  /// Append a chunk (chunk.size() must not exceed capacity — the
+  /// streaming demodulator feeds block-bounded slices).
+  void append(std::span<const T> chunk) {
+    if (chunk.empty()) return;  // also guards the unreserved-ring modulo
+    if (chunk.size() > buf_.size()) {
+      throw std::invalid_argument("SampleRing::append: chunk exceeds capacity");
+    }
+    std::size_t pos = static_cast<std::size_t>(end_ % buf_.size());
+    const std::size_t first = std::min(chunk.size(), buf_.size() - pos);
+    std::memcpy(buf_.data() + pos, chunk.data(), first * sizeof(T));
+    if (first < chunk.size()) {
+      std::memcpy(buf_.data(), chunk.data() + first,
+                  (chunk.size() - first) * sizeof(T));
+    }
+    end_ += chunk.size();
+  }
+
+  /// Contiguous view of absolute range [first, first + len). Throws
+  /// when the range is not fully retained. The returned span is
+  /// invalidated by the next append() or view() call.
+  std::span<const T> view(std::uint64_t first, std::size_t len) const {
+    if (len == 0) return {};
+    if (first < begin() || first + len > end_) {
+      throw std::out_of_range("SampleRing::view: range not retained");
+    }
+    const std::size_t pos = static_cast<std::size_t>(first % buf_.size());
+    if (pos + len <= buf_.size()) {
+      return {buf_.data() + pos, len};
+    }
+    // Wrapped: stitch the two arcs into the reusable scratch.
+    stitch_.resize(len);
+    const std::size_t head = buf_.size() - pos;
+    std::memcpy(stitch_.data(), buf_.data() + pos, head * sizeof(T));
+    std::memcpy(stitch_.data() + head, buf_.data(), (len - head) * sizeof(T));
+    return {stitch_.data(), len};
+  }
+
+ private:
+  std::vector<T> buf_;
+  mutable std::vector<T> stitch_;
+  std::uint64_t end_ = 0;
+};
+
+/// Post-detector (envelope-domain) ring — the scanner's carry-over
+/// window across chunk boundaries.
+using EnvelopeRing = SampleRing<double>;
+
+/// RF complex-baseband ring — retains enough capture history to frame
+/// a packet once its preamble is confirmed.
+using RfRing = SampleRing<dsp::Complex>;
+
+}  // namespace saiyan::stream

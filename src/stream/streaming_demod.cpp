@@ -1,0 +1,135 @@
+#include "stream/streaming_demod.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace saiyan::stream {
+
+namespace {
+
+// The scan front end is always the vanilla receive chain: detection
+// needs only timing, and the vanilla envelope is both cheaper and
+// blockwise-stable (the CFS mixer clock phase would reset at every
+// block boundary).
+core::SaiyanConfig scan_config(const core::SaiyanConfig& cfg) {
+  core::SaiyanConfig scan = cfg;
+  scan.mode = core::Mode::kVanilla;
+  return scan;
+}
+
+}  // namespace
+
+StreamingDemodulator::StreamingDemodulator(const StreamConfig& cfg)
+    : cfg_(cfg),
+      batch_(cfg.saiyan),
+      scan_chain_(scan_config(cfg.saiyan)),
+      scan_detector_(scan_chain_),
+      scanner_(scan_detector_, cfg.min_score) {
+  if (cfg_.payload_symbols == 0) {
+    throw std::invalid_argument("StreamingDemodulator: payload_symbols == 0");
+  }
+  const std::size_t spsym = cfg_.saiyan.phy.samples_per_symbol();
+  preamble_len_ = scanner_.template_size();
+  frame_len_ = preamble_len_ + cfg_.payload_symbols * spsym;
+  block_ = cfg_.block_samples != 0 ? cfg_.block_samples : 8 * spsym;
+  // Retention bound: a frame decodes at the first block boundary after
+  // its last sample, so the ring must reach back frame + one block
+  // from the write head; the extra preamble length is slack for
+  // detection-confirmation latency.
+  rf_.reserve(frame_len_ + preamble_len_ + 2 * block_);
+  pending_.reserve(64);
+}
+
+std::size_t StreamingDemodulator::push(std::span<const dsp::Complex> chunk) {
+  const std::size_t before = packets_.size();
+  std::size_t i = 0;
+  while (i < chunk.size()) {
+    const std::size_t filled =
+        static_cast<std::size_t>(received_ - next_block_start_);
+    const std::size_t take = std::min(chunk.size() - i, block_ - filled);
+    rf_.append(chunk.subspan(i, take));
+    received_ += take;
+    i += take;
+    if (received_ - next_block_start_ == block_) {
+      process_block(next_block_start_, block_);
+      next_block_start_ += block_;
+    }
+  }
+  return packets_.size() - before;
+}
+
+std::size_t StreamingDemodulator::finish() {
+  const std::size_t before = packets_.size();
+  const std::size_t tail =
+      static_cast<std::size_t>(received_ - next_block_start_);
+  if (tail != 0) {
+    // The partial tail block depends only on the total capture length,
+    // never on the chunk partition, so scanning it preserves
+    // chunk-size invariance.
+    process_block(next_block_start_, tail);
+    next_block_start_ += tail;
+  }
+  scanner_.finish(pending_);
+  decode_ready(/*flush=*/true);
+  return packets_.size() - before;
+}
+
+void StreamingDemodulator::reset() {
+  rf_.clear();
+  scanner_.reset();
+  pending_.clear();
+  pending_head_ = 0;
+  received_ = 0;
+  next_block_start_ = 0;
+  packet_counter_ = 0;
+  truncated_ = 0;
+}
+
+void StreamingDemodulator::process_block(std::uint64_t block_start,
+                                         std::size_t len) {
+  const std::span<const dsp::Complex> rf_block = rf_.view(block_start, len);
+  scan_chain_.reference_envelope_into(rf_block, scan_ws_);
+  scanner_.push_block(scan_ws_.env, pending_);
+  decode_ready(/*flush=*/false);
+}
+
+void StreamingDemodulator::decode_ready(bool flush) {
+  while (pending_head_ < pending_.size()) {
+    const PacketSpan span = pending_[pending_head_];
+    const std::uint64_t frame_end = span.packet_start + frame_len_;
+    if (frame_end <= received_) {
+      decode_span(span);
+    } else if (flush) {
+      ++truncated_;  // capture ended mid-frame
+    } else {
+      break;
+    }
+    ++pending_head_;
+  }
+  if (pending_head_ == pending_.size()) {
+    pending_.clear();
+    pending_head_ = 0;
+  }
+}
+
+void StreamingDemodulator::decode_span(const PacketSpan& span) {
+  // The per-packet stream derives from (seed, emission index) exactly
+  // like a sweep batch, so decoding the same framed span through a
+  // stand-alone BatchDemodulator reproduces this packet bit for bit.
+  dsp::Rng rng(dsp::derive_stream_seed(cfg_.seed, packet_counter_));
+  const std::span<const dsp::Complex> frame =
+      rf_.view(span.packet_start, frame_len_);
+  const std::span<const std::uint32_t> syms = batch_.decode_aligned(
+      frame, preamble_len_, cfg_.payload_symbols, rng);
+  DecodedPacket p;
+  p.packet_start = span.packet_start;
+  p.payload_start = span.payload_start;
+  p.score = span.score;
+  p.first_symbol = static_cast<std::uint32_t>(symbols_.size());
+  p.n_symbols = static_cast<std::uint32_t>(syms.size());
+  symbols_.insert(symbols_.end(), syms.begin(), syms.end());
+  packets_.push_back(p);
+  ++packet_counter_;
+}
+
+}  // namespace saiyan::stream

@@ -1,0 +1,155 @@
+// Streaming continuous-capture demodulation.
+//
+// core::BatchDemodulator (PR 3) decodes one pre-framed packet at a
+// time; a gateway workload is a long capture with many packets from
+// many tags at unknown offsets, idle gaps, and partial packets at
+// chunk boundaries. StreamingDemodulator closes that gap: it accepts
+// arbitrary-sized sample chunks, frames packets with an incremental
+// preamble scanner, and decodes each framed span through a warm
+// BatchDemodulator — yielding decoded packets with absolute
+// sample-offset timestamps.
+//
+// Structure per push:
+//
+//   chunk -> RfRing -----------------------------(framed span)----+
+//              |  fixed-size blocks                               v
+//              +-> scan front end (vanilla reference chain)  BatchDemodulator
+//                    -> PacketScanner -> confirmed PacketSpans -> DecodedPacket
+//
+// Design invariants:
+//
+//   * Chunk-size invariance. All internal work is keyed to absolute
+//     sample positions: the capture is processed in fixed-size blocks
+//     (envelope + scan), and frames decode at the first block boundary
+//     after their last sample arrives. Pushing the capture one sample
+//     at a time or in one call yields bit-identical packets.
+//   * Batch equivalence. A decoded packet is produced by
+//     BatchDemodulator::decode_aligned over the framed RF span with an
+//     Rng seeded from dsp::derive_stream_seed(cfg.seed, packet_index),
+//     so streaming decode is bit-identical to batch decode of the
+//     individually framed packets.
+//   * Zero allocation per chunk once warm. Rings, scan workspace,
+//     correlator workspaces and the decode workspace all reach a
+//     steady-state size; callers that drain packets between pushes
+//     keep the result buffers from growing.
+//
+// The scan front end always runs the *vanilla* reference chain
+// (SAW -> LNA gain -> envelope detector, no CFS, no receiver noise):
+// detection needs only timing, the vanilla envelope is cheaper and —
+// unlike the CFS mixer, whose clock phase would reset at every block
+// boundary — blockwise-stable. Channel noise recorded in the capture
+// still limits detection, as it should.
+//
+// Instances are not thread-safe; shard a capture across workers by
+// giving each its own StreamingDemodulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/batch_demod.hpp"
+#include "stream/packet_scanner.hpp"
+#include "stream/sample_ring.hpp"
+
+namespace saiyan::stream {
+
+struct StreamConfig {
+  core::SaiyanConfig saiyan;
+  std::size_t payload_symbols = 32;  ///< frame length is known a priori
+  std::uint64_t seed = 1;            ///< per-packet decode stream root
+  double min_score = 0.6;            ///< scanner confirmation threshold
+  /// Scan block size in samples (0 = eight symbols). Blocks tile the
+  /// absolute stream, so this also bounds detection latency.
+  std::size_t block_samples = 0;
+};
+
+/// One decoded packet. Symbols live in the demodulator's flat store —
+/// see StreamingDemodulator::symbols().
+struct DecodedPacket {
+  std::uint64_t packet_start = 0;   ///< absolute first preamble sample
+  std::uint64_t payload_start = 0;  ///< absolute first payload sample
+  double score = 0.0;               ///< preamble match quality
+  std::uint32_t first_symbol = 0;   ///< index into the symbol store
+  std::uint32_t n_symbols = 0;
+};
+
+class StreamingDemodulator {
+ public:
+  explicit StreamingDemodulator(const StreamConfig& cfg);
+
+  // The scanner and detector members hold references into sibling
+  // members; copying or moving would leave them dangling. Shard a
+  // capture across workers by constructing one instance per worker
+  // (emplace via pointers/optional in containers).
+  StreamingDemodulator(const StreamingDemodulator&) = delete;
+  StreamingDemodulator& operator=(const StreamingDemodulator&) = delete;
+
+  /// Feed the next capture chunk (any size, including one sample).
+  /// Returns the number of packets completed by this chunk.
+  std::size_t push(std::span<const dsp::Complex> chunk);
+
+  /// End of capture: scan the partial tail block, flush the scanner,
+  /// and decode every pending frame that is fully present (frames cut
+  /// off by the capture end are counted as truncated, not decoded).
+  /// Returns the number of packets completed by the flush.
+  std::size_t finish();
+
+  /// Restart on a fresh capture, keeping warm buffers (packet counter,
+  /// rings and scanner state are cleared; decoded packets are kept
+  /// until clear_packets()).
+  void reset();
+
+  /// Packets decoded since construction / the last clear_packets().
+  std::span<const DecodedPacket> packets() const { return packets_; }
+
+  /// Decoded symbols of one packet.
+  std::span<const std::uint32_t> symbols(const DecodedPacket& p) const {
+    return std::span<const std::uint32_t>(symbols_).subspan(p.first_symbol,
+                                                            p.n_symbols);
+  }
+
+  /// Drop delivered packets (keeps capacity — the steady-state caller
+  /// drains between pushes and never regrows the result buffers).
+  void clear_packets() {
+    packets_.clear();
+    symbols_.clear();
+  }
+
+  std::uint64_t samples_consumed() const { return received_; }
+  std::size_t truncated_packets() const { return truncated_; }
+  std::size_t frame_samples() const { return frame_len_; }
+  std::size_t preamble_samples() const { return preamble_len_; }
+  std::size_t block_samples() const { return block_; }
+  const StreamConfig& config() const { return cfg_; }
+  const core::BatchDemodulator& batch() const { return batch_; }
+
+ private:
+  void process_block(std::uint64_t block_start, std::size_t len);
+  void decode_ready(bool flush);
+  void decode_span(const PacketSpan& span);
+
+  StreamConfig cfg_;
+  core::BatchDemodulator batch_;      // decode engine + warm workspace
+  core::ReceiverChain scan_chain_;    // vanilla-mode scan front end
+  core::PreambleDetector scan_detector_;
+  core::DemodWorkspace scan_ws_;      // per-block envelope workspace
+  PacketScanner scanner_;
+
+  RfRing rf_;
+  std::vector<PacketSpan> pending_;   // confirmed, waiting for frame end
+  std::size_t pending_head_ = 0;
+  std::vector<DecodedPacket> packets_;
+  std::vector<std::uint32_t> symbols_;
+
+  std::uint64_t received_ = 0;
+  std::uint64_t next_block_start_ = 0;
+  std::uint64_t packet_counter_ = 0;
+  std::size_t truncated_ = 0;
+  std::size_t block_ = 0;
+  std::size_t frame_len_ = 0;
+  std::size_t preamble_len_ = 0;
+};
+
+}  // namespace saiyan::stream

@@ -1,0 +1,215 @@
+#include "stream/trace.hpp"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+
+#include "lora/crc.hpp"
+
+namespace saiyan::stream {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'A', 'I', 'Y', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t kVersion = 1;
+// Sanity bound on a single chunk (4M complex samples = 64 MiB): a
+// corrupted length field must not translate into an absurd allocation.
+constexpr std::uint32_t kMaxChunkSamples = 1u << 22;
+constexpr std::uint64_t kMaxMarkers = 1u << 20;
+constexpr std::uint32_t kMaxMarkerSymbols = 1u << 16;
+
+template <typename T>
+void put(std::ofstream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool get(std::ifstream& in, T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta,
+                         const std::vector<TraceMarker>& markers) {
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) throw std::runtime_error("TraceWriter: cannot open " + path);
+  meta.phy.validate();
+  if (meta.payload_symbols == 0 || meta.payload_symbols > kMaxMarkerSymbols) {
+    // Mirror the reader's header bounds: never write an unreadable trace.
+    throw std::invalid_argument("TraceWriter: bad payload_symbols");
+  }
+  out_.write(kMagic, sizeof(kMagic));
+  put(out_, kVersion);
+  put(out_, static_cast<std::uint32_t>(meta.mode));
+  put(out_, meta.phy.sample_rate_hz);
+  put(out_, static_cast<std::uint32_t>(meta.phy.spreading_factor));
+  put(out_, meta.phy.bandwidth_hz);
+  put(out_, static_cast<std::uint32_t>(meta.phy.bits_per_symbol));
+  put(out_, static_cast<std::uint32_t>(meta.phy.preamble_symbols));
+  put(out_, meta.phy.sync_symbols);
+  put(out_, static_cast<std::uint32_t>(meta.phy.fec));
+  put(out_, static_cast<std::uint32_t>(meta.payload_symbols));
+  total_samples_pos_ = out_.tellp();
+  put(out_, std::uint64_t{0});  // total_samples, patched by close()
+  // Enforce the reader's sanity bounds at write time so a writer can
+  // never produce a trace its own reader rejects as malformed.
+  if (markers.size() > kMaxMarkers) {
+    throw std::invalid_argument("TraceWriter: too many markers");
+  }
+  put(out_, static_cast<std::uint64_t>(markers.size()));
+  for (const TraceMarker& m : markers) {
+    if (m.symbols.size() > kMaxMarkerSymbols) {
+      throw std::invalid_argument("TraceWriter: marker payload too long");
+    }
+    put(out_, m.sample_offset);
+    put(out_, m.tag_id);
+    put(out_, static_cast<std::uint32_t>(m.symbols.size()));
+    out_.write(reinterpret_cast<const char*>(m.symbols.data()),
+               static_cast<std::streamsize>(m.symbols.size() *
+                                            sizeof(std::uint32_t)));
+  }
+  if (!out_) throw std::runtime_error("TraceWriter: header write failed");
+}
+
+TraceWriter::~TraceWriter() {
+  if (!closed_) {
+    try {
+      close();
+    } catch (...) {
+      // Destructor must not throw; an unpatched header still reads
+      // back (total_samples == 0 is informational).
+    }
+  }
+}
+
+void TraceWriter::write_chunk(std::span<const dsp::Complex> samples) {
+  if (closed_) throw std::logic_error("TraceWriter: write after close");
+  if (samples.empty()) return;
+  if (samples.size() > kMaxChunkSamples) {
+    throw std::invalid_argument("TraceWriter: chunk too large");
+  }
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(samples.data());
+  const std::size_t n_bytes = samples.size() * sizeof(dsp::Complex);
+  const std::uint16_t crc = lora::crc16({bytes, n_bytes});
+  put(out_, static_cast<std::uint32_t>(samples.size()));
+  put(out_, crc);
+  put(out_, std::uint16_t{0});  // reserved / alignment
+  out_.write(reinterpret_cast<const char*>(bytes),
+             static_cast<std::streamsize>(n_bytes));
+  if (!out_) throw std::runtime_error("TraceWriter: chunk write failed");
+  total_ += samples.size();
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  out_.seekp(total_samples_pos_);
+  put(out_, total_);
+  out_.flush();
+  if (!out_) throw std::runtime_error("TraceWriter: close failed");
+  out_.close();
+  closed_ = true;
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  in_.open(path, std::ios::binary);
+  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+  char magic[8];
+  in_.read(magic, sizeof(magic));
+  if (in_.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("TraceReader: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  std::uint32_t mode = 0;
+  std::uint32_t sf = 0, k = 0, preamble = 0, fec = 0, payload = 0;
+  std::uint64_t n_markers = 0;
+  if (!get(in_, version) || version != kVersion) {
+    throw std::runtime_error("TraceReader: unsupported trace version");
+  }
+  bool ok = get(in_, mode) && get(in_, meta_.phy.sample_rate_hz) &&
+            get(in_, sf) && get(in_, meta_.phy.bandwidth_hz) && get(in_, k) &&
+            get(in_, preamble) && get(in_, meta_.phy.sync_symbols) &&
+            get(in_, fec) && get(in_, payload) &&
+            get(in_, meta_.total_samples) && get(in_, n_markers);
+  if (!ok || mode > static_cast<std::uint32_t>(core::Mode::kSuper) ||
+      fec > static_cast<std::uint32_t>(lora::FecRate::k4_8) ||
+      payload == 0 || payload > kMaxMarkerSymbols || n_markers > kMaxMarkers) {
+    throw std::runtime_error("TraceReader: malformed header");
+  }
+  meta_.mode = static_cast<core::Mode>(mode);
+  meta_.phy.spreading_factor = static_cast<int>(sf);
+  meta_.phy.bits_per_symbol = static_cast<int>(k);
+  meta_.phy.preamble_symbols = static_cast<int>(preamble);
+  meta_.phy.fec = static_cast<lora::FecRate>(fec);
+  meta_.payload_symbols = payload;
+  try {
+    meta_.phy.validate();
+  } catch (const std::invalid_argument& err) {
+    // Keep the documented contract: header problems, including corrupt
+    // PHY fields, surface as std::runtime_error.
+    throw std::runtime_error(std::string("TraceReader: bad PHY header: ") +
+                             err.what());
+  }
+  markers_.resize(n_markers);
+  for (TraceMarker& m : markers_) {
+    std::uint32_t n_syms = 0;
+    if (!get(in_, m.sample_offset) || !get(in_, m.tag_id) ||
+        !get(in_, n_syms) || n_syms > kMaxMarkerSymbols) {
+      throw std::runtime_error("TraceReader: malformed marker table");
+    }
+    m.symbols.resize(n_syms);
+    in_.read(reinterpret_cast<char*>(m.symbols.data()),
+             static_cast<std::streamsize>(n_syms * sizeof(std::uint32_t)));
+    if (in_.gcount() !=
+        static_cast<std::streamsize>(n_syms * sizeof(std::uint32_t))) {
+      throw std::runtime_error("TraceReader: malformed marker table");
+    }
+  }
+}
+
+ChunkStatus TraceReader::next_chunk(dsp::Signal& out) {
+  out.clear();
+  if (failed_) return ChunkStatus::kCorrupt;
+  std::uint32_t n_samples = 0;
+  if (!get(in_, n_samples)) {
+    if (in_.eof() && in_.gcount() == 0) {
+      // A file chopped at an exact chunk boundary still parses chunk
+      // by chunk; the header sample count is what catches it. A
+      // total of 0 means the writer never patched the header
+      // (crashed before close()) — nothing to cross-check then.
+      if (meta_.total_samples != 0 && samples_read_ != meta_.total_samples) {
+        failed_ = true;
+        return ChunkStatus::kCorrupt;
+      }
+      return ChunkStatus::kEof;
+    }
+    failed_ = true;
+    return ChunkStatus::kCorrupt;
+  }
+  std::uint16_t crc = 0, reserved = 0;
+  if (n_samples == 0 || n_samples > kMaxChunkSamples || !get(in_, crc) ||
+      !get(in_, reserved)) {
+    failed_ = true;
+    return ChunkStatus::kCorrupt;
+  }
+  const std::size_t n_bytes = n_samples * sizeof(dsp::Complex);
+  chunk_bytes_.resize(n_bytes);
+  in_.read(reinterpret_cast<char*>(chunk_bytes_.data()),
+           static_cast<std::streamsize>(n_bytes));
+  if (in_.gcount() != static_cast<std::streamsize>(n_bytes) ||
+      lora::crc16(chunk_bytes_) != crc) {
+    failed_ = true;
+    return ChunkStatus::kCorrupt;
+  }
+  out.resize(n_samples);
+  std::memcpy(out.data(), chunk_bytes_.data(), n_bytes);
+  samples_read_ += n_samples;
+  return ChunkStatus::kOk;
+}
+
+}  // namespace saiyan::stream

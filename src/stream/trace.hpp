@@ -1,0 +1,109 @@
+// Versioned binary gateway-trace format (record / replay).
+//
+// A trace is a complex-baseband capture plus the context needed to
+// replay it deterministically: the LoRa PHY parameters and receiver
+// mode it was recorded under, the expected payload length, and
+// optional ground-truth markers (per transmitted packet: absolute
+// sample offset, tag id, payload symbols) so a replay can score
+// itself. Samples are stored as CRC-guarded chunks, so a truncated or
+// corrupted capture file is rejected cleanly instead of being decoded
+// into garbage.
+//
+// Layout (little-endian, version 1):
+//
+//   magic "SAIYTRC1" | u32 version | u32 mode
+//   double sample_rate_hz | u32 sf | double bandwidth_hz | u32 K
+//   u32 preamble_symbols | double sync_symbols | u32 fec
+//   u32 payload_symbols | u64 total_samples | u64 n_markers
+//   markers: { u64 sample_offset, u32 tag_id, u32 n, u32 symbols[n] }
+//   chunks:  { u32 n_samples, u16 crc16, u16 reserved,
+//              double iq[2*n_samples] } ... until EOF
+//
+// `total_samples` is patched by TraceWriter::close(); the chunk CRC is
+// lora::crc16 over the raw sample bytes. Chunk boundaries carry no
+// semantic meaning — they are whatever the recorder pushed — and the
+// streaming demodulator's chunk-size invariance makes replay results
+// independent of them.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "dsp/types.hpp"
+
+namespace saiyan::stream {
+
+/// Ground truth for one transmitted packet in the capture.
+struct TraceMarker {
+  std::uint64_t sample_offset = 0;  ///< first preamble sample
+  std::uint32_t tag_id = 0;
+  std::vector<std::uint32_t> symbols;  ///< transmitted payload symbols
+};
+
+struct TraceMeta {
+  lora::PhyParams phy;
+  core::Mode mode = core::Mode::kSuper;
+  std::size_t payload_symbols = 32;
+  std::uint64_t total_samples = 0;  ///< filled on close / read
+};
+
+class TraceWriter {
+ public:
+  /// Creates/truncates `path` and writes the header + markers.
+  /// Throws std::runtime_error on I/O failure.
+  TraceWriter(const std::string& path, const TraceMeta& meta,
+              const std::vector<TraceMarker>& markers = {});
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Append one CRC-guarded sample chunk.
+  void write_chunk(std::span<const dsp::Complex> samples);
+
+  /// Patch total_samples into the header and flush. Idempotent;
+  /// throws on I/O failure (the destructor closes silently instead).
+  void close();
+
+  std::uint64_t samples_written() const { return total_; }
+
+ private:
+  std::ofstream out_;
+  std::streampos total_samples_pos_;
+  std::uint64_t total_ = 0;
+  bool closed_ = false;
+};
+
+enum class ChunkStatus {
+  kOk,
+  kEof,
+  kCorrupt,  ///< CRC mismatch, truncation, or an absurd chunk header
+};
+
+class TraceReader {
+ public:
+  /// Opens and validates the header + markers; throws
+  /// std::runtime_error on a missing file or malformed header.
+  explicit TraceReader(const std::string& path);
+
+  const TraceMeta& meta() const { return meta_; }
+  const std::vector<TraceMarker>& markers() const { return markers_; }
+
+  /// Read the next chunk into `out` (resized). After kCorrupt the
+  /// reader stays in a failed state and keeps returning kCorrupt.
+  ChunkStatus next_chunk(dsp::Signal& out);
+
+ private:
+  std::ifstream in_;
+  TraceMeta meta_;
+  std::vector<TraceMarker> markers_;
+  bool failed_ = false;
+  std::uint64_t samples_read_ = 0;  // cross-checked against the header
+  std::vector<std::uint8_t> chunk_bytes_;  // reusable CRC scratch
+};
+
+}  // namespace saiyan::stream

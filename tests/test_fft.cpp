@@ -268,6 +268,75 @@ TEST(FftRadix3, ExternalAndInternalScratchAgree) {
   }
 }
 
+TEST(FftRadix3, SimdDeinterleaveBitIdenticalToScalarAtAllTailLengths) {
+  // m odd/even exercises both tails of the two-at-a-time AVX2 loop;
+  // tiny m exercises the all-tail case.
+  for (std::size_t m : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 31u, 33u, 64u}) {
+    Rng rng(m + 5);
+    Signal x(3 * m);
+    for (Complex& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+    Signal scalar(3 * m), avx2(3 * m);
+    detail::radix3_deinterleave_scalar(x.data(), scalar.data(), m);
+    if (!detail::radix3_deinterleave_avx2(x.data(), avx2.data(), m)) {
+      GTEST_SKIP() << "no AVX2+FMA host";
+    }
+    for (std::size_t i = 0; i < 3 * m; ++i) {
+      EXPECT_EQ(scalar[i].real(), avx2[i].real()) << "m=" << m << " i=" << i;
+      EXPECT_EQ(scalar[i].imag(), avx2[i].imag()) << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST(FftRadix3, SimdCombineBitIdenticalToScalarAtAllTailLengths) {
+  // The AVX2 combine deliberately avoids FMA contraction so its
+  // spectra are bit-identical to the portable build — the streaming
+  // and batch decode equivalences depend on this.
+  for (std::size_t m : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 31u, 33u, 64u}) {
+    Rng rng(m + 11);
+    Signal sub(3 * m);
+    for (Complex& v : sub) v = Complex(rng.gaussian(), rng.gaussian());
+    std::vector<Complex> tw(2 * m);
+    const std::size_t n = 3 * m;
+    for (std::size_t k = 0; k < m; ++k) {
+      const double a1 = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+      const double a2 =
+          -kTwoPi * static_cast<double>(2 * k % n) / static_cast<double>(n);
+      tw[2 * k] = Complex(std::cos(a1), std::sin(a1));
+      tw[2 * k + 1] = Complex(std::cos(a2), std::sin(a2));
+    }
+    for (bool inverse : {false, true}) {
+      Signal scalar(3 * m), avx2(3 * m);
+      detail::radix3_combine_scalar(scalar.data(), sub.data(), tw.data(), m,
+                                    inverse);
+      if (!detail::radix3_combine_avx2(avx2.data(), sub.data(), tw.data(), m,
+                                       inverse)) {
+        GTEST_SKIP() << "no AVX2+FMA host";
+      }
+      for (std::size_t i = 0; i < 3 * m; ++i) {
+        EXPECT_EQ(scalar[i].real(), avx2[i].real())
+            << "m=" << m << " inv=" << inverse << " i=" << i;
+        EXPECT_EQ(scalar[i].imag(), avx2[i].imag())
+            << "m=" << m << " inv=" << inverse << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(FftRealInput, ScratchOverloadMatchesAllocatingPath) {
+  Rng rng(21);
+  RealSignal x(1000);
+  for (double& v : x) v = rng.gaussian();
+  const auto plan = fft_plan(2048);
+  Signal a, b, scratch;
+  plan->forward_real(x, a);
+  plan->forward_real(x, b, scratch);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].real(), b[i].real()) << "bin " << i;
+    EXPECT_EQ(a[i].imag(), b[i].imag()) << "bin " << i;
+  }
+}
+
 TEST(FftPlanCache, ConcurrentLookupsReturnOneInstance) {
   // The shared-lock read path must serve concurrent workers one
   // consistent plan per length (the SweepEngine steady state).

@@ -1,0 +1,132 @@
+// Waveform-level validation of the sharded multi-gateway simulator:
+// GatewaySim's analytic per-link PER (BerModel) must agree with the
+// full WaveformPipeline on a small 2-gateway / 8-tag deployment — the
+// same role tests/test_calibration.cpp plays for the BerModel itself,
+// one layer up. The zero-allocation BatchDemodulator makes the
+// waveform side cheap enough to run per-CI (label `sim`).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mac/gateway_sim.hpp"
+#include "sim/ber_model.hpp"
+#include "sim/pipeline.hpp"
+
+namespace saiyan {
+namespace {
+
+lora::PhyParams phy() {
+  lora::PhyParams p;
+  p.spreading_factor = 7;
+  p.bandwidth_hz = 500e3;
+  p.sample_rate_hz = 4e6;
+  p.bits_per_symbol = 2;
+  return p;
+}
+
+constexpr std::size_t kPayloadSymbols = 16;  // 32 payload bits at K=2
+
+/// Distance at which the deployment's link budget yields `target_rss`
+/// (monotonic bisection over the same path the tag assignment uses).
+double distance_for_rss(const mac::DeploymentConfig& cfg, double target_rss) {
+  double lo = 1.0, hi = 20000.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double rss =
+        mac::Deployment::link_rss_dbm(cfg, {0.0, 0.0}, {mid, 0.0});
+    (rss > target_rss ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Waveform-side success probability of one link: detection rate times
+/// the probability of an error-free payload (the same i.i.d. packet
+/// composition the analytic PER uses).
+double waveform_success(double rss_dbm, std::size_t n_packets) {
+  sim::PipelineConfig cfg;
+  cfg.saiyan = core::SaiyanConfig::make(phy(), core::Mode::kSuper);
+  cfg.payload_symbols = kPayloadSymbols;
+  cfg.aligned = false;  // full sync, like a real gateway uplink
+  cfg.seed = 31;
+  sim::WaveformPipeline wp(cfg);
+  const sim::PipelineResult r = wp.run_rss(rss_dbm, n_packets);
+  const double detect = r.detections.prr();
+  const double sym_ok = 1.0 - r.errors.ser();
+  return detect * std::pow(std::max(sym_ok, 0.0),
+                           static_cast<double>(kPayloadSymbols));
+}
+
+TEST(MultiGatewayWaveform, AnalyticPerMatchesWaveformOnSmallDeployment) {
+  // 2 gateways far apart, 8 tags placed at link-budget distances that
+  // bracket the model's sensitivity: six comfortably above (analytic
+  // PER ~ 0), two well below (analytic PER ~ 1).
+  mac::GatewaySimConfig cfg;
+  cfg.phy = phy();
+  cfg.mode = core::Mode::kSuper;
+  cfg.payload_bits = kPayloadSymbols * 2;
+  cfg.n_windows = 25;
+  cfg.packets_per_window = 20;
+  cfg.max_retransmissions = 0;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.handover_enabled = false;
+  cfg.interference_enabled = false;
+  cfg.hopping_enabled = false;
+
+  cfg.deployment.n_gateways = 2;
+  cfg.deployment.n_tags = 8;
+  cfg.deployment.n_channels = 2;
+  cfg.deployment.gateway_positions = {{0.0, 0.0}, {50000.0, 0.0}};
+  const sim::BerModel model(cfg.ber);
+  const double sens = model.required_rss_dbm(cfg.mode, cfg.phy);
+  const double margins[8] = {9.0, 7.5, 6.0, 5.0,    // clean region
+                             9.0, 6.0,              // clean, gateway 1
+                             -10.0, -12.0};         // deep failure region
+  for (int i = 0; i < 8; ++i) {
+    const double d = distance_for_rss(cfg.deployment, sens + margins[i]);
+    const double gw_x = i >= 4 && i < 6 ? 50000.0 : 0.0;
+    // Tags 6-7 also attach to gateway 0 (placed on its side).
+    cfg.deployment.tag_positions.push_back(
+        {gw_x == 0.0 ? d : gw_x - d, static_cast<double>(i)});
+  }
+
+  const mac::GatewaySim gs(cfg);
+  ASSERT_EQ(gs.deployment().shard_tags[0].size() +
+                gs.deployment().shard_tags[1].size(),
+            8u);
+  ASSERT_GE(gs.deployment().shard_tags[1].size(), 2u);
+
+  // Analytic side: the sharded simulator's measured aggregate must sit
+  // on the model's mean success probability (it is a Monte-Carlo
+  // estimate of exactly that).
+  double model_mean = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const double rss = gs.deployment().serving_rss_dbm[i];
+    model_mean += 1.0 - model.per(rss, cfg.mode, cfg.phy, cfg.payload_bits);
+  }
+  model_mean /= 8.0;
+  const sim::SweepEngine engine(0);
+  const mac::NetworkResult net = gs.run(engine);
+  EXPECT_NEAR(net.aggregate_prr(), model_mean, 0.05);
+
+  // Waveform side: every tag's physics-level success probability must
+  // agree with its analytic PER at the extremes, and the deployment
+  // aggregate must match within Monte-Carlo tolerance.
+  double wave_mean = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const double rss = gs.deployment().serving_rss_dbm[i];
+    const double analytic = 1.0 - model.per(rss, cfg.mode, cfg.phy,
+                                            cfg.payload_bits);
+    const double wave = waveform_success(rss, 12);
+    wave_mean += wave;
+    if (analytic > 0.95) {
+      EXPECT_GE(wave, 0.8) << "tag " << i << " rss " << rss;
+    } else if (analytic < 0.05) {
+      EXPECT_LE(wave, 0.2) << "tag " << i << " rss " << rss;
+    }
+  }
+  wave_mean /= 8.0;
+  EXPECT_NEAR(wave_mean, net.aggregate_prr(), 0.2);
+}
+
+}  // namespace
+}  // namespace saiyan
