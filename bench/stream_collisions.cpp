@@ -1,0 +1,107 @@
+// Collision-resolution throughput and capture rate: the SIC duty
+// cycle. Two-tag captures with a controllable fraction of colliding
+// frames replay through stream::StreamingDemodulator with and without
+// sic::CollisionResolver, reporting weaker-frame capture rate (via
+// sim::CollisionCounter), resolution counters, and the throughput cost
+// of the cancellation passes (remodulate + least-squares fit +
+// subtract + rescan per decoded frame).
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "lora/modulator.hpp"
+#include "sim/capture.hpp"
+#include "sim/report.hpp"
+#include "stream/streaming_demod.hpp"
+
+using namespace saiyan;
+
+namespace {
+
+struct DutyPoint {
+  const char* name;
+  std::size_t colliding_pairs;  ///< pairs whose frames overlap
+  std::size_t clean_packets;    ///< non-overlapping packets between them
+};
+
+sim::CaptureConfig collision_capture(const DutyPoint& pt, std::uint64_t seed) {
+  sim::CaptureConfig cfg;
+  cfg.saiyan = core::SaiyanConfig::make(bench::default_phy(), core::Mode::kSuper);
+  cfg.payload_symbols = 16;
+  cfg.seed = seed;
+  cfg.tag_rss_dbm = {-55.0, -61.0};  // 6 dB capture margin
+  const std::size_t spsym = cfg.saiyan.phy.samples_per_symbol();
+  const lora::Modulator mod(cfg.saiyan.phy);
+  const std::size_t frame = mod.layout(cfg.payload_symbols).total_samples;
+  std::uint64_t cursor = 500;
+  for (std::size_t p = 0; p < pt.colliding_pairs; ++p) {
+    cfg.offsets.push_back(cursor);
+    cfg.offsets.push_back(cursor + (8 + (p % 12)) * spsym);
+    cursor += 2 * frame + 12 * spsym;
+    for (std::size_t c = 0; c < pt.clean_packets; ++c) {
+      cfg.offsets.push_back(cursor);
+      cursor += frame + 10 * spsym;
+    }
+  }
+  return cfg;
+}
+
+double run_replay(const sim::Capture& cap, const sim::CaptureConfig& cfg,
+                  std::size_t depth, sim::ReplayStats& stats) {
+  stream::StreamConfig sc;
+  sc.saiyan = cfg.saiyan;
+  sc.payload_symbols = cfg.payload_symbols;
+  sc.sic.depth = depth;
+  stream::StreamingDemodulator demod(sc);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::span<const dsp::Complex> rest(cap.samples);
+  while (!rest.empty()) {
+    const std::size_t take = std::min<std::size_t>(16384, rest.size());
+    demod.push(rest.first(take));
+    rest = rest.subspan(take);
+  }
+  demod.finish();
+  const auto t1 = std::chrono::steady_clock::now();
+  stats = sim::score_replay(demod, cap.markers,
+                            cfg.saiyan.phy.samples_per_symbol() / 2);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Streaming collision resolution (SIC)",
+                "collision-resolving decode (ROADMAP SIC item)");
+
+  const DutyPoint points[] = {
+      {"every frame collides", 12, 0},
+      {"1 in 3 frames collide", 8, 4},
+      {"1 in 9 frames collide", 4, 16},
+  };
+
+  std::printf("%-24s %6s | %9s %9s | %9s %9s %9s | %8s\n", "collision duty",
+              "frames", "cap% off", "cap% on", "Msamp/s-0", "Msamp/s-2",
+              "overhead", "SER on");
+  for (const DutyPoint& pt : points) {
+    const sim::CaptureConfig cfg = collision_capture(pt, 31);
+    const sim::Capture cap = sim::generate_capture(cfg);
+    sim::ReplayStats off, on;
+    double best_off = 1e99, best_on = 1e99;
+    for (int rep = 0; rep < 3; ++rep) {
+      best_off = std::min(best_off, run_replay(cap, cfg, 0, off));
+      best_on = std::min(best_on, run_replay(cap, cfg, 2, on));
+    }
+    const double ms = static_cast<double>(cap.samples.size()) / 1e6;
+    std::printf("%-24s %6zu | %8s%% %8s%% | %9.2f %9.2f %8.0f%% | %7.4f\n",
+                pt.name, on.markers,
+                sim::fmt_pct(off.collisions.capture_rate(), 1).c_str(),
+                sim::fmt_pct(on.collisions.capture_rate(), 1).c_str(),
+                ms / best_off, ms / best_on,
+                100.0 * (best_on - best_off) / best_off, on.ser());
+  }
+  std::printf(
+      "\ncap%% = colliding frames decoded (sim::CollisionCounter); SIC depth 2,\n"
+      "6 dB power delta. Non-colliding frames decode bit-identically with\n"
+      "SIC on or off; overhead is the cancel+rescan cost per decoded frame.\n");
+  return 0;
+}

@@ -76,6 +76,21 @@ class BatchDemodulator {
     return ws_.symbols;
   }
 
+  /// Stream-seed variant of the timing-aided decode: construct the
+  /// packet's Rng internally from a derived stream seed. The streaming
+  /// and SIC decode paths hand frames around as (external sample span,
+  /// seed) pairs — a collision group decodes its members in strength
+  /// order, not arrival order, so each frame carries its own seed and
+  /// every decode reuses this engine's warm workspace regardless of
+  /// where the span lives (ring view, stitched scratch, SIC residual).
+  std::span<const std::uint32_t> decode_aligned(
+      std::span<const dsp::Complex> rf, std::size_t payload_start_fs,
+      std::size_t n_payload, std::uint64_t stream_seed,
+      std::optional<frontend::ThresholdPair> threshold_hint = std::nullopt) {
+    dsp::Rng rng(stream_seed);
+    return decode_aligned(rf, payload_start_fs, n_payload, rng, threshold_hint);
+  }
+
   /// Full receive (preamble search + decode).
   std::span<const std::uint32_t> decode(
       std::span<const dsp::Complex> rf, std::size_t n_payload, dsp::Rng& rng,

@@ -95,6 +95,47 @@ double sum_scalar(const double* x, std::size_t n) {
   return s;
 }
 
+Complex cdot_scalar(const Complex* xc, const Complex* yc, std::size_t n) {
+  const double* x = reinterpret_cast<const double*>(xc);
+  const double* y = reinterpret_cast<const double*>(yc);
+  double r0 = 0.0, r1 = 0.0, r2 = 0.0, r3 = 0.0;
+  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    r0 += x[2 * i] * y[2 * i] + x[2 * i + 1] * y[2 * i + 1];
+    r1 += x[2 * i + 2] * y[2 * i + 2] + x[2 * i + 3] * y[2 * i + 3];
+    r2 += x[2 * i + 4] * y[2 * i + 4] + x[2 * i + 5] * y[2 * i + 5];
+    r3 += x[2 * i + 6] * y[2 * i + 6] + x[2 * i + 7] * y[2 * i + 7];
+    m0 += x[2 * i + 1] * y[2 * i] - x[2 * i] * y[2 * i + 1];
+    m1 += x[2 * i + 3] * y[2 * i + 2] - x[2 * i + 2] * y[2 * i + 3];
+    m2 += x[2 * i + 5] * y[2 * i + 4] - x[2 * i + 4] * y[2 * i + 5];
+    m3 += x[2 * i + 7] * y[2 * i + 6] - x[2 * i + 6] * y[2 * i + 7];
+  }
+  double re = ((r0 + r1) + r2) + r3;
+  double im = ((m0 + m1) + m2) + m3;
+  for (; i < n; ++i) {
+    re += x[2 * i] * y[2 * i] + x[2 * i + 1] * y[2 * i + 1];
+    im += x[2 * i + 1] * y[2 * i] - x[2 * i] * y[2 * i + 1];
+  }
+  return {re, im};
+}
+
+void complex_scaled_subtract_scalar(const Complex* xc, std::size_t n,
+                                    Complex a, Complex b, Complex* yc) {
+  const double* x = reinterpret_cast<const double*>(xc);
+  double* y = reinterpret_cast<double*>(yc);
+  const double ar = a.real(), ai = a.imag();
+  const double br = b.real(), bi = b.imag();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xr = x[2 * i];
+    const double xi = x[2 * i + 1];
+    const double pr = ar * xr - ai * xi;
+    const double pi = ar * xi + ai * xr;
+    y[2 * i] = y[2 * i] - (pr + br);
+    y[2 * i + 1] = y[2 * i + 1] - (pi + bi);
+  }
+}
+
 double dot_scalar(const double* x, const double* y, std::size_t n) {
   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
   std::size_t i = 0;
@@ -245,6 +286,74 @@ __attribute__((target("avx2"))) double dot_avx2(const double* x,
   double s = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
   for (; i < n; ++i) s += x[i] * y[i];
   return s;
+}
+
+__attribute__((target("avx2"))) Complex cdot_avx2(const Complex* xc,
+                                                  const Complex* yc,
+                                                  std::size_t n) {
+  const double* x = reinterpret_cast<const double*>(xc);
+  const double* y = reinterpret_cast<const double*>(yc);
+  __m256d acc_re = _mm256_setzero_pd();
+  __m256d acc_im = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a = _mm256_loadu_pd(x + 2 * i);      // x0r x0i x1r x1i
+    const __m256d b = _mm256_loadu_pd(y + 2 * i);
+    const __m256d c = _mm256_loadu_pd(x + 2 * i + 4);  // x2r x2i x3r x3i
+    const __m256d d = _mm256_loadu_pd(y + 2 * i + 4);
+    // Real part: xr·yr + xi·yi per complex; hadd pairs then restore
+    // element order (the square_law trick).
+    const __m256d pa = _mm256_mul_pd(a, b);
+    const __m256d pc = _mm256_mul_pd(c, d);
+    const __m256d re4 =
+        _mm256_permute4x64_pd(_mm256_hadd_pd(pa, pc), 0xD8);
+    // Imag part: xi·yr − xr·yi = hsub of (swapped x)·y pairs.
+    const __m256d qa = _mm256_mul_pd(_mm256_permute_pd(a, 0b0101), b);
+    const __m256d qc = _mm256_mul_pd(_mm256_permute_pd(c, 0b0101), d);
+    const __m256d im4 =
+        _mm256_permute4x64_pd(_mm256_hsub_pd(qa, qc), 0xD8);
+    acc_re = _mm256_add_pd(acc_re, re4);
+    acc_im = _mm256_add_pd(acc_im, im4);
+  }
+  alignas(32) double lr[4];
+  alignas(32) double li[4];
+  _mm256_store_pd(lr, acc_re);
+  _mm256_store_pd(li, acc_im);
+  double re = ((lr[0] + lr[1]) + lr[2]) + lr[3];
+  double im = ((li[0] + li[1]) + li[2]) + li[3];
+  for (; i < n; ++i) {
+    re += x[2 * i] * y[2 * i] + x[2 * i + 1] * y[2 * i + 1];
+    im += x[2 * i + 1] * y[2 * i] - x[2 * i] * y[2 * i + 1];
+  }
+  return {re, im};
+}
+
+__attribute__((target("avx2"))) void complex_scaled_subtract_avx2(
+    const Complex* xc, std::size_t n, Complex a, Complex b, Complex* yc) {
+  const double* x = reinterpret_cast<const double*>(xc);
+  double* y = reinterpret_cast<double*>(yc);
+  const __m256d ar4 = _mm256_set1_pd(a.real());
+  const __m256d ai4 = _mm256_set1_pd(a.imag());
+  const __m256d b4 = _mm256_setr_pd(b.real(), b.imag(), b.real(), b.imag());
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d v = _mm256_loadu_pd(x + 2 * i);  // x0r x0i x1r x1i
+    const __m256d t1 = _mm256_mul_pd(v, ar4);
+    const __m256d t2 = _mm256_mul_pd(_mm256_permute_pd(v, 0b0101), ai4);
+    // addsub: even lanes t1−t2 = ar·xr − ai·xi, odd lanes t1+t2 =
+    // ar·xi + ai·xr — the scalar association exactly.
+    const __m256d p = _mm256_addsub_pd(t1, t2);
+    const __m256d s = _mm256_add_pd(p, b4);
+    _mm256_storeu_pd(y + 2 * i, _mm256_sub_pd(_mm256_loadu_pd(y + 2 * i), s));
+  }
+  for (; i < n; ++i) {
+    const double xr = x[2 * i];
+    const double xi = x[2 * i + 1];
+    const double pr = a.real() * xr - a.imag() * xi;
+    const double pi = a.real() * xi + a.imag() * xr;
+    y[2 * i] = y[2 * i] - (pr + b.real());
+    y[2 * i + 1] = y[2 * i + 1] - (pi + b.imag());
+  }
 }
 
 __attribute__((target("avx2"))) double sum_squares_avx2(const double* x,
@@ -650,6 +759,21 @@ double dot(const double* x, const double* y, std::size_t n) {
   if (use_avx2()) return dot_avx2(x, y, n);
 #endif
   return dot_scalar(x, y, n);
+}
+
+Complex cdot(const Complex* x, const Complex* y, std::size_t n) {
+#ifdef SAIYAN_SIMD_AVX2
+  if (use_avx2()) return cdot_avx2(x, y, n);
+#endif
+  return cdot_scalar(x, y, n);
+}
+
+void complex_scaled_subtract(const Complex* x, std::size_t n, Complex a,
+                             Complex b, Complex* y) {
+#ifdef SAIYAN_SIMD_AVX2
+  if (use_avx2()) return complex_scaled_subtract_avx2(x, n, a, b, y);
+#endif
+  complex_scaled_subtract_scalar(x, n, a, b, y);
 }
 
 }  // namespace saiyan::dsp::simd

@@ -120,4 +120,21 @@ void lna_square_law(const Complex* x, const double* gain, std::size_t n,
 /// sum/sum_squares) — the correlation decoder's template score.
 double dot(const double* x, const double* y, std::size_t n);
 
+/// Blocked complex correlation Σ x[i]·conj(y[i]) — the SIC least-squares
+/// amplitude estimate (sic::CollisionResolver). Per complex lane the
+/// real part accumulates xr·yr + xi·yi and the imaginary part
+/// xi·yr − xr·yi, with the same fixed 4-accumulator association as
+/// dot(): lane j of a 4-complex block owns complex i·4+j, lanes are
+/// combined as ((l0+l1)+l2)+l3, and the tail is appended last.
+Complex cdot(const Complex* x, const Complex* y, std::size_t n);
+
+/// y[i] -= a·x[i] + b — the SIC cancellation pass: subtract a
+/// reconstructed transmit waveform scaled by its least-squares complex
+/// amplitude (plus the fitted DC offset) from the residual in place.
+/// Per sample: re -= (ar·xr − ai·xi) + br, im -= (ar·xi + ai·xr) + bi,
+/// in exactly that association (no FMA contraction) so scalar and AVX2
+/// residuals are bit-identical.
+void complex_scaled_subtract(const Complex* x, std::size_t n, Complex a,
+                             Complex b, Complex* y);
+
 }  // namespace saiyan::dsp::simd

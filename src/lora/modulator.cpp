@@ -71,7 +71,14 @@ dsp::Signal Modulator::modulate(const std::vector<std::uint32_t>& symbols) const
   return out;
 }
 
-void Modulator::modulate_into(const std::vector<std::uint32_t>& symbols,
+void Modulator::prewarm() const {
+  preamble_ref();
+  for (std::uint32_t v = 0; v < params_.symbol_alphabet(); ++v) {
+    symbol_waveform(v);
+  }
+}
+
+void Modulator::modulate_into(std::span<const std::uint32_t> symbols,
                               dsp::Signal& out) const {
   const dsp::Signal& pre = preamble_ref();
   const std::size_t sps = params_.samples_per_symbol();

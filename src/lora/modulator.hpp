@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dsp/types.hpp"
@@ -36,8 +37,14 @@ class Modulator {
 
   /// modulate into a caller-owned buffer (zero-allocation path once
   /// the buffer and the symbol/preamble caches are warm).
-  void modulate_into(const std::vector<std::uint32_t>& symbols,
+  void modulate_into(std::span<const std::uint32_t> symbols,
                      dsp::Signal& out) const;
+
+  /// Fill the preamble and every symbol-waveform cache slot up front,
+  /// so later modulate_into calls are allocation-free regardless of
+  /// which symbol values actually occur (the SIC remodulation path
+  /// must never touch the allocator once warm).
+  void prewarm() const;
 
   /// Modulate only the payload (no preamble/sync) — used by unit tests
   /// and symbol-level benchmarks.

@@ -1,0 +1,76 @@
+#include "lora/remodulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/simd.hpp"
+
+namespace saiyan::lora {
+
+namespace {
+
+/// Plain sequential complex sum — scalar on every ISA, so the fit is
+/// dispatch-independent wherever the blocked kernels are.
+dsp::Complex sum_sequential(const dsp::Complex* x, std::size_t n) {
+  double re = 0.0, im = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    re += x[i].real();
+    im += x[i].imag();
+  }
+  return {re, im};
+}
+
+}  // namespace
+
+Remodulator::Remodulator(const PhyParams& phy, std::size_t payload_symbols)
+    : mod_(phy), payload_symbols_(payload_symbols) {
+  if (payload_symbols_ == 0) {
+    throw std::invalid_argument("Remodulator: payload_symbols == 0");
+  }
+  const PacketLayout lay = mod_.layout(payload_symbols_);
+  payload_start_ = lay.payload_start;
+  frame_samples_ = lay.total_samples;
+  mod_.prewarm();
+}
+
+void Remodulator::frame_into(std::span<const std::uint32_t> symbols,
+                             dsp::Signal& out) const {
+  if (symbols.size() != payload_symbols_) {
+    throw std::invalid_argument("Remodulator: payload length mismatch");
+  }
+  mod_.modulate_into(symbols, out);
+}
+
+RemodFit Remodulator::fit(std::span<const dsp::Complex> rx,
+                          std::span<const dsp::Complex> tx) {
+  const std::size_t n = std::min(rx.size(), tx.size());
+  RemodFit f;
+  if (n == 0) return f;
+  const double nn = static_cast<double>(n);
+  const double ess = dsp::simd::sum_squares(tx.data(), n);
+  const dsp::Complex sx = sum_sequential(tx.data(), n);
+  const dsp::Complex sr = sum_sequential(rx.data(), n);
+  const dsp::Complex rs = dsp::simd::cdot(rx.data(), tx.data(), n);
+  // Normal equations of min Σ|rx − a·tx − b|²:
+  //   a·Σ|tx|² + b·conj(Σtx) = Σ rx·conj(tx)
+  //   a·Σtx    + b·n         = Σ rx
+  const double denom = ess - std::norm(sx) / nn;
+  if (!(denom > 1e-12 * std::max(ess, 1.0))) {
+    f.offset = sr / nn;  // degenerate template: fit the mean only
+    return f;
+  }
+  f.amplitude = (rs - std::conj(sx) * sr / nn) / denom;
+  f.offset = (sr - f.amplitude * sx) / nn;
+  f.explained_energy = std::norm(f.amplitude) * ess;
+  return f;
+}
+
+void Remodulator::subtract(std::span<dsp::Complex> residual,
+                           std::span<const dsp::Complex> tx,
+                           const RemodFit& f) {
+  const std::size_t n = std::min(residual.size(), tx.size());
+  dsp::simd::complex_scaled_subtract(tx.data(), n, f.amplitude, f.offset,
+                                     residual.data());
+}
+
+}  // namespace saiyan::lora

@@ -1,0 +1,74 @@
+// Transmit-waveform reconstruction for successive interference
+// cancellation (sic::CollisionResolver).
+//
+// Once the strongest frame of a collision group has been decoded, SIC
+// needs the waveform that frame put on the air so it can be subtracted
+// from the mixed capture. The Remodulator rebuilds it from the decoded
+// symbols through the same lora::Modulator the access point uses
+// (preamble + 2.25 sync symbols + payload up-chirps, unit amplitude),
+// then estimates how the channel scaled and shifted it with a
+// least-squares fit against the received span:
+//
+//   rx[i] ≈ amplitude · tx[i] + offset
+//
+// solved in closed form from the 2×2 complex normal equations. The
+// amplitude absorbs the per-tag RSS scale and any carrier phase; the
+// offset absorbs a residual DC term (receiver impairments live after
+// the envelope detector, so over a clean channel it fits ≈ 0).
+// subtract() then removes amplitude·tx + offset in place through the
+// bit-identical dsp::simd::complex_scaled_subtract kernel.
+//
+// The constructor prewarms the modulator's preamble and full symbol
+// alphabet caches, so remodulating any payload is allocation-free once
+// the output buffer has reached frame size. Instances are not
+// thread-safe (the modulator caches are mutable).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dsp/types.hpp"
+#include "lora/modulator.hpp"
+
+namespace saiyan::lora {
+
+/// Least-squares channel fit of a reconstructed frame.
+struct RemodFit {
+  dsp::Complex amplitude{};  ///< complex gain of the reconstructed frame
+  dsp::Complex offset{};     ///< fitted DC term
+  double explained_energy = 0.0;  ///< |amplitude|² · Σ|tx|²
+};
+
+class Remodulator {
+ public:
+  Remodulator(const PhyParams& phy, std::size_t payload_symbols);
+
+  /// Reconstruct the unit-amplitude frame waveform (preamble + sync +
+  /// payload) into `out`. Zero allocations once `out` is frame-sized.
+  void frame_into(std::span<const std::uint32_t> symbols,
+                  dsp::Signal& out) const;
+
+  /// Least-squares (amplitude, offset) of `tx` against `rx` over the
+  /// common length. Degenerate spans (no template energy after mean
+  /// removal) fit amplitude 0 / offset mean(rx).
+  static RemodFit fit(std::span<const dsp::Complex> rx,
+                      std::span<const dsp::Complex> tx);
+
+  /// residual[i] -= fit.amplitude · tx[i] + fit.offset (in place, over
+  /// the common length).
+  static void subtract(std::span<dsp::Complex> residual,
+                       std::span<const dsp::Complex> tx, const RemodFit& f);
+
+  std::size_t frame_samples() const { return frame_samples_; }
+  std::size_t payload_start() const { return payload_start_; }
+  std::size_t payload_symbols() const { return payload_symbols_; }
+  const Modulator& modulator() const { return mod_; }
+
+ private:
+  Modulator mod_;
+  std::size_t payload_symbols_;
+  std::size_t payload_start_;
+  std::size_t frame_samples_;
+};
+
+}  // namespace saiyan::lora

@@ -236,9 +236,44 @@ ShardResult GatewaySim::run_shard(std::size_t gateway, dsp::Rng& rng,
       downlink_sum += downlink_success;
 
       for (std::size_t p = 0; p < cfg_.packets_per_window; ++p) {
-        const bool delivered = deliver_with_retransmissions(
-            uplink_success, downlink_success, cfg_.max_retransmissions,
-            /*tag_has_saiyan=*/true, rng, &result.retransmissions);
+        // Intra-cell collision: the transmission overlaps another
+        // same-cell tag's frame and survives only by capture (power
+        // delta) or SIC recovery — collision_outcome() is the analytic
+        // stand-in for the waveform-level sic::CollisionResolver.
+        bool collision_lost = false;
+        if (cfg_.collision_rate > 0.0 && shard.size() > 1 &&
+            rng.chance(cfg_.collision_rate)) {
+          std::size_t other = static_cast<std::size_t>(
+              rng.uniform_int(0, shard.size() - 2));
+          if (other >= i) ++other;
+          const CaptureOutcome out = collision_outcome(
+              tag.rss_dbm - state[other].rss_dbm, cfg_.capture_threshold_db,
+              cfg_.sic_depth);
+          collision_lost = out == CaptureOutcome::kLost;
+          result.collisions.add_frame(!collision_lost);
+          if (out == CaptureOutcome::kSicResolved) {
+            result.collisions.add_resolved(1);
+          }
+        }
+        bool delivered;
+        if (collision_lost) {
+          // The collided transmission is lost on air; the repeat
+          // request must survive the downlink, then the remaining
+          // retransmissions proceed collision-free.
+          delivered = false;
+          if (cfg_.max_retransmissions > 0 &&
+              rng.chance(downlink_success)) {
+            ++result.retransmissions;
+            delivered = deliver_with_retransmissions(
+                uplink_success, downlink_success,
+                cfg_.max_retransmissions - 1,
+                /*tag_has_saiyan=*/true, rng, &result.retransmissions);
+          }
+        } else {
+          delivered = deliver_with_retransmissions(
+              uplink_success, downlink_success, cfg_.max_retransmissions,
+              /*tag_has_saiyan=*/true, rng, &result.retransmissions);
+        }
         result.packets.add(delivered);
         ++window_offered;
         window_delivered += delivered ? 1 : 0;
@@ -299,6 +334,15 @@ sim::CaptureConfig GatewaySim::capture_config(std::size_t gateway,
   return cap;
 }
 
+CaptureOutcome collision_outcome(double delta_db, double capture_threshold_db,
+                                 std::size_t sic_depth) {
+  if (delta_db >= capture_threshold_db) return CaptureOutcome::kCaptured;
+  if (sic_depth > 0 && -delta_db >= capture_threshold_db) {
+    return CaptureOutcome::kSicResolved;
+  }
+  return CaptureOutcome::kLost;
+}
+
 NetworkResult GatewaySim::run(const sim::SweepEngine& engine) const {
   const std::size_t n_gateways = deployment_.gateways.size();
   NetworkResult net;
@@ -325,6 +369,7 @@ NetworkResult GatewaySim::run(const sim::SweepEngine& engine) const {
     net.retransmissions += s.retransmissions;
     net.handovers += s.handovers;
     net.hops += s.hops;
+    net.collisions.merge(s.collisions);
     net.window_prr.merge(s.window_prr);
     net.throughput_bps += s.throughput_bps;
     penalty_weighted += s.mean_interference_penalty_db *

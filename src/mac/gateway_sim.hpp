@@ -82,8 +82,37 @@ struct GatewaySimConfig {
   Position jammer_position{};
   double jammer_eirp_dbm = 30.0;
 
+  // Intra-cell collision / capture model. Each uplink transmission
+  // collides with another same-cell tag's with probability
+  // `collision_rate`; the stronger frame is captured when the power
+  // delta clears `capture_threshold_db`, and the weaker one is
+  // additionally recovered when `sic_depth` > 0 — the analytic
+  // counterpart of the waveform-level sic::CollisionResolver, which
+  // the validation test cross-checks against a real SIC replay
+  // (tests/test_multigw_waveform.cpp). The default rate of 0 draws
+  // nothing from the shard RNG stream, keeping pre-SIC runs
+  // bit-identical.
+  double collision_rate = 0.0;
+  double capture_threshold_db = 6.0;   ///< stronger-frame capture margin
+  std::size_t sic_depth = 0;           ///< SIC recovery of the weaker frame
+
   std::optional<MeasuredLinkOverride> measured_link;  ///< case-study mode
 };
+
+/// Outcome of one frame in a two-frame co-channel collision with power
+/// delta `delta_db` (this frame minus the interferer).
+enum class CaptureOutcome {
+  kCaptured,     ///< delta ≥ threshold: decoded straight off the air
+  kSicResolved,  ///< the *interferer* cleared the threshold and SIC
+                 ///< cancelled it cleanly; this weaker frame recovered
+  kLost,         ///< near-equal power: neither capture nor SIC helps
+};
+
+/// Analytic capture rule backing the shard collision model — kept as a
+/// free function so the waveform validation test can evaluate exactly
+/// the probability the shards integrate.
+CaptureOutcome collision_outcome(double delta_db, double capture_threshold_db,
+                                 std::size_t sic_depth);
 
 /// Results of one gateway shard (merged in gateway-index order).
 struct ShardResult {
@@ -96,6 +125,7 @@ struct ShardResult {
   sim::Cdf window_prr;              ///< per-window cell PRR distribution
   double mean_interference_penalty_db = 0.0;
   double throughput_bps = 0.0;      ///< data rate × PRR × tags
+  sim::CollisionCounter collisions; ///< intra-cell collision outcomes
 };
 
 struct NetworkResult {
@@ -107,6 +137,7 @@ struct NetworkResult {
   sim::Cdf window_prr;              ///< all cells' windows pooled
   double throughput_bps = 0.0;      ///< aggregate network throughput
   double mean_interference_penalty_db = 0.0;  ///< tag-weighted
+  sim::CollisionCounter collisions; ///< network-wide collision merge
 
   double aggregate_prr() const { return packets.prr(); }
 };

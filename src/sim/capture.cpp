@@ -10,18 +10,66 @@
 
 namespace saiyan::sim {
 
+namespace {
+
+/// Walk the maximal chains of mutually overlapping frames in an
+/// offset-ordered marker list (frame p overlaps p+1 when p+1 starts
+/// before p's frame ends) and call `fn(first, last)` for every chain
+/// of ≥2 members — the one overlap-grouping rule shared by the
+/// generator's ground truth and replay scoring.
+template <typename Fn>
+void walk_collision_chains(std::span<const stream::TraceMarker> markers,
+                           std::size_t frame_samples, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < markers.size()) {
+    std::size_t j = i;
+    std::uint64_t chain_end = markers[i].sample_offset + frame_samples;
+    while (j + 1 < markers.size() &&
+           markers[j + 1].sample_offset < chain_end) {
+      ++j;
+      chain_end =
+          std::max(chain_end, markers[j].sample_offset + frame_samples);
+    }
+    if (j > i) fn(i, j);
+    i = j + 1;
+  }
+}
+
+/// Fill the per-marker collision flags and group count from the
+/// schedule geometry.
+void mark_collisions(Capture& cap, std::size_t frame_samples) {
+  cap.collided.assign(cap.markers.size(), 0);
+  cap.collision_groups = 0;
+  walk_collision_chains(cap.markers, frame_samples,
+                        [&](std::size_t first, std::size_t last) {
+                          ++cap.collision_groups;
+                          for (std::size_t k = first; k <= last; ++k) {
+                            cap.collided[k] = 1;
+                          }
+                        });
+}
+
+}  // namespace
+
 Capture generate_capture(const CaptureConfig& cfg) {
   cfg.saiyan.phy.validate();
   if (cfg.tag_rss_dbm.empty()) {
     throw std::invalid_argument("generate_capture: no tags");
   }
-  if (cfg.payload_symbols == 0 || cfg.packets_per_tag == 0) {
+  const bool scheduled = !cfg.offsets.empty();
+  if (cfg.payload_symbols == 0 ||
+      (!scheduled && cfg.packets_per_tag == 0)) {
     throw std::invalid_argument("generate_capture: empty schedule");
+  }
+  if (!cfg.tag_phase_rad.empty() &&
+      cfg.tag_phase_rad.size() != cfg.tag_rss_dbm.size()) {
+    throw std::invalid_argument("generate_capture: tag_phase_rad size");
   }
   const lora::PhyParams& phy = cfg.saiyan.phy;
   const std::size_t spsym = phy.samples_per_symbol();
   const std::size_t n_tags = cfg.tag_rss_dbm.size();
-  const std::size_t n_packets = n_tags * cfg.packets_per_tag;
+  const std::size_t n_packets =
+      scheduled ? cfg.offsets.size() : n_tags * cfg.packets_per_tag;
   lora::Modulator mod(phy);
   const lora::PacketLayout lay = mod.layout(cfg.payload_symbols);
 
@@ -38,8 +86,14 @@ Capture generate_capture(const CaptureConfig& cfg) {
 
   Capture cap;
   cap.markers.reserve(n_packets);
-  std::uint64_t cursor = rng.uniform_int(gap_lo, gap_hi);
+  std::uint64_t cursor = scheduled ? 0 : rng.uniform_int(gap_lo, gap_hi);
   for (std::size_t p = 0; p < n_packets; ++p) {
+    if (scheduled) {
+      if (p > 0 && cfg.offsets[p] < cfg.offsets[p - 1]) {
+        throw std::invalid_argument("generate_capture: offsets not sorted");
+      }
+      cursor = cfg.offsets[p];
+    }
     stream::TraceMarker m;
     m.sample_offset = cursor;
     m.tag_id = static_cast<std::uint32_t>(p % n_tags);
@@ -49,12 +103,19 @@ Capture generate_capture(const CaptureConfig& cfg) {
           rng.uniform_int(0, phy.symbol_alphabet() - 1));
     }
     cap.markers.push_back(std::move(m));
-    cursor += lay.total_samples + rng.uniform_int(gap_lo, gap_hi);
+    if (!scheduled) {
+      cursor += lay.total_samples + rng.uniform_int(gap_lo, gap_hi);
+    }
   }
   // A trailing idle symbol keeps the last frame clear of the capture
   // end (a *truncated* capture is produced by cutting the waveform,
-  // not by the generator).
-  const std::uint64_t total = cursor + spsym;
+  // not by the generator). An explicit schedule measures from the last
+  // frame's end.
+  const std::uint64_t total =
+      (scheduled ? cap.markers.back().sample_offset + lay.total_samples
+                 : cursor) +
+      spsym;
+  mark_collisions(cap, lay.total_samples);
 
   cap.samples.assign(static_cast<std::size_t>(total), dsp::Complex{});
   dsp::Signal wave;
@@ -66,7 +127,13 @@ Capture generate_capture(const CaptureConfig& cfg) {
             ? std::sqrt(dsp::dbm_to_watts(cfg.tag_rss_dbm[m.tag_id]) / p_avg)
             : 1.0;
     dsp::Complex* dst = cap.samples.data() + m.sample_offset;
-    for (std::size_t i = 0; i < wave.size(); ++i) dst[i] += scale * wave[i];
+    if (cfg.tag_phase_rad.empty()) {
+      for (std::size_t i = 0; i < wave.size(); ++i) dst[i] += scale * wave[i];
+    } else {
+      const double ph = cfg.tag_phase_rad[m.tag_id];
+      const dsp::Complex amp = scale * dsp::Complex(std::cos(ph), std::sin(ph));
+      for (std::size_t i = 0; i < wave.size(); ++i) dst[i] += amp * wave[i];
+    }
   }
   // Thermal floor over the whole capture — gaps carry noise too, like
   // a real gateway front end.
@@ -80,7 +147,8 @@ Capture generate_capture(const CaptureConfig& cfg) {
 }
 
 void write_capture(const Capture& capture, const CaptureConfig& cfg,
-                   const std::string& path, std::size_t chunk_samples) {
+                   const std::string& path, std::size_t chunk_samples,
+                   bool float32) {
   if (chunk_samples == 0) {
     throw std::invalid_argument("write_capture: chunk_samples == 0");
   }
@@ -88,6 +156,7 @@ void write_capture(const Capture& capture, const CaptureConfig& cfg,
   meta.phy = cfg.saiyan.phy;
   meta.mode = cfg.saiyan.mode;
   meta.payload_symbols = cfg.payload_symbols;
+  meta.float32_samples = float32;
   stream::TraceWriter writer(path, meta, capture.markers);
   std::span<const dsp::Complex> rest(capture.samples);
   while (!rest.empty()) {
@@ -106,10 +175,21 @@ ReplayStats score_replay(const stream::StreamingDemodulator& demod,
   stats.decoded = demod.packets().size();
   stats.truncated = demod.truncated_packets();
   stats.samples = demod.samples_consumed();
-  // Both lists are offset-ordered; walk them together, pairing each
+  // Markers are offset-ordered; decoded packets are too, except that a
+  // SIC-revealed frame can trail a later non-overlapping one, so sort
+  // an index view first, then walk both lists together, pairing each
   // decoded packet with the nearest unconsumed marker in range.
+  std::vector<std::size_t> order(demod.packets().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return demod.packets()[a].packet_start <
+                            demod.packets()[b].packet_start;
+                   });
+  std::vector<std::uint8_t> captured(markers.size(), 0);
   std::size_t mi = 0;
-  for (const stream::DecodedPacket& p : demod.packets()) {
+  for (const std::size_t pi : order) {
+    const stream::DecodedPacket& p = demod.packets()[pi];
     while (mi < markers.size() &&
            markers[mi].sample_offset + tolerance_samples < p.packet_start) {
       ++mi;  // marker missed entirely
@@ -119,15 +199,30 @@ ReplayStats score_replay(const stream::StreamingDemodulator& demod,
       ++stats.false_detections;
       continue;
     }
-    const stream::TraceMarker& m = markers[mi++];
+    const stream::TraceMarker& m = markers[mi];
     ++stats.matched;
     const std::span<const std::uint32_t> got = demod.symbols(p);
     stats.symbols += m.symbols.size();
+    std::size_t errors = 0;
     for (std::size_t i = 0; i < m.symbols.size(); ++i) {
       const std::uint32_t actual = i < got.size() ? got[i] : ~0u;
-      if (actual != m.symbols[i]) ++stats.symbol_errors;
+      if (actual != m.symbols[i]) ++errors;
     }
+    stats.symbol_errors += errors;
+    captured[mi] = errors == 0 ? 1 : 0;
+    ++mi;
   }
+  // Collision/capture outcome from the ground-truth overlap geometry
+  // (the same chain walk the generator's ground truth uses).
+  walk_collision_chains(markers, demod.frame_samples(),
+                        [&](std::size_t first, std::size_t last) {
+                          std::size_t ok = 0;
+                          for (std::size_t k = first; k <= last; ++k) {
+                            ok += captured[k];
+                          }
+                          stats.collisions.add_group(last - first + 1, ok);
+                        });
+  stats.collisions.add_resolved(demod.collisions_resolved());
   return stats;
 }
 
@@ -139,6 +234,7 @@ ReplayStats replay_trace(const std::string& path, const ReplayConfig& cfg) {
   sc.seed = cfg.seed;
   sc.min_score = cfg.min_score;
   sc.block_samples = cfg.block_samples;
+  sc.sic = cfg.sic;
   stream::StreamingDemodulator demod(sc);
 
   std::size_t corrupt = 0;

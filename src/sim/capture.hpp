@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "sim/metrics.hpp"
 #include "stream/streaming_demod.hpp"
 #include "stream/trace.hpp"
 
@@ -35,19 +36,38 @@ struct CaptureConfig {
   double min_gap_symbols = 2.0;      ///< idle gap between packets
   double max_gap_symbols = 12.0;
   std::uint64_t seed = 1;
+  /// Explicit schedule: when non-empty, packet p starts at offsets[p]
+  /// (non-decreasing absolute sample offsets; tag p % n_tags) and the
+  /// random gap schedule — including packets_per_tag — is ignored.
+  /// This is how the SIC tests place overlapping frames at controlled
+  /// symbol offsets.
+  std::vector<std::uint64_t> offsets;
+  /// Optional per-tag carrier phase in radians (empty, or one entry
+  /// per tag): every packet of tag t is injected rotated by
+  /// exp(i·tag_phase_rad[t]), exercising the complex amplitude fit of
+  /// the SIC least-squares cancellation.
+  std::vector<double> tag_phase_rad;
 };
 
 struct Capture {
   dsp::Signal samples;
   std::vector<stream::TraceMarker> markers;  ///< in transmission order
+  /// Collision ground truth (parallel to markers): frame p overlaps at
+  /// least one other frame's [offset, offset + total_samples) span.
+  std::vector<std::uint8_t> collided;
+  /// Maximal chains of ≥2 mutually overlapping frames.
+  std::size_t collision_groups = 0;
 };
 
 /// Synthesize the capture waveform + ground truth.
 Capture generate_capture(const CaptureConfig& cfg);
 
 /// Serialize a capture into a trace file in `chunk_samples` chunks.
+/// `float32` selects the version-2 sample encoding (half the bytes;
+/// replay becomes tolerance-equivalent instead of bit-exact).
 void write_capture(const Capture& capture, const CaptureConfig& cfg,
-                   const std::string& path, std::size_t chunk_samples = 16384);
+                   const std::string& path, std::size_t chunk_samples = 16384,
+                   bool float32 = false);
 
 /// Replay statistics: ground truth vs what the streaming demodulator
 /// recovered.
@@ -61,6 +81,10 @@ struct ReplayStats {
   std::size_t symbol_errors = 0;     ///< mismatches among those
   std::size_t corrupt_chunks = 0;    ///< trace chunks rejected by CRC
   std::uint64_t samples = 0;         ///< capture samples consumed
+  /// Collision/capture outcome, scored against the overlap geometry of
+  /// the ground-truth markers (frame length from the demodulator) plus
+  /// the demodulator's own SIC counters.
+  CollisionCounter collisions;
 
   double detection_rate() const {
     return markers == 0 ? 0.0
@@ -86,6 +110,7 @@ struct ReplayConfig {
   std::uint64_t seed = 1;             ///< per-packet decode stream root
   double min_score = 0.6;
   std::size_t block_samples = 0;
+  sic::SicConfig sic;                 ///< collision resolution (depth 0 = off)
 };
 
 /// Read a trace file and replay it end to end. The receiver is

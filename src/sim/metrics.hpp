@@ -57,6 +57,62 @@ class PacketCounter {
   std::size_t total_ = 0;
 };
 
+/// Collision / capture accumulator — the SIC outcome bookkeeping.
+/// Counts groups of mutually overlapping frames, the frames in them,
+/// how many of those frames were captured (decoded to the transmitted
+/// payload), and how many captures needed a cancellation pass
+/// (stream::StreamingDemodulator::collisions_resolved). Report with
+/// fmt_pct(capture_rate()) (sim/report.hpp).
+class CollisionCounter {
+ public:
+  /// One collision group of `frames` (≥2) overlapping frames, of which
+  /// `captured` decoded successfully.
+  void add_group(std::size_t frames, std::size_t captured) {
+    ++groups_;
+    frames_ += frames;
+    captured_ += captured;
+  }
+
+  /// Frames decoded from a cancelled residual (the demodulator's
+  /// collisions_resolved counter).
+  void add_resolved(std::size_t n) { resolved_ += n; }
+
+  /// One colliding frame observed on its own — the analytic gateway
+  /// model (mac::GatewaySim) simulates each tag's packet
+  /// independently, so it counts frames without group bookkeeping.
+  void add_frame(bool captured) {
+    ++frames_;
+    captured_ += captured ? 1 : 0;
+  }
+
+  /// Fold another counter in (shard-aware merge: commutative and
+  /// associative, so SweepEngine shards combine in index order
+  /// regardless of which worker produced them).
+  void merge(const CollisionCounter& other) {
+    groups_ += other.groups_;
+    frames_ += other.frames_;
+    captured_ += other.captured_;
+    resolved_ += other.resolved_;
+  }
+
+  std::size_t groups() const { return groups_; }
+  std::size_t frames() const { return frames_; }
+  std::size_t captured() const { return captured_; }
+  std::size_t resolved() const { return resolved_; }
+  /// Fraction of colliding frames captured.
+  double capture_rate() const {
+    return frames_ ? static_cast<double>(captured_) /
+                         static_cast<double>(frames_)
+                   : 0.0;
+  }
+
+ private:
+  std::size_t groups_ = 0;
+  std::size_t frames_ = 0;
+  std::size_t captured_ = 0;
+  std::size_t resolved_ = 0;
+};
+
 /// Empirical CDF helper (paper Fig. 27).
 class Cdf {
  public:

@@ -43,6 +43,10 @@ struct PacketSpan {
   std::uint64_t packet_start = 0;   ///< first preamble sample
   std::uint64_t payload_start = 0;  ///< first payload sample
   double score = 0.0;               ///< normalized preamble match [0,1]
+  /// SIC cancellation depth this span was found at: 0 for scanner
+  /// detections in the mixed stream, d+1 for preambles re-detected on
+  /// a residual after cancelling a depth-d frame.
+  std::uint32_t sic_depth = 0;
 };
 
 class PacketScanner {

@@ -65,6 +65,24 @@ class SampleRing {
     end_ += chunk.size();
   }
 
+  /// Overwrite retained range [first, first + data.size()) in place —
+  /// the SIC cancellation write-back (subtract a reconstructed frame
+  /// from a copy of the span, then store the residual). Throws when
+  /// the range is not fully retained.
+  void overwrite(std::uint64_t first, std::span<const T> data) {
+    if (data.empty()) return;
+    if (first < begin() || first + data.size() > end_) {
+      throw std::out_of_range("SampleRing::overwrite: range not retained");
+    }
+    const std::size_t pos = static_cast<std::size_t>(first % buf_.size());
+    const std::size_t head = std::min(data.size(), buf_.size() - pos);
+    std::memcpy(buf_.data() + pos, data.data(), head * sizeof(T));
+    if (head < data.size()) {
+      std::memcpy(buf_.data(), data.data() + head,
+                  (data.size() - head) * sizeof(T));
+    }
+  }
+
   /// Contiguous view of absolute range [first, first + len). Throws
   /// when the range is not fully retained. The returned span is
   /// invalidated by the next append() or view() call.

@@ -1,6 +1,7 @@
 #include "stream/streaming_demod.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace saiyan::stream {
@@ -15,6 +16,10 @@ core::SaiyanConfig scan_config(const core::SaiyanConfig& cfg) {
   core::SaiyanConfig scan = cfg;
   scan.mode = core::Mode::kVanilla;
   return scan;
+}
+
+bool near(std::uint64_t a, std::uint64_t b, std::uint64_t tol) {
+  return a + tol >= b && b + tol >= a;
 }
 
 }  // namespace
@@ -35,8 +40,22 @@ StreamingDemodulator::StreamingDemodulator(const StreamConfig& cfg)
   // Retention bound: a frame decodes at the first block boundary after
   // its last sample, so the ring must reach back frame + one block
   // from the write head; the extra preamble length is slack for
-  // detection-confirmation latency.
-  rf_.reserve(frame_len_ + preamble_len_ + 2 * block_);
+  // detection-confirmation latency. A SIC cancellation chain extends
+  // the reach: a re-queued rescan of frame A's span only runs after
+  // the frame it revealed (up to one frame later) is cancelled in
+  // turn, so each depth level adds up to a frame of retention.
+  const std::size_t reach = frame_len_ + preamble_len_ + 2 * block_;
+  if (cfg_.sic.depth > 0) {
+    sic_.emplace(cfg_.saiyan, cfg_.sic, cfg_.payload_symbols);
+    // Only the residual ring needs the chain-extended reach: with SIC
+    // on, decodes and rescans read residual_, while rf_ serves the
+    // block-sized scan views at the write head.
+    residual_.reserve(reach +
+                      std::min<std::size_t>(cfg_.sic.depth, 6) * frame_len_ +
+                      2 * block_);
+    rescans_.reserve(32);
+  }
+  rf_.reserve(reach);
   pending_.reserve(64);
 }
 
@@ -48,6 +67,7 @@ std::size_t StreamingDemodulator::push(std::span<const dsp::Complex> chunk) {
         static_cast<std::size_t>(received_ - next_block_start_);
     const std::size_t take = std::min(chunk.size() - i, block_ - filled);
     rf_.append(chunk.subspan(i, take));
+    if (sic_) residual_.append(chunk.subspan(i, take));
     received_ += take;
     i += take;
     if (received_ - next_block_start_ == block_) {
@@ -69,67 +89,232 @@ std::size_t StreamingDemodulator::finish() {
     process_block(next_block_start_, tail);
     next_block_start_ += tail;
   }
+  const std::size_t appended_from = pending_.size();
   scanner_.finish(pending_);
+  if (sic_) restore_pending_order(appended_from);
   decode_ready(/*flush=*/true);
   return packets_.size() - before;
 }
 
 void StreamingDemodulator::reset() {
   rf_.clear();
+  residual_.clear();
   scanner_.reset();
   pending_.clear();
   pending_head_ = 0;
+  rescans_.clear();
+  rescan_head_ = 0;
+  recent_count_ = 0;
   received_ = 0;
   next_block_start_ = 0;
   packet_counter_ = 0;
   truncated_ = 0;
+  collision_groups_ = 0;
+  collisions_resolved_ = 0;
+  frames_cancelled_ = 0;
 }
 
 void StreamingDemodulator::process_block(std::uint64_t block_start,
                                          std::size_t len) {
   const std::span<const dsp::Complex> rf_block = rf_.view(block_start, len);
   scan_chain_.reference_envelope_into(rf_block, scan_ws_);
+  const std::size_t appended_from = pending_.size();
   scanner_.push_block(scan_ws_.env, pending_);
+  if (sic_) restore_pending_order(appended_from);
   decode_ready(/*flush=*/false);
 }
 
 void StreamingDemodulator::decode_ready(bool flush) {
-  while (pending_head_ < pending_.size()) {
-    const PacketSpan span = pending_[pending_head_];
-    const std::uint64_t frame_end = span.packet_start + frame_len_;
-    if (frame_end <= received_) {
-      decode_span(span);
-    } else if (flush) {
-      ++truncated_;  // capture ended mid-frame
-    } else {
-      break;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    while (pending_head_ < pending_.size()) {
+      const PacketSpan span = pending_[pending_head_];
+      const std::uint64_t frame_end = span.packet_start + frame_len_;
+      if (frame_end <= received_) {
+        decode_span(span);
+        progress = true;
+      } else if (flush) {
+        ++truncated_;  // capture ended mid-frame
+        if (sic_) {
+          // Still a known frame: a flushed rescan of the span that
+          // revealed it must not frame it a second time.
+          recent_starts_[recent_count_ % recent_starts_.size()] =
+              span.packet_start;
+          ++recent_count_;
+        }
+      } else {
+        break;
+      }
+      ++pending_head_;
     }
-    ++pending_head_;
-  }
-  if (pending_head_ == pending_.size()) {
-    pending_.clear();
-    pending_head_ = 0;
+    if (pending_head_ == pending_.size()) {
+      pending_.clear();
+      pending_head_ = 0;
+    }
+    if (!sic_) break;  // no rescan stage; a single decode pass suffices
+    while (rescan_head_ < rescans_.size()) {
+      const RescanRegion region = rescans_[rescan_head_];
+      if (region.ready_at > received_ && !flush) break;
+      ++rescan_head_;
+      if (process_rescan(region)) progress = true;
+    }
+    if (rescan_head_ == rescans_.size()) {
+      rescans_.clear();
+      rescan_head_ = 0;
+    }
   }
 }
 
 void StreamingDemodulator::decode_span(const PacketSpan& span) {
-  // The per-packet stream derives from (seed, emission index) exactly
+  // The per-packet stream derives from (seed, decode index) exactly
   // like a sweep batch, so decoding the same framed span through a
   // stand-alone BatchDemodulator reproduces this packet bit for bit.
-  dsp::Rng rng(dsp::derive_stream_seed(cfg_.seed, packet_counter_));
+  // SIC decodes read the residual ring, whose content equals the raw
+  // capture everywhere no cancelled frame overlapped.
   const std::span<const dsp::Complex> frame =
-      rf_.view(span.packet_start, frame_len_);
+      (sic_ ? residual_ : rf_).view(span.packet_start, frame_len_);
   const std::span<const std::uint32_t> syms = batch_.decode_aligned(
-      frame, preamble_len_, cfg_.payload_symbols, rng);
+      frame, preamble_len_, cfg_.payload_symbols,
+      dsp::derive_stream_seed(cfg_.seed, packet_counter_));
   DecodedPacket p;
   p.packet_start = span.packet_start;
   p.payload_start = span.payload_start;
   p.score = span.score;
   p.first_symbol = static_cast<std::uint32_t>(symbols_.size());
   p.n_symbols = static_cast<std::uint32_t>(syms.size());
+  p.collided = span.sic_depth > 0;
+  p.sic_assisted = span.sic_depth > 0;
   symbols_.insert(symbols_.end(), syms.begin(), syms.end());
   packets_.push_back(p);
   ++packet_counter_;
+  if (sic_) {
+    recent_starts_[recent_count_ % recent_starts_.size()] = span.packet_start;
+    ++recent_count_;
+    if (span.sic_depth > 0) ++collisions_resolved_;
+    if (span.sic_depth < cfg_.sic.depth) cancel_frame(span);
+  }
+}
+
+void StreamingDemodulator::cancel_frame(const PacketSpan& span) {
+  // Copy the frame span (with alignment padding where available) out
+  // of the residual ring, subtract the reconstructed waveform, write
+  // the residual back.
+  const std::uint64_t radius = sic_->config().align_radius;
+  const std::uint64_t lo =
+      std::max(span.packet_start >= radius ? span.packet_start - radius : 0,
+               residual_.begin());
+  const std::uint64_t hi =
+      std::min(span.packet_start + frame_len_ + radius, received_);
+  const std::size_t len = static_cast<std::size_t>(hi - lo);
+  const std::span<const dsp::Complex> view = residual_.view(lo, len);
+  cancel_scratch_.resize(len);
+  std::memcpy(cancel_scratch_.data(), view.data(),
+              len * sizeof(dsp::Complex));
+  const DecodedPacket& decoded = packets_.back();
+  sic_->cancel(cancel_scratch_,
+               static_cast<std::size_t>(span.packet_start - lo),
+               symbols(decoded));
+  residual_.overwrite(lo, cancel_scratch_);
+  ++frames_cancelled_;
+  RescanRegion region;
+  region.start = span.packet_start;
+  region.len = frame_len_ + preamble_len_;  // a preamble can start
+                                            // anywhere inside the frame
+  region.ready_at = span.packet_start + frame_len_ + preamble_len_;
+  region.depth = span.sic_depth + 1;
+  rescans_.push_back(region);
+}
+
+bool StreamingDemodulator::process_rescan(const RescanRegion& region) {
+  // A region flushed before its ready_at simply scans the clamped span.
+  const std::uint64_t start = std::max(region.start, residual_.begin());
+  const std::uint64_t end =
+      std::min<std::uint64_t>(region.start + region.len, received_);
+  if (end <= start) return false;
+  const std::size_t len = static_cast<std::size_t>(end - start);
+  if (len < preamble_len_) return false;
+  const std::span<const dsp::Complex> view = residual_.view(start, len);
+  const std::optional<sic::RescanHit> hit = sic_->rescan(view);
+  if (!hit.has_value()) return false;
+  const std::uint64_t abs = start + hit->offset;
+  if (near_known_span(abs)) return false;
+  ++collision_groups_;
+  PacketSpan s;
+  s.packet_start = abs;
+  s.payload_start = abs + preamble_len_;
+  s.score = hit->score;
+  s.sic_depth = region.depth;
+  insert_span(s);
+  // Flag the revealing frame, if the caller has not drained it yet.
+  for (auto it = packets_.rbegin(); it != packets_.rend(); ++it) {
+    if (it->packet_start == region.start) {
+      it->collided = true;
+      break;
+    }
+  }
+  // A pileup can bury several preambles under one frame; once the
+  // revealed frame is cancelled in turn, look at this span again.
+  if (region.depth < cfg_.sic.depth) {
+    RescanRegion again = region;
+    again.depth = region.depth + 1;
+    again.ready_at = abs + frame_len_ + preamble_len_;
+    rescans_.push_back(again);
+  }
+  return true;
+}
+
+void StreamingDemodulator::insert_span(const PacketSpan& span) {
+  const auto it = std::upper_bound(
+      pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_),
+      pending_.end(), span, [](const PacketSpan& a, const PacketSpan& b) {
+        return a.packet_start < b.packet_start;
+      });
+  pending_.insert(it, span);
+}
+
+bool StreamingDemodulator::near_known_span(std::uint64_t packet_start) const {
+  const std::uint64_t tol = cfg_.saiyan.phy.samples_per_symbol() / 2;
+  for (std::size_t i = pending_head_; i < pending_.size(); ++i) {
+    if (near(pending_[i].packet_start, packet_start, tol)) return true;
+  }
+  const std::size_t known = std::min(recent_count_, recent_starts_.size());
+  for (std::size_t i = 0; i < known; ++i) {
+    if (near(recent_starts_[i], packet_start, tol)) return true;
+  }
+  return false;
+}
+
+void StreamingDemodulator::restore_pending_order(std::size_t appended_from) {
+  // Scanner confirmations append in packet_start order, but a span a
+  // rescan inserted earlier can sit past them — and a partially
+  // overlapped preamble can clear the scanner threshold in the mix
+  // *after* a rescan already framed it, so new scanner spans that
+  // duplicate a known frame are dropped. Then bubble each survivor
+  // back to its place (almost always a no-op).
+  const std::uint64_t tol = cfg_.saiyan.phy.samples_per_symbol() / 2;
+  std::size_t i = std::max(appended_from, pending_head_);
+  while (i < pending_.size()) {
+    bool dup = false;
+    for (std::size_t k = pending_head_; k < i && !dup; ++k) {
+      dup = near(pending_[k].packet_start, pending_[i].packet_start, tol);
+    }
+    const std::size_t known = std::min(recent_count_, recent_starts_.size());
+    for (std::size_t k = 0; k < known && !dup; ++k) {
+      dup = near(recent_starts_[k], pending_[i].packet_start, tol);
+    }
+    if (dup) {
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    std::size_t j = i;
+    while (j > pending_head_ &&
+           pending_[j].packet_start < pending_[j - 1].packet_start) {
+      std::swap(pending_[j], pending_[j - 1]);
+      --j;
+    }
+    ++i;
+  }
 }
 
 }  // namespace saiyan::stream

@@ -33,6 +33,22 @@
 //     steady-state size; callers that drain packets between pushes
 //     keep the result buffers from growing.
 //
+// Collision resolution (cfg.sic.depth > 0): decodes read from a
+// second, *residual* ring that starts as a copy of the capture. After
+// a frame at cancellation depth d < depth decodes, its reconstructed
+// waveform is least-squares-subtracted from the residual ring
+// (sic::CollisionResolver::cancel) and its span re-scanned
+// (CollisionResolver::rescan): a weaker preamble that was buried under
+// the frame — invisible to the mixed-stream scanner, whose Pearson
+// score it cannot clear there — now stands clear on the residual, gets
+// framed at depth d+1 and decodes like any other packet, from a span
+// the stronger frame has already been removed from. Chains iterate up
+// to cfg.sic.depth. Subtraction only ever touches a decoded frame's
+// own span, and per-packet stream seeds are consumed in decode order,
+// so a capture without overlaps decodes bit-identically with SIC on or
+// off; with depth == 0 the machinery is bypassed entirely (the pre-SIC
+// decode path, bit for bit).
+//
 // The scan front end always runs the *vanilla* reference chain
 // (SAW -> LNA gain -> envelope detector, no CFS, no receiver noise):
 // detection needs only timing, the vanilla envelope is cheaper and —
@@ -44,12 +60,14 @@
 // giving each its own StreamingDemodulator.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "core/batch_demod.hpp"
+#include "sic/collision_resolver.hpp"
 #include "stream/packet_scanner.hpp"
 #include "stream/sample_ring.hpp"
 
@@ -63,6 +81,9 @@ struct StreamConfig {
   /// Scan block size in samples (0 = eight symbols). Blocks tile the
   /// absolute stream, so this also bounds detection latency.
   std::size_t block_samples = 0;
+  /// Successive-interference-cancellation policy for overlapping
+  /// frames (depth 0 = off; see sic/collision_resolver.hpp).
+  sic::SicConfig sic;
 };
 
 /// One decoded packet. Symbols live in the demodulator's flat store —
@@ -73,6 +94,12 @@ struct DecodedPacket {
   double score = 0.0;               ///< preamble match quality
   std::uint32_t first_symbol = 0;   ///< index into the symbol store
   std::uint32_t n_symbols = 0;
+  /// This frame overlapped another decoded frame (set on the weaker
+  /// frame always; on the stronger one only while it is still
+  /// undrained when the overlap is discovered).
+  bool collided = false;
+  /// Decoded from a residual a stronger frame was cancelled out of.
+  bool sic_assisted = false;
 };
 
 class StreamingDemodulator {
@@ -97,11 +124,13 @@ class StreamingDemodulator {
   std::size_t finish();
 
   /// Restart on a fresh capture, keeping warm buffers (packet counter,
-  /// rings and scanner state are cleared; decoded packets are kept
-  /// until clear_packets()).
+  /// rings, scanner state and collision counters are cleared; decoded
+  /// packets are kept until clear_packets()).
   void reset();
 
   /// Packets decoded since construction / the last clear_packets().
+  /// Ordered by decode completion, which is packet_start order except
+  /// that a SIC-revealed frame can trail a later non-overlapping one.
   std::span<const DecodedPacket> packets() const { return packets_; }
 
   /// Decoded symbols of one packet.
@@ -122,13 +151,35 @@ class StreamingDemodulator {
   std::size_t frame_samples() const { return frame_len_; }
   std::size_t preamble_samples() const { return preamble_len_; }
   std::size_t block_samples() const { return block_; }
+  /// Collisions discovered: rescans of a cancelled span that revealed
+  /// a buried preamble.
+  std::size_t collision_groups() const { return collision_groups_; }
+  /// Frames decoded from a residual after ≥1 cancellation pass.
+  std::size_t collisions_resolved() const { return collisions_resolved_; }
+  /// Frames whose waveform was reconstructed and subtracted.
+  std::size_t frames_cancelled() const { return frames_cancelled_; }
   const StreamConfig& config() const { return cfg_; }
   const core::BatchDemodulator& batch() const { return batch_; }
 
  private:
+  /// A cancelled span queued for re-detection once the residual ring
+  /// holds [start, start + len) and the revealing frame's cancellation
+  /// is in (ready_at ≤ received_).
+  struct RescanRegion {
+    std::uint64_t start = 0;
+    std::uint64_t ready_at = 0;
+    std::size_t len = 0;
+    std::uint32_t depth = 0;  ///< depth of spans it may reveal
+  };
+
   void process_block(std::uint64_t block_start, std::size_t len);
   void decode_ready(bool flush);
   void decode_span(const PacketSpan& span);
+  void cancel_frame(const PacketSpan& span);
+  bool process_rescan(const RescanRegion& region);
+  void insert_span(const PacketSpan& span);
+  bool near_known_span(std::uint64_t packet_start) const;
+  void restore_pending_order(std::size_t appended_from);
 
   StreamConfig cfg_;
   core::BatchDemodulator batch_;      // decode engine + warm workspace
@@ -136,12 +187,19 @@ class StreamingDemodulator {
   core::PreambleDetector scan_detector_;
   core::DemodWorkspace scan_ws_;      // per-block envelope workspace
   PacketScanner scanner_;
+  std::optional<sic::CollisionResolver> sic_;  // set when cfg.sic.depth > 0
 
-  RfRing rf_;
+  RfRing rf_;                         // raw capture (scan + plain decode)
+  RfRing residual_;                   // SIC: capture minus cancelled frames
   std::vector<PacketSpan> pending_;   // confirmed, waiting for frame end
   std::size_t pending_head_ = 0;
+  std::vector<RescanRegion> rescans_;
+  std::size_t rescan_head_ = 0;
   std::vector<DecodedPacket> packets_;
   std::vector<std::uint32_t> symbols_;
+  dsp::Signal cancel_scratch_;        // residual span copy for cancel()
+  std::array<std::uint64_t, 8> recent_starts_{};  // decoded-frame dedupe
+  std::size_t recent_count_ = 0;
 
   std::uint64_t received_ = 0;
   std::uint64_t next_block_start_ = 0;
@@ -150,6 +208,9 @@ class StreamingDemodulator {
   std::size_t block_ = 0;
   std::size_t frame_len_ = 0;
   std::size_t preamble_len_ = 0;
+  std::size_t collision_groups_ = 0;
+  std::size_t collisions_resolved_ = 0;
+  std::size_t frames_cancelled_ = 0;
 };
 
 }  // namespace saiyan::stream

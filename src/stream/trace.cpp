@@ -12,7 +12,8 @@ namespace saiyan::stream {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'A', 'I', 'Y', 'T', 'R', 'C', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionF64 = 1;  // float64 IQ pairs (bit-exact)
+constexpr std::uint32_t kVersionF32 = 2;  // float32 IQ pairs (half size)
 // Sanity bound on a single chunk (4M complex samples = 64 MiB): a
 // corrupted length field must not translate into an absurd allocation.
 constexpr std::uint32_t kMaxChunkSamples = 1u << 22;
@@ -43,8 +44,9 @@ TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta,
     // Mirror the reader's header bounds: never write an unreadable trace.
     throw std::invalid_argument("TraceWriter: bad payload_symbols");
   }
+  float32_ = meta.float32_samples;
   out_.write(kMagic, sizeof(kMagic));
-  put(out_, kVersion);
+  put(out_, float32_ ? kVersionF32 : kVersionF64);
   put(out_, static_cast<std::uint32_t>(meta.mode));
   put(out_, meta.phy.sample_rate_hz);
   put(out_, static_cast<std::uint32_t>(meta.phy.spreading_factor));
@@ -93,8 +95,20 @@ void TraceWriter::write_chunk(std::span<const dsp::Complex> samples) {
   if (samples.size() > kMaxChunkSamples) {
     throw std::invalid_argument("TraceWriter: chunk too large");
   }
-  const auto* bytes = reinterpret_cast<const std::uint8_t*>(samples.data());
-  const std::size_t n_bytes = samples.size() * sizeof(dsp::Complex);
+  const std::uint8_t* bytes;
+  std::size_t n_bytes;
+  if (float32_) {
+    f32_scratch_.resize(2 * samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      f32_scratch_[2 * i] = static_cast<float>(samples[i].real());
+      f32_scratch_[2 * i + 1] = static_cast<float>(samples[i].imag());
+    }
+    bytes = reinterpret_cast<const std::uint8_t*>(f32_scratch_.data());
+    n_bytes = f32_scratch_.size() * sizeof(float);
+  } else {
+    bytes = reinterpret_cast<const std::uint8_t*>(samples.data());
+    n_bytes = samples.size() * sizeof(dsp::Complex);
+  }
   const std::uint16_t crc = lora::crc16({bytes, n_bytes});
   put(out_, static_cast<std::uint32_t>(samples.size()));
   put(out_, crc);
@@ -128,9 +142,11 @@ TraceReader::TraceReader(const std::string& path) {
   std::uint32_t mode = 0;
   std::uint32_t sf = 0, k = 0, preamble = 0, fec = 0, payload = 0;
   std::uint64_t n_markers = 0;
-  if (!get(in_, version) || version != kVersion) {
+  if (!get(in_, version) ||
+      (version != kVersionF64 && version != kVersionF32)) {
     throw std::runtime_error("TraceReader: unsupported trace version");
   }
+  meta_.float32_samples = version == kVersionF32;
   bool ok = get(in_, mode) && get(in_, meta_.phy.sample_rate_hz) &&
             get(in_, sf) && get(in_, meta_.phy.bandwidth_hz) && get(in_, k) &&
             get(in_, preamble) && get(in_, meta_.phy.sync_symbols) &&
@@ -197,7 +213,9 @@ ChunkStatus TraceReader::next_chunk(dsp::Signal& out) {
     failed_ = true;
     return ChunkStatus::kCorrupt;
   }
-  const std::size_t n_bytes = n_samples * sizeof(dsp::Complex);
+  const std::size_t n_bytes =
+      n_samples * (meta_.float32_samples ? 2 * sizeof(float)
+                                         : sizeof(dsp::Complex));
   chunk_bytes_.resize(n_bytes);
   in_.read(reinterpret_cast<char*>(chunk_bytes_.data()),
            static_cast<std::streamsize>(n_bytes));
@@ -207,7 +225,15 @@ ChunkStatus TraceReader::next_chunk(dsp::Signal& out) {
     return ChunkStatus::kCorrupt;
   }
   out.resize(n_samples);
-  std::memcpy(out.data(), chunk_bytes_.data(), n_bytes);
+  if (meta_.float32_samples) {
+    const float* f = reinterpret_cast<const float*>(chunk_bytes_.data());
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      out[i] = dsp::Complex(static_cast<double>(f[2 * i]),
+                            static_cast<double>(f[2 * i + 1]));
+    }
+  } else {
+    std::memcpy(out.data(), chunk_bytes_.data(), n_bytes);
+  }
   samples_read_ += n_samples;
   return ChunkStatus::kOk;
 }

@@ -9,7 +9,7 @@
 // corrupted capture file is rejected cleanly instead of being decoded
 // into garbage.
 //
-// Layout (little-endian, version 1):
+// Layout (little-endian, versions 1 and 2):
 //
 //   magic "SAIYTRC1" | u32 version | u32 mode
 //   double sample_rate_hz | u32 sf | double bandwidth_hz | u32 K
@@ -17,13 +17,19 @@
 //   u32 payload_symbols | u64 total_samples | u64 n_markers
 //   markers: { u64 sample_offset, u32 tag_id, u32 n, u32 symbols[n] }
 //   chunks:  { u32 n_samples, u16 crc16, u16 reserved,
-//              double iq[2*n_samples] } ... until EOF
+//              iq[2*n_samples] } ... until EOF
+//
+// Version 1 stores iq as float64 pairs and round-trips bit-exactly.
+// Version 2 (TraceMeta::float32_samples) stores float32 pairs — half
+// the bytes, which is what a multi-gateway recorder actually ships —
+// so a replay reproduces the capture only to float precision and
+// decode equivalence becomes tolerance-based rather than bit-exact.
 //
 // `total_samples` is patched by TraceWriter::close(); the chunk CRC is
-// lora::crc16 over the raw sample bytes. Chunk boundaries carry no
-// semantic meaning — they are whatever the recorder pushed — and the
-// streaming demodulator's chunk-size invariance makes replay results
-// independent of them.
+// lora::crc16 over the raw (encoded) sample bytes. Chunk boundaries
+// carry no semantic meaning — they are whatever the recorder pushed —
+// and the streaming demodulator's chunk-size invariance makes replay
+// results independent of them.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +55,10 @@ struct TraceMeta {
   core::Mode mode = core::Mode::kSuper;
   std::size_t payload_symbols = 32;
   std::uint64_t total_samples = 0;  ///< filled on close / read
+  /// Version 2 sample encoding: float32 IQ pairs (half the bytes;
+  /// replay is tolerance-equivalent instead of bit-exact). Set before
+  /// writing; filled from the header version when reading.
+  bool float32_samples = false;
 };
 
 class TraceWriter {
@@ -76,6 +86,8 @@ class TraceWriter {
   std::streampos total_samples_pos_;
   std::uint64_t total_ = 0;
   bool closed_ = false;
+  bool float32_ = false;           // version 2 sample encoding
+  std::vector<float> f32_scratch_;  // reusable chunk conversion buffer
 };
 
 enum class ChunkStatus {

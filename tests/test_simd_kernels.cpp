@@ -251,6 +251,69 @@ TEST(SimdKernels, DotBitIdentical) {
   }
 }
 
+TEST(SimdKernels, CdotBitIdentical) {
+  IsaGuard guard;
+  for (std::size_t n : test_lengths()) {
+    for (std::size_t off : kOffsets) {
+      if (!have_avx2()) GTEST_SKIP() << "no AVX2+FMA on this host";
+      const Signal x = random_complex(n + off, 53 * n + off + 1);
+      const Signal y = random_complex(n + off, 59 * n + off + 2);
+      simd::set_isa(simd::Isa::kScalar);
+      const Complex a = simd::cdot(x.data() + off, y.data() + off, n);
+      simd::set_isa(simd::Isa::kAvx2);
+      const Complex b = simd::cdot(x.data() + off, y.data() + off, n);
+      ASSERT_EQ(0, std::memcmp(&a, &b, sizeof(Complex))) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, CdotMatchesNaiveSum) {
+  // Value sanity (up to reassociation rounding): Σ x·conj(y).
+  const std::size_t n = 513;
+  const Signal x = random_complex(n, 3);
+  const Signal y = random_complex(n, 4);
+  Complex want{};
+  for (std::size_t i = 0; i < n; ++i) want += x[i] * std::conj(y[i]);
+  const Complex got = simd::cdot(x.data(), y.data(), n);
+  EXPECT_NEAR(got.real(), want.real(), 1e-9 * n);
+  EXPECT_NEAR(got.imag(), want.imag(), 1e-9 * n);
+}
+
+TEST(SimdKernels, ComplexScaledSubtractBitIdentical) {
+  IsaGuard guard;
+  const Complex a(0.8, -0.31);
+  const Complex b(1e-4, -2e-5);
+  for (std::size_t n : test_lengths()) {
+    for (std::size_t off : kOffsets) {
+      if (!have_avx2()) GTEST_SKIP() << "no AVX2+FMA on this host";
+      const Signal x = random_complex(n + off, 61 * n + off + 1);
+      Signal y0 = random_complex(n + off, 67 * n + off + 2);
+      Signal y1 = y0;
+      simd::set_isa(simd::Isa::kScalar);
+      simd::complex_scaled_subtract(x.data() + off, n, a, b, y0.data() + off);
+      simd::set_isa(simd::Isa::kAvx2);
+      simd::complex_scaled_subtract(x.data() + off, n, a, b, y1.data() + off);
+      ASSERT_EQ(0, std::memcmp(y0.data(), y1.data(),
+                               y0.size() * sizeof(Complex)))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, ComplexScaledSubtractRemovesScaledCopy) {
+  // y = a·x + b exactly cancels: the SIC identity case.
+  const std::size_t n = 257;
+  const Complex a(0.5, 0.25);
+  const Complex b(0.01, -0.02);
+  const Signal x = random_complex(n, 7);
+  Signal y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = a * x[i] + b;
+  simd::complex_scaled_subtract(x.data(), n, a, b, y.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(y[i]), 1e-12) << "i=" << i;
+  }
+}
+
 TEST(SimdKernels, FusedKernelsMatchPerSampleDraws) {
   // The fused kernels must reproduce the historical per-sample loops
   // exactly (values and stream) — they replaced them in the channel,

@@ -143,12 +143,17 @@ TEST(SampleRing, AppendLargerThanCapacityThrows) {
 class TraceFile : public ::testing::Test {
  protected:
   void SetUp() override {
-    std::snprintf(path_, sizeof(path_), "saiyan_trace_test_%d.sytrc",
-                  static_cast<int>(::testing::UnitTest::GetInstance()
-                                       ->random_seed()));
+    // Unique per test *and* per process: gtest_discover_tests runs
+    // each TEST_F as its own ctest entry, and parallel ctest puts them
+    // all in the same working directory.
+    std::snprintf(path_, sizeof(path_), "saiyan_trace_%s_%d.sytrc",
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name(),
+                  static_cast<int>(::getpid()));
   }
   void TearDown() override { std::remove(path_); }
-  char path_[64];
+  char path_[128];
 };
 
 TEST_F(TraceFile, RoundTripIsBitExact) {
@@ -255,6 +260,100 @@ TEST_F(TraceFile, TruncationAtExactChunkBoundaryIsDetected) {
   }
   EXPECT_EQ(st, stream::ChunkStatus::kCorrupt);
   EXPECT_EQ(got, cap.samples.size() - last_len);
+}
+
+TEST_F(TraceFile, FloatV2HalvesTheBytesAndRoundTripsToFloatPrecision) {
+  const sim::CaptureConfig cfg = capture_cfg(2, 2, 8);
+  const sim::Capture cap = sim::generate_capture(cfg);
+  char path_v1[140];
+  std::snprintf(path_v1, sizeof(path_v1), "%s.v1", path_);
+  sim::write_capture(cap, cfg, path_v1, 10000, /*float32=*/false);
+  sim::write_capture(cap, cfg, path_, 10000, /*float32=*/true);
+
+  // Half the chunk payload bytes (headers/markers are shared).
+  const auto file_size = [](const char* p) {
+    std::FILE* f = std::fopen(p, "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long s = std::ftell(f);
+    std::fclose(f);
+    return s;
+  };
+  const long v1 = file_size(path_v1);
+  const long v2 = file_size(path_);
+  std::remove(path_v1);
+  const long payload_v1 =
+      static_cast<long>(cap.samples.size() * sizeof(dsp::Complex));
+  EXPECT_EQ(v1 - payload_v1, v2 - payload_v1 / 2);
+
+  stream::TraceReader reader(path_);
+  EXPECT_TRUE(reader.meta().float32_samples);
+  EXPECT_EQ(reader.meta().total_samples, cap.samples.size());
+  dsp::Signal chunk;
+  dsp::Signal all;
+  stream::ChunkStatus st;
+  while ((st = reader.next_chunk(chunk)) == stream::ChunkStatus::kOk) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(st, stream::ChunkStatus::kEof);
+  ASSERT_EQ(all.size(), cap.samples.size());
+  // Tolerance-equivalent, not bit-exact: float32 keeps ~7 significant
+  // digits of the nanowatt-scale samples.
+  double max_rel = 0.0;
+  double scale = 0.0;
+  for (const dsp::Complex& v : cap.samples) {
+    scale = std::max(scale, std::abs(v));
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    max_rel = std::max(max_rel, std::abs(all[i] - cap.samples[i]) / scale);
+  }
+  EXPECT_GT(max_rel, 0.0) << "float32 must actually quantize";
+  EXPECT_LT(max_rel, 1e-6);
+}
+
+TEST_F(TraceFile, FloatV2ReplayMatchesMemoryDecodeWithinTolerance) {
+  // The v2 replay-equivalence property: same packets at the same
+  // offsets, and a symbol stream whose disagreement with the float64
+  // decode is bounded — quantization may flip a borderline symbol, so
+  // the test is tolerance-based where the v1 test is bit-exact.
+  const sim::CaptureConfig cfg = capture_cfg(3, 4, 8);
+  const sim::Capture cap = sim::generate_capture(cfg);
+  sim::write_capture(cap, cfg, path_, 20000, /*float32=*/true);
+  const sim::ReplayStats v2 = sim::replay_trace(path_);
+
+  stream::StreamingDemodulator demod(stream_cfg(cfg));
+  run_stream(demod, cap.samples, 16384);
+  const sim::ReplayStats mem = sim::score_replay(
+      demod, cap.markers, cfg.saiyan.phy.samples_per_symbol() / 2);
+
+  EXPECT_EQ(v2.markers, mem.markers);
+  EXPECT_EQ(v2.matched, mem.matched);
+  EXPECT_EQ(v2.false_detections, 0u);
+  EXPECT_EQ(v2.corrupt_chunks, 0u);
+  EXPECT_EQ(v2.samples, cap.samples.size());
+  const std::size_t diff = v2.symbol_errors > mem.symbol_errors
+                               ? v2.symbol_errors - mem.symbol_errors
+                               : mem.symbol_errors - v2.symbol_errors;
+  EXPECT_LE(diff, v2.symbols / 100) << "v2 decode drifted beyond tolerance";
+}
+
+TEST_F(TraceFile, FloatV2CorruptChunkIsStillRejected) {
+  const sim::CaptureConfig cfg = capture_cfg(1, 1, 4);
+  const sim::Capture cap = sim::generate_capture(cfg);
+  sim::write_capture(cap, cfg, path_, 4096, /*float32=*/true);
+  std::FILE* f = std::fopen(path_, "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -64, SEEK_END);
+  int byte = std::fgetc(f);
+  std::fseek(f, -64, SEEK_END);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+
+  stream::TraceReader reader(path_);
+  dsp::Signal chunk;
+  stream::ChunkStatus st;
+  while ((st = reader.next_chunk(chunk)) == stream::ChunkStatus::kOk) {
+  }
+  EXPECT_EQ(st, stream::ChunkStatus::kCorrupt);
 }
 
 TEST(Trace, BadMagicThrows) {
