@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Short libFuzzer smoke run over the ingest surface — the CI gate, not
+# a campaign. Builds must have been configured with
+# -DSAIYAN_BUILD_FUZZERS=ON (clang only); see docs/ROBUSTNESS.md.
+#
+# Usage: fuzz_smoke.sh <build-dir> [seconds]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: fuzz_smoke.sh <build-dir> [seconds]}
+SECONDS_BUDGET=${2:-60}
+
+FUZZER="$BUILD_DIR/fuzz_ingest"
+CORPUS_GEN="$BUILD_DIR/corpus_gen"
+CORPUS_DIR="$BUILD_DIR/fuzz_corpus"
+
+[[ -x $FUZZER ]] || { echo "missing $FUZZER (configure with -DSAIYAN_BUILD_FUZZERS=ON)"; exit 2; }
+[[ -x $CORPUS_GEN ]] || { echo "missing $CORPUS_GEN"; exit 2; }
+
+mkdir -p "$CORPUS_DIR"
+"$CORPUS_GEN" "$CORPUS_DIR"
+
+# -max_total_time bounds the run; any crash/OOM/leak fails the script
+# via libFuzzer's nonzero exit. rss_limit guards runaway allocations
+# (a bounded parser should never get near it).
+"$FUZZER" -max_total_time="$SECONDS_BUDGET" -timeout=10 -rss_limit_mb=2048 \
+  -print_final_stats=1 "$CORPUS_DIR"
+
+echo "fuzz_smoke: clean after ${SECONDS_BUDGET}s"

@@ -1,0 +1,362 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace saiyan::fault {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'A', 'I', 'Y', 'T', 'R', 'C', '1'};
+constexpr std::size_t kHeaderBytes = 76;      // fixed header incl. n_markers
+constexpr std::size_t kVersionOffset = 8;
+constexpr std::size_t kMarkerCountOffset = 68;
+constexpr std::size_t kChunkHeaderBytes = 8;  // u32 len, u16 crc, u16 reserved
+constexpr std::size_t kMarkerFixedBytes = 16;
+
+template <typename T>
+T peek(std::string_view bytes, std::size_t offset) {
+  T v{};
+  std::memcpy(&v, bytes.data() + offset, sizeof(T));
+  return v;
+}
+
+void need(std::string_view bytes, std::size_t offset, std::size_t n,
+          const char* what) {
+  if (offset + n > bytes.size()) {
+    throw std::invalid_argument(std::string("parse_trace_layout: truncated ") +
+                                what);
+  }
+}
+
+std::size_t clamp_span(std::size_t lo, std::size_t hi, std::size_t limit,
+                       dsp::Rng& rng) {
+  const std::size_t a = std::min(lo, limit);
+  const std::size_t b = std::min(std::max(lo, hi), limit);
+  return static_cast<std::size_t>(rng.uniform_int(a, b));
+}
+
+}  // namespace
+
+TraceLayout parse_trace_layout(std::string_view bytes) {
+  need(bytes, 0, kHeaderBytes, "header");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::invalid_argument("parse_trace_layout: bad magic");
+  }
+  TraceLayout layout;
+  const std::uint32_t version = peek<std::uint32_t>(bytes, kVersionOffset);
+  if (version == 1) {
+    layout.sample_bytes = 2 * sizeof(double);
+  } else if (version == 2) {
+    layout.sample_bytes = 2 * sizeof(float);
+  } else {
+    throw std::invalid_argument("parse_trace_layout: unknown version");
+  }
+  const std::uint64_t n_markers =
+      peek<std::uint64_t>(bytes, kMarkerCountOffset);
+  std::size_t pos = kHeaderBytes;
+  for (std::uint64_t m = 0; m < n_markers; ++m) {
+    need(bytes, pos, kMarkerFixedBytes, "marker");
+    const std::uint32_t n_syms = peek<std::uint32_t>(bytes, pos + 12);
+    pos += kMarkerFixedBytes;
+    need(bytes, pos, std::size_t{n_syms} * sizeof(std::uint32_t), "marker");
+    pos += std::size_t{n_syms} * sizeof(std::uint32_t);
+  }
+  layout.header_bytes = pos;
+  while (pos < bytes.size()) {
+    need(bytes, pos, kChunkHeaderBytes, "chunk header");
+    const std::uint32_t n = peek<std::uint32_t>(bytes, pos);
+    const std::size_t record =
+        kChunkHeaderBytes + std::size_t{n} * layout.sample_bytes;
+    need(bytes, pos, record, "chunk payload");
+    layout.chunks.push_back({pos, record, n});
+    pos += record;
+  }
+  return layout;
+}
+
+std::string flip_chunk_bit(std::string_view trace, std::size_t index,
+                           std::size_t bit) {
+  const TraceLayout layout = parse_trace_layout(trace);
+  const ChunkRecordInfo& c = layout.chunks.at(index);
+  const std::size_t payload_bytes = c.record_bytes - kChunkHeaderBytes;
+  if (bit >= payload_bytes * 8) {
+    throw std::invalid_argument("flip_chunk_bit: bit beyond payload");
+  }
+  std::string out(trace);
+  out[c.offset + kChunkHeaderBytes + bit / 8] ^=
+      static_cast<char>(1u << (bit % 8));
+  return out;
+}
+
+std::string corrupt_chunk_length(std::string_view trace, std::size_t index,
+                                 std::uint32_t xor_mask) {
+  const TraceLayout layout = parse_trace_layout(trace);
+  const ChunkRecordInfo& c = layout.chunks.at(index);
+  std::string out(trace);
+  std::uint32_t n = peek<std::uint32_t>(trace, c.offset);
+  n ^= xor_mask;
+  std::memcpy(out.data() + c.offset, &n, sizeof(n));
+  return out;
+}
+
+std::string drop_chunk(std::string_view trace, std::size_t index) {
+  const TraceLayout layout = parse_trace_layout(trace);
+  const ChunkRecordInfo& c = layout.chunks.at(index);
+  std::string out;
+  out.reserve(trace.size() - c.record_bytes);
+  out.append(trace.substr(0, c.offset));
+  out.append(trace.substr(c.offset + c.record_bytes));
+  return out;
+}
+
+std::string duplicate_chunk(std::string_view trace, std::size_t index) {
+  const TraceLayout layout = parse_trace_layout(trace);
+  const ChunkRecordInfo& c = layout.chunks.at(index);
+  std::string out;
+  out.reserve(trace.size() + c.record_bytes);
+  out.append(trace.substr(0, c.offset + c.record_bytes));
+  out.append(trace.substr(c.offset, c.record_bytes));
+  out.append(trace.substr(c.offset + c.record_bytes));
+  return out;
+}
+
+std::string swap_chunks(std::string_view trace, std::size_t a, std::size_t b) {
+  if (a == b) return std::string(trace);
+  if (a > b) std::swap(a, b);
+  const TraceLayout layout = parse_trace_layout(trace);
+  const ChunkRecordInfo& ca = layout.chunks.at(a);
+  const ChunkRecordInfo& cb = layout.chunks.at(b);
+  std::string out;
+  out.reserve(trace.size());
+  out.append(trace.substr(0, ca.offset));
+  out.append(trace.substr(cb.offset, cb.record_bytes));
+  out.append(trace.substr(ca.offset + ca.record_bytes,
+                          cb.offset - (ca.offset + ca.record_bytes)));
+  out.append(trace.substr(ca.offset, ca.record_bytes));
+  out.append(trace.substr(cb.offset + cb.record_bytes));
+  return out;
+}
+
+std::string truncate_trace(std::string_view trace, std::size_t keep_bytes) {
+  return std::string(trace.substr(0, std::min(keep_bytes, trace.size())));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fault::read_file: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!in && !in.eof()) {
+    throw std::runtime_error("fault::read_file: read failed on " + path);
+  }
+  return std::move(ss).str();
+}
+
+void write_file(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("fault::write_file: cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("fault::write_file: write failed " + path);
+}
+
+FaultInjector::FaultInjector(const FaultConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {}
+
+void FaultInjector::reset() {
+  rng_ = dsp::Rng(cfg_.seed);
+  drift_acc_ = 0.0;
+}
+
+ChunkFaultReport FaultInjector::apply(std::span<const dsp::Complex> chunk,
+                                      dsp::Signal& out,
+                                      std::vector<FaultedSegment>& segments) {
+  ChunkFaultReport rep;
+  out.assign(chunk.begin(), chunk.end());
+  segments.clear();
+  if (out.empty()) return rep;
+
+  // Decisions draw from the seeded stream in a fixed order per chunk
+  // (gain, DC, drift, dropout), so a (config, seed, chunk sequence)
+  // triple always reproduces the same impairments.
+  if (cfg_.gain_glitch_rate > 0.0 && rng_.chance(cfg_.gain_glitch_rate)) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng_.uniform_int(0, out.size() - 1));
+    const std::size_t len = clamp_span(cfg_.glitch_min_samples,
+                                       cfg_.glitch_max_samples,
+                                       out.size() - pos, rng_);
+    const double gain = std::pow(10.0, cfg_.gain_glitch_db / 20.0);
+    for (std::size_t i = pos; i < pos + len; ++i) out[i] *= gain;
+    ++rep.gain_glitches;
+  }
+  if (cfg_.dc_step_rate > 0.0 && rng_.chance(cfg_.dc_step_rate)) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng_.uniform_int(0, out.size() - 1));
+    double p = 0.0;
+    for (const dsp::Complex& v : out) p += std::norm(v);
+    const double rms = std::sqrt(p / static_cast<double>(out.size()));
+    const double phase = rng_.uniform() * 6.283185307179586;
+    const dsp::Complex step = cfg_.dc_step_rms_ratio * rms *
+                              dsp::Complex(std::cos(phase), std::sin(phase));
+    for (std::size_t i = pos; i < out.size(); ++i) out[i] += step;
+    ++rep.dc_steps;
+  }
+
+  // Clock drift: one sample slips in (duplicate) or out (drop) every
+  // 1e6/|ppm| samples; the fractional accumulator carries the cadence
+  // across chunks.
+  std::vector<std::size_t> dup_positions;
+  std::vector<std::pair<std::size_t, std::size_t>> cuts;  // [start, end)
+  if (cfg_.clock_drift_ppm != 0.0) {
+    drift_acc_ +=
+        static_cast<double>(out.size()) * std::abs(cfg_.clock_drift_ppm) * 1e-6;
+    while (drift_acc_ >= 1.0) {
+      drift_acc_ -= 1.0;
+      if (cuts.size() >= out.size()) break;  // absurd ppm: chunk exhausted
+      std::size_t pos =
+          static_cast<std::size_t>(rng_.uniform_int(0, out.size() - 1));
+      if (cfg_.clock_drift_ppm > 0.0) {
+        // Distinct positions keep the removal count equal to the slip
+        // count (colliding cuts would merge into one removed sample).
+        const auto hit = [&](const std::pair<std::size_t, std::size_t>& c) {
+          return c.first == pos;
+        };
+        while (std::any_of(cuts.begin(), cuts.end(), hit)) {
+          pos = (pos + 1) % out.size();
+        }
+        cuts.emplace_back(pos, pos + 1);
+      } else {
+        dup_positions.push_back(pos);
+      }
+    }
+  }
+  if (cfg_.dropout_rate > 0.0 && rng_.chance(cfg_.dropout_rate)) {
+    const std::size_t pos =
+        static_cast<std::size_t>(rng_.uniform_int(0, out.size() - 1));
+    const std::size_t len = clamp_span(cfg_.dropout_min_samples,
+                                       cfg_.dropout_max_samples,
+                                       out.size() - pos, rng_);
+    if (len != 0) cuts.emplace_back(pos, pos + len);
+  }
+
+  // Duplications first (they only grow the buffer; positions are
+  // pre-growth, applied back to front so earlier indices stay valid).
+  std::sort(dup_positions.begin(), dup_positions.end());
+  for (auto it = dup_positions.rbegin(); it != dup_positions.rend(); ++it) {
+    out.insert(out.begin() + static_cast<std::ptrdiff_t>(*it), out[*it]);
+    ++rep.samples_duplicated;
+    // Shift pending cut positions past the insertion point.
+    for (auto& cut : cuts) {
+      if (cut.first >= *it) {
+        ++cut.first;
+        ++cut.second;
+      }
+    }
+  }
+
+  // Removals: merge overlapping cut intervals, then compact the kept
+  // runs in place, emitting one segment per run with the gap that
+  // follows it.
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<std::pair<std::size_t, std::size_t>> merged;
+  for (const auto& cut : cuts) {
+    const std::size_t start = std::min(cut.first, out.size());
+    const std::size_t end = std::min(cut.second, out.size());
+    if (start >= end) continue;
+    if (!merged.empty() && start <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, end);
+    } else {
+      merged.emplace_back(start, end);
+    }
+  }
+  if (merged.empty()) {
+    segments.push_back({0, out.size(), 0});
+    return rep;
+  }
+  std::size_t write = 0;
+  std::size_t read = 0;
+  for (std::size_t c = 0; c <= merged.size(); ++c) {
+    const std::size_t run_end = c < merged.size() ? merged[c].first : out.size();
+    const std::size_t run_len = run_end - read;
+    const std::size_t gap =
+        c < merged.size() ? merged[c].second - merged[c].first : 0;
+    if (run_len != 0 && write != read) {
+      std::memmove(out.data() + write, out.data() + read,
+                   run_len * sizeof(dsp::Complex));
+    }
+    // Zero-length leading runs still carry their gap so the caller's
+    // sample clock stays aligned.
+    if (run_len != 0 || gap != 0) segments.push_back({write, run_len, gap});
+    rep.samples_removed += gap;
+    write += run_len;
+    read = c < merged.size() ? merged[c].second : read + run_len;
+  }
+  out.resize(write);
+  return rep;
+}
+
+std::string FaultInjector::corrupt_trace(std::string_view bytes,
+                                         TraceFaultReport* report) {
+  const TraceLayout layout = parse_trace_layout(bytes);
+  TraceFaultReport rep;
+  std::string out;
+  out.reserve(bytes.size());
+  out.append(bytes.substr(0, layout.header_bytes));
+
+  const auto record = [&](std::size_t i) {
+    return bytes.substr(layout.chunks[i].offset, layout.chunks[i].record_bytes);
+  };
+  const auto append_flipped = [&](std::size_t i) {
+    // One random payload bit — the classic storage/transport bit rot.
+    std::string rec(record(i));
+    const std::size_t payload_bytes = rec.size() - kChunkHeaderBytes;
+    if (payload_bytes != 0 && cfg_.bitflip_rate > 0.0 &&
+        rng_.chance(cfg_.bitflip_rate)) {
+      const std::size_t bit = static_cast<std::size_t>(
+          rng_.uniform_int(0, payload_bytes * 8 - 1));
+      rec[kChunkHeaderBytes + bit / 8] ^=
+          static_cast<char>(1u << (bit % 8));
+      ++rep.bits_flipped;
+    }
+    out.append(rec);
+  };
+
+  for (std::size_t i = 0; i < layout.chunks.size(); ++i) {
+    if (cfg_.drop_rate > 0.0 && rng_.chance(cfg_.drop_rate)) {
+      ++rep.chunks_dropped;
+      continue;
+    }
+    if (cfg_.reorder_rate > 0.0 && i + 1 < layout.chunks.size() &&
+        rng_.chance(cfg_.reorder_rate)) {
+      append_flipped(i + 1);
+      append_flipped(i);
+      ++rep.chunks_reordered;
+      ++i;  // the pair is consumed
+      continue;
+    }
+    append_flipped(i);
+    if (cfg_.duplicate_rate > 0.0 && rng_.chance(cfg_.duplicate_rate)) {
+      out.append(record(i));
+      ++rep.chunks_duplicated;
+    }
+  }
+  if (cfg_.truncate_fraction < 1.0) {
+    const double frac = std::max(0.0, cfg_.truncate_fraction);
+    const std::size_t keep =
+        static_cast<std::size_t>(frac * static_cast<double>(out.size()));
+    if (keep < out.size()) {
+      out.resize(keep);
+      rep.truncated = true;
+    }
+  }
+  if (report != nullptr) *report = rep;
+  return out;
+}
+
+}  // namespace saiyan::fault

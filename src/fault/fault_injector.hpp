@@ -1,0 +1,196 @@
+// Deterministic, seeded fault injection for the ingest path.
+//
+// A production gateway's input is hostile: IQ chunks vanish when a
+// USB/network buffer overruns, radio front ends glitch their gain and
+// bias, reference clocks drift samples in and out of existence, and
+// trace files arrive bit-flipped, truncated, duplicated or reordered
+// by flaky storage. This subsystem reproduces all of that on demand —
+// reproducibly per seed — so the recovery machinery (TraceReader
+// resync, StreamingDemodulator::note_gap, SIC load shedding) can be
+// exercised in tests and benchmarks against known captures instead of
+// waiting for production to find the gaps.
+//
+// Two layers, matching where real impairments strike:
+//
+//   * Sample domain (FaultInjector::apply): operates on IQ chunks in
+//     flight — sample dropouts, gain glitches, DC steps, clock-drift
+//     sample slips. Removals are reported as gaps so the consumer can
+//     realign its absolute sample clock (note_gap).
+//   * Byte domain (FaultInjector::corrupt_trace + the targeted
+//     surgery helpers): operates on serialized trace bytes — CRC bit
+//     flips, whole-record drops/duplicates/reorders, truncation.
+//     parse_trace_layout() maps a valid trace's record structure so
+//     every operation lands exactly where it claims to.
+//
+// Determinism: every decision derives from dsp::Rng(seed) consumed in
+// a fixed order, so a (config, seed, input) triple always produces the
+// same impaired output. The targeted helpers take explicit indices and
+// use no randomness at all — they are the fault matrix's scalpel; the
+// seeded injector is its shotgun.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace saiyan::fault {
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  // --- sample domain: per-chunk event probabilities ------------------
+  /// P(chunk loses one contiguous span of samples) — a dropped
+  /// transport buffer. The span length is uniform in
+  /// [dropout_min_samples, dropout_max_samples], clamped to the chunk.
+  double dropout_rate = 0.0;
+  std::size_t dropout_min_samples = 16;
+  std::size_t dropout_max_samples = 1024;
+
+  /// P(chunk has one span scaled by gain_glitch_db) — an AGC/LNA
+  /// glitch. Span length uniform in [glitch_min, glitch_max].
+  double gain_glitch_rate = 0.0;
+  double gain_glitch_db = -20.0;
+  std::size_t glitch_min_samples = 64;
+  std::size_t glitch_max_samples = 2048;
+
+  /// P(chunk gets a DC step) — a bias jump at a random position that
+  /// persists to the end of the chunk. The offset magnitude is
+  /// dc_step_rms_ratio times the chunk's RMS amplitude, at a random
+  /// phase.
+  double dc_step_rate = 0.0;
+  double dc_step_rms_ratio = 1.0;
+
+  /// Clock drift in parts-per-million. Positive: the receiver clock
+  /// runs fast, so one sample is *dropped* (a 1-sample gap) every
+  /// 1e6/ppm samples. Negative: one sample is *duplicated* at the same
+  /// cadence. Zero disables.
+  double clock_drift_ppm = 0.0;
+
+  // --- byte domain: per-chunk-record probabilities (corrupt_trace) ---
+  double bitflip_rate = 0.0;    ///< P(record gets one payload bit flipped)
+  double drop_rate = 0.0;       ///< P(record removed entirely)
+  double duplicate_rate = 0.0;  ///< P(record emitted twice)
+  double reorder_rate = 0.0;    ///< P(record swapped with its successor)
+  /// Fraction of the total byte stream kept (1.0 = no truncation);
+  /// anything below 1 cuts the file mid-whatever-lands-there.
+  double truncate_fraction = 1.0;
+};
+
+/// One surviving run of samples after impairment, plus the gap
+/// (removed samples) that immediately follows it. Offsets index the
+/// impaired output buffer.
+struct FaultedSegment {
+  std::size_t offset = 0;
+  std::size_t len = 0;
+  std::uint64_t gap_after = 0;
+};
+
+/// What a sample-domain pass actually did to one chunk.
+struct ChunkFaultReport {
+  std::uint64_t samples_removed = 0;
+  std::uint64_t samples_duplicated = 0;
+  std::uint32_t gain_glitches = 0;
+  std::uint32_t dc_steps = 0;
+  bool impaired() const {
+    return samples_removed || samples_duplicated || gain_glitches || dc_steps;
+  }
+};
+
+/// What a byte-domain pass did to one trace.
+struct TraceFaultReport {
+  std::size_t bits_flipped = 0;
+  std::size_t chunks_dropped = 0;
+  std::size_t chunks_duplicated = 0;
+  std::size_t chunks_reordered = 0;
+  bool truncated = false;
+  bool impaired() const {
+    return bits_flipped || chunks_dropped || chunks_duplicated ||
+           chunks_reordered || truncated;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg);
+
+  /// Sample domain: impair `chunk` into `out` and describe the
+  /// surviving runs in `segments` (both cleared first). The caller
+  /// replays faults by pushing each segment and reporting each
+  /// nonzero gap_after to its consumer (note_gap). With no removal
+  /// faults configured there is always exactly one segment spanning
+  /// `out`.
+  ChunkFaultReport apply(std::span<const dsp::Complex> chunk,
+                         dsp::Signal& out,
+                         std::vector<FaultedSegment>& segments);
+
+  /// Byte domain: rewrite serialized trace bytes with the configured
+  /// record-level corruptions. `bytes` must parse as a valid trace
+  /// (parse_trace_layout throws otherwise) — the injector corrupts
+  /// good traces, it does not need to understand already-broken ones.
+  std::string corrupt_trace(std::string_view bytes,
+                            TraceFaultReport* report = nullptr);
+
+  /// Restart the deterministic decision stream from the config seed.
+  void reset();
+
+  const FaultConfig& config() const { return cfg_; }
+
+ private:
+  FaultConfig cfg_;
+  dsp::Rng rng_;
+  double drift_acc_ = 0.0;
+};
+
+// ---------------------------------------------------------------------
+// Trace-structure mapping + targeted surgery (deterministic, for the
+// fault-matrix tests: each helper applies exactly one named fault at
+// an exact location).
+
+struct ChunkRecordInfo {
+  std::size_t offset = 0;        ///< record start (length field) in bytes
+  std::size_t record_bytes = 0;  ///< header + payload
+  std::uint32_t n_samples = 0;
+};
+
+struct TraceLayout {
+  std::size_t header_bytes = 0;  ///< file header + marker table
+  std::size_t sample_bytes = 0;  ///< bytes per IQ sample (8 or 16)
+  std::vector<ChunkRecordInfo> chunks;
+};
+
+/// Map a *valid* trace's record structure; throws std::invalid_argument
+/// when the bytes do not parse as a complete, well-formed trace.
+TraceLayout parse_trace_layout(std::string_view bytes);
+
+/// Flip one bit of chunk `index`'s payload (bit 0 = first payload byte,
+/// LSB). Breaks exactly that record's CRC.
+std::string flip_chunk_bit(std::string_view trace, std::size_t index,
+                           std::size_t bit = 0);
+
+/// XOR garbage into chunk `index`'s length field — the hostile
+/// chunk_len case (the reader must reject without an absurd alloc).
+std::string corrupt_chunk_length(std::string_view trace, std::size_t index,
+                                 std::uint32_t xor_mask = 0x40000000u);
+
+/// Remove chunk record `index` entirely (silent mid-stream loss).
+std::string drop_chunk(std::string_view trace, std::size_t index);
+
+/// Emit chunk record `index` twice back to back.
+std::string duplicate_chunk(std::string_view trace, std::size_t index);
+
+/// Swap chunk records `a` and `b` (storage-level reordering).
+std::string swap_chunks(std::string_view trace, std::size_t a, std::size_t b);
+
+/// Keep only the first `keep_bytes` bytes.
+std::string truncate_trace(std::string_view trace, std::size_t keep_bytes);
+
+/// Whole-file helpers shared by the fault tests and bench drivers.
+std::string read_file(const std::string& path);
+void write_file(const std::string& path, std::string_view bytes);
+
+}  // namespace saiyan::fault

@@ -227,7 +227,7 @@ ReplayStats score_replay(const stream::StreamingDemodulator& demod,
 }
 
 ReplayStats replay_trace(const std::string& path, const ReplayConfig& cfg) {
-  stream::TraceReader reader(path);
+  stream::TraceReader reader(path, cfg.resync);
   stream::StreamConfig sc;
   sc.saiyan = core::SaiyanConfig::make(reader.meta().phy, reader.meta().mode);
   sc.payload_symbols = reader.meta().payload_symbols;
@@ -235,13 +235,20 @@ ReplayStats replay_trace(const std::string& path, const ReplayConfig& cfg) {
   sc.min_score = cfg.min_score;
   sc.block_samples = cfg.block_samples;
   sc.sic = cfg.sic;
+  sc.seed_by_offset = cfg.seed_by_offset;
   stream::StreamingDemodulator demod(sc);
 
-  std::size_t corrupt = 0;
   dsp::Signal chunk;
   for (;;) {
+    const std::uint64_t skipped_before = reader.stats().bytes_skipped;
     const stream::ChunkStatus st = reader.next_chunk(chunk);
-    if (st == stream::ChunkStatus::kOk) {
+    if (st == stream::ChunkStatus::kOk ||
+        st == stream::ChunkStatus::kResync) {
+      // A resync skipped a corrupt region: realign the demodulator's
+      // absolute sample clock before feeding the recovered chunk.
+      if (st == stream::ChunkStatus::kResync) {
+        demod.note_gap(reader.last_gap_samples());
+      }
       std::span<const dsp::Complex> rest(chunk);
       while (!rest.empty()) {
         const std::size_t take = std::min(cfg.chunk_samples, rest.size());
@@ -250,14 +257,21 @@ ReplayStats replay_trace(const std::string& path, const ReplayConfig& cfg) {
       }
       continue;
     }
-    if (st == stream::ChunkStatus::kCorrupt) ++corrupt;
-    break;  // kEof or a corrupted chunk both end the replay
+    // kEof, or (strict mode) a corrupted chunk wedging the replay. A
+    // recover-mode EOF can still carry a skipped corrupt tail.
+    if (st == stream::ChunkStatus::kEof &&
+        reader.stats().bytes_skipped > skipped_before) {
+      demod.note_gap(reader.last_gap_samples());
+    }
+    break;
   }
   demod.finish();
   ReplayStats stats =
       score_replay(demod, reader.markers(),
                    reader.meta().phy.samples_per_symbol() / 2);
-  stats.corrupt_chunks = corrupt;
+  stats.corrupt_chunks = static_cast<std::size_t>(reader.stats().chunks_corrupt);
+  stats.ingest = reader.stats();
+  stats.ingest.merge(demod.ingest());
   return stats;
 }
 

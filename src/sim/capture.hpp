@@ -81,6 +81,9 @@ struct ReplayStats {
   std::size_t symbol_errors = 0;     ///< mismatches among those
   std::size_t corrupt_chunks = 0;    ///< trace chunks rejected by CRC
   std::uint64_t samples = 0;         ///< capture samples consumed
+  /// Merged ingest health: the reader's chunk/resync counters plus the
+  /// demodulator's gap/shed counters (see stream/ingest_stats.hpp).
+  stream::IngestStats ingest;
   /// Collision/capture outcome, scored against the overlap geometry of
   /// the ground-truth markers (frame length from the demodulator) plus
   /// the demodulator's own SIC counters.
@@ -111,12 +114,22 @@ struct ReplayConfig {
   double min_score = 0.6;
   std::size_t block_samples = 0;
   sic::SicConfig sic;                 ///< collision resolution (depth 0 = off)
+  /// Impairment tolerance: read the trace in skip-and-resync mode and
+  /// feed every recovered gap to StreamingDemodulator::note_gap so the
+  /// replay survives corrupt chunks instead of stopping at the first.
+  bool resync = false;
+  /// Offset-keyed decode seeds (see stream::StreamConfig): decode
+  /// results become independent of upstream losses, so a faulted
+  /// replay is bit-comparable to a clean one frame by frame.
+  bool seed_by_offset = false;
 };
 
 /// Read a trace file and replay it end to end. The receiver is
 /// reconstructed as core::SaiyanConfig::make(meta.phy, meta.mode).
-/// Throws std::runtime_error on a malformed header; corrupted chunks
-/// stop the replay and are counted in the stats.
+/// Throws std::runtime_error on a malformed header. Corrupted chunks
+/// stop the replay and are counted in the stats — unless cfg.resync,
+/// in which case the replay skips to the next valid chunk, realigns
+/// the sample timeline, and keeps going (losses land in `ingest`).
 ReplayStats replay_trace(const std::string& path, const ReplayConfig& cfg = {});
 
 }  // namespace saiyan::sim

@@ -39,6 +39,12 @@ void PacketScanner::reset() {
   candidate_ = {};
 }
 
+void PacketScanner::desync(std::uint64_t resume_lag) {
+  have_candidate_ = false;
+  candidate_ = {};
+  suppress_before_ = std::max(suppress_before_, resume_lag);
+}
+
 std::size_t PacketScanner::push_block(std::span<const double> env_block,
                                       std::vector<PacketSpan>& out) {
   if (env_block.empty()) return 0;

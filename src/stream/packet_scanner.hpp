@@ -72,6 +72,14 @@ class PacketScanner {
   /// Restart on a fresh stream, keeping warm buffers.
   void reset();
 
+  /// Upstream discontinuity (dropped IQ, trace resync): drop the
+  /// unconfirmed candidate — its correlation window straddles the gap,
+  /// so its score is meaningless — and suppress detections before
+  /// `resume_lag` (the absolute index where intact samples resume).
+  /// The envelope history and lag counters are kept: the caller keeps
+  /// the absolute timeline aligned by pushing fill samples for the gap.
+  void desync(std::uint64_t resume_lag);
+
   /// Envelope samples consumed so far.
   std::uint64_t samples_consumed() const { return env_.end(); }
 

@@ -96,6 +96,39 @@ std::size_t StreamingDemodulator::finish() {
   return packets_.size() - before;
 }
 
+void StreamingDemodulator::note_gap(std::uint64_t lost_samples) {
+  if (lost_samples == 0) return;
+  ++ingest_.gaps;
+  ingest_.gap_samples += lost_samples;
+  // Frames whose last sample already arrived decode normally first —
+  // only the block-boundary latency separates them from "done".
+  decode_ready(/*flush=*/false);
+  // Whatever is still pending straddles the gap: its frame end lies
+  // beyond the samples we actually have, and the missing span will be
+  // zeros. Abandon those spans (a SIC rescan must not re-frame them).
+  for (std::size_t i = pending_head_; i < pending_.size(); ++i) {
+    ++ingest_.spans_dropped;
+    if (sic_) remember_start(pending_[i].packet_start);
+  }
+  pending_.clear();
+  pending_head_ = 0;
+  // The scanner's unconfirmed candidate scored across the gap
+  // boundary; suppress everything before intact samples resume.
+  scanner_.desync(received_ + lost_samples);
+  // Zero-fill the gap through the normal push path so the absolute
+  // sample timeline stays aligned with upstream ground truth and the
+  // block tiling never skews. Zeros are inert to the scanner (the
+  // relative variance floor keeps their score at zero).
+  if (gap_fill_.size() != block_) gap_fill_.assign(block_, dsp::Complex{});
+  std::uint64_t left = lost_samples;
+  while (left != 0) {
+    const std::size_t take =
+        static_cast<std::size_t>(std::min<std::uint64_t>(left, block_));
+    push(std::span<const dsp::Complex>(gap_fill_).first(take));
+    left -= take;
+  }
+}
+
 void StreamingDemodulator::reset() {
   rf_.clear();
   residual_.clear();
@@ -112,6 +145,7 @@ void StreamingDemodulator::reset() {
   collision_groups_ = 0;
   collisions_resolved_ = 0;
   frames_cancelled_ = 0;
+  ingest_ = IngestStats{};
 }
 
 void StreamingDemodulator::process_block(std::uint64_t block_start,
@@ -136,13 +170,9 @@ void StreamingDemodulator::decode_ready(bool flush) {
         progress = true;
       } else if (flush) {
         ++truncated_;  // capture ended mid-frame
-        if (sic_) {
-          // Still a known frame: a flushed rescan of the span that
-          // revealed it must not frame it a second time.
-          recent_starts_[recent_count_ % recent_starts_.size()] =
-              span.packet_start;
-          ++recent_count_;
-        }
+        // Still a known frame: a flushed rescan of the span that
+        // revealed it must not frame it a second time.
+        if (sic_) remember_start(span.packet_start);
       } else {
         break;
       }
@@ -174,9 +204,11 @@ void StreamingDemodulator::decode_span(const PacketSpan& span) {
   // capture everywhere no cancelled frame overlapped.
   const std::span<const dsp::Complex> frame =
       (sic_ ? residual_ : rf_).view(span.packet_start, frame_len_);
+  const std::uint64_t seed_index =
+      cfg_.seed_by_offset ? span.packet_start : packet_counter_;
   const std::span<const std::uint32_t> syms = batch_.decode_aligned(
       frame, preamble_len_, cfg_.payload_symbols,
-      dsp::derive_stream_seed(cfg_.seed, packet_counter_));
+      dsp::derive_stream_seed(cfg_.seed, seed_index));
   DecodedPacket p;
   p.packet_start = span.packet_start;
   p.payload_start = span.payload_start;
@@ -189,11 +221,38 @@ void StreamingDemodulator::decode_span(const PacketSpan& span) {
   packets_.push_back(p);
   ++packet_counter_;
   if (sic_) {
-    recent_starts_[recent_count_ % recent_starts_.size()] = span.packet_start;
-    ++recent_count_;
+    remember_start(span.packet_start);
     if (span.sic_depth > 0) ++collisions_resolved_;
-    if (span.sic_depth < cfg_.sic.depth) cancel_frame(span);
+    if (span.sic_depth < cfg_.sic.depth) {
+      // Pressure-based load shedding: under a rescan backlog the
+      // cancel+rescan stage is the work that compounds (each cancel
+      // can queue further rescans), so it is the work we shed. The
+      // frame itself is already decoded and delivered.
+      const std::size_t backlog = rescans_.size() - rescan_head_;
+      if (cfg_.sic.shed_queue != 0 && backlog >= cfg_.sic.shed_queue) {
+        ++ingest_.sic_shed;
+      } else {
+        cancel_frame(span);
+      }
+    }
   }
+}
+
+void StreamingDemodulator::remember_start(std::uint64_t packet_start) {
+  recent_starts_[recent_count_ % recent_starts_.size()] = packet_start;
+  ++recent_count_;
+}
+
+void StreamingDemodulator::queue_rescan(const RescanRegion& region) {
+  // Hard cap on the rescan backlog: evict the oldest region — it is
+  // the one whose residual span ages off the ring first anyway — so
+  // queue memory and ring retention stay bounded under pileup floods.
+  if (cfg_.sic.max_rescan_queue != 0 &&
+      rescans_.size() - rescan_head_ >= cfg_.sic.max_rescan_queue) {
+    ++rescan_head_;
+    ++ingest_.rescans_dropped;
+  }
+  rescans_.push_back(region);
 }
 
 void StreamingDemodulator::cancel_frame(const PacketSpan& span) {
@@ -223,7 +282,7 @@ void StreamingDemodulator::cancel_frame(const PacketSpan& span) {
                                             // anywhere inside the frame
   region.ready_at = span.packet_start + frame_len_ + preamble_len_;
   region.depth = span.sic_depth + 1;
-  rescans_.push_back(region);
+  queue_rescan(region);
 }
 
 bool StreamingDemodulator::process_rescan(const RescanRegion& region) {
@@ -231,9 +290,13 @@ bool StreamingDemodulator::process_rescan(const RescanRegion& region) {
   const std::uint64_t start = std::max(region.start, residual_.begin());
   const std::uint64_t end =
       std::min<std::uint64_t>(region.start + region.len, received_);
-  if (end <= start) return false;
+  if (end <= start || end - start < preamble_len_) {
+    // Aged off the residual ring (or never materialized) before it
+    // could be scanned — under load shedding this is expected loss.
+    if (start > region.start) ++ingest_.rescans_expired;
+    return false;
+  }
   const std::size_t len = static_cast<std::size_t>(end - start);
-  if (len < preamble_len_) return false;
   const std::span<const dsp::Complex> view = residual_.view(start, len);
   const std::optional<sic::RescanHit> hit = sic_->rescan(view);
   if (!hit.has_value()) return false;
@@ -259,7 +322,7 @@ bool StreamingDemodulator::process_rescan(const RescanRegion& region) {
     RescanRegion again = region;
     again.depth = region.depth + 1;
     again.ready_at = abs + frame_len_ + preamble_len_;
-    rescans_.push_back(again);
+    queue_rescan(again);
   }
   return true;
 }

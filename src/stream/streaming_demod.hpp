@@ -68,6 +68,7 @@
 
 #include "core/batch_demod.hpp"
 #include "sic/collision_resolver.hpp"
+#include "stream/ingest_stats.hpp"
 #include "stream/packet_scanner.hpp"
 #include "stream/sample_ring.hpp"
 
@@ -82,8 +83,17 @@ struct StreamConfig {
   /// absolute stream, so this also bounds detection latency.
   std::size_t block_samples = 0;
   /// Successive-interference-cancellation policy for overlapping
-  /// frames (depth 0 = off; see sic/collision_resolver.hpp).
+  /// frames (depth 0 = off; see sic/collision_resolver.hpp). The
+  /// shed_queue / max_rescan_queue fields are the demodulator's
+  /// overload policy for the rescan backlog.
   sic::SicConfig sic;
+  /// Derive per-packet decode seeds from the frame's absolute sample
+  /// offset instead of its decode index. Decode results then do not
+  /// depend on how many earlier frames were lost to impairments —
+  /// which is what lets a faulted replay be compared bit for bit
+  /// against a clean run downstream of a recovered gap. Off by
+  /// default: the index-keyed scheme is what batch equivalence pins.
+  bool seed_by_offset = false;
 };
 
 /// One decoded packet. Symbols live in the demodulator's flat store —
@@ -123,9 +133,20 @@ class StreamingDemodulator {
   /// Returns the number of packets completed by the flush.
   std::size_t finish();
 
+  /// Report an upstream discontinuity of ~`lost_samples` (dropped IQ
+  /// chunks, a trace resync skip, a clock glitch). Frames whose spans
+  /// are already complete decode first; pending frames straddling the
+  /// gap are abandoned (counted in IngestStats::spans_dropped); the
+  /// scanner's unconfirmed candidate is invalidated; then the gap is
+  /// zero-filled so the absolute sample timeline stays aligned with
+  /// upstream ground truth — frames wholly after the gap decode
+  /// exactly as they would in a clean run. Not the hot path: the fill
+  /// buffer allocates on first use.
+  void note_gap(std::uint64_t lost_samples);
+
   /// Restart on a fresh capture, keeping warm buffers (packet counter,
-  /// rings, scanner state and collision counters are cleared; decoded
-  /// packets are kept until clear_packets()).
+  /// rings, scanner state, collision and ingest counters are cleared;
+  /// decoded packets are kept until clear_packets()).
   void reset();
 
   /// Packets decoded since construction / the last clear_packets().
@@ -158,6 +179,9 @@ class StreamingDemodulator {
   std::size_t collisions_resolved() const { return collisions_resolved_; }
   /// Frames whose waveform was reconstructed and subtracted.
   std::size_t frames_cancelled() const { return frames_cancelled_; }
+  /// Stream-side ingest health: gaps recovered, spans dropped, SIC
+  /// work shed under backlog pressure.
+  const IngestStats& ingest() const { return ingest_; }
   const StreamConfig& config() const { return cfg_; }
   const core::BatchDemodulator& batch() const { return batch_; }
 
@@ -177,6 +201,8 @@ class StreamingDemodulator {
   void decode_span(const PacketSpan& span);
   void cancel_frame(const PacketSpan& span);
   bool process_rescan(const RescanRegion& region);
+  void queue_rescan(const RescanRegion& region);
+  void remember_start(std::uint64_t packet_start);
   void insert_span(const PacketSpan& span);
   bool near_known_span(std::uint64_t packet_start) const;
   void restore_pending_order(std::size_t appended_from);
@@ -198,6 +224,7 @@ class StreamingDemodulator {
   std::vector<DecodedPacket> packets_;
   std::vector<std::uint32_t> symbols_;
   dsp::Signal cancel_scratch_;        // residual span copy for cancel()
+  dsp::Signal gap_fill_;              // zero block for note_gap()
   std::array<std::uint64_t, 8> recent_starts_{};  // decoded-frame dedupe
   std::size_t recent_count_ = 0;
 
@@ -211,6 +238,7 @@ class StreamingDemodulator {
   std::size_t collision_groups_ = 0;
   std::size_t collisions_resolved_ = 0;
   std::size_t frames_cancelled_ = 0;
+  IngestStats ingest_;
 };
 
 }  // namespace saiyan::stream

@@ -1,7 +1,9 @@
 #include "stream/trace.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <type_traits>
 
@@ -19,6 +21,14 @@ constexpr std::uint32_t kVersionF32 = 2;  // float32 IQ pairs (half size)
 constexpr std::uint32_t kMaxChunkSamples = 1u << 22;
 constexpr std::uint64_t kMaxMarkers = 1u << 20;
 constexpr std::uint32_t kMaxMarkerSymbols = 1u << 16;
+// Serialized sizes: chunk record header and the fixed part of one
+// marker record — the denominators of the file-size bounds below.
+constexpr std::uint64_t kChunkHeaderBytes = 8;
+constexpr std::uint64_t kMarkerMinBytes = 16;
+// Resync scans the byte stream through a sliding window this large;
+// candidate headers straddling the edge are covered by re-reading the
+// last (kChunkHeaderBytes - 1) bytes into the next window.
+constexpr std::size_t kResyncWindow = 1u << 20;
 
 template <typename T>
 void put(std::ofstream& out, const T& v) {
@@ -26,14 +36,23 @@ void put(std::ofstream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-bool get(std::ifstream& in, T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  return in.gcount() == static_cast<std::streamsize>(sizeof(T));
-}
-
 }  // namespace
+
+const char* to_string(IngestError err) {
+  switch (err) {
+    case IngestError::kNone: return "none";
+    case IngestError::kBadMagic: return "bad-magic";
+    case IngestError::kBadVersion: return "bad-version";
+    case IngestError::kBadHeader: return "bad-header";
+    case IngestError::kBadMarkerTable: return "bad-marker-table";
+    case IngestError::kChunkHeader: return "chunk-header";
+    case IngestError::kChunkCrc: return "chunk-crc";
+    case IngestError::kChunkTruncated: return "chunk-truncated";
+    case IngestError::kTotalMismatch: return "total-mismatch";
+    case IngestError::kCount: break;
+  }
+  return "invalid";
+}
 
 TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta,
                          const std::vector<TraceMarker>& markers) {
@@ -79,14 +98,9 @@ TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta,
 }
 
 TraceWriter::~TraceWriter() {
-  if (!closed_) {
-    try {
-      close();
-    } catch (...) {
-      // Destructor must not throw; an unpatched header still reads
-      // back (total_samples == 0 is informational).
-    }
-  }
+  // A destructor must not throw; the failure (a truncated trace) is
+  // still recorded for anyone holding last_error() through a wrapper.
+  try_close();
 }
 
 void TraceWriter::write_chunk(std::span<const dsp::Complex> samples) {
@@ -115,46 +129,97 @@ void TraceWriter::write_chunk(std::span<const dsp::Complex> samples) {
   put(out_, std::uint16_t{0});  // reserved / alignment
   out_.write(reinterpret_cast<const char*>(bytes),
              static_cast<std::streamsize>(n_bytes));
-  if (!out_) throw std::runtime_error("TraceWriter: chunk write failed");
+  if (!out_) {
+    last_error_ = "TraceWriter: chunk write failed";
+    throw std::runtime_error(last_error_);
+  }
   total_ += samples.size();
 }
 
 void TraceWriter::close() {
-  if (closed_) return;
+  if (!try_close()) throw std::runtime_error(last_error_);
+}
+
+bool TraceWriter::try_close() noexcept {
+  if (closed_) return last_error_.empty();
+  closed_ = true;
   out_.seekp(total_samples_pos_);
   put(out_, total_);
   out_.flush();
-  if (!out_) throw std::runtime_error("TraceWriter: close failed");
+  if (!out_) {
+    // Record instead of throwing: the destructor lands here, and a
+    // failed flush means the file is truncated/unpatched on disk.
+    try {
+      last_error_ = "TraceWriter: close failed (trace truncated)";
+    } catch (...) {
+      // Allocation failure storing the message; the empty-string
+      // fallback below still flags the error.
+      last_error_.clear();
+      last_error_ += '!';
+    }
+    out_.close();
+    return false;
+  }
   out_.close();
-  closed_ = true;
+  return true;
 }
 
-TraceReader::TraceReader(const std::string& path) {
-  in_.open(path, std::ios::binary);
-  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+TraceReader::TraceReader(const std::string& path, bool recover)
+    : TraceReader(
+          [&path]() -> std::unique_ptr<std::istream> {
+            auto f = std::make_unique<std::ifstream>(path, std::ios::binary);
+            if (!*f) {
+              throw std::runtime_error("TraceReader: cannot open " + path);
+            }
+            return f;
+          }(),
+          0, recover, path) {}
+
+TraceReader TraceReader::from_bytes(std::string_view bytes, bool recover) {
+  return TraceReader(
+      std::make_unique<std::istringstream>(std::string(bytes),
+                                           std::ios::binary),
+      bytes.size(), recover, "<memory>");
+}
+
+TraceReader::TraceReader(std::unique_ptr<std::istream> in, std::uint64_t size,
+                         bool recover, const std::string& name)
+    : in_(std::move(in)), size_(size), recover_(recover) {
+  if (size_ == 0) {
+    // File path: measure once so every length field can be bounded by
+    // what the file can physically hold.
+    in_->seekg(0, std::ios::end);
+    const std::streamoff end = in_->tellg();
+    in_->seekg(0, std::ios::beg);
+    if (end < 0 || !*in_) {
+      throw std::runtime_error("TraceReader: cannot stat " + name);
+    }
+    size_ = static_cast<std::uint64_t>(end);
+  }
   char magic[8];
-  in_.read(magic, sizeof(magic));
-  if (in_.gcount() != sizeof(magic) ||
+  if (!read_exact(magic, sizeof(magic)) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("TraceReader: bad magic in " + path);
+    throw std::runtime_error("TraceReader: bad magic in " + name);
   }
   std::uint32_t version = 0;
   std::uint32_t mode = 0;
   std::uint32_t sf = 0, k = 0, preamble = 0, fec = 0, payload = 0;
   std::uint64_t n_markers = 0;
-  if (!get(in_, version) ||
-      (version != kVersionF64 && version != kVersionF32)) {
+  if (!get(version) || (version != kVersionF64 && version != kVersionF32)) {
     throw std::runtime_error("TraceReader: unsupported trace version");
   }
   meta_.float32_samples = version == kVersionF32;
-  bool ok = get(in_, mode) && get(in_, meta_.phy.sample_rate_hz) &&
-            get(in_, sf) && get(in_, meta_.phy.bandwidth_hz) && get(in_, k) &&
-            get(in_, preamble) && get(in_, meta_.phy.sync_symbols) &&
-            get(in_, fec) && get(in_, payload) &&
-            get(in_, meta_.total_samples) && get(in_, n_markers);
+  bool ok = get(mode) && get(meta_.phy.sample_rate_hz) && get(sf) &&
+            get(meta_.phy.bandwidth_hz) && get(k) && get(preamble) &&
+            get(meta_.phy.sync_symbols) && get(fec) && get(payload) &&
+            get(meta_.total_samples) && get(n_markers);
+  // Each marker record occupies at least kMarkerMinBytes, so a marker
+  // count the remaining bytes cannot hold is malformed regardless of
+  // the format cap — reject before sizing the marker table from it.
   if (!ok || mode > static_cast<std::uint32_t>(core::Mode::kSuper) ||
       fec > static_cast<std::uint32_t>(lora::FecRate::k4_8) ||
-      payload == 0 || payload > kMaxMarkerSymbols || n_markers > kMaxMarkers) {
+      payload == 0 || payload > kMaxMarkerSymbols || n_markers > kMaxMarkers ||
+      n_markers * kMarkerMinBytes > size_ - pos_) {
     throw std::runtime_error("TraceReader: malformed header");
   }
   meta_.mode = static_cast<core::Mode>(mode);
@@ -174,56 +239,31 @@ TraceReader::TraceReader(const std::string& path) {
   markers_.resize(n_markers);
   for (TraceMarker& m : markers_) {
     std::uint32_t n_syms = 0;
-    if (!get(in_, m.sample_offset) || !get(in_, m.tag_id) ||
-        !get(in_, n_syms) || n_syms > kMaxMarkerSymbols) {
+    if (!get(m.sample_offset) || !get(m.tag_id) || !get(n_syms) ||
+        n_syms > kMaxMarkerSymbols ||
+        n_syms * sizeof(std::uint32_t) > size_ - pos_) {
       throw std::runtime_error("TraceReader: malformed marker table");
     }
     m.symbols.resize(n_syms);
-    in_.read(reinterpret_cast<char*>(m.symbols.data()),
-             static_cast<std::streamsize>(n_syms * sizeof(std::uint32_t)));
-    if (in_.gcount() !=
-        static_cast<std::streamsize>(n_syms * sizeof(std::uint32_t))) {
+    if (!read_exact(m.symbols.data(), n_syms * sizeof(std::uint32_t))) {
       throw std::runtime_error("TraceReader: malformed marker table");
     }
   }
 }
 
-ChunkStatus TraceReader::next_chunk(dsp::Signal& out) {
-  out.clear();
-  if (failed_) return ChunkStatus::kCorrupt;
-  std::uint32_t n_samples = 0;
-  if (!get(in_, n_samples)) {
-    if (in_.eof() && in_.gcount() == 0) {
-      // A file chopped at an exact chunk boundary still parses chunk
-      // by chunk; the header sample count is what catches it. A
-      // total of 0 means the writer never patched the header
-      // (crashed before close()) — nothing to cross-check then.
-      if (meta_.total_samples != 0 && samples_read_ != meta_.total_samples) {
-        failed_ = true;
-        return ChunkStatus::kCorrupt;
-      }
-      return ChunkStatus::kEof;
-    }
-    failed_ = true;
-    return ChunkStatus::kCorrupt;
-  }
-  std::uint16_t crc = 0, reserved = 0;
-  if (n_samples == 0 || n_samples > kMaxChunkSamples || !get(in_, crc) ||
-      !get(in_, reserved)) {
-    failed_ = true;
-    return ChunkStatus::kCorrupt;
-  }
-  const std::size_t n_bytes =
-      n_samples * (meta_.float32_samples ? 2 * sizeof(float)
-                                         : sizeof(dsp::Complex));
-  chunk_bytes_.resize(n_bytes);
-  in_.read(reinterpret_cast<char*>(chunk_bytes_.data()),
-           static_cast<std::streamsize>(n_bytes));
-  if (in_.gcount() != static_cast<std::streamsize>(n_bytes) ||
-      lora::crc16(chunk_bytes_) != crc) {
-    failed_ = true;
-    return ChunkStatus::kCorrupt;
-  }
+bool TraceReader::read_exact(void* dst, std::size_t n) {
+  in_->read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+  const std::size_t got = static_cast<std::size_t>(in_->gcount());
+  pos_ += got;
+  return got == n;
+}
+
+std::size_t TraceReader::sample_bytes() const {
+  return meta_.float32_samples ? 2 * sizeof(float) : sizeof(dsp::Complex);
+}
+
+void TraceReader::decode_samples(dsp::Signal& out,
+                                 std::uint32_t n_samples) const {
   out.resize(n_samples);
   if (meta_.float32_samples) {
     const float* f = reinterpret_cast<const float*>(chunk_bytes_.data());
@@ -232,10 +272,159 @@ ChunkStatus TraceReader::next_chunk(dsp::Signal& out) {
                             static_cast<double>(f[2 * i + 1]));
     }
   } else {
-    std::memcpy(out.data(), chunk_bytes_.data(), n_bytes);
+    std::memcpy(out.data(), chunk_bytes_.data(),
+                n_samples * sizeof(dsp::Complex));
   }
+}
+
+ChunkStatus TraceReader::end_of_stream() {
+  // A file chopped at an exact chunk boundary still parses chunk by
+  // chunk; the header sample count is what catches it. A total of 0
+  // means the writer never patched the header (crashed before
+  // close()) — nothing to cross-check then.
+  if (!eof_done_ && meta_.total_samples != 0 &&
+      samples_read_ != meta_.total_samples) {
+    eof_done_ = true;
+    stats_.count(IngestError::kTotalMismatch);
+    if (!recover_) {
+      failed_ = true;
+      return ChunkStatus::kCorrupt;
+    }
+  }
+  eof_done_ = true;
+  return ChunkStatus::kEof;
+}
+
+ChunkStatus TraceReader::fail_chunk(IngestError err, std::uint64_t chunk_start,
+                                    std::uint32_t declared_n,
+                                    dsp::Signal& out) {
+  stats_.count(err);
+  ++stats_.chunks_corrupt;
+  if (!recover_) {
+    failed_ = true;
+    return ChunkStatus::kCorrupt;
+  }
+  return resync(chunk_start, declared_n, out);
+}
+
+ChunkStatus TraceReader::next_chunk(dsp::Signal& out) {
+  out.clear();
+  if (failed_) return ChunkStatus::kCorrupt;
+  const std::uint64_t chunk_start = pos_;
+  std::uint32_t n_samples = 0;
+  if (!get(n_samples)) {
+    if (in_->eof() && pos_ == chunk_start) return end_of_stream();
+    return fail_chunk(IngestError::kChunkTruncated, chunk_start, 0, out);
+  }
+  std::uint16_t crc = 0, reserved = 0;
+  if (n_samples == 0 || n_samples > kMaxChunkSamples) {
+    return fail_chunk(IngestError::kChunkHeader, chunk_start, 0, out);
+  }
+  if (!get(crc) || !get(reserved)) {
+    return fail_chunk(IngestError::kChunkTruncated, chunk_start, 0, out);
+  }
+  if (reserved != 0) {
+    return fail_chunk(IngestError::kChunkHeader, chunk_start, 0, out);
+  }
+  const std::uint64_t n_bytes =
+      static_cast<std::uint64_t>(n_samples) * sample_bytes();
+  // Bound by the bytes the file can still hold *before* allocating:
+  // a hostile length field must reject cleanly, not reserve 64 MiB
+  // for a 100-byte file.
+  if (n_bytes > size_ - pos_) {
+    return fail_chunk(IngestError::kChunkTruncated, chunk_start, n_samples,
+                      out);
+  }
+  chunk_bytes_.resize(n_bytes);
+  if (!read_exact(chunk_bytes_.data(), n_bytes)) {
+    return fail_chunk(IngestError::kChunkTruncated, chunk_start, n_samples,
+                      out);
+  }
+  if (lora::crc16(chunk_bytes_) != crc) {
+    return fail_chunk(IngestError::kChunkCrc, chunk_start, n_samples, out);
+  }
+  decode_samples(out, n_samples);
   samples_read_ += n_samples;
+  ++stats_.chunks_ok;
   return ChunkStatus::kOk;
+}
+
+ChunkStatus TraceReader::resync(std::uint64_t chunk_start,
+                                std::uint32_t declared_n, dsp::Signal& out) {
+  // Slide forward byte by byte looking for the next complete chunk
+  // record: plausible header (length in bounds, reserved zero, payload
+  // fits in the file) whose payload passes its CRC16. The header
+  // screen is cheap over a windowed buffer; the CRC seals the match —
+  // a random 8-byte window that also CRC-checks is a ~2^-16 accident
+  // on top of the screen, and a wrong lock merely costs one more
+  // resync at the next chunk.
+  const std::size_t sb = sample_bytes();
+  in_->clear();
+  std::uint64_t window_start = chunk_start + 1;
+  while (window_start + kChunkHeaderBytes <= size_) {
+    const std::size_t win_len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kResyncWindow, size_ - window_start));
+    resync_buf_.resize(win_len);
+    in_->clear();
+    in_->seekg(static_cast<std::streamoff>(window_start));
+    in_->read(reinterpret_cast<char*>(resync_buf_.data()),
+              static_cast<std::streamsize>(win_len));
+    if (static_cast<std::size_t>(in_->gcount()) != win_len) break;
+    for (std::size_t o = 0; o + kChunkHeaderBytes <= win_len; ++o) {
+      std::uint32_t n = 0;
+      std::uint16_t crc = 0, reserved = 0;
+      std::memcpy(&n, resync_buf_.data() + o, sizeof(n));
+      std::memcpy(&crc, resync_buf_.data() + o + 4, sizeof(crc));
+      std::memcpy(&reserved, resync_buf_.data() + o + 6, sizeof(reserved));
+      if (n == 0 || n > kMaxChunkSamples || reserved != 0) continue;
+      const std::uint64_t cand = window_start + o;
+      const std::uint64_t n_bytes = static_cast<std::uint64_t>(n) * sb;
+      if (cand + kChunkHeaderBytes + n_bytes > size_) continue;
+      chunk_bytes_.resize(n_bytes);
+      in_->clear();
+      in_->seekg(static_cast<std::streamoff>(cand + kChunkHeaderBytes));
+      in_->read(reinterpret_cast<char*>(chunk_bytes_.data()),
+                static_cast<std::streamsize>(n_bytes));
+      if (static_cast<std::size_t>(in_->gcount()) != n_bytes) continue;
+      if (lora::crc16(chunk_bytes_) != crc) continue;
+      // Locked. Estimate the samples lost in the skipped bytes: when
+      // the abandoned chunk's declared length was plausible and the
+      // skip covers exactly that one record (payload corruption, the
+      // common case), the declared count is exact; otherwise assume
+      // the skipped bytes were all payload.
+      const std::uint64_t skipped = cand - chunk_start;
+      std::uint64_t lost;
+      if (declared_n != 0 &&
+          skipped == kChunkHeaderBytes +
+                         static_cast<std::uint64_t>(declared_n) * sb) {
+        lost = declared_n;
+      } else {
+        lost = skipped / sb;
+      }
+      stats_.bytes_skipped += skipped;
+      stats_.samples_lost += lost;
+      ++stats_.resyncs;
+      last_gap_samples_ = lost;
+      decode_samples(out, n);
+      samples_read_ += n;
+      ++stats_.chunks_ok;
+      pos_ = cand + kChunkHeaderBytes + n_bytes;
+      in_->clear();
+      in_->seekg(static_cast<std::streamoff>(pos_));
+      return ChunkStatus::kResync;
+    }
+    // Overlap the window edge so a header straddling it is re-screened.
+    window_start += win_len - (kChunkHeaderBytes - 1);
+  }
+  // No valid chunk anywhere ahead: the corrupt region runs to EOF.
+  const std::uint64_t skipped = size_ - chunk_start;
+  stats_.bytes_skipped += skipped;
+  last_gap_samples_ = skipped / sb;
+  stats_.samples_lost += last_gap_samples_;
+  pos_ = size_;
+  in_->clear();
+  in_->seekg(0, std::ios::end);
+  return end_of_stream();
 }
 
 }  // namespace saiyan::stream

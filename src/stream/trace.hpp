@@ -30,16 +30,37 @@
 // carry no semantic meaning — they are whatever the recorder pushed —
 // and the streaming demodulator's chunk-size invariance makes replay
 // results independent of them.
+//
+// Hostile-input posture: every size field read from the file is
+// bounded both by a format sanity cap and by the actual file size
+// before anything is allocated, so a corrupted or adversarial length
+// can never translate into an absurd allocation. The header and
+// marker table are strict (malformed -> throw); the chunk stream has
+// two modes:
+//
+//   * strict (default): the first corrupt chunk wedges the reader,
+//     exactly the pre-robustness contract;
+//   * recover (TraceReader(..., /*recover=*/true)): a corrupt chunk
+//     starts a skip-and-resync scan — the reader slides forward byte
+//     by byte until it finds the next complete, CRC-valid chunk
+//     record, delivers it with ChunkStatus::kResync, and estimates the
+//     samples lost in the skipped bytes (last_gap_samples()) so the
+//     consumer can re-align its absolute sample clock. Every rejection
+//     is classified into an IngestError and counted in stats().
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
+#include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
 #include "dsp/types.hpp"
+#include "stream/ingest_stats.hpp"
 
 namespace saiyan::stream {
 
@@ -76,8 +97,20 @@ class TraceWriter {
   void write_chunk(std::span<const dsp::Complex> samples);
 
   /// Patch total_samples into the header and flush. Idempotent;
-  /// throws on I/O failure (the destructor closes silently instead).
+  /// throws on I/O failure (the destructor closes via try_close()
+  /// instead, recording any failure in last_error()).
   void close();
+
+  /// Nothrow close for destructor paths and callers that prefer a
+  /// status to an exception. Returns false on I/O failure, with the
+  /// description recorded in last_error().
+  bool try_close() noexcept;
+
+  /// Description of the most recent I/O failure ("" when every write
+  /// so far has succeeded). A caller that lets the destructor close
+  /// cannot observe a flush failure there — call close()/try_close()
+  /// explicitly to detect a truncated write.
+  const std::string& last_error() const { return last_error_; }
 
   std::uint64_t samples_written() const { return total_; }
 
@@ -88,34 +121,81 @@ class TraceWriter {
   bool closed_ = false;
   bool float32_ = false;           // version 2 sample encoding
   std::vector<float> f32_scratch_;  // reusable chunk conversion buffer
+  std::string last_error_;
 };
 
 enum class ChunkStatus {
   kOk,
   kEof,
   kCorrupt,  ///< CRC mismatch, truncation, or an absurd chunk header
+  kResync,   ///< recovered: `out` holds the next valid chunk after a
+             ///< skipped corrupt region (see last_gap_samples())
 };
 
 class TraceReader {
  public:
   /// Opens and validates the header + markers; throws
   /// std::runtime_error on a missing file or malformed header.
-  explicit TraceReader(const std::string& path);
+  /// `recover` selects the skip-and-resync chunk mode.
+  explicit TraceReader(const std::string& path, bool recover = false);
+
+  /// Parse a trace held in memory (fuzz harnesses, byte-level tests).
+  /// Same contract as the file constructor.
+  static TraceReader from_bytes(std::string_view bytes, bool recover = false);
 
   const TraceMeta& meta() const { return meta_; }
   const std::vector<TraceMarker>& markers() const { return markers_; }
 
-  /// Read the next chunk into `out` (resized). After kCorrupt the
-  /// reader stays in a failed state and keeps returning kCorrupt.
+  /// Read the next chunk into `out` (resized).
+  ///
+  /// Strict mode: after kCorrupt the reader stays in a failed state
+  /// and keeps returning kCorrupt. Recover mode never returns
+  /// kCorrupt: a corrupt chunk is skipped and the next valid one (if
+  /// any) is delivered as kResync; when no valid chunk remains the
+  /// stream ends with kEof. Every rejection is counted in stats().
   ChunkStatus next_chunk(dsp::Signal& out);
 
+  /// Ingest health counters (chunk outcomes, resyncs, error classes).
+  const IngestStats& stats() const { return stats_; }
+
+  /// Estimated samples lost in the most recent resync skip (valid
+  /// after kResync, and after a recover-mode kEof that discarded a
+  /// corrupt tail). The estimate is exact when the skipped region was
+  /// a single payload-corrupted chunk whose declared length survived.
+  std::uint64_t last_gap_samples() const { return last_gap_samples_; }
+
+  std::uint64_t samples_read() const { return samples_read_; }
+
  private:
-  std::ifstream in_;
+  TraceReader(std::unique_ptr<std::istream> in, std::uint64_t size,
+              bool recover, const std::string& name);
+
+  bool read_exact(void* dst, std::size_t n);
+  template <typename T>
+  bool get(T& v) {
+    return read_exact(&v, sizeof(T));
+  }
+  std::size_t sample_bytes() const;
+  void decode_samples(dsp::Signal& out, std::uint32_t n_samples) const;
+  ChunkStatus fail_chunk(IngestError err, std::uint64_t chunk_start,
+                         std::uint32_t declared_n, dsp::Signal& out);
+  ChunkStatus resync(std::uint64_t chunk_start, std::uint32_t declared_n,
+                     dsp::Signal& out);
+  ChunkStatus end_of_stream();
+
+  std::unique_ptr<std::istream> in_;
+  std::uint64_t size_ = 0;  ///< total stream length in bytes
+  std::uint64_t pos_ = 0;   ///< current read offset
+  bool recover_ = false;
   TraceMeta meta_;
   std::vector<TraceMarker> markers_;
   bool failed_ = false;
+  bool eof_done_ = false;  // total_samples cross-check runs once
   std::uint64_t samples_read_ = 0;  // cross-checked against the header
+  std::uint64_t last_gap_samples_ = 0;
+  IngestStats stats_;
   std::vector<std::uint8_t> chunk_bytes_;  // reusable CRC scratch
+  std::vector<std::uint8_t> resync_buf_;   // sliding header-scan window
 };
 
 }  // namespace saiyan::stream
