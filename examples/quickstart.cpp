@@ -1,15 +1,17 @@
 // Quickstart: modulate a downlink LoRa packet at the access point,
 // push it through a 100 m outdoor channel, and demodulate it on a
 // Saiyan tag — the minimal end-to-end use of the library. Finishes by
-// recording the capture to a trace file and replaying it through the
-// streaming (continuous-capture) demodulator.
+// recording the capture to a trace file and serving it through the
+// gateway facade (the same path the saiyand daemon runs).
 #include <cstdio>
+#include <mutex>
+#include <vector>
 
 #include "channel/awgn_channel.hpp"
 #include "core/demodulator.hpp"
+#include "gateway/gateway.hpp"
 #include "lora/frame.hpp"
 #include "lora/modulator.hpp"
-#include "stream/streaming_demod.hpp"
 #include "stream/trace.hpp"
 
 using namespace saiyan;
@@ -65,11 +67,13 @@ int main() {
   std::printf("\"\n");
   if (decoded != message) return 1;
 
-  // 6. Record, then replay. A gateway does not see framed packets —
-  //    it sees one long capture. Record the received waveform (plus a
-  //    trailing idle gap) into the versioned trace format, then replay
-  //    it through the streaming demodulator, which locates the packet
-  //    itself and decodes it with sample-offset timestamps.
+  // 6. Record, then serve. A gateway does not see framed packets — it
+  //    sees one long capture. Record the received waveform (plus a
+  //    trailing idle gap) into the versioned trace format, then serve
+  //    it through gateway::Gateway — the facade saiyand runs — which
+  //    locates the packet itself and delivers it to a subscriber with
+  //    sample-offset timestamps. Note the error convention at this
+  //    boundary: saiyan::Result, no exceptions to catch.
   const char* trace_path = "quickstart.sytrc";
   {
     stream::TraceMeta meta;
@@ -83,31 +87,53 @@ int main() {
     writer.write_chunk(rx_wave);
     const dsp::Signal idle(phy.samples_per_symbol(), dsp::Complex{});
     writer.write_chunk(idle);  // keep the frame clear of the capture end
-    writer.close();
+    if (auto r = writer.finish(); !r.ok()) {
+      std::printf("recording failed: %s\n", r.message().c_str());
+      return 1;
+    }
     std::printf("recorded %llu samples to %s\n",
                 static_cast<unsigned long long>(writer.samples_written()),
                 trace_path);
   }
-  stream::TraceReader reader(trace_path);
-  stream::StreamConfig stream_cfg;
-  stream_cfg.saiyan = cfg;
-  stream_cfg.payload_symbols = reader.meta().payload_symbols;
-  stream::StreamingDemodulator streaming(stream_cfg);
-  dsp::Signal chunk;
-  while (reader.next_chunk(chunk) == stream::ChunkStatus::kOk) {
-    streaming.push(chunk);
+
+  gateway::GatewayConfig gw_cfg;
+  gw_cfg.stream.saiyan = cfg;  // trace replay re-derives PHY from the header
+  if (auto v = gw_cfg.validate(); !v.ok()) {
+    std::printf("bad gateway config: %s\n", v.message().c_str());
+    return 1;
   }
-  streaming.finish();
+  auto created = gateway::Gateway::create(gw_cfg);
+  if (!created.ok()) {
+    std::printf("gateway: %s\n", created.message().c_str());
+    return 1;
+  }
+  auto& gw = *created.value();
+
+  std::mutex frames_mu;
+  std::vector<gateway::FrameRecord> frames;
+  gw.subscribe([&](const gateway::FrameRecord& fr) {
+    std::lock_guard<std::mutex> lk(frames_mu);
+    frames.push_back(fr);
+  });
+  if (auto job = gw.enqueue_trace(trace_path); !job.ok()) {
+    std::printf("enqueue: %s\n", job.message().c_str());
+    return 1;
+  }
+  if (auto r = gw.drain(); !r.ok()) {
+    std::printf("drain: %s\n", r.message().c_str());
+    return 1;
+  }
   std::remove(trace_path);
-  if (streaming.packets().empty()) {
+  if (frames.empty()) {
     std::printf("replay found no packet\n");
     return 1;
   }
-  const stream::DecodedPacket& pkt = streaming.packets()[0];
-  const auto replayed = codec.decode(std::vector<std::uint32_t>(
-      streaming.symbols(pkt).begin(), streaming.symbols(pkt).end()));
-  std::printf("replay: packet at sample %llu (score %.2f), payload \"",
-              static_cast<unsigned long long>(pkt.packet_start), pkt.score);
+  const gateway::FrameRecord& pkt = frames[0];
+  const auto replayed = codec.decode(pkt.symbols);
+  std::printf("gateway: frame at sample %llu (score %.2f, worker %u), "
+              "payload \"",
+              static_cast<unsigned long long>(pkt.packet_start), pkt.score,
+              pkt.worker);
   if (replayed.has_value()) {
     for (std::uint8_t b : *replayed) std::printf("%c", b);
   }

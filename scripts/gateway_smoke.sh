@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# End-to-end daemon smoke (the ctest `gateway_smoke` entry):
+#
+#   1. saiyand --record writes a deterministic multi-tag trace with
+#      ground-truth markers;
+#   2. saiyand serves it, throttled so the replay is still in flight
+#      when the signal lands;
+#   3. saiyand-control polls `stats` over the control socket;
+#   4. a SIGHUP mid-replay swaps the config — in-flight jobs must keep
+#      decoding (zero dropped frames);
+#   5. the script waits until frames_decoded == markers_expected, then
+#      drains and SIGTERMs.
+#
+# Any lost frame, failed job, dead daemon, or wedged socket fails the
+# script. Usage: gateway_smoke.sh <saiyand> <saiyand-control>
+set -euo pipefail
+
+SAIYAND=${1:?usage: gateway_smoke.sh <saiyand> <saiyand-control>}
+CONTROL=${2:?usage: gateway_smoke.sh <saiyand> <saiyand-control>}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/saiyan_gw_smoke.XXXXXX")
+SOCK="$WORK/control.sock"
+TRACE="$WORK/demo.sytrc"
+DAEMON_PID=
+
+cleanup() {
+  [[ -n $DAEMON_PID ]] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+stat_value() {  # stat_value <key> <stats-text>
+  awk -v k="$1" '$1 == k { print $2; found = 1 } END { exit !found }' <<<"$2"
+}
+
+# --- 1. record ---------------------------------------------------------
+"$SAIYAND" --record "$TRACE" --tags 3 --packets 4 --payload-symbols 16
+
+# --- 2. serve, throttled so SIGHUP lands mid-replay --------------------
+"$SAIYAND" --trace "$TRACE" --socket "$SOCK" --workers 2 \
+  --throttle-us 3000 >"$WORK/daemon.out" 2>"$WORK/daemon.err" &
+DAEMON_PID=$!
+
+# --- 3. wait for the control socket ------------------------------------
+STATS=
+for _ in $(seq 1 100); do
+  if STATS=$("$CONTROL" --socket "$SOCK" stats 2>/dev/null); then
+    break
+  fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon.err"; echo "daemon died before serving"; exit 1; }
+  sleep 0.1
+done
+[[ -n $STATS ]] || { echo "control socket never came up"; exit 1; }
+
+EXPECTED=$(stat_value markers_expected "$STATS")
+[[ $EXPECTED -gt 0 ]] || { echo "no markers expected?"; exit 1; }
+
+# --- 4. SIGHUP mid-replay ----------------------------------------------
+DECODED=$(stat_value frames_decoded "$STATS")
+if [[ $DECODED -ge $EXPECTED ]]; then
+  echo "replay finished before the reload could land mid-flight" >&2
+  exit 1
+fi
+kill -HUP "$DAEMON_PID"
+
+# --- 5. poll until every ground-truth frame is decoded -----------------
+DONE=0
+for _ in $(seq 1 300); do
+  STATS=$("$CONTROL" --socket "$SOCK" stats)
+  DECODED=$(stat_value frames_decoded "$STATS")
+  if [[ $DECODED -ge $EXPECTED ]]; then DONE=1; break; fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon.err"; echo "daemon died mid-replay"; exit 1; }
+  sleep 0.1
+done
+[[ $DONE -eq 1 ]] || { echo "timed out: decoded $DECODED of $EXPECTED"; cat "$WORK/daemon.err"; exit 1; }
+
+# --- 6. assertions ------------------------------------------------------
+[[ $DECODED -eq $EXPECTED ]] || { echo "decoded $DECODED != expected $EXPECTED"; exit 1; }
+RELOADS=$(stat_value config_reloads "$STATS")
+[[ $RELOADS -ge 1 ]] || { echo "SIGHUP reload not recorded"; exit 1; }
+FAILED=$(stat_value jobs_failed "$STATS")
+[[ $FAILED -eq 0 ]] || { echo "$FAILED jobs failed"; exit 1; }
+DROPPED=$(stat_value ingest.spans_dropped "$STATS")
+[[ $DROPPED -eq 0 ]] || { echo "$DROPPED spans dropped across reload"; exit 1; }
+
+# --- 7. graceful drain + stop ------------------------------------------
+"$CONTROL" --socket "$SOCK" drain
+kill -TERM "$DAEMON_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$DAEMON_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+  echo "daemon ignored SIGTERM"; exit 1
+fi
+wait "$DAEMON_PID" || { echo "daemon exited nonzero"; exit 1; }
+DAEMON_PID=
+
+grep -q "frames_decoded $EXPECTED" "$WORK/daemon.out" \
+  || { echo "final stats dump missing"; cat "$WORK/daemon.out"; exit 1; }
+
+echo "gateway_smoke: $EXPECTED/$EXPECTED frames across a mid-replay reload"

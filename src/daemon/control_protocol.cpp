@@ -1,0 +1,140 @@
+#include "daemon/control_protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace saiyan::daemon {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(std::string_view bytes) {
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[0])) |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[3])) << 24;
+}
+
+std::string encode_frame(std::uint8_t head, std::string_view payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(1 + payload.size()));
+  out.push_back(static_cast<char>(head));
+  out.append(payload);
+  return out;
+}
+
+/// Shared framing checks; on success returns the head byte and sets
+/// `payload` to the rest of the body.
+saiyan::Result<std::uint8_t> decode_frame(std::string_view frame,
+                                          std::string_view& payload) {
+  if (frame.size() < 5) return fail("control frame shorter than its header");
+  const std::uint32_t len = get_u32(frame);
+  if (len == 0) return fail("control frame with empty body");
+  if (len > 1 + kMaxControlPayload) {
+    return fail("control frame body exceeds cap");
+  }
+  if (frame.size() != 4 + static_cast<std::size_t>(len)) {
+    return fail("control frame length prefix disagrees with frame size");
+  }
+  payload = frame.substr(5);
+  return static_cast<std::uint8_t>(frame[4]);
+}
+
+}  // namespace
+
+std::string encode_request(const ControlRequest& req) {
+  return encode_frame(static_cast<std::uint8_t>(req.op), req.payload);
+}
+
+std::string encode_response(const ControlResponse& resp) {
+  return encode_frame(static_cast<std::uint8_t>(resp.status), resp.payload);
+}
+
+saiyan::Result<ControlRequest> decode_request(std::string_view frame) {
+  std::string_view payload;
+  auto head = decode_frame(frame, payload);
+  if (!head.ok()) return head.error();
+  const std::uint8_t op = head.value();
+  if (op != static_cast<std::uint8_t>(ControlOp::kStats) &&
+      op != static_cast<std::uint8_t>(ControlOp::kReload) &&
+      op != static_cast<std::uint8_t>(ControlOp::kDrain)) {
+    return fail("unknown control op " + std::to_string(op));
+  }
+  ControlRequest req;
+  req.op = static_cast<ControlOp>(op);
+  req.payload.assign(payload);
+  return req;
+}
+
+saiyan::Result<ControlResponse> decode_response(std::string_view frame) {
+  std::string_view payload;
+  auto head = decode_frame(frame, payload);
+  if (!head.ok()) return head.error();
+  const std::uint8_t status = head.value();
+  if (status != static_cast<std::uint8_t>(ControlStatus::kOk) &&
+      status != static_cast<std::uint8_t>(ControlStatus::kError)) {
+    return fail("unknown control status " + std::to_string(status));
+  }
+  ControlResponse resp;
+  resp.status = static_cast<ControlStatus>(status);
+  resp.payload.assign(payload);
+  return resp;
+}
+
+saiyan::Result<Unit> write_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(std::string("control write: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Unit{};
+}
+
+namespace {
+
+saiyan::Result<Unit> read_all(int fd, char* dst, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, dst + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return fail(std::string("control read: ") + std::strerror(errno));
+    }
+    if (r == 0) return fail("control read: peer closed mid-frame");
+    off += static_cast<std::size_t>(r);
+  }
+  return Unit{};
+}
+
+}  // namespace
+
+saiyan::Result<std::string> read_frame(int fd) {
+  char head[4];
+  if (auto r = read_all(fd, head, sizeof(head)); !r.ok()) return r.error();
+  const std::uint32_t len = get_u32(std::string_view(head, 4));
+  if (len == 0) return fail("control frame with empty body");
+  if (len > 1 + kMaxControlPayload) {
+    return fail("control frame body exceeds cap");
+  }
+  std::string frame(head, sizeof(head));
+  frame.resize(4 + len, '\0');
+  if (auto r = read_all(fd, frame.data() + 4, len); !r.ok()) {
+    return r.error();
+  }
+  return frame;
+}
+
+}  // namespace saiyan::daemon

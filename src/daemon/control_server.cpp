@@ -1,0 +1,101 @@
+#include "daemon/control_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace saiyan::daemon {
+
+namespace {
+
+void close_quiet(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+saiyan::Result<std::unique_ptr<ControlServer>> ControlServer::start(
+    const std::string& socket_path, Handler handler) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail("control socket path too long: " + socket_path);
+  }
+  std::unique_ptr<ControlServer> srv(
+      new ControlServer(socket_path, std::move(handler)));
+  srv->listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (srv->listen_fd_ < 0) {
+    return fail(std::string("control socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  ::unlink(socket_path.c_str());  // stale socket from a crashed daemon
+  if (::bind(srv->listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("control bind " + socket_path + ": " + std::strerror(errno));
+  }
+  if (::listen(srv->listen_fd_, 8) != 0) {
+    return fail("control listen " + socket_path + ": " +
+                std::strerror(errno));
+  }
+  if (::pipe(srv->stop_pipe_) != 0) {
+    return fail(std::string("control stop pipe: ") + std::strerror(errno));
+  }
+  srv->thr_ = std::thread([s = srv.get()] { s->run(); });
+  return srv;
+}
+
+ControlServer::ControlServer(std::string path, Handler handler)
+    : path_(std::move(path)), handler_(std::move(handler)) {}
+
+ControlServer::~ControlServer() {
+  if (stop_pipe_[1] >= 0) {
+    const char b = 's';
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &b, 1);
+  }
+  if (thr_.joinable()) thr_.join();
+  close_quiet(listen_fd_);
+  close_quiet(stop_pipe_[0]);
+  close_quiet(stop_pipe_[1]);
+  ::unlink(path_.c_str());
+}
+
+void ControlServer::run() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ControlResponse resp;
+    auto frame = read_frame(conn);
+    if (!frame.ok()) {
+      resp = {ControlStatus::kError, frame.message()};
+    } else {
+      auto req = decode_request(frame.value());
+      if (!req.ok()) {
+        resp = {ControlStatus::kError, req.message()};
+      } else {
+        resp = handler_(req.value());
+      }
+    }
+    // Best effort: a client that hung up mid-response loses only its
+    // own answer.
+    (void)write_all(conn, encode_response(resp));
+    ::close(conn);
+  }
+}
+
+}  // namespace saiyan::daemon

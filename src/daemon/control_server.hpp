@@ -1,0 +1,52 @@
+// Unix-domain control socket server for saiyand.
+//
+// One-shot connections: a client connects, sends one request frame,
+// receives one response frame, and the server closes the connection —
+// no session state, so a wedged or malicious client can hold at most
+// one pending request. The accept loop runs on its own thread and
+// multiplexes the listening socket against a stop pipe with poll(),
+// so shutdown never races a blocking accept().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/result.hpp"
+#include "daemon/control_protocol.hpp"
+
+namespace saiyan::daemon {
+
+class ControlServer {
+ public:
+  /// Runs on the server thread for every well-formed request; the
+  /// returned response is written back to the client. Malformed
+  /// frames get a kError response without reaching the handler.
+  using Handler = std::function<ControlResponse(const ControlRequest&)>;
+
+  /// Bind `socket_path` (unlinking a stale socket first), start the
+  /// accept thread. Fails if the path cannot be bound.
+  static saiyan::Result<std::unique_ptr<ControlServer>> start(
+      const std::string& socket_path, Handler handler);
+
+  /// Stops the accept thread and unlinks the socket path.
+  ~ControlServer();
+
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  ControlServer(std::string path, Handler handler);
+  void run();
+
+  std::string path_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread thr_;
+};
+
+}  // namespace saiyan::daemon

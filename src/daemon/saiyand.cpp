@@ -1,0 +1,297 @@
+// saiyand — the Saiyan gateway daemon.
+//
+// Serve mode (default): build a gateway::Gateway from a config file
+// and/or flags, enqueue any --trace files, and serve until SIGTERM.
+// A unix control socket answers saiyand-control (stats / reload /
+// drain). SIGHUP re-reads --config and swaps the serving config; jobs
+// already running finish under the config they started with, so a
+// reload never drops an in-flight span. SIGTERM/SIGINT drain queued
+// work, print final stats, and exit 0.
+//
+// Record mode (--record OUT): synthesize a deterministic multi-tag
+// capture with the simulator and write it as a trace — the
+// record-then-serve quickstart needs no SDR:
+//
+//   saiyand --record demo.trace --tags 3 --packets 4
+//   saiyand --trace demo.trace --workers 2 --oneshot
+//
+// Lifecycle and the control wire format are documented in
+// docs/GATEWAY.md.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemon/control_server.hpp"
+#include "daemon/daemon_config.hpp"
+#include "gateway/gateway.hpp"
+#include "sim/capture.hpp"
+
+namespace {
+
+using saiyan::daemon::ControlOp;
+using saiyan::daemon::ControlRequest;
+using saiyan::daemon::ControlResponse;
+using saiyan::daemon::ControlStatus;
+using saiyan::daemon::DaemonOptions;
+
+int g_signal_pipe_w = -1;
+
+void on_signal(int signo) {
+  const char b = signo == SIGHUP ? 'h' : 't';
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe_w, &b, 1);
+}
+
+void usage(FILE* out) {
+  std::fprintf(
+      out,
+      "saiyand — Saiyan LoRa-backscatter gateway daemon\n"
+      "\n"
+      "serve:  saiyand [--config FILE] [--socket PATH] [--trace FILE]...\n"
+      "                [--workers N] [--chunk-samples N] [--throttle-us N]\n"
+      "                [--print-frames] [--oneshot]\n"
+      "record: saiyand --record OUT.trace [--tags N] [--packets N]\n"
+      "                [--payload-symbols N] [--seed N] [--float32]\n"
+      "\n"
+      "  --config FILE      key/value config (see docs/GATEWAY.md);\n"
+      "                     re-read and applied on SIGHUP\n"
+      "  --socket PATH      control socket (default /tmp/saiyand.sock)\n"
+      "  --trace FILE       enqueue a trace replay job (repeatable)\n"
+      "  --oneshot          drain queued jobs, print stats, exit\n"
+      "  --print-frames     log every decoded frame to stdout\n"
+      "  --record OUT       write a synthetic capture trace and exit\n");
+}
+
+int run_record(const std::string& out_path, std::size_t tags,
+               std::size_t packets, std::size_t payload_symbols,
+               std::uint64_t seed, bool float32) {
+  saiyan::sim::CaptureConfig cfg;
+  cfg.saiyan = saiyan::core::SaiyanConfig::make(saiyan::lora::PhyParams{},
+                                                saiyan::core::Mode::kSuper);
+  for (std::size_t t = 0; t < tags; ++t) {
+    cfg.tag_rss_dbm.push_back(-55.0 - 3.0 * static_cast<double>(t));
+  }
+  cfg.packets_per_tag = packets;
+  cfg.payload_symbols = payload_symbols;
+  cfg.seed = seed;
+  const saiyan::sim::Capture cap = saiyan::sim::generate_capture(cfg);
+  saiyan::sim::write_capture(cap, cfg, out_path, 16384, float32);
+  std::printf("recorded %s: %zu tags, %zu frames, %zu samples%s\n",
+              out_path.c_str(), tags, cap.markers.size(),
+              cap.samples.size(), float32 ? " (float32)" : "");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonOptions opt;
+  bool oneshot = false;
+  bool print_frames = false;
+  std::string record_path;
+  std::size_t rec_tags = 3, rec_packets = 4, rec_payload = 16;
+  std::uint64_t rec_seed = 1;
+  bool rec_float32 = false;
+  std::vector<std::string> cli_traces;
+  // CLI overrides are applied after --config so flags win.
+  long cli_workers = -1, cli_chunk = -1, cli_throttle = -1;
+  std::string cli_socket;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "saiyand: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--config") {
+      auto loaded = saiyan::daemon::load_daemon_config(next());
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "saiyand: %s\n", loaded.message().c_str());
+        return 2;
+      }
+      opt = loaded.value();
+    } else if (arg == "--socket") {
+      cli_socket = next();
+    } else if (arg == "--trace") {
+      cli_traces.emplace_back(next());
+    } else if (arg == "--workers") {
+      cli_workers = std::atol(next());
+    } else if (arg == "--chunk-samples") {
+      cli_chunk = std::atol(next());
+    } else if (arg == "--throttle-us") {
+      cli_throttle = std::atol(next());
+    } else if (arg == "--oneshot") {
+      oneshot = true;
+    } else if (arg == "--print-frames") {
+      print_frames = true;
+    } else if (arg == "--record") {
+      record_path = next();
+    } else if (arg == "--tags") {
+      rec_tags = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--packets") {
+      rec_packets = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--payload-symbols") {
+      rec_payload = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--seed") {
+      rec_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--float32") {
+      rec_float32 = true;
+    } else {
+      std::fprintf(stderr, "saiyand: unknown flag %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  if (!record_path.empty()) {
+    return run_record(record_path, rec_tags, rec_packets, rec_payload,
+                      rec_seed, rec_float32);
+  }
+
+  if (!cli_socket.empty()) opt.socket_path = cli_socket;
+  for (std::string& t : cli_traces) opt.traces.push_back(std::move(t));
+  if (cli_workers >= 0) {
+    opt.gateway.workers = static_cast<std::size_t>(cli_workers);
+  }
+  if (cli_chunk >= 0) {
+    opt.gateway.chunk_samples = static_cast<std::size_t>(cli_chunk);
+  }
+  if (cli_throttle >= 0) {
+    opt.gateway.throttle_us = static_cast<std::uint64_t>(cli_throttle);
+  }
+
+  auto created = saiyan::gateway::Gateway::create(opt.gateway);
+  if (!created.ok()) {
+    std::fprintf(stderr, "saiyand: config: %s\n", created.message().c_str());
+    return 2;
+  }
+  std::unique_ptr<saiyan::gateway::Gateway> gw = std::move(created).value();
+
+  if (print_frames) {
+    gw->subscribe([](const saiyan::gateway::FrameRecord& fr) {
+      std::printf("frame job=%llu worker=%u start=%llu score=%.3f "
+                  "symbols=%zu%s%s\n",
+                  static_cast<unsigned long long>(fr.job), fr.worker,
+                  static_cast<unsigned long long>(fr.packet_start), fr.score,
+                  fr.symbols.size(), fr.collided ? " collided" : "",
+                  fr.sic_assisted ? " sic" : "");
+    });
+  }
+
+  for (const std::string& path : opt.traces) {
+    auto job = gw->enqueue_trace(path);
+    if (!job.ok()) {
+      std::fprintf(stderr, "saiyand: enqueue %s: %s\n", path.c_str(),
+                   job.message().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "saiyand: job %llu <- %s\n",
+                 static_cast<unsigned long long>(job.value()), path.c_str());
+  }
+
+  // Reload shared by SIGHUP and the control socket: re-read the config
+  // file when one was given, otherwise re-apply the current config
+  // (still bumps config_reloads so operators see the signal landed).
+  auto do_reload = [&]() -> saiyan::Result<saiyan::Unit> {
+    if (!opt.config_path.empty()) {
+      auto loaded = saiyan::daemon::load_daemon_config(opt.config_path);
+      if (!loaded.ok()) return loaded.error();
+      // Serving identity (socket, worker pool) is fixed at start; only
+      // the gateway serving config is swappable.
+      auto r = gw->reload(loaded.value().gateway);
+      if (r.ok()) opt.gateway = loaded.value().gateway;
+      return r;
+    }
+    return gw->reload(opt.gateway);
+  };
+
+  auto server = saiyan::daemon::ControlServer::start(
+      opt.socket_path, [&](const ControlRequest& req) -> ControlResponse {
+        switch (req.op) {
+          case ControlOp::kStats:
+            return {ControlStatus::kOk, gw->stats().to_text()};
+          case ControlOp::kReload: {
+            auto r = do_reload();
+            if (!r.ok()) return {ControlStatus::kError, r.message()};
+            return {ControlStatus::kOk, "reloaded\n"};
+          }
+          case ControlOp::kDrain: {
+            auto r = gw->drain();
+            if (!r.ok()) return {ControlStatus::kError, r.message()};
+            return {ControlStatus::kOk, "drained\n"};
+          }
+        }
+        return {ControlStatus::kError, "unhandled op"};
+      });
+  if (!server.ok()) {
+    std::fprintf(stderr, "saiyand: %s\n", server.message().c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "saiyand: serving on %s (%zu workers)\n",
+               opt.socket_path.c_str(), opt.gateway.workers);
+
+  if (oneshot) {
+    if (auto r = gw->drain(); !r.ok()) {
+      std::fprintf(stderr, "saiyand: drain: %s\n", r.message().c_str());
+      return 1;
+    }
+    std::fputs(gw->stats().to_text().c_str(), stdout);
+    return 0;
+  }
+
+  int sigpipe[2];
+  if (::pipe(sigpipe) != 0) {
+    std::perror("saiyand: pipe");
+    return 1;
+  }
+  g_signal_pipe_w = sigpipe[1];
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGHUP, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  for (;;) {
+    pollfd pfd{sigpipe[0], POLLIN, 0};
+    if (::poll(&pfd, 1, -1) < 0) {
+      if (errno == EINTR) continue;
+      std::perror("saiyand: poll");
+      break;
+    }
+    char b = 0;
+    if (::read(sigpipe[0], &b, 1) != 1) continue;
+    if (b == 'h') {
+      auto r = do_reload();
+      if (r.ok()) {
+        std::fprintf(stderr, "saiyand: SIGHUP: config reloaded\n");
+      } else {
+        // A bad new config must not take down a serving daemon.
+        std::fprintf(stderr, "saiyand: SIGHUP: reload rejected: %s\n",
+                     r.message().c_str());
+      }
+      continue;
+    }
+    break;  // SIGTERM / SIGINT
+  }
+
+  std::fprintf(stderr, "saiyand: draining\n");
+  if (auto r = gw->drain(); !r.ok()) {
+    std::fprintf(stderr, "saiyand: drain: %s\n", r.message().c_str());
+  }
+  std::fputs(gw->stats().to_text().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// saiyand-control — thin client for the saiyand control socket.
+//
+//   saiyand-control [--socket PATH] stats|reload|drain
+//
+// Prints the response payload to stdout; exits 0 on an ok status,
+// 1 on a daemon-reported error, 2 on usage/connection problems.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "daemon/control_protocol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saiyan::daemon;
+  std::string socket_path = "/tmp/saiyand.sock";
+  std::string command;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "saiyand-control: --socket needs a value\n");
+        return 2;
+      }
+      socket_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: saiyand-control [--socket PATH] stats|reload|drain\n");
+      return 0;
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      std::fprintf(stderr, "saiyand-control: unexpected argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  ControlRequest req;
+  if (command == "stats") {
+    req.op = ControlOp::kStats;
+  } else if (command == "reload") {
+    req.op = ControlOp::kReload;
+  } else if (command == "drain") {
+    req.op = ControlOp::kDrain;
+  } else {
+    std::fprintf(stderr,
+                 "usage: saiyand-control [--socket PATH] stats|reload|drain\n");
+    return 2;
+  }
+
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "saiyand-control: socket path too long\n");
+    return 2;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("saiyand-control: socket");
+    return 2;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::fprintf(stderr, "saiyand-control: connect %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return 2;
+  }
+
+  int rc = 2;
+  if (auto w = write_all(fd, encode_request(req)); !w.ok()) {
+    std::fprintf(stderr, "saiyand-control: %s\n", w.message().c_str());
+  } else if (auto frame = read_frame(fd); !frame.ok()) {
+    std::fprintf(stderr, "saiyand-control: %s\n", frame.message().c_str());
+  } else if (auto resp = decode_response(frame.value()); !resp.ok()) {
+    std::fprintf(stderr, "saiyand-control: %s\n", resp.message().c_str());
+  } else if (resp.value().status != ControlStatus::kOk) {
+    std::fprintf(stderr, "saiyand-control: error: %s\n",
+                 resp.value().payload.c_str());
+    rc = 1;
+  } else {
+    std::fputs(resp.value().payload.c_str(), stdout);
+    rc = 0;
+  }
+  ::close(fd);
+  return rc;
+}

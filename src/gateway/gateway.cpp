@@ -1,0 +1,634 @@
+#include "gateway/gateway.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+
+#include "stream/streaming_demod.hpp"
+#include "stream/trace.hpp"
+
+namespace saiyan::gateway {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t us_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+}
+
+/// What a worker's warm demodulator slot was built for. Jobs with an
+/// equal key reuse the slot (reset() keeps the warm buffers); anything
+/// else rebuilds it. `generation` ties the key to a specific reload
+/// epoch, so a config swap can never silently serve with stale knobs.
+struct DemodKey {
+  std::uint64_t generation = 0;
+  bool from_trace = false;  ///< SaiyanConfig derived from a trace header
+  core::Mode mode = core::Mode::kSuper;
+  std::size_t payload_symbols = 0;
+  double sample_rate_hz = 0.0;
+  int spreading_factor = 0;
+  double bandwidth_hz = 0.0;
+  int bits_per_symbol = 0;
+  int preamble_symbols = 0;
+  double sync_symbols = 0.0;
+  lora::FecRate fec = lora::FecRate::k4_5;
+
+  static DemodKey make(std::uint64_t gen, bool from_trace,
+                       const lora::PhyParams& phy, core::Mode mode,
+                       std::size_t payload_symbols) {
+    DemodKey k;
+    k.generation = gen;
+    k.from_trace = from_trace;
+    k.mode = mode;
+    k.payload_symbols = payload_symbols;
+    k.sample_rate_hz = phy.sample_rate_hz;
+    k.spreading_factor = phy.spreading_factor;
+    k.bandwidth_hz = phy.bandwidth_hz;
+    k.bits_per_symbol = phy.bits_per_symbol;
+    k.preamble_symbols = phy.preamble_symbols;
+    k.sync_symbols = phy.sync_symbols;
+    k.fec = phy.fec;
+    return k;
+  }
+
+  bool operator==(const DemodKey&) const = default;
+};
+
+struct LiveStream {
+  StreamId id = 0;
+  std::deque<dsp::Signal> chunks;  // guarded by Impl::mu_
+  bool closed = false;             // guarded by Impl::mu_
+};
+
+struct TraceJob {
+  std::uint64_t job_id = 0;
+  std::string path;
+};
+
+struct StreamJob {
+  std::uint64_t job_id = 0;
+  std::shared_ptr<LiveStream> stream;
+};
+
+using Job = std::variant<TraceJob, StreamJob>;
+
+/// Hot per-worker counters: relaxed atomics on their own cache line,
+/// incremented by exactly one worker, read by any snapshotter.
+struct alignas(64) WorkerCounters {
+  std::atomic<std::uint64_t> frames{0};
+  std::atomic<std::uint64_t> symbols{0};
+  std::atomic<std::uint64_t> samples{0};
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> jobs{0};
+  std::atomic<std::uint64_t> truncated{0};
+};
+
+struct Subscriber {
+  SubscriberId id = 0;
+  FrameHandler fn;
+  std::size_t cap = 256;
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<FrameRecord> q;  // guarded by m
+  bool stop = false;          // guarded by m
+  bool in_flight = false;     // handler running (guarded by m)
+  std::thread thr;
+};
+
+}  // namespace
+
+struct Gateway::Impl {
+  explicit Impl(const GatewayConfig& c)
+      : base_cfg(c), cfg(std::make_shared<const GatewayConfig>(c)) {}
+
+  // ---- configuration -------------------------------------------------
+  const GatewayConfig base_cfg;  ///< fixed fields (workers, limits)
+  std::shared_ptr<const GatewayConfig> cfg;  ///< current (guarded by mu_)
+  std::uint64_t cfg_gen = 0;                 ///< bumped per reload (mu_)
+  std::atomic<std::uint64_t> config_reloads{0};
+
+  // ---- scheduling ----------------------------------------------------
+  struct Worker {
+    std::uint32_t index = 0;
+    std::deque<Job> jobs;  // guarded by Impl::mu_
+    bool busy = false;     // guarded by Impl::mu_
+    std::condition_variable cv;
+    WorkerCounters counters;
+    StatsCell<stream::IngestStats> ingest_pub;
+    stream::IngestStats ingest;  // worker-private accumulator
+    std::unique_ptr<stream::StreamingDemodulator> demod;
+    DemodKey demod_key;
+    std::thread thr;
+  };
+
+  mutable std::mutex mu_;  // job queues, live streams, cfg pointer
+  std::condition_variable idle_cv_;
+  bool stop_ = false;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::uint64_t next_job_ = 0;
+  std::uint64_t next_stream_ = 1;
+  std::uint64_t rr_ = 0;
+  std::unordered_map<StreamId, std::shared_ptr<LiveStream>> streams_;
+
+  std::atomic<std::uint64_t> jobs_enqueued{0};
+  std::atomic<std::uint64_t> jobs_done{0};
+  std::atomic<std::uint64_t> jobs_failed{0};
+  std::atomic<std::uint64_t> streams_open{0};
+  std::atomic<std::uint64_t> markers_expected{0};
+
+  // ---- delivery ------------------------------------------------------
+  mutable std::mutex subs_mu_;
+  std::vector<std::shared_ptr<Subscriber>> subs_;
+  std::uint64_t next_sub_ = 1;
+  std::atomic<std::size_t> n_subs{0};
+
+  LatencyHistogram latency_;
+  const Clock::time_point start_ = Clock::now();
+
+  // ---- worker body ---------------------------------------------------
+
+  void worker_main(Worker& w) {
+    for (;;) {
+      Job job;
+      std::shared_ptr<const GatewayConfig> job_cfg;
+      std::uint64_t gen;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        w.cv.wait(lk, [&] { return stop_ || !w.jobs.empty(); });
+        if (stop_) return;  // outstanding jobs are abandoned (see dtor)
+        job = std::move(w.jobs.front());
+        w.jobs.pop_front();
+        w.busy = true;
+        job_cfg = cfg;  // pinned: in-flight jobs survive reload untouched
+        gen = cfg_gen;
+      }
+      std::visit([&](const auto& j) { run_job(w, j, *job_cfg, gen); }, job);
+      w.counters.jobs.fetch_add(1, std::memory_order_relaxed);
+      jobs_done.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        w.busy = false;
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  stream::StreamingDemodulator& ensure_demod(Worker& w, const DemodKey& key,
+                                             stream::StreamConfig sc) {
+    if (!w.demod || !(w.demod_key == key)) {
+      w.demod = std::make_unique<stream::StreamingDemodulator>(sc);
+      w.demod_key = key;
+    } else {
+      w.demod->reset();
+    }
+    w.demod->clear_packets();
+    return *w.demod;
+  }
+
+  void run_job(Worker& w, const TraceJob& job, const GatewayConfig& gcfg,
+               std::uint64_t gen) {
+    auto opened = stream::TraceReader::open(job.path, gcfg.resync);
+    if (!opened.ok()) {
+      // Validated at enqueue time; the file changed underneath us.
+      w.ingest.count(opened.error().ingest == stream::IngestError::kNone
+                         ? stream::IngestError::kBadHeader
+                         : opened.error().ingest);
+      w.ingest_pub.publish(w.ingest);
+      jobs_failed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    stream::TraceReader reader = std::move(opened).value();
+    // The trace knows what receiver it was recorded for; the gateway's
+    // stream knobs (thresholds, seeds, SIC policy) come from config.
+    stream::StreamConfig sc = gcfg.worker_stream_config();
+    sc.saiyan =
+        core::SaiyanConfig::make(reader.meta().phy, reader.meta().mode);
+    sc.payload_symbols = reader.meta().payload_symbols;
+    stream::StreamingDemodulator& demod = ensure_demod(
+        w,
+        DemodKey::make(gen, /*from_trace=*/true, reader.meta().phy,
+                       reader.meta().mode, reader.meta().payload_symbols),
+        sc);
+
+    const std::uint64_t truncated_before = demod.truncated_packets();
+    dsp::Signal chunk;
+    for (;;) {
+      const std::uint64_t skipped_before = reader.stats().bytes_skipped;
+      const stream::ChunkStatus st = reader.next_chunk(chunk);
+      if (st == stream::ChunkStatus::kOk ||
+          st == stream::ChunkStatus::kResync) {
+        if (st == stream::ChunkStatus::kResync) {
+          demod.note_gap(reader.last_gap_samples());
+        }
+        const Clock::time_point t0 = Clock::now();
+        std::span<const dsp::Complex> rest(chunk);
+        while (!rest.empty()) {
+          const std::size_t take = std::min(gcfg.chunk_samples, rest.size());
+          demod.push(rest.first(take));
+          rest = rest.subspan(take);
+        }
+        w.counters.chunks.fetch_add(1, std::memory_order_relaxed);
+        w.counters.samples.fetch_add(chunk.size(), std::memory_order_relaxed);
+        emit_frames(w, demod, job.job_id, t0);
+        publish_transient(w, &reader, &demod);
+        if (gcfg.throttle_us != 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(gcfg.throttle_us));
+        }
+        continue;
+      }
+      if (st == stream::ChunkStatus::kEof &&
+          reader.stats().bytes_skipped > skipped_before) {
+        // Recover-mode EOF that discarded a corrupt tail.
+        demod.note_gap(reader.last_gap_samples());
+      }
+      break;
+    }
+    const Clock::time_point t_flush = Clock::now();
+    demod.finish();
+    emit_frames(w, demod, job.job_id, t_flush);
+    w.counters.truncated.fetch_add(demod.truncated_packets() -
+                                       truncated_before,
+                                   std::memory_order_relaxed);
+    w.ingest.merge(reader.stats());
+    w.ingest.merge(demod.ingest());
+    w.ingest_pub.publish(w.ingest);
+  }
+
+  void run_job(Worker& w, const StreamJob& job, const GatewayConfig& gcfg,
+               std::uint64_t gen) {
+    stream::StreamConfig sc = gcfg.worker_stream_config();
+    stream::StreamingDemodulator& demod = ensure_demod(
+        w,
+        DemodKey::make(gen, /*from_trace=*/false, sc.saiyan.phy,
+                       sc.saiyan.mode, sc.payload_symbols),
+        sc);
+    const std::uint64_t truncated_before = demod.truncated_packets();
+    for (;;) {
+      dsp::Signal chunk;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        w.cv.wait(lk, [&] {
+          return stop_ || job.stream->closed || !job.stream->chunks.empty();
+        });
+        if (stop_) return;  // abandoned, like any outstanding job
+        if (job.stream->chunks.empty()) break;  // closed and drained
+        chunk = std::move(job.stream->chunks.front());
+        job.stream->chunks.pop_front();
+      }
+      const Clock::time_point t0 = Clock::now();
+      std::span<const dsp::Complex> rest(chunk);
+      while (!rest.empty()) {
+        const std::size_t take = std::min(gcfg.chunk_samples, rest.size());
+        demod.push(rest.first(take));
+        rest = rest.subspan(take);
+      }
+      w.counters.chunks.fetch_add(1, std::memory_order_relaxed);
+      w.counters.samples.fetch_add(chunk.size(), std::memory_order_relaxed);
+      emit_frames(w, demod, job.job_id, t0);
+      publish_transient(w, nullptr, &demod);
+      if (gcfg.throttle_us != 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(gcfg.throttle_us));
+      }
+    }
+    const Clock::time_point t_flush = Clock::now();
+    demod.finish();
+    emit_frames(w, demod, job.job_id, t_flush);
+    w.counters.truncated.fetch_add(demod.truncated_packets() -
+                                       truncated_before,
+                                   std::memory_order_relaxed);
+    w.ingest.merge(demod.ingest());
+    w.ingest_pub.publish(w.ingest);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      streams_.erase(job.stream->id);
+    }
+  }
+
+  /// Live view during a job: persistent worker counters plus the
+  /// in-progress reader/demodulator counters (not yet folded in).
+  void publish_transient(Worker& w, const stream::TraceReader* reader,
+                         const stream::StreamingDemodulator* demod) {
+    stream::IngestStats view = w.ingest;
+    if (reader != nullptr) view.merge(reader->stats());
+    if (demod != nullptr) view.merge(demod->ingest());
+    w.ingest_pub.publish(view);
+  }
+
+  void emit_frames(Worker& w, stream::StreamingDemodulator& demod,
+                   std::uint64_t job_id, Clock::time_point t_chunk) {
+    const std::span<const stream::DecodedPacket> pkts = demod.packets();
+    if (pkts.empty()) return;
+    const std::uint64_t lat = us_since(t_chunk);
+    for (const stream::DecodedPacket& p : pkts) {
+      latency_.record(lat);
+      w.counters.frames.fetch_add(1, std::memory_order_relaxed);
+      w.counters.symbols.fetch_add(p.n_symbols, std::memory_order_relaxed);
+      FrameRecord fr;
+      fr.job = job_id;
+      fr.worker = w.index;
+      fr.packet_start = p.packet_start;
+      fr.payload_start = p.payload_start;
+      fr.score = p.score;
+      fr.collided = p.collided;
+      fr.sic_assisted = p.sic_assisted;
+      fr.latency_us = lat;
+      const std::span<const std::uint32_t> syms = demod.symbols(p);
+      fr.symbols.assign(syms.begin(), syms.end());
+      deliver(w, fr);
+    }
+    demod.clear_packets();
+  }
+
+  void deliver(Worker& w, const FrameRecord& fr) {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    for (const std::shared_ptr<Subscriber>& sp : subs_) {
+      Subscriber& s = *sp;
+      std::lock_guard<std::mutex> sk(s.m);
+      if (s.stop) continue;
+      if (s.q.size() >= s.cap) {
+        // Backpressure: the slow subscriber sheds its own frames; the
+        // worker moves on immediately.
+        ++w.ingest.frames_dropped_subscriber;
+        continue;
+      }
+      s.q.push_back(fr);
+      s.cv.notify_one();
+    }
+  }
+
+  static void subscriber_main(Subscriber& s) {
+    std::unique_lock<std::mutex> lk(s.m);
+    for (;;) {
+      s.cv.wait(lk, [&] { return s.stop || !s.q.empty(); });
+      if (s.q.empty()) break;  // stop requested and everything delivered
+      FrameRecord fr = std::move(s.q.front());
+      s.q.pop_front();
+      s.in_flight = true;
+      lk.unlock();
+      try {
+        s.fn(fr);
+      } catch (...) {
+        // A subscriber's exception must not take down delivery; the
+        // frame counts as delivered.
+      }
+      lk.lock();
+      s.in_flight = false;
+      s.cv.notify_all();  // drain() waits on empty-and-idle
+    }
+  }
+};
+
+saiyan::Result<std::unique_ptr<Gateway>> Gateway::create(
+    const GatewayConfig& cfg) {
+  if (auto v = cfg.validate(); !v.ok()) return v.error();
+  return std::unique_ptr<Gateway>(new Gateway(cfg));
+}
+
+Gateway::Gateway(const GatewayConfig& cfg) : impl_(new Impl(cfg)) {
+  impl_->workers_.reserve(cfg.workers);
+  for (std::size_t i = 0; i < cfg.workers; ++i) {
+    auto w = std::make_unique<Impl::Worker>();
+    w->index = static_cast<std::uint32_t>(i);
+    impl_->workers_.push_back(std::move(w));
+  }
+  for (std::size_t i = 0; i < cfg.workers; ++i) {
+    Impl::Worker& w = *impl_->workers_[i];
+    w.thr = std::thread([this, &w] { impl_->worker_main(w); });
+  }
+}
+
+Gateway::~Gateway() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    impl_->stop_ = true;
+  }
+  for (auto& w : impl_->workers_) w->cv.notify_all();
+  for (auto& w : impl_->workers_) {
+    if (w->thr.joinable()) w->thr.join();
+  }
+  std::vector<std::shared_ptr<Subscriber>> subs;
+  {
+    std::lock_guard<std::mutex> lk(impl_->subs_mu_);
+    subs.swap(impl_->subs_);
+  }
+  for (const std::shared_ptr<Subscriber>& s : subs) {
+    {
+      std::lock_guard<std::mutex> lk(s->m);
+      s->stop = true;
+    }
+    s->cv.notify_all();
+    if (s->thr.joinable()) s->thr.join();
+  }
+}
+
+saiyan::Result<std::uint64_t> Gateway::enqueue_trace(const std::string& path) {
+  bool resync;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    resync = impl_->cfg->resync;
+  }
+  // Validate the header here so a bad file fails the caller, not a
+  // worker; the marker count feeds the ground-truth expectation.
+  auto probe = stream::TraceReader::open(path, resync);
+  if (!probe.ok()) return probe.error();
+  impl_->markers_expected.fetch_add(probe.value().markers().size(),
+                                    std::memory_order_relaxed);
+  std::uint64_t job_id;
+  Impl::Worker* target;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    job_id = impl_->next_job_++;
+    target = impl_->workers_[impl_->rr_++ % impl_->workers_.size()].get();
+    target->jobs.push_back(TraceJob{job_id, path});
+  }
+  impl_->jobs_enqueued.fetch_add(1, std::memory_order_relaxed);
+  target->cv.notify_all();
+  return job_id;
+}
+
+StreamId Gateway::open_stream() {
+  auto ls = std::make_shared<LiveStream>();
+  std::uint64_t job_id;
+  Impl::Worker* target;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    ls->id = impl_->next_stream_++;
+    impl_->streams_.emplace(ls->id, ls);
+    job_id = impl_->next_job_++;
+    target = impl_->workers_[impl_->rr_++ % impl_->workers_.size()].get();
+    target->jobs.push_back(StreamJob{job_id, ls});
+  }
+  impl_->jobs_enqueued.fetch_add(1, std::memory_order_relaxed);
+  impl_->streams_open.fetch_add(1, std::memory_order_relaxed);
+  target->cv.notify_all();
+  return ls->id;
+}
+
+saiyan::Result<Unit> Gateway::push(StreamId stream,
+                                   std::span<const dsp::Complex> chunk) {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    auto it = impl_->streams_.find(stream);
+    if (it == impl_->streams_.end() || it->second->closed) {
+      return fail("push: unknown or closed stream " + std::to_string(stream));
+    }
+    it->second->chunks.emplace_back(chunk.begin(), chunk.end());
+  }
+  for (auto& w : impl_->workers_) w->cv.notify_all();
+  return Unit{};
+}
+
+saiyan::Result<Unit> Gateway::close_stream(StreamId stream) {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    auto it = impl_->streams_.find(stream);
+    if (it == impl_->streams_.end() || it->second->closed) {
+      return fail("close_stream: unknown or closed stream " +
+                  std::to_string(stream));
+    }
+    it->second->closed = true;
+  }
+  impl_->streams_open.fetch_sub(1, std::memory_order_relaxed);
+  for (auto& w : impl_->workers_) w->cv.notify_all();
+  return Unit{};
+}
+
+SubscriberId Gateway::subscribe(FrameHandler handler) {
+  auto s = std::make_shared<Subscriber>();
+  s->fn = std::move(handler);
+  s->cap = impl_->base_cfg.limits.subscriber_queue;
+  {
+    std::lock_guard<std::mutex> lk(impl_->subs_mu_);
+    s->id = impl_->next_sub_++;
+    impl_->subs_.push_back(s);
+  }
+  impl_->n_subs.fetch_add(1, std::memory_order_relaxed);
+  s->thr = std::thread([s] { Impl::subscriber_main(*s); });
+  return s->id;
+}
+
+void Gateway::unsubscribe(SubscriberId id) {
+  std::shared_ptr<Subscriber> victim;
+  {
+    std::lock_guard<std::mutex> lk(impl_->subs_mu_);
+    for (auto it = impl_->subs_.begin(); it != impl_->subs_.end(); ++it) {
+      if ((*it)->id == id) {
+        victim = *it;
+        impl_->subs_.erase(it);
+        break;
+      }
+    }
+  }
+  if (!victim) return;
+  impl_->n_subs.fetch_sub(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(victim->m);
+    victim->stop = true;  // queued frames are still delivered first
+  }
+  victim->cv.notify_all();
+  if (victim->thr.joinable()) victim->thr.join();
+}
+
+saiyan::Result<Unit> Gateway::reload(const GatewayConfig& cfg) {
+  if (auto v = cfg.validate(); !v.ok()) return v.error();
+  if (cfg.workers != impl_->base_cfg.workers) {
+    return fail("reload: workers is fixed at create()");
+  }
+  if (cfg.limits.subscriber_queue != impl_->base_cfg.limits.subscriber_queue) {
+    return fail("reload: limits.subscriber_queue is fixed at create()");
+  }
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    impl_->cfg = std::make_shared<const GatewayConfig>(cfg);
+    ++impl_->cfg_gen;
+  }
+  impl_->config_reloads.fetch_add(1, std::memory_order_relaxed);
+  return Unit{};
+}
+
+saiyan::Result<Unit> Gateway::drain() {
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu_);
+    for (const auto& [id, ls] : impl_->streams_) {
+      if (!ls->closed) {
+        return fail("drain: live stream " + std::to_string(id) +
+                    " still open (close_stream it first)");
+      }
+    }
+    impl_->idle_cv_.wait(lk, [&] {
+      for (const auto& w : impl_->workers_) {
+        if (w->busy || !w->jobs.empty()) return false;
+      }
+      return true;
+    });
+  }
+  std::vector<std::shared_ptr<Subscriber>> subs;
+  {
+    std::lock_guard<std::mutex> lk(impl_->subs_mu_);
+    subs = impl_->subs_;
+  }
+  for (const std::shared_ptr<Subscriber>& s : subs) {
+    std::unique_lock<std::mutex> sk(s->m);
+    s->cv.wait(sk, [&] { return s->q.empty() && !s->in_flight; });
+  }
+  return Unit{};
+}
+
+GatewayStats Gateway::stats() const {
+  const Impl& im = *impl_;
+  GatewayStats s;
+  s.uptime_s = std::chrono::duration<double>(Clock::now() - im.start_).count();
+  s.workers = im.workers_.size();
+  s.subscribers = im.n_subs.load(std::memory_order_relaxed);
+  s.jobs_enqueued = im.jobs_enqueued.load(std::memory_order_relaxed);
+  s.jobs_done = im.jobs_done.load(std::memory_order_relaxed);
+  s.jobs_failed = im.jobs_failed.load(std::memory_order_relaxed);
+  s.streams_open = im.streams_open.load(std::memory_order_relaxed);
+  s.config_reloads = im.config_reloads.load(std::memory_order_relaxed);
+  s.markers_expected = im.markers_expected.load(std::memory_order_relaxed);
+  s.per_worker.reserve(im.workers_.size());
+  for (const auto& wp : im.workers_) {
+    const WorkerCounters& c = wp->counters;
+    WorkerSnapshot ws;
+    ws.frames = c.frames.load(std::memory_order_relaxed);
+    ws.symbols = c.symbols.load(std::memory_order_relaxed);
+    ws.samples = c.samples.load(std::memory_order_relaxed);
+    ws.chunks = c.chunks.load(std::memory_order_relaxed);
+    ws.jobs = c.jobs.load(std::memory_order_relaxed);
+    ws.truncated = c.truncated.load(std::memory_order_relaxed);
+    s.frames_decoded += ws.frames;
+    s.symbols_decoded += ws.symbols;
+    s.samples_consumed += ws.samples;
+    s.chunks_ingested += ws.chunks;
+    s.truncated_frames += ws.truncated;
+    s.ingest.merge(wp->ingest_pub.read());
+    s.per_worker.push_back(ws);
+  }
+  if (s.uptime_s > 0.0) {
+    s.frames_per_sec = static_cast<double>(s.frames_decoded) / s.uptime_s;
+    s.msamples_per_sec =
+        static_cast<double>(s.samples_consumed) / s.uptime_s / 1e6;
+  }
+  // Quantiles report a log2 bucket's upper edge; clamp to the true max
+  // so p99 never reads above the worst sample actually seen.
+  s.latency_max_us = im.latency_.max_us();
+  s.latency_p50_us = std::min(im.latency_.quantile_us(0.50), s.latency_max_us);
+  s.latency_p99_us = std::min(im.latency_.quantile_us(0.99), s.latency_max_us);
+  return s;
+}
+
+const GatewayConfig& Gateway::config() const { return impl_->base_cfg; }
+
+}  // namespace saiyan::gateway

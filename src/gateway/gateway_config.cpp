@@ -1,0 +1,75 @@
+#include "gateway/gateway_config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "stream/trace.hpp"
+
+namespace saiyan::gateway {
+
+namespace {
+
+saiyan::Error bad_field(const char* path, const std::string& why) {
+  return saiyan::Error{std::string(path) + ": " + why};
+}
+
+}  // namespace
+
+saiyan::Result<Unit> GatewayConfig::validate() const {
+  try {
+    stream.saiyan.phy.validate();
+  } catch (const std::invalid_argument& err) {
+    return bad_field("stream.saiyan.phy", err.what());
+  }
+  if (stream.payload_symbols == 0 || stream.payload_symbols > (1u << 16)) {
+    return bad_field("stream.payload_symbols", "must be in [1, 65536]");
+  }
+  if (!(stream.min_score > 0.0) || stream.min_score > 1.0) {
+    return bad_field("stream.min_score", "must be in (0, 1]");
+  }
+  if (stream.sic.depth > 16) {
+    return bad_field("stream.sic.depth", "must be <= 16");
+  }
+  if (!(stream.sic.redetect_min_score > 0.0) ||
+      stream.sic.redetect_min_score > 1.0) {
+    return bad_field("stream.sic.redetect_min_score", "must be in (0, 1]");
+  }
+  // Deprecated aliases: both spellings set to different nonzero values
+  // is ambiguous — reject instead of silently picking one.
+  if (stream.sic.shed_queue != 0 && limits.sic_shed_queue != 0 &&
+      stream.sic.shed_queue != limits.sic_shed_queue) {
+    return bad_field("stream.sic.shed_queue",
+                     "deprecated alias conflicts with limits.sic_shed_queue");
+  }
+  if (stream.sic.max_rescan_queue != 0 && limits.sic_max_rescan_queue != 0 &&
+      stream.sic.max_rescan_queue != limits.sic_max_rescan_queue) {
+    return bad_field(
+        "stream.sic.max_rescan_queue",
+        "deprecated alias conflicts with limits.sic_max_rescan_queue");
+  }
+  if (workers == 0 || workers > 256) {
+    return bad_field("workers", "must be in [1, 256]");
+  }
+  if (chunk_samples == 0 || chunk_samples > stream::kMaxTraceChunkSamples) {
+    return bad_field("chunk_samples",
+                     "must be in [1, " +
+                         std::to_string(stream::kMaxTraceChunkSamples) + "]");
+  }
+  if (limits.subscriber_queue == 0) {
+    return bad_field("limits.subscriber_queue", "must be >= 1");
+  }
+  return Unit{};
+}
+
+stream::StreamConfig GatewayConfig::worker_stream_config() const {
+  stream::StreamConfig sc = stream;
+  if (limits.sic_shed_queue != 0) {
+    sc.sic.shed_queue = limits.sic_shed_queue;
+  }
+  if (limits.sic_max_rescan_queue != 0) {
+    sc.sic.max_rescan_queue = limits.sic_max_rescan_queue;
+  }
+  return sc;
+}
+
+}  // namespace saiyan::gateway

@@ -1,0 +1,89 @@
+// One configuration for the whole serving path.
+//
+// Before the facade, driving the library as a gateway meant juggling
+// three config structs (core::SaiyanConfig inside stream::StreamConfig
+// inside whatever the caller invented) plus loose knobs scattered over
+// call sites (chunk size, resync mode, SIC shedding). GatewayConfig
+// aggregates all of it behind one validated struct:
+//
+//   GatewayConfig cfg;
+//   cfg.workers = 4;
+//   cfg.stream.sic.depth = 1;
+//   if (auto v = cfg.validate(); !v.ok()) die(v.message());
+//   auto gw = gateway::Gateway::create(cfg);
+//
+// validate() checks every field and reports the *first* bad one by its
+// dotted path ("stream.min_score", "limits.subscriber_queue"), so a
+// config-file error points at a line, not at a stack trace from
+// whichever layer noticed three calls later.
+//
+// Deprecated aliases (one release): the SIC load-shedding knobs grew
+// up inside sic::SicConfig (stream.sic.shed_queue /
+// stream.sic.max_rescan_queue) but are gateway overload policy, not
+// cancellation policy — their canonical home is now GatewayLimits.
+// The old fields still work: worker_stream_config() folds them in, and
+// validate() rejects a config that sets both spellings to different
+// values instead of silently picking one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/result.hpp"
+#include "stream/streaming_demod.hpp"
+
+namespace saiyan::gateway {
+
+/// Gateway-level overload policy: every bound the serving path applies
+/// when the offered load exceeds what it can absorb.
+struct GatewayLimits {
+  /// Frames buffered per subscriber before new frames are dropped for
+  /// that subscriber (IngestStats::frames_dropped_subscriber). A slow
+  /// consumer sheds its own frames; it never stalls a worker.
+  std::size_t subscriber_queue = 256;
+  /// Canonical home of stream.sic.shed_queue (deprecated alias): skip
+  /// SIC cancellation when the rescan backlog reaches this depth.
+  /// 0 = never shed.
+  std::size_t sic_shed_queue = 0;
+  /// Canonical home of stream.sic.max_rescan_queue (deprecated alias):
+  /// hard cap on queued rescan regions. 0 = unbounded.
+  std::size_t sic_max_rescan_queue = 0;
+};
+
+struct GatewayConfig {
+  /// Per-worker demodulation pipeline: PHY + receiver mode, frame
+  /// length, scanner threshold, decode seeds, SIC policy. Every worker
+  /// runs an identical warm copy.
+  stream::StreamConfig stream;
+
+  /// Demodulator worker threads. Each worker owns a warm
+  /// StreamingDemodulator + SIC resolver + DemodWorkspace; streams and
+  /// trace-replay jobs are assigned to workers round-robin, so decode
+  /// results are bit-identical at any worker count.
+  std::size_t workers = 1;
+
+  /// Trace-read / socket-ingest granularity in samples.
+  std::size_t chunk_samples = 16384;
+
+  /// Read traces in skip-and-resync mode and feed recovered gaps to
+  /// the demodulator (StreamingDemodulator::note_gap) instead of
+  /// aborting the stream at the first corrupt chunk.
+  bool resync = true;
+
+  /// Pacing: sleep this long after each ingested chunk (0 = replay as
+  /// fast as the hardware allows). The daemon's record-then-serve mode
+  /// uses it to approximate a real-time capture feed.
+  std::uint64_t throttle_us = 0;
+
+  GatewayLimits limits;
+
+  /// Check every field; on failure the Error message names the first
+  /// bad field by its dotted path.
+  saiyan::Result<Unit> validate() const;
+
+  /// The per-worker stream config with the deprecated SIC-shedding
+  /// aliases folded into their canonical GatewayLimits values.
+  stream::StreamConfig worker_stream_config() const;
+};
+
+}  // namespace saiyan::gateway

@@ -1,0 +1,79 @@
+#include "gateway/gateway_stats.hpp"
+
+#include <cstdio>
+
+namespace saiyan::gateway {
+
+namespace {
+
+void line(std::string& out, const char* key, std::uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %llu\n", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void line(std::string& out, const char* key, double v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %.3f\n", key, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string GatewayStats::to_text() const {
+  std::string out;
+  out.reserve(1024 + 128 * per_worker.size());
+  line(out, "uptime_s", uptime_s);
+  line(out, "workers", static_cast<std::uint64_t>(workers));
+  line(out, "subscribers", static_cast<std::uint64_t>(subscribers));
+  line(out, "jobs_enqueued", jobs_enqueued);
+  line(out, "jobs_done", jobs_done);
+  line(out, "jobs_failed", jobs_failed);
+  line(out, "streams_open", streams_open);
+  line(out, "config_reloads", config_reloads);
+  line(out, "frames_decoded", frames_decoded);
+  line(out, "symbols_decoded", symbols_decoded);
+  line(out, "truncated_frames", truncated_frames);
+  line(out, "samples_consumed", samples_consumed);
+  line(out, "chunks_ingested", chunks_ingested);
+  line(out, "markers_expected", markers_expected);
+  line(out, "frames_per_sec", frames_per_sec);
+  line(out, "msamples_per_sec", msamples_per_sec);
+  line(out, "latency_p50_us", latency_p50_us);
+  line(out, "latency_p99_us", latency_p99_us);
+  line(out, "latency_max_us", latency_max_us);
+  line(out, "ingest.chunks_ok", ingest.chunks_ok);
+  line(out, "ingest.chunks_corrupt", ingest.chunks_corrupt);
+  line(out, "ingest.resyncs", ingest.resyncs);
+  line(out, "ingest.bytes_skipped", ingest.bytes_skipped);
+  line(out, "ingest.samples_lost", ingest.samples_lost);
+  line(out, "ingest.gaps", ingest.gaps);
+  line(out, "ingest.gap_samples", ingest.gap_samples);
+  line(out, "ingest.spans_dropped", ingest.spans_dropped);
+  line(out, "ingest.sic_shed", ingest.sic_shed);
+  line(out, "ingest.rescans_dropped", ingest.rescans_dropped);
+  line(out, "ingest.rescans_expired", ingest.rescans_expired);
+  line(out, "ingest.frames_dropped_subscriber",
+       ingest.frames_dropped_subscriber);
+  line(out, "ingest.total_errors", ingest.total_errors());
+  for (std::size_t i = 0; i < per_worker.size(); ++i) {
+    const WorkerSnapshot& w = per_worker[i];
+    char key[64];
+    std::snprintf(key, sizeof(key), "worker.%zu.frames", i);
+    line(out, key, w.frames);
+    std::snprintf(key, sizeof(key), "worker.%zu.symbols", i);
+    line(out, key, w.symbols);
+    std::snprintf(key, sizeof(key), "worker.%zu.samples", i);
+    line(out, key, w.samples);
+    std::snprintf(key, sizeof(key), "worker.%zu.chunks", i);
+    line(out, key, w.chunks);
+    std::snprintf(key, sizeof(key), "worker.%zu.jobs", i);
+    line(out, key, w.jobs);
+    std::snprintf(key, sizeof(key), "worker.%zu.truncated", i);
+    line(out, key, w.truncated);
+  }
+  return out;
+}
+
+}  // namespace saiyan::gateway

@@ -1,0 +1,162 @@
+// Gateway serving statistics: lock-free on the serving path.
+//
+// MDS2's operational lesson (PAPERS.md) is that statistics queries
+// must not perturb the serving path: an operator polling `stats` once
+// a second must cost the workers nothing. Two mechanisms deliver that:
+//
+//   * hot counters (frames, samples, latency histogram buckets) are
+//     per-worker relaxed atomics, padded to their own cache line —
+//     a worker increments without synchronizing with anyone;
+//   * the composite IngestStats block (too wide for one atomic) is
+//     published through a per-worker seqlock: the worker bumps a
+//     version counter around its update, the snapshot thread retries
+//     the copy until it reads a stable even version. Writers never
+//     wait; readers retry, which only matters while a worker is
+//     mid-publish.
+//
+// Latency is tracked as a log2 histogram over microseconds (bucket i
+// holds samples with bit_width(us) == i), so p50/p99 come out of 48
+// counters with ~2x resolution and no per-sample allocation.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/ingest_stats.hpp"
+
+namespace saiyan::gateway {
+
+/// Log2-bucketed latency histogram (microseconds). record() is
+/// wait-free; quantiles are computed at snapshot time.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(std::uint64_t us) {
+    const std::size_t b =
+        std::min<std::size_t>(std::bit_width(us), kBuckets - 1);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (us > prev &&
+           !max_us_.compare_exchange_weak(prev, us,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Upper edge (us) of the bucket holding quantile `q` of the
+  /// recorded samples; 0 when nothing was recorded.
+  std::uint64_t quantile_us(double q) const {
+    std::array<std::uint64_t, kBuckets> counts;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    if (total == 0) return 0;
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen > rank) {
+        return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+      }
+    }
+    return max_us();
+  }
+
+  std::uint64_t max_us() const {
+    return max_us_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+/// Single-writer seqlock publishing a composite stats block to
+/// concurrent snapshot readers without making the writer wait.
+template <typename T>
+class StatsCell {
+ public:
+  /// Worker side (one writer): publish a new value.
+  void publish(const T& value) {
+    seq_.fetch_add(1, std::memory_order_relaxed);        // odd: in flux
+    std::atomic_thread_fence(std::memory_order_release);
+    data_ = value;
+    seq_.fetch_add(1, std::memory_order_release);        // even: stable
+  }
+
+  /// Snapshot side: retry until a stable copy is read.
+  T read() const {
+    for (;;) {
+      const std::uint32_t before = seq_.load(std::memory_order_acquire);
+      if (before & 1) continue;
+      T copy = data_;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == before) return copy;
+    }
+  }
+
+ private:
+  std::atomic<std::uint32_t> seq_{0};
+  T data_{};
+};
+
+/// Per-worker counters as seen in a snapshot.
+struct WorkerSnapshot {
+  std::uint64_t frames = 0;     ///< packets decoded
+  std::uint64_t symbols = 0;    ///< payload symbols decoded
+  std::uint64_t samples = 0;    ///< IQ samples consumed
+  std::uint64_t chunks = 0;     ///< chunks ingested
+  std::uint64_t jobs = 0;       ///< trace/stream jobs completed
+  std::uint64_t truncated = 0;  ///< frames cut off by capture end
+};
+
+/// One coherent view of the gateway, produced by Gateway::stats()
+/// without stopping any worker.
+struct GatewayStats {
+  double uptime_s = 0.0;
+  std::size_t workers = 0;
+  std::size_t subscribers = 0;
+
+  std::uint64_t jobs_enqueued = 0;
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_failed = 0;   ///< trace open/parse failures
+  std::uint64_t streams_open = 0;  ///< live push-streams not yet closed
+  std::uint64_t config_reloads = 0;
+
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t symbols_decoded = 0;
+  std::uint64_t truncated_frames = 0;
+  std::uint64_t samples_consumed = 0;
+  std::uint64_t chunks_ingested = 0;
+  /// Ground-truth frame count summed over the marker tables of every
+  /// enqueued trace — what frames_decoded should reach when nothing
+  /// is lost.
+  std::uint64_t markers_expected = 0;
+
+  double frames_per_sec = 0.0;     ///< over uptime
+  double msamples_per_sec = 0.0;   ///< over uptime
+
+  std::uint64_t latency_p50_us = 0;  ///< chunk-to-frame decode latency
+  std::uint64_t latency_p99_us = 0;
+  std::uint64_t latency_max_us = 0;
+
+  /// Merged ingest health across workers (trace resyncs, gaps, SIC
+  /// shedding, subscriber drops).
+  stream::IngestStats ingest;
+
+  std::vector<WorkerSnapshot> per_worker;
+
+  /// Serialize as `key value` lines — the control protocol's stats
+  /// payload (documented in docs/GATEWAY.md).
+  std::string to_text() const;
+};
+
+}  // namespace saiyan::gateway

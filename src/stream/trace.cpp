@@ -16,9 +16,9 @@ namespace {
 constexpr char kMagic[8] = {'S', 'A', 'I', 'Y', 'T', 'R', 'C', '1'};
 constexpr std::uint32_t kVersionF64 = 1;  // float64 IQ pairs (bit-exact)
 constexpr std::uint32_t kVersionF32 = 2;  // float32 IQ pairs (half size)
-// Sanity bound on a single chunk (4M complex samples = 64 MiB): a
-// corrupted length field must not translate into an absurd allocation.
-constexpr std::uint32_t kMaxChunkSamples = 1u << 22;
+// Sanity bound on a single chunk; shared with config validation
+// through the public header.
+constexpr std::uint32_t kMaxChunkSamples = kMaxTraceChunkSamples;
 constexpr std::uint64_t kMaxMarkers = 1u << 20;
 constexpr std::uint32_t kMaxMarkerSymbols = 1u << 16;
 // Serialized sizes: chunk record header and the fixed part of one
@@ -140,28 +140,39 @@ void TraceWriter::close() {
   if (!try_close()) throw std::runtime_error(last_error_);
 }
 
+saiyan::Result<Unit> TraceWriter::finish() {
+  if (try_close()) return Unit{};
+  return fail(last_error_);
+}
+
 bool TraceWriter::try_close() noexcept {
+  // Idempotent: only the first call touches the stream; every later
+  // call (finish() after try_close(), the destructor after either)
+  // reports the first call's outcome.
   if (closed_) return last_error_.empty();
   closed_ = true;
+  // Sticky: a write_chunk failure already describes the root cause and
+  // has left the stream in a failed state — the close path's seek and
+  // flush will fail too, and must not overwrite that first error.
+  const bool had_error = !last_error_.empty();
   out_.seekp(total_samples_pos_);
   put(out_, total_);
   out_.flush();
-  if (!out_) {
+  const bool flushed = static_cast<bool>(out_);
+  out_.close();
+  if ((!flushed || !out_) && !had_error) {
     // Record instead of throwing: the destructor lands here, and a
     // failed flush means the file is truncated/unpatched on disk.
     try {
       last_error_ = "TraceWriter: close failed (trace truncated)";
     } catch (...) {
-      // Allocation failure storing the message; the empty-string
-      // fallback below still flags the error.
+      // Allocation failure storing the message; the one-char fallback
+      // (small-string storage, no allocation) still flags the error.
       last_error_.clear();
       last_error_ += '!';
     }
-    out_.close();
-    return false;
   }
-  out_.close();
-  return true;
+  return last_error_.empty();
 }
 
 TraceReader::TraceReader(const std::string& path, bool recover)
@@ -182,9 +193,39 @@ TraceReader TraceReader::from_bytes(std::string_view bytes, bool recover) {
       bytes.size(), recover, "<memory>");
 }
 
+saiyan::Result<TraceReader> TraceReader::open(const std::string& path,
+                                              bool recover) {
+  auto f = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*f) {
+    return fail("TraceReader: cannot open " + path, IngestError::kBadHeader);
+  }
+  TraceReader reader(Unparsed{}, std::move(f), 0, recover);
+  if (auto err = reader.parse_header(path)) return *std::move(err);
+  return reader;
+}
+
+saiyan::Result<TraceReader> TraceReader::try_from_bytes(std::string_view bytes,
+                                                        bool recover) {
+  TraceReader reader(Unparsed{},
+                     std::make_unique<std::istringstream>(std::string(bytes),
+                                                          std::ios::binary),
+                     bytes.size(), recover);
+  if (auto err = reader.parse_header("<memory>")) return *std::move(err);
+  return reader;
+}
+
+TraceReader::TraceReader(Unparsed, std::unique_ptr<std::istream> in,
+                         std::uint64_t size, bool recover)
+    : in_(std::move(in)), size_(size), recover_(recover) {}
+
 TraceReader::TraceReader(std::unique_ptr<std::istream> in, std::uint64_t size,
                          bool recover, const std::string& name)
-    : in_(std::move(in)), size_(size), recover_(recover) {
+    : TraceReader(Unparsed{}, std::move(in), size, recover) {
+  if (auto err = parse_header(name)) throw std::runtime_error(err->message);
+}
+
+std::optional<saiyan::Error> TraceReader::parse_header(
+    const std::string& name) {
   if (size_ == 0) {
     // File path: measure once so every length field can be bounded by
     // what the file can physically hold.
@@ -192,21 +233,24 @@ TraceReader::TraceReader(std::unique_ptr<std::istream> in, std::uint64_t size,
     const std::streamoff end = in_->tellg();
     in_->seekg(0, std::ios::beg);
     if (end < 0 || !*in_) {
-      throw std::runtime_error("TraceReader: cannot stat " + name);
+      return saiyan::Error{"TraceReader: cannot stat " + name,
+                           IngestError::kBadHeader};
     }
     size_ = static_cast<std::uint64_t>(end);
   }
   char magic[8];
   if (!read_exact(magic, sizeof(magic)) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("TraceReader: bad magic in " + name);
+    return saiyan::Error{"TraceReader: bad magic in " + name,
+                         IngestError::kBadMagic};
   }
   std::uint32_t version = 0;
   std::uint32_t mode = 0;
   std::uint32_t sf = 0, k = 0, preamble = 0, fec = 0, payload = 0;
   std::uint64_t n_markers = 0;
   if (!get(version) || (version != kVersionF64 && version != kVersionF32)) {
-    throw std::runtime_error("TraceReader: unsupported trace version");
+    return saiyan::Error{"TraceReader: unsupported trace version",
+                         IngestError::kBadVersion};
   }
   meta_.float32_samples = version == kVersionF32;
   bool ok = get(mode) && get(meta_.phy.sample_rate_hz) && get(sf) &&
@@ -220,7 +264,8 @@ TraceReader::TraceReader(std::unique_ptr<std::istream> in, std::uint64_t size,
       fec > static_cast<std::uint32_t>(lora::FecRate::k4_8) ||
       payload == 0 || payload > kMaxMarkerSymbols || n_markers > kMaxMarkers ||
       n_markers * kMarkerMinBytes > size_ - pos_) {
-    throw std::runtime_error("TraceReader: malformed header");
+    return saiyan::Error{"TraceReader: malformed header",
+                         IngestError::kBadHeader};
   }
   meta_.mode = static_cast<core::Mode>(mode);
   meta_.phy.spreading_factor = static_cast<int>(sf);
@@ -232,9 +277,10 @@ TraceReader::TraceReader(std::unique_ptr<std::istream> in, std::uint64_t size,
     meta_.phy.validate();
   } catch (const std::invalid_argument& err) {
     // Keep the documented contract: header problems, including corrupt
-    // PHY fields, surface as std::runtime_error.
-    throw std::runtime_error(std::string("TraceReader: bad PHY header: ") +
-                             err.what());
+    // PHY fields, surface as header errors.
+    return saiyan::Error{
+        std::string("TraceReader: bad PHY header: ") + err.what(),
+        IngestError::kBadHeader};
   }
   markers_.resize(n_markers);
   for (TraceMarker& m : markers_) {
@@ -242,13 +288,16 @@ TraceReader::TraceReader(std::unique_ptr<std::istream> in, std::uint64_t size,
     if (!get(m.sample_offset) || !get(m.tag_id) || !get(n_syms) ||
         n_syms > kMaxMarkerSymbols ||
         n_syms * sizeof(std::uint32_t) > size_ - pos_) {
-      throw std::runtime_error("TraceReader: malformed marker table");
+      return saiyan::Error{"TraceReader: malformed marker table",
+                           IngestError::kBadMarkerTable};
     }
     m.symbols.resize(n_syms);
     if (!read_exact(m.symbols.data(), n_syms * sizeof(std::uint32_t))) {
-      throw std::runtime_error("TraceReader: malformed marker table");
+      return saiyan::Error{"TraceReader: malformed marker table",
+                           IngestError::kBadMarkerTable};
     }
   }
+  return std::nullopt;
 }
 
 bool TraceReader::read_exact(void* dst, std::size_t n) {

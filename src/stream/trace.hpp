@@ -53,16 +53,25 @@
 #include <fstream>
 #include <istream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/result.hpp"
 #include "dsp/types.hpp"
 #include "stream/ingest_stats.hpp"
 
 namespace saiyan::stream {
+
+/// Format sanity cap on a single chunk's sample count (4M complex
+/// samples = 64 MiB of float64 IQ): a corrupted length field must not
+/// translate into an absurd allocation. Public so config validation
+/// (gateway::GatewayConfig) can enforce the same bound at the API
+/// boundary the writer and reader enforce on the wire.
+inline constexpr std::uint32_t kMaxTraceChunkSamples = 1u << 22;
 
 /// Ground truth for one transmitted packet in the capture.
 struct TraceMarker {
@@ -101,15 +110,24 @@ class TraceWriter {
   /// instead, recording any failure in last_error()).
   void close();
 
-  /// Nothrow close for destructor paths and callers that prefer a
-  /// status to an exception. Returns false on I/O failure, with the
-  /// description recorded in last_error().
+  /// Result-returning close — the unified public-boundary convention.
+  /// Idempotent: the first call performs the flush+close, every later
+  /// call reports the first call's outcome; an earlier write_chunk
+  /// failure stays sticky in the Error (and in last_error()) instead
+  /// of being overwritten by the close path.
+  saiyan::Result<Unit> finish();
+
+  /// Nothrow close for destructor paths. Returns false on I/O failure,
+  /// with the description recorded in last_error(). Same idempotence
+  /// and stickiness as finish(); prefer finish() at call sites — this
+  /// bool form survives one release as a thin alias.
   bool try_close() noexcept;
 
-  /// Description of the most recent I/O failure ("" when every write
-  /// so far has succeeded). A caller that lets the destructor close
-  /// cannot observe a flush failure there — call close()/try_close()
-  /// explicitly to detect a truncated write.
+  /// Description of the *first* I/O failure ("" when every write and
+  /// the close succeeded) — sticky across write_chunk, flush and
+  /// close. A caller that lets the destructor close cannot observe a
+  /// flush failure there — call finish()/close() explicitly to detect
+  /// a truncated write.
   const std::string& last_error() const { return last_error_; }
 
   std::uint64_t samples_written() const { return total_; }
@@ -139,9 +157,20 @@ class TraceReader {
   /// `recover` selects the skip-and-resync chunk mode.
   explicit TraceReader(const std::string& path, bool recover = false);
 
+  /// Result-returning open — the unified public-boundary convention:
+  /// a missing file or malformed header comes back as an Error whose
+  /// `ingest` field classifies the failure (kBadMagic / kBadVersion /
+  /// kBadHeader / kBadMarkerTable) instead of an exception.
+  static saiyan::Result<TraceReader> open(const std::string& path,
+                                          bool recover = false);
+
   /// Parse a trace held in memory (fuzz harnesses, byte-level tests).
   /// Same contract as the file constructor.
   static TraceReader from_bytes(std::string_view bytes, bool recover = false);
+
+  /// Result-returning from_bytes, same classification as open().
+  static saiyan::Result<TraceReader> try_from_bytes(std::string_view bytes,
+                                                    bool recover = false);
 
   const TraceMeta& meta() const { return meta_; }
   const std::vector<TraceMarker>& markers() const { return markers_; }
@@ -167,8 +196,15 @@ class TraceReader {
   std::uint64_t samples_read() const { return samples_read_; }
 
  private:
+  struct Unparsed {};  // tag: construct without parsing the header
+  TraceReader(Unparsed, std::unique_ptr<std::istream> in, std::uint64_t size,
+              bool recover);
   TraceReader(std::unique_ptr<std::istream> in, std::uint64_t size,
               bool recover, const std::string& name);
+  /// Header + marker-table parse; empty on success, else the
+  /// classified error (what the throwing constructors throw and the
+  /// Result-returning entry points return).
+  std::optional<saiyan::Error> parse_header(const std::string& name);
 
   bool read_exact(void* dst, std::size_t n);
   template <typename T>

@@ -624,6 +624,63 @@ TEST_F(FaultFile, CleanCloseLeavesNoError) {
   EXPECT_TRUE(writer.try_close());  // idempotent success
 }
 
+// Regression: the close path used to re-run the header patch on a
+// second try_close() call and could overwrite a write_chunk failure
+// message with its own — the first error must stay sticky across
+// flush and close, and close must happen exactly once.
+TEST(TraceWriterErrors, WriteFailureStaysStickyAcrossClose) {
+  if (::access("/dev/full", W_OK) != 0) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  stream::TraceMeta meta;
+  meta.phy = phy();
+  meta.payload_symbols = kPayload;
+  try {
+    stream::TraceWriter writer("/dev/full", meta);
+    dsp::Signal samples(16, dsp::Complex(1.0, 0.0));
+    bool chunk_failed = false;
+    try {
+      writer.write_chunk(samples);
+      // Push until the stream error surfaces (buffering may defer it).
+      for (int i = 0; i < 64 && !chunk_failed; ++i) writer.write_chunk(samples);
+    } catch (const std::runtime_error&) {
+      chunk_failed = true;
+    }
+    if (!chunk_failed) GTEST_SKIP() << "/dev/full absorbed the writes";
+    const std::string first = writer.last_error();
+    ASSERT_NE(first.find("chunk write failed"), std::string::npos) << first;
+    EXPECT_FALSE(writer.try_close());
+    EXPECT_EQ(writer.last_error(), first) << "close overwrote the first error";
+    EXPECT_FALSE(writer.try_close());  // double-call stays idempotent
+    EXPECT_EQ(writer.last_error(), first);
+    auto r = writer.finish();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.message(), first);
+  } catch (const std::runtime_error&) {
+    // Header write already failed — equally a clean, reported failure.
+  }
+}
+
+// finish() is the Result-returning close: idempotent on success and
+// round-trippable (the trace it wrote reads back).
+TEST_F(FaultFile, FinishReportsCleanCloseOnce) {
+  stream::TraceMeta meta;
+  meta.phy = phy();
+  meta.payload_symbols = kPayload;
+  stream::TraceWriter writer(path_, meta);
+  dsp::Signal samples(64, dsp::Complex(0.5, -0.5));
+  writer.write_chunk(samples);
+  auto first = writer.finish();
+  ASSERT_TRUE(first.ok()) << first.message();
+  auto second = writer.finish();
+  EXPECT_TRUE(second.ok());
+  EXPECT_TRUE(writer.last_error().empty());
+
+  auto reader = stream::TraceReader::open(path_);
+  ASSERT_TRUE(reader.ok()) << reader.message();
+  EXPECT_EQ(reader.value().meta().total_samples, samples.size());
+}
+
 // --------------------------------------------- layout parser limits
 
 TEST(TraceLayout, RejectsMalformedBytes) {

@@ -1,0 +1,567 @@
+// Gateway facade + daemon plumbing tests (ctest label: gateway).
+//
+// The load-bearing property is the sharding contract: a job runs on
+// exactly one worker, so the gateway's decode output for a trace is
+// bit-identical to an offline StreamingDemodulator pass at ANY worker
+// count. Everything else — Result conventions, config validation with
+// first-bad-field reporting, reload-without-loss, subscriber
+// backpressure, the control wire codec — guards the API redesign this
+// facade introduced.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/result.hpp"
+#include "daemon/control_protocol.hpp"
+#include "daemon/daemon_config.hpp"
+#include "gateway/gateway.hpp"
+#include "sim/capture.hpp"
+#include "stream/streaming_demod.hpp"
+#include "stream/trace.hpp"
+
+namespace saiyan {
+namespace {
+
+lora::PhyParams phy() {
+  lora::PhyParams p;
+  p.spreading_factor = 7;
+  p.bandwidth_hz = 500e3;
+  p.sample_rate_hz = 4e6;
+  p.bits_per_symbol = 2;
+  return p;
+}
+
+constexpr std::size_t kPayload = 16;
+
+/// Nine frames from three tags at staggered RSS — fully decodable
+/// offline, which the bit-identity tests assert before relying on it.
+const sim::CaptureConfig& capture_cfg() {
+  static const sim::CaptureConfig cfg = [] {
+    sim::CaptureConfig c;
+    c.saiyan = core::SaiyanConfig::make(phy(), core::Mode::kSuper);
+    c.tag_rss_dbm = {-55.0, -58.0, -61.0};
+    c.packets_per_tag = 3;
+    c.payload_symbols = kPayload;
+    c.seed = 7;
+    return c;
+  }();
+  return cfg;
+}
+
+const sim::Capture& capture() {
+  static const sim::Capture cap = sim::generate_capture(capture_cfg());
+  return cap;
+}
+
+gateway::GatewayConfig base_config() {
+  gateway::GatewayConfig cfg;
+  cfg.stream.saiyan = core::SaiyanConfig::make(phy(), core::Mode::kSuper);
+  cfg.stream.payload_symbols = kPayload;
+  cfg.chunk_samples = 8192;
+  return cfg;
+}
+
+/// (start, symbols) pairs in offset order — the identity compared
+/// across worker counts and against the offline reference.
+using FrameKey = std::pair<std::uint64_t, std::vector<std::uint32_t>>;
+
+std::vector<FrameKey> offline_reference(const std::string& trace_path,
+                                        const gateway::GatewayConfig& cfg) {
+  auto opened = stream::TraceReader::open(trace_path, cfg.resync);
+  EXPECT_TRUE(opened.ok()) << opened.message();
+  stream::TraceReader reader = std::move(opened).value();
+  stream::StreamConfig sc = cfg.worker_stream_config();
+  sc.saiyan = core::SaiyanConfig::make(reader.meta().phy, reader.meta().mode);
+  sc.payload_symbols = reader.meta().payload_symbols;
+  stream::StreamingDemodulator demod(sc);
+  dsp::Signal chunk;
+  for (;;) {
+    const stream::ChunkStatus st = reader.next_chunk(chunk);
+    if (st != stream::ChunkStatus::kOk) break;
+    demod.push(chunk);
+  }
+  demod.finish();
+  std::vector<FrameKey> out;
+  for (const stream::DecodedPacket& p : demod.packets()) {
+    const auto syms = demod.symbols(p);
+    out.emplace_back(p.packet_start,
+                     std::vector<std::uint32_t>(syms.begin(), syms.end()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class GatewayFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::snprintf(path_, sizeof(path_), "saiyan_gw_%s_%d.sytrc",
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name(),
+                  static_cast<int>(::getpid()));
+    sim::write_capture(capture(), capture_cfg(), path_);
+  }
+  void TearDown() override { std::remove(path_); }
+
+  char path_[128];
+};
+
+/// Thread-safe frame collector subscriber.
+class Collector {
+ public:
+  gateway::FrameHandler handler() {
+    return [this](const gateway::FrameRecord& fr) {
+      std::lock_guard<std::mutex> lk(m_);
+      frames_.push_back(fr);
+    };
+  }
+  std::vector<gateway::FrameRecord> take() {
+    std::lock_guard<std::mutex> lk(m_);
+    return frames_;
+  }
+
+ private:
+  std::mutex m_;
+  std::vector<gateway::FrameRecord> frames_;
+};
+
+// ---------------------------------------------------------------- Result
+
+TEST(Result, ValueAndErrorPaths) {
+  saiyan::Result<int> good = 41;
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_EQ(good.value(), 41);
+  EXPECT_EQ(good.value_or(-1), 41);
+  EXPECT_TRUE(good.message().empty());
+
+  saiyan::Result<int> bad = fail("nope", stream::IngestError::kBadMagic);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(bad.message(), "nope");
+  EXPECT_EQ(bad.error().ingest, stream::IngestError::kBadMagic);
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+
+  saiyan::Result<Unit> u = ok();
+  EXPECT_TRUE(u.ok());
+}
+
+// ---------------------------------------------------------- GatewayConfig
+
+TEST(GatewayConfigValidate, ReportsFirstBadFieldByPath) {
+  gateway::GatewayConfig cfg = base_config();
+  cfg.stream.min_score = 0.0;
+  cfg.workers = 0;  // also bad, but min_score comes first
+  auto v = cfg.validate();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.message().find("stream.min_score"), std::string::npos)
+      << v.message();
+
+  cfg = base_config();
+  cfg.workers = 0;
+  v = cfg.validate();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.message().find("workers"), std::string::npos);
+
+  cfg = base_config();
+  cfg.chunk_samples = stream::kMaxTraceChunkSamples + 1;
+  v = cfg.validate();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.message().find("chunk_samples"), std::string::npos);
+
+  cfg = base_config();
+  cfg.limits.subscriber_queue = 0;
+  v = cfg.validate();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.message().find("limits.subscriber_queue"), std::string::npos);
+
+  EXPECT_TRUE(base_config().validate().ok());
+}
+
+TEST(GatewayConfigValidate, DeprecatedAliasConflictIsRejected) {
+  gateway::GatewayConfig cfg = base_config();
+  cfg.stream.sic.shed_queue = 4;   // deprecated spelling
+  cfg.limits.sic_shed_queue = 8;   // canonical spelling, different value
+  auto v = cfg.validate();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.message().find("stream.sic.shed_queue"), std::string::npos);
+
+  // Agreeing values are fine; so is either spelling alone.
+  cfg.limits.sic_shed_queue = 4;
+  EXPECT_TRUE(cfg.validate().ok());
+  cfg.stream.sic.shed_queue = 0;
+  cfg.limits.sic_shed_queue = 8;
+  EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(GatewayConfigValidate, AliasFoldsIntoWorkerStreamConfig) {
+  gateway::GatewayConfig cfg = base_config();
+  cfg.limits.sic_shed_queue = 5;
+  cfg.limits.sic_max_rescan_queue = 9;
+  const stream::StreamConfig sc = cfg.worker_stream_config();
+  EXPECT_EQ(sc.sic.shed_queue, 5u);
+  EXPECT_EQ(sc.sic.max_rescan_queue, 9u);
+
+  // Old spelling still honored when the canonical knob is unset.
+  gateway::GatewayConfig legacy = base_config();
+  legacy.stream.sic.shed_queue = 3;
+  EXPECT_EQ(legacy.worker_stream_config().sic.shed_queue, 3u);
+}
+
+// ------------------------------------------------------ TraceReader::open
+
+TEST(TraceReaderOpen, ClassifiesFailures) {
+  auto missing = stream::TraceReader::open("does_not_exist.sytrc");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().ingest, stream::IngestError::kBadHeader);
+
+  auto magic = stream::TraceReader::try_from_bytes("NOTATRACE........");
+  ASSERT_FALSE(magic.ok());
+  EXPECT_EQ(magic.error().ingest, stream::IngestError::kBadMagic);
+}
+
+// -------------------------------------------------------- control protocol
+
+TEST(ControlProtocol, RequestRoundTrip) {
+  daemon::ControlRequest req;
+  req.op = daemon::ControlOp::kReload;
+  req.payload = "payload bytes";
+  const std::string wire = daemon::encode_request(req);
+  auto back = daemon::decode_request(wire);
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value().op, daemon::ControlOp::kReload);
+  EXPECT_EQ(back.value().payload, "payload bytes");
+}
+
+TEST(ControlProtocol, ResponseRoundTrip) {
+  daemon::ControlResponse resp;
+  resp.status = daemon::ControlStatus::kError;
+  resp.payload = "why it failed";
+  auto back = daemon::decode_response(daemon::encode_response(resp));
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value().status, daemon::ControlStatus::kError);
+  EXPECT_EQ(back.value().payload, "why it failed");
+}
+
+TEST(ControlProtocol, RejectsMalformedFrames) {
+  EXPECT_FALSE(daemon::decode_request("").ok());
+  EXPECT_FALSE(daemon::decode_request("abc").ok());  // short header
+
+  // Length prefix disagrees with the actual frame size.
+  std::string wire = daemon::encode_request({daemon::ControlOp::kStats, ""});
+  wire.push_back('x');
+  EXPECT_FALSE(daemon::decode_request(wire).ok());
+
+  // Unknown op byte.
+  std::string bad_op = daemon::encode_request({daemon::ControlOp::kStats, ""});
+  bad_op[4] = 99;
+  EXPECT_FALSE(daemon::decode_request(bad_op).ok());
+
+  // Absurd declared length must be rejected before allocation.
+  std::string huge = "\xff\xff\xff\x7f";
+  huge.push_back(1);
+  EXPECT_FALSE(daemon::decode_request(huge).ok());
+}
+
+// ----------------------------------------------------------- daemon config
+
+TEST(DaemonConfig, ParsesAndValidates) {
+  char path[128];
+  std::snprintf(path, sizeof(path), "saiyan_gw_conf_%d.conf",
+                static_cast<int>(::getpid()));
+  {
+    std::ofstream out(path);
+    out << "# demo config\n"
+        << "socket /tmp/test_saiyand.sock\n"
+        << "workers 2\n"
+        << "chunk_samples 4096\n"
+        << "payload_symbols 16   # inline comment\n"
+        << "trace a.sytrc\n"
+        << "trace b.sytrc\n";
+  }
+  auto loaded = daemon::load_daemon_config(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.message();
+  EXPECT_EQ(loaded.value().socket_path, "/tmp/test_saiyand.sock");
+  EXPECT_EQ(loaded.value().gateway.workers, 2u);
+  EXPECT_EQ(loaded.value().gateway.chunk_samples, 4096u);
+  EXPECT_EQ(loaded.value().gateway.stream.payload_symbols, 16u);
+  ASSERT_EQ(loaded.value().traces.size(), 2u);
+  EXPECT_EQ(loaded.value().traces[1], "b.sytrc");
+
+  {
+    std::ofstream out(path);
+    out << "workers 2\nbogus_key 1\n";
+  }
+  auto bad = daemon::load_daemon_config(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find(":2:"), std::string::npos) << bad.message();
+
+  {
+    std::ofstream out(path);
+    out << "workers 0\n";
+  }
+  auto range = daemon::load_daemon_config(path);
+  ASSERT_FALSE(range.ok());
+  EXPECT_NE(range.message().find("workers"), std::string::npos);
+  std::remove(path);
+}
+
+// ----------------------------------------------------------------- gateway
+
+TEST(GatewayCreate, RejectsBadConfigWithFieldPath) {
+  gateway::GatewayConfig cfg = base_config();
+  cfg.stream.min_score = 2.0;
+  auto gw = gateway::Gateway::create(cfg);
+  ASSERT_FALSE(gw.ok());
+  EXPECT_NE(gw.message().find("stream.min_score"), std::string::npos);
+}
+
+TEST_F(GatewayFile, EnqueueRejectsMissingAndCorruptTraces) {
+  auto gw = gateway::Gateway::create(base_config());
+  ASSERT_TRUE(gw.ok()) << gw.message();
+  auto job = gw.value()->enqueue_trace("no_such_file.sytrc");
+  ASSERT_FALSE(job.ok());
+  EXPECT_EQ(job.error().ingest, stream::IngestError::kBadHeader);
+  EXPECT_EQ(gw.value()->stats().jobs_enqueued, 0u);
+}
+
+TEST_F(GatewayFile, BitIdenticalToOfflineAtAnyWorkerCount) {
+  const gateway::GatewayConfig base = base_config();
+  const std::vector<FrameKey> expected = offline_reference(path_, base);
+  ASSERT_EQ(expected.size(), capture().markers.size())
+      << "reference capture must be fully decodable";
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    gateway::GatewayConfig cfg = base;
+    cfg.workers = workers;
+    auto created = gateway::Gateway::create(cfg);
+    ASSERT_TRUE(created.ok()) << created.message();
+    auto& gw = *created.value();
+    Collector col;
+    gw.subscribe(col.handler());
+
+    // Several copies of the job spread over the pool.
+    constexpr std::size_t kJobs = 4;
+    std::vector<std::uint64_t> job_ids;
+    for (std::size_t j = 0; j < kJobs; ++j) {
+      auto id = gw.enqueue_trace(path_);
+      ASSERT_TRUE(id.ok()) << id.message();
+      job_ids.push_back(id.value());
+    }
+    ASSERT_TRUE(gw.drain().ok());
+
+    const std::vector<gateway::FrameRecord> frames = col.take();
+    ASSERT_EQ(frames.size(), kJobs * expected.size()) << workers << " workers";
+    for (const std::uint64_t id : job_ids) {
+      std::vector<FrameKey> got;
+      for (const gateway::FrameRecord& fr : frames) {
+        if (fr.job == id) got.emplace_back(fr.packet_start, fr.symbols);
+      }
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << workers << " workers, job " << id;
+    }
+
+    const gateway::GatewayStats st = gw.stats();
+    EXPECT_EQ(st.frames_decoded, kJobs * expected.size());
+    EXPECT_EQ(st.jobs_done, kJobs);
+    EXPECT_EQ(st.markers_expected, kJobs * capture().markers.size());
+    EXPECT_EQ(st.ingest.frames_dropped_subscriber, 0u);
+    if (workers >= 2) {
+      // Round-robin must actually spread jobs over the pool.
+      std::size_t active = 0;
+      for (const gateway::WorkerSnapshot& w : st.per_worker) {
+        active += w.jobs > 0 ? 1 : 0;
+      }
+      EXPECT_GE(active, 2u) << workers << " workers";
+    }
+  }
+}
+
+TEST_F(GatewayFile, ReloadKeepsInFlightJobsAndCountsSwaps) {
+  gateway::GatewayConfig cfg = base_config();
+  cfg.workers = 2;
+  // Throttle so the first job is still in flight when reload lands.
+  cfg.throttle_us = 2000;
+  auto created = gateway::Gateway::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+  Collector col;
+  gw.subscribe(col.handler());
+
+  ASSERT_TRUE(gw.enqueue_trace(path_).ok());
+  gateway::GatewayConfig next = cfg;
+  next.throttle_us = 0;
+  next.stream.min_score = 0.7;
+  ASSERT_TRUE(gw.reload(next).ok());
+  ASSERT_TRUE(gw.enqueue_trace(path_).ok());
+  ASSERT_TRUE(gw.drain().ok());
+
+  // Zero frames lost across the swap: both jobs decoded everything.
+  EXPECT_EQ(col.take().size(), 2 * capture().markers.size());
+  EXPECT_EQ(gw.stats().config_reloads, 1u);
+
+  // Fixed-at-create knobs are rejected with a clear message.
+  gateway::GatewayConfig bad = cfg;
+  bad.workers = 4;
+  auto r = gw.reload(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.message().find("workers"), std::string::npos);
+}
+
+TEST_F(GatewayFile, SlowSubscriberShedsFramesWithoutStallingWorkers) {
+  gateway::GatewayConfig cfg = base_config();
+  cfg.limits.subscriber_queue = 1;  // smallest legal queue
+  auto created = gateway::Gateway::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+
+  std::atomic<std::size_t> delivered{0};
+  gw.subscribe([&](const gateway::FrameRecord&) {
+    delivered.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  });
+  Collector fast;
+  gw.subscribe(fast.handler());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(gw.enqueue_trace(path_).ok());
+  ASSERT_TRUE(gw.drain().ok());
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const gateway::GatewayStats st = gw.stats();
+  const std::size_t total = capture().markers.size();
+  EXPECT_EQ(st.frames_decoded, total);
+  // The fast subscriber saw everything; the slow one shed the excess
+  // and every shed frame is accounted for.
+  EXPECT_EQ(fast.take().size(), total);
+  EXPECT_GT(st.ingest.frames_dropped_subscriber, 0u);
+  EXPECT_EQ(delivered.load() + st.ingest.frames_dropped_subscriber, total);
+  // Workers never waited on the sleeping handler: the replay plus
+  // drain must complete in far less than total * 40 ms.
+  EXPECT_LT(wall, 0.040 * static_cast<double>(total) * 2);
+}
+
+TEST_F(GatewayFile, UnsubscribeDeliversQueuedFramesFirst) {
+  auto created = gateway::Gateway::create(base_config());
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+  Collector col;
+  const gateway::SubscriberId id = gw.subscribe(col.handler());
+  ASSERT_TRUE(gw.enqueue_trace(path_).ok());
+  ASSERT_TRUE(gw.drain().ok());
+  gw.unsubscribe(id);
+  EXPECT_EQ(col.take().size(), capture().markers.size());
+  EXPECT_EQ(gw.stats().subscribers, 0u);
+}
+
+TEST(GatewayLiveStream, MatchesOfflineAndGuardsDrain) {
+  gateway::GatewayConfig cfg;
+  cfg.stream.saiyan = core::SaiyanConfig::make(phy(), core::Mode::kSuper);
+  cfg.stream.payload_symbols = kPayload;
+  cfg.workers = 2;
+  auto created = gateway::Gateway::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+  Collector col;
+  gw.subscribe(col.handler());
+
+  const gateway::StreamId sid = gw.open_stream();
+  EXPECT_EQ(gw.stats().streams_open, 1u);
+
+  // drain() with a live producer is an error, not a deadlock.
+  auto premature = gw.drain();
+  ASSERT_FALSE(premature.ok());
+  EXPECT_NE(premature.message().find("still open"), std::string::npos);
+
+  const dsp::Signal& samples = capture().samples;
+  constexpr std::size_t kPush = 10000;
+  for (std::size_t off = 0; off < samples.size(); off += kPush) {
+    const std::size_t n = std::min(kPush, samples.size() - off);
+    ASSERT_TRUE(gw.push(sid, std::span(samples).subspan(off, n)).ok());
+  }
+  ASSERT_TRUE(gw.close_stream(sid).ok());
+  ASSERT_FALSE(gw.push(sid, std::span(samples).first(1)).ok())
+      << "push after close must fail";
+  ASSERT_TRUE(gw.drain().ok());
+
+  // Offline reference over the same samples with the same config.
+  stream::StreamingDemodulator demod(cfg.worker_stream_config());
+  demod.push(samples);
+  demod.finish();
+  std::vector<FrameKey> expected;
+  for (const stream::DecodedPacket& p : demod.packets()) {
+    const auto syms = demod.symbols(p);
+    expected.emplace_back(p.packet_start,
+                          std::vector<std::uint32_t>(syms.begin(), syms.end()));
+  }
+  std::sort(expected.begin(), expected.end());
+  ASSERT_FALSE(expected.empty());
+
+  std::vector<FrameKey> got;
+  for (const gateway::FrameRecord& fr : col.take()) {
+    got.emplace_back(fr.packet_start, fr.symbols);
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(gw.stats().streams_open, 0u);
+}
+
+TEST_F(GatewayFile, StatsTextCarriesTheDocumentedKeys) {
+  auto created = gateway::Gateway::create(base_config());
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+  ASSERT_TRUE(gw.enqueue_trace(path_).ok());
+  ASSERT_TRUE(gw.drain().ok());
+  const std::string text = gw.stats().to_text();
+  for (const char* key :
+       {"frames_decoded", "markers_expected", "latency_p99_us",
+        "ingest.frames_dropped_subscriber", "worker.0.frames",
+        "jobs_done", "frames_per_sec"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key << "\n" << text;
+  }
+  const gateway::GatewayStats st = gw.stats();
+  EXPECT_EQ(st.frames_decoded, capture().markers.size());
+  EXPECT_GT(st.latency_max_us, 0u);
+  EXPECT_GE(st.latency_p99_us, st.latency_p50_us);
+}
+
+TEST(GatewayStatsPrimitives, LatencyHistogramQuantiles) {
+  gateway::LatencyHistogram h;
+  for (int i = 0; i < 98; ++i) h.record(100);   // bucket of 127
+  h.record(100000);
+  h.record(200000);
+  EXPECT_EQ(h.quantile_us(0.5), 127u);
+  EXPECT_GE(h.quantile_us(0.999), 100000u);
+  EXPECT_EQ(h.max_us(), 200000u);
+}
+
+TEST(GatewayStatsPrimitives, StatsCellPublishesCoherentSnapshots) {
+  gateway::StatsCell<stream::IngestStats> cell;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    stream::IngestStats s;
+    while (!stop.load()) {
+      // Two coupled fields; a torn read would see them disagree.
+      s.chunks_ok += 1;
+      s.bytes_skipped = s.chunks_ok * 2;
+      cell.publish(s);
+    }
+  });
+  for (int i = 0; i < 20000; ++i) {
+    const stream::IngestStats snap = cell.read();
+    ASSERT_EQ(snap.bytes_skipped, snap.chunks_ok * 2);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace saiyan

@@ -161,7 +161,10 @@ TEST_F(TraceFile, RoundTripIsBitExact) {
   const sim::Capture cap = sim::generate_capture(cfg);
   sim::write_capture(cap, cfg, path_, 10000);  // odd chunking on purpose
 
-  stream::TraceReader reader(path_);
+  // Result-returning open — the public-boundary convention.
+  auto opened = stream::TraceReader::open(path_);
+  ASSERT_TRUE(opened.ok()) << opened.message();
+  stream::TraceReader reader = std::move(opened).value();
   EXPECT_EQ(reader.meta().phy.spreading_factor, cfg.saiyan.phy.spreading_factor);
   EXPECT_DOUBLE_EQ(reader.meta().phy.sample_rate_hz, cfg.saiyan.phy.sample_rate_hz);
   EXPECT_DOUBLE_EQ(reader.meta().phy.bandwidth_hz, cfg.saiyan.phy.bandwidth_hz);
@@ -363,6 +366,10 @@ TEST(Trace, BadMagicThrows) {
   std::fputs("definitely not a trace", f);
   std::fclose(f);
   EXPECT_THROW(stream::TraceReader reader(path), std::runtime_error);
+  // The Result-returning form reports the same failure, classified.
+  auto r = stream::TraceReader::open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().ingest, stream::IngestError::kBadMagic);
   std::remove(path);
 }
 
