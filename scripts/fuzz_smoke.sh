@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Short libFuzzer smoke run over the ingest surface — the CI gate, not
-# a campaign. Builds must have been configured with
+# Short libFuzzer smoke run over the hostile-input surfaces — the CI
+# gate, not a campaign. Two harnesses share the budget: fuzz_ingest
+# (trace parser + packet scanner) and fuzz_control (saiyand control
+# protocol codec). Builds must have been configured with
 # -DSAIYAN_BUILD_FUZZERS=ON (clang only); see docs/ROBUSTNESS.md.
 #
 # Usage: fuzz_smoke.sh <build-dir> [seconds]
@@ -8,21 +10,23 @@ set -euo pipefail
 
 BUILD_DIR=${1:?usage: fuzz_smoke.sh <build-dir> [seconds]}
 SECONDS_BUDGET=${2:-60}
+PER_FUZZER=$((SECONDS_BUDGET / 2))
+[[ $PER_FUZZER -ge 1 ]] || PER_FUZZER=1
 
-FUZZER="$BUILD_DIR/fuzz_ingest"
-CORPUS_GEN="$BUILD_DIR/corpus_gen"
-CORPUS_DIR="$BUILD_DIR/fuzz_corpus"
+run_fuzzer() {  # run_fuzzer <fuzzer> <corpus-gen> <corpus-dir>
+  local fuzzer="$BUILD_DIR/$1" gen="$BUILD_DIR/$2" corpus="$BUILD_DIR/$3"
+  [[ -x $fuzzer ]] || { echo "missing $fuzzer (configure with -DSAIYAN_BUILD_FUZZERS=ON)"; exit 2; }
+  [[ -x $gen ]] || { echo "missing $gen"; exit 2; }
+  mkdir -p "$corpus"
+  "$gen" "$corpus"
+  # -max_total_time bounds the run; any crash/OOM/leak fails the
+  # script via libFuzzer's nonzero exit. rss_limit guards runaway
+  # allocations (a bounded parser should never get near it).
+  "$fuzzer" -max_total_time="$PER_FUZZER" -timeout=10 -rss_limit_mb=2048 \
+    -print_final_stats=1 "$corpus"
+}
 
-[[ -x $FUZZER ]] || { echo "missing $FUZZER (configure with -DSAIYAN_BUILD_FUZZERS=ON)"; exit 2; }
-[[ -x $CORPUS_GEN ]] || { echo "missing $CORPUS_GEN"; exit 2; }
+run_fuzzer fuzz_ingest corpus_gen fuzz_corpus
+run_fuzzer fuzz_control control_corpus_gen fuzz_control_corpus
 
-mkdir -p "$CORPUS_DIR"
-"$CORPUS_GEN" "$CORPUS_DIR"
-
-# -max_total_time bounds the run; any crash/OOM/leak fails the script
-# via libFuzzer's nonzero exit. rss_limit guards runaway allocations
-# (a bounded parser should never get near it).
-"$FUZZER" -max_total_time="$SECONDS_BUDGET" -timeout=10 -rss_limit_mb=2048 \
-  -print_final_stats=1 "$CORPUS_DIR"
-
-echo "fuzz_smoke: clean after ${SECONDS_BUDGET}s"
+echo "fuzz_smoke: both harnesses clean after 2x${PER_FUZZER}s"

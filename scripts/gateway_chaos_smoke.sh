@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Chaos smoke (the ctest `gateway_chaos_smoke` entry): SIGKILL a
+# segmented recording mid-write, then prove crash recovery keeps its
+# promise:
+#
+#   1. record a reference capture into a segment directory,
+#      uninterrupted — recording is deterministic, so this is the
+#      byte-level ground truth;
+#   2. record the SAME capture again, throttled, and SIGKILL the
+#      recorder once at least two segments are sealed;
+#   3. `saiyand --recover` must salvage EVERY sealed segment, and each
+#      sealed segment must be byte-identical to its reference twin;
+#   4. the salvage merges into one plain trace that a oneshot daemon
+#      replays with zero failed jobs.
+#
+# Usage: gateway_chaos_smoke.sh <saiyand>
+set -euo pipefail
+
+SAIYAND=${1:?usage: gateway_chaos_smoke.sh <saiyand>}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/saiyan_chaos_smoke.XXXXXX")
+REF_DIR="$WORK/ref"
+CHAOS_DIR="$WORK/chaos"
+RECORDER_PID=
+
+cleanup() {
+  [[ -n $RECORDER_PID ]] && kill -9 "$RECORDER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+stat_value() {  # stat_value <key> <stats-text>
+  awk -v k="$1" '$1 == k { print $2; found = 1 } END { exit !found }' <<<"$2"
+}
+
+RECORD_ARGS=(--tags 3 --packets 4 --payload-symbols 16 --seed 11
+             --segment-samples 65536 --fsync seal)
+
+# --- 1. uninterrupted reference recording ------------------------------
+"$SAIYAND" --record "$REF_DIR" "${RECORD_ARGS[@]}"
+REF_SEALED=$(ls "$REF_DIR"/seg-*.sytrc | wc -l)
+[[ $REF_SEALED -ge 3 ]] \
+  || { echo "reference sealed only $REF_SEALED segments — raise the capture size"; exit 1; }
+
+# --- 2. throttled recording, SIGKILLed mid-write -----------------------
+"$SAIYAND" --record "$CHAOS_DIR" "${RECORD_ARGS[@]}" \
+  --record-throttle-us 30000 >"$WORK/recorder.out" 2>&1 &
+RECORDER_PID=$!
+
+KILLED=0
+for _ in $(seq 1 400); do
+  SEALED=$( (ls "$CHAOS_DIR"/seg-*.sytrc 2>/dev/null || true) | wc -l)
+  if [[ $SEALED -ge 2 ]]; then
+    kill -9 "$RECORDER_PID"
+    KILLED=1
+    break
+  fi
+  kill -0 "$RECORDER_PID" 2>/dev/null || break
+  sleep 0.05
+done
+wait "$RECORDER_PID" 2>/dev/null || true
+RECORDER_PID=
+if [[ $KILLED -ne 1 ]]; then
+  echo "recorder finished before the kill could land — raise the throttle"
+  cat "$WORK/recorder.out"
+  exit 1
+fi
+
+# --- 3. recovery scan: every sealed segment salvaged, bit-exactly ------
+REPORT=$("$SAIYAND" --recover "$CHAOS_DIR")
+echo "$REPORT"
+SEALED_ON_DISK=$(ls "$CHAOS_DIR"/seg-*.sytrc | wc -l)
+SEALED_SALVAGED=$(stat_value sealed_segments "$REPORT")
+[[ $SEALED_SALVAGED -eq $SEALED_ON_DISK ]] \
+  || { echo "salvaged $SEALED_SALVAGED of $SEALED_ON_DISK sealed segments"; exit 1; }
+[[ $SEALED_SALVAGED -ge 2 ]] || { echo "kill landed too early"; exit 1; }
+SALVAGED=$(stat_value salvaged_samples "$REPORT")
+[[ $SALVAGED -gt 0 ]] || { echo "nothing salvaged"; exit 1; }
+
+for seg in "$CHAOS_DIR"/seg-*.sytrc; do
+  name=$(basename "$seg")
+  i=$((10#$(sed -E 's/seg-0*([0-9]+)\.sytrc/\1/' <<<"$name")))
+  cmp -s "$seg" "$REF_DIR/$name" \
+    || { echo "sealed segment $name differs from the uninterrupted reference"; exit 1; }
+  COMPLETE=$(stat_value "segment.$i.complete" "$REPORT")
+  [[ $COMPLETE -eq 1 ]] || { echo "sealed segment $name not complete in the scan"; exit 1; }
+done
+
+# --- 4. merge + oneshot replay of the salvage --------------------------
+MERGED="$WORK/salvaged.sytrc"
+"$SAIYAND" --recover "$CHAOS_DIR" --recover-out "$MERGED" >/dev/null
+STATS=$("$SAIYAND" --trace "$MERGED" --socket "$WORK/ctl.sock" --oneshot)
+FAILED=$(stat_value jobs_failed "$STATS")
+[[ $FAILED -eq 0 ]] || { echo "replaying the salvage failed $FAILED jobs"; exit 1; }
+DECODED=$(stat_value frames_decoded "$STATS")
+[[ $DECODED -gt 0 ]] || { echo "salvage replayed but decoded nothing"; exit 1; }
+
+echo "gateway_chaos_smoke: $SEALED_SALVAGED sealed segments bit-exact after SIGKILL, $DECODED frames from the salvage"

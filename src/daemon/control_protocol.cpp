@@ -66,7 +66,8 @@ saiyan::Result<ControlRequest> decode_request(std::string_view frame) {
   const std::uint8_t op = head.value();
   if (op != static_cast<std::uint8_t>(ControlOp::kStats) &&
       op != static_cast<std::uint8_t>(ControlOp::kReload) &&
-      op != static_cast<std::uint8_t>(ControlOp::kDrain)) {
+      op != static_cast<std::uint8_t>(ControlOp::kDrain) &&
+      op != static_cast<std::uint8_t>(ControlOp::kHealth)) {
     return fail("unknown control op " + std::to_string(op));
   }
   ControlRequest req;

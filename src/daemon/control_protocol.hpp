@@ -9,8 +9,9 @@
 // (response payload: GatewayStats::to_text() `key value` lines),
 // reload = 2 (re-read the config file and swap the serving config;
 // in-flight jobs are untouched), drain = 3 (block until every queued
-// job and subscriber queue is empty). status: 0 = ok, 1 = error (the
-// payload is the error message).
+// job and subscriber queue is empty), health = 4 (response payload:
+// GatewayHealth::to_text() — watchdog liveness + degradation ladder).
+// status: 0 = ok, 1 = error (the payload is the error message).
 //
 // Hostile-input posture matches the trace reader: a declared length is
 // bounded (kMaxControlPayload) before anything is allocated, and a
@@ -32,6 +33,7 @@ enum class ControlOp : std::uint8_t {
   kStats = 1,
   kReload = 2,
   kDrain = 3,
+  kHealth = 4,
 };
 
 enum class ControlStatus : std::uint8_t {

@@ -91,6 +91,59 @@ saiyan::Result<DaemonOptions> load_daemon_config(const std::string& path) {
         return at(path, lineno, "sic_max_rescan_queue: not an integer");
       }
       opt.gateway.limits.sic_max_rescan_queue = static_cast<std::size_t>(u);
+    } else if (key == "watchdog_poll_ms") {
+      if (!want_u64()) {
+        return at(path, lineno, "watchdog_poll_ms: not an integer");
+      }
+      opt.gateway.watchdog.poll_ms = u;
+    } else if (key == "watchdog_heartbeat_timeout_ms") {
+      if (!want_u64()) {
+        return at(path, lineno,
+                  "watchdog_heartbeat_timeout_ms: not an integer");
+      }
+      opt.gateway.watchdog.heartbeat_timeout_ms = u;
+    } else if (key == "watchdog_job_deadline_ms") {
+      if (!want_u64()) {
+        return at(path, lineno, "watchdog_job_deadline_ms: not an integer");
+      }
+      opt.gateway.watchdog.job_deadline_ms = u;
+    } else if (key == "degradation") {
+      if (!want_u64() || u > 1) {
+        return at(path, lineno, "degradation: expected 0 or 1");
+      }
+      opt.gateway.degradation.enabled = u != 0;
+    } else if (key == "degradation_backlog_high") {
+      if (!want_u64()) {
+        return at(path, lineno, "degradation_backlog_high: not an integer");
+      }
+      opt.gateway.degradation.backlog_high = static_cast<std::size_t>(u);
+    } else if (key == "degradation_backlog_low") {
+      if (!want_u64()) {
+        return at(path, lineno, "degradation_backlog_low: not an integer");
+      }
+      opt.gateway.degradation.backlog_low = static_cast<std::size_t>(u);
+    } else if (key == "degradation_p99_high_us") {
+      if (!want_u64()) {
+        return at(path, lineno, "degradation_p99_high_us: not an integer");
+      }
+      opt.gateway.degradation.p99_high_us = u;
+    } else if (key == "degradation_p99_low_us") {
+      if (!want_u64()) {
+        return at(path, lineno, "degradation_p99_low_us: not an integer");
+      }
+      opt.gateway.degradation.p99_low_us = u;
+    } else if (key == "degradation_escalate_after") {
+      if (!want_u64()) {
+        return at(path, lineno, "degradation_escalate_after: not an integer");
+      }
+      opt.gateway.degradation.escalate_after = static_cast<std::uint32_t>(u);
+    } else if (key == "degradation_deescalate_after") {
+      if (!want_u64()) {
+        return at(path, lineno,
+                  "degradation_deescalate_after: not an integer");
+      }
+      opt.gateway.degradation.deescalate_after =
+          static_cast<std::uint32_t>(u);
     } else if (key == "sic_depth") {
       if (!want_u64()) return at(path, lineno, "sic_depth: not an integer");
       opt.gateway.stream.sic.depth = static_cast<std::size_t>(u);

@@ -15,23 +15,34 @@
 //   saiyand --record demo.trace --tags 3 --packets 4
 //   saiyand --trace demo.trace --workers 2 --oneshot
 //
+// With --segment-samples N the recording goes to a crash-safe segment
+// directory instead of one file (stream/trace_segments.hpp): sealed
+// segments survive a SIGKILL bit-exactly, and `saiyand --recover DIR`
+// salvages them (plus the valid prefix of the torn tail) afterwards —
+// optionally merging into one servable trace with --recover-out.
+// A failed recording exits non-zero with the writer's error.
+//
 // Lifecycle and the control wire format are documented in
 // docs/GATEWAY.md.
 #include <poll.h>
 #include <signal.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "daemon/control_server.hpp"
 #include "daemon/daemon_config.hpp"
 #include "gateway/gateway.hpp"
 #include "sim/capture.hpp"
+#include "stream/trace_segments.hpp"
 
 namespace {
 
@@ -58,6 +69,9 @@ void usage(FILE* out) {
       "                [--print-frames] [--oneshot]\n"
       "record: saiyand --record OUT.trace [--tags N] [--packets N]\n"
       "                [--payload-symbols N] [--seed N] [--float32]\n"
+      "                [--segment-samples N] [--fsync none|seal|chunk]\n"
+      "                [--record-throttle-us N]\n"
+      "recover: saiyand --recover DIR [--recover-out OUT.trace]\n"
       "\n"
       "  --config FILE      key/value config (see docs/GATEWAY.md);\n"
       "                     re-read and applied on SIGHUP\n"
@@ -65,26 +79,103 @@ void usage(FILE* out) {
       "  --trace FILE       enqueue a trace replay job (repeatable)\n"
       "  --oneshot          drain queued jobs, print stats, exit\n"
       "  --print-frames     log every decoded frame to stdout\n"
-      "  --record OUT       write a synthetic capture trace and exit\n");
+      "  --record OUT       write a synthetic capture trace and exit\n"
+      "  --segment-samples N  record into OUT/ as crash-safe segments\n"
+      "                     sealed every N samples (see --recover)\n"
+      "  --fsync MODE       segment durability: none|seal|chunk\n"
+      "  --record-throttle-us N  sleep between recorded chunks (pace a\n"
+      "                     recording so a crash can interrupt it)\n"
+      "  --recover DIR      salvage a segment directory, print report\n"
+      "  --recover-out OUT  also merge the salvage into one trace\n");
 }
 
-int run_record(const std::string& out_path, std::size_t tags,
-               std::size_t packets, std::size_t payload_symbols,
-               std::uint64_t seed, bool float32) {
+struct RecordOptions {
+  std::string out_path;
+  std::size_t tags = 3;
+  std::size_t packets = 4;
+  std::size_t payload_symbols = 16;
+  std::uint64_t seed = 1;
+  bool float32 = false;
+  std::uint64_t segment_samples = 0;  ///< 0 = single-file trace
+  saiyan::stream::FsyncPolicy fsync = saiyan::stream::FsyncPolicy::kOnSeal;
+  std::uint64_t throttle_us = 0;
+};
+
+int run_record(const RecordOptions& ro) {
   saiyan::sim::CaptureConfig cfg;
   cfg.saiyan = saiyan::core::SaiyanConfig::make(saiyan::lora::PhyParams{},
                                                 saiyan::core::Mode::kSuper);
-  for (std::size_t t = 0; t < tags; ++t) {
+  for (std::size_t t = 0; t < ro.tags; ++t) {
     cfg.tag_rss_dbm.push_back(-55.0 - 3.0 * static_cast<double>(t));
   }
-  cfg.packets_per_tag = packets;
-  cfg.payload_symbols = payload_symbols;
-  cfg.seed = seed;
+  cfg.packets_per_tag = ro.packets;
+  cfg.payload_symbols = ro.payload_symbols;
+  cfg.seed = ro.seed;
   const saiyan::sim::Capture cap = saiyan::sim::generate_capture(cfg);
-  saiyan::sim::write_capture(cap, cfg, out_path, 16384, float32);
-  std::printf("recorded %s: %zu tags, %zu frames, %zu samples%s\n",
-              out_path.c_str(), tags, cap.markers.size(),
-              cap.samples.size(), float32 ? " (float32)" : "");
+  // Recording is the one mode whose product *is* the file: any write
+  // failure (full disk, bad path, torn close) must reach the exit
+  // status, not vanish behind a cheerful "recorded" line.
+  try {
+    constexpr std::size_t kChunk = 16384;
+    if (ro.segment_samples != 0) {
+      saiyan::stream::TraceMeta meta;
+      meta.phy = cfg.saiyan.phy;
+      meta.mode = cfg.saiyan.mode;
+      meta.payload_symbols = cfg.payload_symbols;
+      meta.float32_samples = ro.float32;
+      saiyan::stream::SegmentPolicy policy;
+      policy.segment_samples = ro.segment_samples;
+      policy.fsync = ro.fsync;
+      saiyan::stream::SegmentedTraceWriter writer(ro.out_path, meta,
+                                                  cap.markers, policy);
+      std::span<const saiyan::dsp::Complex> rest(cap.samples);
+      while (!rest.empty()) {
+        const std::size_t take = std::min(kChunk, rest.size());
+        writer.write_chunk(rest.first(take));
+        rest = rest.subspan(take);
+        if (ro.throttle_us != 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(ro.throttle_us));
+        }
+      }
+      if (auto fin = writer.finish(); !fin.ok()) {
+        std::fprintf(stderr, "saiyand: record failed: %s\n",
+                     fin.message().c_str());
+        return 1;
+      }
+      std::printf("recorded %s: %zu tags, %zu frames, %zu samples, "
+                  "%zu segments sealed%s\n",
+                  ro.out_path.c_str(), ro.tags, cap.markers.size(),
+                  cap.samples.size(), writer.segments_sealed(),
+                  ro.float32 ? " (float32)" : "");
+    } else {
+      saiyan::sim::write_capture(cap, cfg, ro.out_path, kChunk, ro.float32);
+      std::printf("recorded %s: %zu tags, %zu frames, %zu samples%s\n",
+                  ro.out_path.c_str(), ro.tags, cap.markers.size(),
+                  cap.samples.size(), ro.float32 ? " (float32)" : "");
+    }
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "saiyand: record failed: %s\n", err.what());
+    return 1;
+  }
+  return 0;
+}
+
+int run_recover(const std::string& dir, const std::string& out_path) {
+  auto rep = out_path.empty()
+                 ? saiyan::stream::scan_segments(dir)
+                 : saiyan::stream::merge_segments(dir, out_path);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "saiyand: recover: %s\n", rep.message().c_str());
+    return 1;
+  }
+  std::fputs(rep.value().to_text().c_str(), stdout);
+  if (!out_path.empty()) {
+    std::fprintf(stderr, "saiyand: recover: merged %llu samples -> %s\n",
+                 static_cast<unsigned long long>(
+                     rep.value().salvaged_samples),
+                 out_path.c_str());
+  }
   return 0;
 }
 
@@ -94,10 +185,9 @@ int main(int argc, char** argv) {
   DaemonOptions opt;
   bool oneshot = false;
   bool print_frames = false;
-  std::string record_path;
-  std::size_t rec_tags = 3, rec_packets = 4, rec_payload = 16;
-  std::uint64_t rec_seed = 1;
-  bool rec_float32 = false;
+  RecordOptions rec;
+  std::string recover_dir;
+  std::string recover_out;
   std::vector<std::string> cli_traces;
   // CLI overrides are applied after --config so flags win.
   long cli_workers = -1, cli_chunk = -1, cli_throttle = -1;
@@ -137,17 +227,37 @@ int main(int argc, char** argv) {
     } else if (arg == "--print-frames") {
       print_frames = true;
     } else if (arg == "--record") {
-      record_path = next();
+      rec.out_path = next();
     } else if (arg == "--tags") {
-      rec_tags = static_cast<std::size_t>(std::atol(next()));
+      rec.tags = static_cast<std::size_t>(std::atol(next()));
     } else if (arg == "--packets") {
-      rec_packets = static_cast<std::size_t>(std::atol(next()));
+      rec.packets = static_cast<std::size_t>(std::atol(next()));
     } else if (arg == "--payload-symbols") {
-      rec_payload = static_cast<std::size_t>(std::atol(next()));
+      rec.payload_symbols = static_cast<std::size_t>(std::atol(next()));
     } else if (arg == "--seed") {
-      rec_seed = static_cast<std::uint64_t>(std::atoll(next()));
+      rec.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--float32") {
-      rec_float32 = true;
+      rec.float32 = true;
+    } else if (arg == "--segment-samples") {
+      rec.segment_samples = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--fsync") {
+      const std::string mode = next();
+      if (mode == "none") {
+        rec.fsync = saiyan::stream::FsyncPolicy::kNone;
+      } else if (mode == "seal") {
+        rec.fsync = saiyan::stream::FsyncPolicy::kOnSeal;
+      } else if (mode == "chunk") {
+        rec.fsync = saiyan::stream::FsyncPolicy::kEveryChunk;
+      } else {
+        std::fprintf(stderr, "saiyand: --fsync must be none|seal|chunk\n");
+        return 2;
+      }
+    } else if (arg == "--record-throttle-us") {
+      rec.throttle_us = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--recover") {
+      recover_dir = next();
+    } else if (arg == "--recover-out") {
+      recover_out = next();
     } else {
       std::fprintf(stderr, "saiyand: unknown flag %s\n", arg.c_str());
       usage(stderr);
@@ -155,9 +265,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!record_path.empty()) {
-    return run_record(record_path, rec_tags, rec_packets, rec_payload,
-                      rec_seed, rec_float32);
+  if (!recover_dir.empty()) {
+    return run_recover(recover_dir, recover_out);
+  }
+  if (!rec.out_path.empty()) {
+    return run_record(rec);
   }
 
   if (!cli_socket.empty()) opt.socket_path = cli_socket;
@@ -171,6 +283,11 @@ int main(int argc, char** argv) {
   if (cli_throttle >= 0) {
     opt.gateway.throttle_us = static_cast<std::uint64_t>(cli_throttle);
   }
+  // Watchdog cancels and ladder transitions are operational events;
+  // surface them in the daemon log.
+  opt.gateway.on_event = [](const std::string& msg) {
+    std::fprintf(stderr, "saiyand: %s\n", msg.c_str());
+  };
 
   auto created = saiyan::gateway::Gateway::create(opt.gateway);
   if (!created.ok()) {
@@ -204,12 +321,18 @@ int main(int argc, char** argv) {
   // Reload shared by SIGHUP and the control socket: re-read the config
   // file when one was given, otherwise re-apply the current config
   // (still bumps config_reloads so operators see the signal landed).
+  // The two callers run on different threads (signal loop vs control
+  // server) and both read-modify-write opt.gateway — serialize them,
+  // or a SIGHUP racing a `reload` op is a data race on the config.
+  std::mutex reload_mu;
   auto do_reload = [&]() -> saiyan::Result<saiyan::Unit> {
+    std::lock_guard<std::mutex> lk(reload_mu);
     if (!opt.config_path.empty()) {
       auto loaded = saiyan::daemon::load_daemon_config(opt.config_path);
       if (!loaded.ok()) return loaded.error();
       // Serving identity (socket, worker pool) is fixed at start; only
       // the gateway serving config is swappable.
+      loaded.value().gateway.on_event = opt.gateway.on_event;
       auto r = gw->reload(loaded.value().gateway);
       if (r.ok()) opt.gateway = loaded.value().gateway;
       return r;
@@ -232,6 +355,8 @@ int main(int argc, char** argv) {
             if (!r.ok()) return {ControlStatus::kError, r.message()};
             return {ControlStatus::kOk, "drained\n"};
           }
+          case ControlOp::kHealth:
+            return {ControlStatus::kOk, gw->health().to_text()};
         }
         return {ControlStatus::kError, "unhandled op"};
       });

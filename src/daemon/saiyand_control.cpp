@@ -1,6 +1,6 @@
 // saiyand-control — thin client for the saiyand control socket.
 //
-//   saiyand-control [--socket PATH] stats|reload|drain
+//   saiyand-control [--socket PATH] stats|reload|drain|health
 //
 // Prints the response payload to stdout; exits 0 on an ok status,
 // 1 on a daemon-reported error, 2 on usage/connection problems.
@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
       }
       socket_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: saiyand-control [--socket PATH] stats|reload|drain\n");
+      std::printf(
+          "usage: saiyand-control [--socket PATH] stats|reload|drain|health\n");
       return 0;
     } else if (command.empty()) {
       command = arg;
@@ -45,9 +46,12 @@ int main(int argc, char** argv) {
     req.op = ControlOp::kReload;
   } else if (command == "drain") {
     req.op = ControlOp::kDrain;
+  } else if (command == "health") {
+    req.op = ControlOp::kHealth;
   } else {
-    std::fprintf(stderr,
-                 "usage: saiyand-control [--socket PATH] stats|reload|drain\n");
+    std::fprintf(
+        stderr,
+        "usage: saiyand-control [--socket PATH] stats|reload|drain|health\n");
     return 2;
   }
 

@@ -1,0 +1,54 @@
+#include "fault/chaos.hpp"
+
+namespace saiyan::fault {
+
+namespace {
+
+/// Map a 64-bit draw to a uniform double in [0, 1).
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Map a draw to a uniform integer in [lo, hi] inclusive.
+std::uint64_t to_range(std::uint64_t x, std::uint64_t lo, std::uint64_t hi) {
+  if (hi <= lo) return lo;
+  return lo + x % (hi - lo + 1);
+}
+
+}  // namespace
+
+std::uint64_t ChaosScheduler::draw(std::uint64_t domain, std::uint64_t a,
+                                   std::uint64_t b) const {
+  // Two chained splitmix64 finalizer passes: first fold (domain, a)
+  // into a per-lane seed, then index it by b. Statelessness gives
+  // thread-order independence; the chaining keeps adjacent lanes
+  // (worker 0/1, domain stall/slow) statistically unrelated.
+  const std::uint64_t lane =
+      dsp::derive_stream_seed(cfg_.seed ^ (domain * 0x9e3779b97f4a7c15ULL), a);
+  return dsp::derive_stream_seed(lane, b);
+}
+
+std::uint64_t ChaosScheduler::stall_ms(std::uint32_t worker,
+                                       std::uint64_t chunk_index) const {
+  if (cfg_.stall_rate <= 0.0) return 0;
+  const std::uint64_t x = draw(1, worker, chunk_index);
+  if (to_unit(x) >= cfg_.stall_rate) return 0;
+  // Reuse the same draw for the duration: one coordinate, one number.
+  return to_range(x ^ (x >> 32), cfg_.stall_min_ms, cfg_.stall_max_ms);
+}
+
+std::uint64_t ChaosScheduler::subscriber_delay_ms(
+    std::uint64_t frame_index) const {
+  if (cfg_.slow_frame_rate <= 0.0) return 0;
+  const std::uint64_t x = draw(2, 0, frame_index);
+  return to_unit(x) < cfg_.slow_frame_rate ? cfg_.slow_frame_ms : 0;
+}
+
+std::uint64_t ChaosScheduler::kill_point(std::uint64_t total_chunks) const {
+  if (!cfg_.kill_while_recording || total_chunks == 0) return total_chunks;
+  const std::uint64_t x = draw(3, 0, total_chunks);
+  return to_range(x, total_chunks / 2,
+                  total_chunks == 1 ? 0 : total_chunks - 1);
+}
+
+}  // namespace saiyan::fault

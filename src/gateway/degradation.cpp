@@ -1,0 +1,57 @@
+#include "gateway/degradation.hpp"
+
+namespace saiyan::gateway {
+
+const char* to_string(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kHealthy:
+      return "healthy";
+    case DegradationLevel::kReduceSic:
+      return "reduce_sic";
+    case DegradationLevel::kShedRescans:
+      return "shed_rescans";
+    case DegradationLevel::kDropSpans:
+      return "drop_spans";
+  }
+  return "?";
+}
+
+bool DegradationLadder::update(std::size_t rescan_backlog,
+                               std::uint64_t p99_us) {
+  const bool backlog_on = cfg_.backlog_high != 0;
+  const bool latency_on = cfg_.p99_high_us != 0;
+  // Hot when *any* enabled signal is past its high watermark; cool only
+  // when *every* enabled signal is back at or below its low watermark.
+  // In between, both streaks reset and the level holds.
+  const bool hot = (backlog_on && rescan_backlog >= cfg_.backlog_high) ||
+                   (latency_on && p99_us >= cfg_.p99_high_us);
+  const bool cool = (!backlog_on || rescan_backlog <= cfg_.backlog_low) &&
+                    (!latency_on || p99_us <= cfg_.p99_low_us);
+  if (hot) {
+    cool_polls_ = 0;
+    if (++hot_polls_ >= cfg_.escalate_after) {
+      hot_polls_ = 0;  // a further escalation needs a fresh streak
+      if (level_ < static_cast<std::uint8_t>(DegradationLevel::kDropSpans)) {
+        ++level_;
+        ++transitions_;
+        return true;
+      }
+    }
+  } else if (cool) {
+    hot_polls_ = 0;
+    if (++cool_polls_ >= cfg_.deescalate_after) {
+      cool_polls_ = 0;
+      if (level_ > 0) {
+        --level_;
+        ++transitions_;
+        return true;
+      }
+    }
+  } else {
+    hot_polls_ = 0;
+    cool_polls_ = 0;
+  }
+  return false;
+}
+
+}  // namespace saiyan::gateway

@@ -1,6 +1,7 @@
 #include "gateway/gateway.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -11,6 +12,7 @@
 #include <unordered_map>
 #include <variant>
 
+#include "gateway/degradation.hpp"
 #include "stream/streaming_demod.hpp"
 #include "stream/trace.hpp"
 
@@ -23,6 +25,13 @@ using Clock = std::chrono::steady_clock;
 std::uint64_t us_since(Clock::time_point t0) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
           .count());
 }
 
@@ -129,6 +138,19 @@ struct Gateway::Impl {
     std::unique_ptr<stream::StreamingDemodulator> demod;
     DemodKey demod_key;
     std::thread thr;
+
+    // Watchdog-visible liveness state. The worker writes these with
+    // relaxed stores on the chunk path; the watchdog thread polls them.
+    // `cancel` is the cooperative token StreamingDemodulator polls per
+    // block — the one channel that can unstick a wedged push().
+    std::atomic<bool> cancel{false};
+    std::atomic<std::uint8_t> cancel_kind{0};  ///< 1=heartbeat, 2=deadline
+    std::atomic<std::uint64_t> heartbeat_ns{0};
+    std::atomic<std::uint64_t> job_start_ns{0};  ///< 0 = idle
+    std::atomic<std::uint64_t> current_job{0};
+    std::atomic<bool> job_is_stream{false};
+    std::atomic<std::uint64_t> cancels{0};  ///< watchdog fires on this worker
+    std::atomic<std::uint64_t> rescan_backlog{0};
   };
 
   mutable std::mutex mu_;  // job queues, live streams, cfg pointer
@@ -145,6 +167,37 @@ struct Gateway::Impl {
   std::atomic<std::uint64_t> jobs_failed{0};
   std::atomic<std::uint64_t> streams_open{0};
   std::atomic<std::uint64_t> markers_expected{0};
+
+  // ---- self-healing --------------------------------------------------
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by watchdog_mu_
+  std::thread watchdog_thr_;
+  std::atomic<std::uint64_t> watchdog_cancels_{0};
+  std::atomic<std::uint64_t> deadline_cancels_{0};
+  std::atomic<std::uint8_t> degradation_level_{0};
+  std::atomic<std::uint64_t> degradation_transitions_{0};
+  std::atomic<std::uint64_t> window_p99_us_{0};
+  /// drain()s in progress (guarded by mu_). reload() is *rejected*
+  /// while nonzero — the drain/reload race gets a defined order.
+  int draining_ = 0;
+
+  // ---- job outcomes --------------------------------------------------
+  static constexpr std::size_t kMaxOutcomes = 4096;
+  mutable std::mutex jobs_mu_;
+  std::unordered_map<std::uint64_t, JobStatus> outcomes_;  // jobs_mu_
+  std::deque<std::uint64_t> outcome_order_;                // jobs_mu_
+
+  void record_outcome(std::uint64_t id, JobStatus st) {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    if (outcomes_.emplace(id, std::move(st)).second) {
+      outcome_order_.push_back(id);
+      while (outcome_order_.size() > kMaxOutcomes) {
+        outcomes_.erase(outcome_order_.front());
+        outcome_order_.pop_front();
+      }
+    }
+  }
 
   // ---- delivery ------------------------------------------------------
   mutable std::mutex subs_mu_;
@@ -172,9 +225,29 @@ struct Gateway::Impl {
         job_cfg = cfg;  // pinned: in-flight jobs survive reload untouched
         gen = cfg_gen;
       }
-      std::visit([&](const auto& j) { run_job(w, j, *job_cfg, gen); }, job);
+      const std::uint64_t job_id =
+          std::visit([](const auto& j) { return j.job_id; }, job);
+      // Arm the liveness state before the job body runs: clear any
+      // cancel left over from the previous job, then publish start /
+      // heartbeat so the watchdog ages this job from zero.
+      w.cancel.store(false, std::memory_order_relaxed);
+      w.cancel_kind.store(0, std::memory_order_relaxed);
+      w.current_job.store(job_id, std::memory_order_relaxed);
+      w.job_is_stream.store(std::holds_alternative<StreamJob>(job),
+                            std::memory_order_relaxed);
+      const std::uint64_t t_start = now_ns();
+      w.heartbeat_ns.store(t_start, std::memory_order_relaxed);
+      w.job_start_ns.store(t_start, std::memory_order_release);
+      JobStatus st = std::visit(
+          [&](const auto& j) { return run_job(w, j, *job_cfg, gen); }, job);
+      w.job_start_ns.store(0, std::memory_order_release);
       w.counters.jobs.fetch_add(1, std::memory_order_relaxed);
-      jobs_done.fetch_add(1, std::memory_order_relaxed);
+      if (st.state == JobState::kDone) {
+        jobs_done.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        jobs_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      record_outcome(job_id, std::move(st));
       {
         std::lock_guard<std::mutex> lk(mu_);
         w.busy = false;
@@ -195,17 +268,57 @@ struct Gateway::Impl {
     return *w.demod;
   }
 
-  void run_job(Worker& w, const TraceJob& job, const GatewayConfig& gcfg,
-               std::uint64_t gen) {
+  /// Abandon a cancelled job: fold in what was counted so far, count
+  /// the cancel, and surface a typed outcome. The worker itself lives
+  /// on; its demodulator is rebuilt/reset before the next job.
+  JobStatus abandon_cancelled(Worker& w, const stream::TraceReader* reader,
+                              stream::StreamingDemodulator& demod) {
+    ++w.ingest.jobs_cancelled;
+    if (reader != nullptr) w.ingest.merge(reader->stats());
+    w.ingest.merge(demod.ingest());
+    w.ingest_pub.publish(w.ingest);
+    JobStatus st;
+    st.state = JobState::kCancelled;
+    st.message = w.cancel_kind.load(std::memory_order_relaxed) == 2
+                     ? "job cancelled: deadline exceeded"
+                     : "job cancelled: watchdog heartbeat timeout";
+    return st;
+  }
+
+  /// Per-chunk liveness bookkeeping shared by both job kinds: beat the
+  /// heartbeat, adopt the ladder's current level, publish the rescan
+  /// backlog, and run the test-only chunk hook.
+  void chunk_tick(Worker& w, stream::StreamingDemodulator& demod,
+                  const GatewayConfig& gcfg, std::uint64_t job_id,
+                  std::uint64_t chunk_index) {
+    w.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+    w.rescan_backlog.store(demod.rescan_backlog(), std::memory_order_relaxed);
+    if (gcfg.chunk_hook) {
+      GatewayConfig::ChunkHookInfo info;
+      info.worker = w.index;
+      info.job = job_id;
+      info.chunk_index = chunk_index;
+      info.cancel = &w.cancel;
+      gcfg.chunk_hook(info);
+    }
+  }
+
+  JobStatus run_job(Worker& w, const TraceJob& job, const GatewayConfig& gcfg,
+                    std::uint64_t gen) {
     auto opened = stream::TraceReader::open(job.path, gcfg.resync);
     if (!opened.ok()) {
       // Validated at enqueue time; the file changed underneath us.
-      w.ingest.count(opened.error().ingest == stream::IngestError::kNone
-                         ? stream::IngestError::kBadHeader
-                         : opened.error().ingest);
+      const stream::IngestError kind =
+          opened.error().ingest == stream::IngestError::kNone
+              ? stream::IngestError::kBadHeader
+              : opened.error().ingest;
+      w.ingest.count(kind);
       w.ingest_pub.publish(w.ingest);
-      jobs_failed.fetch_add(1, std::memory_order_relaxed);
-      return;
+      JobStatus st;
+      st.state = JobState::kFailed;
+      st.message = opened.error().message;
+      st.ingest = kind;
+      return st;
     }
     stream::TraceReader reader = std::move(opened).value();
     // The trace knows what receiver it was recorded for; the gateway's
@@ -214,6 +327,7 @@ struct Gateway::Impl {
     sc.saiyan =
         core::SaiyanConfig::make(reader.meta().phy, reader.meta().mode);
     sc.payload_symbols = reader.meta().payload_symbols;
+    sc.cancel = &w.cancel;  // watchdog's lever into a wedged push()
     stream::StreamingDemodulator& demod = ensure_demod(
         w,
         DemodKey::make(gen, /*from_trace=*/true, reader.meta().phy,
@@ -221,6 +335,7 @@ struct Gateway::Impl {
         sc);
 
     const std::uint64_t truncated_before = demod.truncated_packets();
+    std::uint64_t chunk_index = 0;
     dsp::Signal chunk;
     for (;;) {
       const std::uint64_t skipped_before = reader.stats().bytes_skipped;
@@ -230,17 +345,25 @@ struct Gateway::Impl {
         if (st == stream::ChunkStatus::kResync) {
           demod.note_gap(reader.last_gap_samples());
         }
+        demod.set_degradation(
+            degradation_level_.load(std::memory_order_relaxed));
         const Clock::time_point t0 = Clock::now();
         std::span<const dsp::Complex> rest(chunk);
         while (!rest.empty()) {
           const std::size_t take = std::min(gcfg.chunk_samples, rest.size());
           demod.push(rest.first(take));
+          if (demod.cancelled()) break;
           rest = rest.subspan(take);
         }
         w.counters.chunks.fetch_add(1, std::memory_order_relaxed);
         w.counters.samples.fetch_add(chunk.size(), std::memory_order_relaxed);
         emit_frames(w, demod, job.job_id, t0);
         publish_transient(w, &reader, &demod);
+        chunk_tick(w, demod, gcfg, job.job_id, chunk_index++);
+        if (demod.cancelled() ||
+            w.cancel.load(std::memory_order_relaxed)) {
+          return abandon_cancelled(w, &reader, demod);
+        }
         if (gcfg.throttle_us != 0) {
           std::this_thread::sleep_for(
               std::chrono::microseconds(gcfg.throttle_us));
@@ -263,40 +386,84 @@ struct Gateway::Impl {
     w.ingest.merge(reader.stats());
     w.ingest.merge(demod.ingest());
     w.ingest_pub.publish(w.ingest);
+    JobStatus done;
+    done.state = JobState::kDone;
+    return done;
   }
 
-  void run_job(Worker& w, const StreamJob& job, const GatewayConfig& gcfg,
-               std::uint64_t gen) {
+  JobStatus run_job(Worker& w, const StreamJob& job, const GatewayConfig& gcfg,
+                    std::uint64_t gen) {
     stream::StreamConfig sc = gcfg.worker_stream_config();
+    sc.cancel = &w.cancel;  // watchdog's lever into a wedged push()
     stream::StreamingDemodulator& demod = ensure_demod(
         w,
         DemodKey::make(gen, /*from_trace=*/false, sc.saiyan.phy,
                        sc.saiyan.mode, sc.payload_symbols),
         sc);
     const std::uint64_t truncated_before = demod.truncated_packets();
+    std::uint64_t chunk_index = 0;
+    bool cancelled = false;
     for (;;) {
       dsp::Signal chunk;
       {
         std::unique_lock<std::mutex> lk(mu_);
-        w.cv.wait(lk, [&] {
-          return stop_ || job.stream->closed || !job.stream->chunks.empty();
-        });
-        if (stop_) return;  // abandoned, like any outstanding job
-        if (job.stream->chunks.empty()) break;  // closed and drained
-        chunk = std::move(job.stream->chunks.front());
-        job.stream->chunks.pop_front();
+        for (;;) {
+          if (stop_) {
+            // Abandoned at shutdown, like any outstanding job.
+            JobStatus st;
+            st.state = JobState::kDone;
+            return st;
+          }
+          if (w.cancel.load(std::memory_order_relaxed)) break;
+          if (job.stream->closed || !job.stream->chunks.empty()) break;
+          // Bounded waits so a stream merely idling (no chunks offered)
+          // keeps its heartbeat fresh — the watchdog must distinguish
+          // "waiting for input" from "wedged in a decode".
+          w.cv.wait_for(lk, std::chrono::milliseconds(50));
+          w.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+        }
+        if (w.cancel.load(std::memory_order_relaxed)) {
+          cancelled = true;
+        } else {
+          if (job.stream->chunks.empty()) break;  // closed and drained
+          chunk = std::move(job.stream->chunks.front());
+          job.stream->chunks.pop_front();
+        }
       }
-      const Clock::time_point t0 = Clock::now();
-      std::span<const dsp::Complex> rest(chunk);
-      while (!rest.empty()) {
-        const std::size_t take = std::min(gcfg.chunk_samples, rest.size());
-        demod.push(rest.first(take));
-        rest = rest.subspan(take);
+      if (!cancelled) {
+        demod.set_degradation(
+            degradation_level_.load(std::memory_order_relaxed));
+        const Clock::time_point t0 = Clock::now();
+        std::span<const dsp::Complex> rest(chunk);
+        while (!rest.empty()) {
+          const std::size_t take = std::min(gcfg.chunk_samples, rest.size());
+          demod.push(rest.first(take));
+          if (demod.cancelled()) break;
+          rest = rest.subspan(take);
+        }
+        w.counters.chunks.fetch_add(1, std::memory_order_relaxed);
+        w.counters.samples.fetch_add(chunk.size(), std::memory_order_relaxed);
+        emit_frames(w, demod, job.job_id, t0);
+        publish_transient(w, nullptr, &demod);
+        chunk_tick(w, demod, gcfg, job.job_id, chunk_index++);
+        cancelled =
+            demod.cancelled() || w.cancel.load(std::memory_order_relaxed);
       }
-      w.counters.chunks.fetch_add(1, std::memory_order_relaxed);
-      w.counters.samples.fetch_add(chunk.size(), std::memory_order_relaxed);
-      emit_frames(w, demod, job.job_id, t0);
-      publish_transient(w, nullptr, &demod);
+      if (cancelled) {
+        // Tear the stream down so pushers get a typed error instead of
+        // feeding a job nobody will ever run again.
+        bool was_open = false;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          was_open = !job.stream->closed;
+          job.stream->closed = true;
+          streams_.erase(job.stream->id);
+        }
+        if (was_open) {
+          streams_open.fetch_sub(1, std::memory_order_relaxed);
+        }
+        return abandon_cancelled(w, nullptr, demod);
+      }
       if (gcfg.throttle_us != 0) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(gcfg.throttle_us));
@@ -314,6 +481,9 @@ struct Gateway::Impl {
       std::lock_guard<std::mutex> lk(mu_);
       streams_.erase(job.stream->id);
     }
+    JobStatus done;
+    done.state = JobState::kDone;
+    return done;
   }
 
   /// Live view during a job: persistent worker counters plus the
@@ -388,6 +558,108 @@ struct Gateway::Impl {
       s.cv.notify_all();  // drain() waits on empty-and-idle
     }
   }
+
+  // ---- self-healing supervisor ---------------------------------------
+
+  void emit_event(const char* msg) {
+    if (base_cfg.on_event) base_cfg.on_event(std::string(msg));
+  }
+
+  /// Watchdog + degradation controller. One thread, one poll cadence:
+  /// each tick it (a) ages every busy worker's heartbeat and job start
+  /// against the configured bounds and fires the worker's cancel token
+  /// at most once per job, and (b) feeds the ladder the worst rescan
+  /// backlog plus the *windowed* p99 latency (histogram bucket delta
+  /// since the previous tick) and publishes the resulting level for
+  /// workers to adopt at their next chunk.
+  void watchdog_main() {
+    DegradationLadder ladder(base_cfg.degradation);
+    std::array<std::uint64_t, LatencyHistogram::kBuckets> prev{};
+    std::array<std::uint64_t, LatencyHistogram::kBuckets> cur{};
+    std::array<std::uint64_t, LatencyHistogram::kBuckets> delta{};
+    const std::uint64_t hb_ns =
+        base_cfg.watchdog.heartbeat_timeout_ms * 1'000'000ull;
+    const std::uint64_t dl_ns =
+        base_cfg.watchdog.job_deadline_ms * 1'000'000ull;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(watchdog_mu_);
+        watchdog_cv_.wait_for(
+            lk, std::chrono::milliseconds(base_cfg.watchdog.poll_ms),
+            [&] { return watchdog_stop_; });
+        if (watchdog_stop_) return;
+      }
+      const std::uint64_t now = now_ns();
+      std::uint64_t worst_backlog = 0;
+      for (const auto& wp : workers_) {
+        Worker& w = *wp;
+        worst_backlog = std::max(
+            worst_backlog, w.rescan_backlog.load(std::memory_order_relaxed));
+        const std::uint64_t start =
+            w.job_start_ns.load(std::memory_order_acquire);
+        // Idle, or this job was already cancelled (the token stays set
+        // until the worker arms the next job) — nothing to supervise.
+        if (start == 0 || w.cancel.load(std::memory_order_relaxed)) continue;
+        std::uint8_t kind = 0;
+        if (hb_ns != 0) {
+          const std::uint64_t hb =
+              w.heartbeat_ns.load(std::memory_order_relaxed);
+          if (now > hb && now - hb >= hb_ns) kind = 1;
+        }
+        // Deadlines apply to finite work (trace replays); a live
+        // stream is open-ended by design and only heartbeat-supervised.
+        if (kind == 0 && dl_ns != 0 &&
+            !w.job_is_stream.load(std::memory_order_relaxed) && now > start &&
+            now - start >= dl_ns) {
+          kind = 2;
+        }
+        if (kind == 0) continue;
+        w.cancel_kind.store(kind, std::memory_order_relaxed);
+        w.cancel.store(true, std::memory_order_release);
+        w.cv.notify_all();
+        w.cancels.fetch_add(1, std::memory_order_relaxed);
+        (kind == 1 ? watchdog_cancels_ : deadline_cancels_)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (base_cfg.on_event) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "watchdog: cancelling job %llu on worker %u (%s)",
+                        static_cast<unsigned long long>(
+                            w.current_job.load(std::memory_order_relaxed)),
+                        w.index,
+                        kind == 1 ? "heartbeat timeout" : "deadline exceeded");
+          emit_event(buf);
+        }
+      }
+      if (base_cfg.degradation.enabled) {
+        latency_.snapshot_counts(cur);
+        for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+          delta[i] = cur[i] - prev[i];
+        }
+        prev = cur;
+        const std::uint64_t p99 =
+            LatencyHistogram::quantile_from_counts(delta, 0.99);
+        window_p99_us_.store(p99, std::memory_order_relaxed);
+        if (ladder.update(worst_backlog, p99)) {
+          const DegradationLevel lvl = ladder.level();
+          degradation_level_.store(static_cast<std::uint8_t>(lvl),
+                                   std::memory_order_relaxed);
+          degradation_transitions_.store(ladder.transitions(),
+                                         std::memory_order_relaxed);
+          if (base_cfg.on_event) {
+            char buf[160];
+            std::snprintf(
+                buf, sizeof(buf),
+                "degradation: level -> %u (%s), backlog=%llu p99=%lluus",
+                static_cast<unsigned>(lvl), to_string(lvl),
+                static_cast<unsigned long long>(worst_backlog),
+                static_cast<unsigned long long>(p99));
+            emit_event(buf);
+          }
+        }
+      }
+    }
+  }
 };
 
 saiyan::Result<std::unique_ptr<Gateway>> Gateway::create(
@@ -407,9 +679,19 @@ Gateway::Gateway(const GatewayConfig& cfg) : impl_(new Impl(cfg)) {
     Impl::Worker& w = *impl_->workers_[i];
     w.thr = std::thread([this, &w] { impl_->worker_main(w); });
   }
+  if (cfg.watchdog.heartbeat_timeout_ms != 0 ||
+      cfg.watchdog.job_deadline_ms != 0 || cfg.degradation.enabled) {
+    impl_->watchdog_thr_ = std::thread([this] { impl_->watchdog_main(); });
+  }
 }
 
 Gateway::~Gateway() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->watchdog_mu_);
+    impl_->watchdog_stop_ = true;
+  }
+  impl_->watchdog_cv_.notify_all();
+  if (impl_->watchdog_thr_.joinable()) impl_->watchdog_thr_.join();
   {
     std::lock_guard<std::mutex> lk(impl_->mu_);
     impl_->stop_ = true;
@@ -549,8 +831,20 @@ saiyan::Result<Unit> Gateway::reload(const GatewayConfig& cfg) {
   if (cfg.limits.subscriber_queue != impl_->base_cfg.limits.subscriber_queue) {
     return fail("reload: limits.subscriber_queue is fixed at create()");
   }
+  if (!(cfg.watchdog == impl_->base_cfg.watchdog)) {
+    return fail("reload: watchdog config is fixed at create()");
+  }
+  if (!(cfg.degradation == impl_->base_cfg.degradation)) {
+    return fail("reload: degradation config is fixed at create()");
+  }
   {
     std::lock_guard<std::mutex> lk(impl_->mu_);
+    if (impl_->draining_ > 0) {
+      // A drain() is waiting for the worker pool to empty; swapping the
+      // config underneath it is an undefined mix of old and new jobs.
+      // Reject with a typed error — the caller retries after the drain.
+      return fail("reload: rejected while drain() is in progress");
+    }
     impl_->cfg = std::make_shared<const GatewayConfig>(cfg);
     ++impl_->cfg_gen;
   }
@@ -567,6 +861,7 @@ saiyan::Result<Unit> Gateway::drain() {
                     " still open (close_stream it first)");
       }
     }
+    ++impl_->draining_;  // reload() is rejected until we finish
     impl_->idle_cv_.wait(lk, [&] {
       for (const auto& w : impl_->workers_) {
         if (w->busy || !w->jobs.empty()) return false;
@@ -583,7 +878,24 @@ saiyan::Result<Unit> Gateway::drain() {
     std::unique_lock<std::mutex> sk(s->m);
     s->cv.wait(sk, [&] { return s->q.empty() && !s->in_flight; });
   }
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu_);
+    --impl_->draining_;
+  }
   return Unit{};
+}
+
+saiyan::Result<JobStatus> Gateway::job_status(std::uint64_t job) const {
+  {
+    std::lock_guard<std::mutex> lk(impl_->jobs_mu_);
+    auto it = impl_->outcomes_.find(job);
+    if (it != impl_->outcomes_.end()) return it->second;
+  }
+  std::lock_guard<std::mutex> lk(impl_->mu_);
+  if (job >= impl_->next_job_) {
+    return fail("job_status: unknown job " + std::to_string(job));
+  }
+  return JobStatus{};  // issued but not completed: pending
 }
 
 GatewayStats Gateway::stats() const {
@@ -598,6 +910,11 @@ GatewayStats Gateway::stats() const {
   s.streams_open = im.streams_open.load(std::memory_order_relaxed);
   s.config_reloads = im.config_reloads.load(std::memory_order_relaxed);
   s.markers_expected = im.markers_expected.load(std::memory_order_relaxed);
+  s.watchdog_cancels = im.watchdog_cancels_.load(std::memory_order_relaxed);
+  s.deadline_cancels = im.deadline_cancels_.load(std::memory_order_relaxed);
+  s.degradation_level = im.degradation_level_.load(std::memory_order_relaxed);
+  s.degradation_transitions =
+      im.degradation_transitions_.load(std::memory_order_relaxed);
   s.per_worker.reserve(im.workers_.size());
   for (const auto& wp : im.workers_) {
     const WorkerCounters& c = wp->counters;
@@ -629,6 +946,53 @@ GatewayStats Gateway::stats() const {
   return s;
 }
 
+GatewayHealth Gateway::health() const {
+  const Impl& im = *impl_;
+  GatewayHealth h;
+  h.degradation_level = im.degradation_level_.load(std::memory_order_relaxed);
+  h.degradation_name =
+      to_string(static_cast<DegradationLevel>(h.degradation_level));
+  h.degradation_transitions =
+      im.degradation_transitions_.load(std::memory_order_relaxed);
+  h.watchdog_cancels = im.watchdog_cancels_.load(std::memory_order_relaxed);
+  h.deadline_cancels = im.deadline_cancels_.load(std::memory_order_relaxed);
+  h.window_p99_us = im.window_p99_us_.load(std::memory_order_relaxed);
+  const std::uint64_t now = now_ns();
+  h.workers.reserve(im.workers_.size());
+  for (const auto& wp : im.workers_) {
+    const Impl::Worker& w = *wp;
+    WorkerHealth wh;
+    const std::uint64_t start = w.job_start_ns.load(std::memory_order_acquire);
+    wh.busy = start != 0;
+    if (wh.busy) {
+      wh.job = w.current_job.load(std::memory_order_relaxed);
+      wh.job_age_ms = now > start ? (now - start) / 1'000'000 : 0;
+      const std::uint64_t hb = w.heartbeat_ns.load(std::memory_order_relaxed);
+      wh.heartbeat_age_ms = now > hb ? (now - hb) / 1'000'000 : 0;
+    }
+    wh.cancels = w.cancels.load(std::memory_order_relaxed);
+    wh.rescan_backlog = w.rescan_backlog.load(std::memory_order_relaxed);
+    h.rescan_backlog = std::max(h.rescan_backlog, wh.rescan_backlog);
+    h.jobs_cancelled += w.ingest_pub.read().jobs_cancelled;
+    h.workers.push_back(wh);
+  }
+  return h;
+}
+
 const GatewayConfig& Gateway::config() const { return impl_->base_cfg; }
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
 
 }  // namespace saiyan::gateway

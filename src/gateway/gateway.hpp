@@ -67,6 +67,26 @@ using SubscriberId = std::uint64_t;
 using StreamId = std::uint64_t;
 using FrameHandler = std::function<void(const FrameRecord&)>;
 
+/// Lifecycle of a job as seen through Gateway::job_status().
+enum class JobState : std::uint8_t {
+  kPending = 0,    ///< queued or running
+  kDone = 1,       ///< completed normally
+  kFailed = 2,     ///< typed error in JobStatus::message / ingest
+  kCancelled = 3,  ///< watchdog heartbeat timeout or job deadline
+};
+
+const char* to_string(JobState state);
+
+/// Typed outcome of a job — how a cancelled or failed job surfaces to
+/// the caller instead of wedging drain() or vanishing silently.
+struct JobStatus {
+  JobState state = JobState::kPending;
+  /// Human-readable cause for kFailed / kCancelled; empty otherwise.
+  std::string message;
+  /// Ingest-taxonomy class when the failure came from trace parsing.
+  stream::IngestError ingest = stream::IngestError::kNone;
+};
+
 class Gateway {
  public:
   /// Validate `cfg` and start the worker pool. The Error of a failed
@@ -112,18 +132,32 @@ class Gateway {
 
   /// Swap the serving config for jobs enqueued from now on. In-flight
   /// jobs finish under the config they started with (no dropped
-  /// spans). Worker count and subscriber limits are fixed at
-  /// create(); a changed value in either is rejected.
+  /// spans). Worker count, subscriber limits, watchdog and degradation
+  /// policy are fixed at create(); a changed value in any is rejected.
+  /// Rejected (not blocked, not UB) while a drain() is in progress —
+  /// retry after the drain returns.
   saiyan::Result<Unit> reload(const GatewayConfig& cfg);
 
   /// Block until every queued job has completed, all live streams are
   /// closed and consumed, and every subscriber queue has drained.
   /// Call close_stream() on open streams first — drain() fails
-  /// (rather than deadlocks) if a live stream is still open.
+  /// (rather than deadlocks) if a live stream is still open. A job
+  /// wedged past the watchdog's bounds is cancelled with a typed
+  /// error (job_status()), so drain() still returns.
   saiyan::Result<Unit> drain();
+
+  /// Typed outcome of a job id returned by enqueue_trace() /
+  /// open_stream(). Fails on an id that was never issued. Outcomes of
+  /// the most recent completed jobs are retained (a bounded window);
+  /// a pruned old job reads back as kPending.
+  saiyan::Result<JobStatus> job_status(std::uint64_t job) const;
 
   /// Coherent statistics snapshot; wait-free for the workers.
   GatewayStats stats() const;
+
+  /// Self-healing snapshot (watchdog liveness + degradation ladder);
+  /// wait-free for the workers. The `health` control op serves this.
+  GatewayHealth health() const;
 
   const GatewayConfig& config() const;
 

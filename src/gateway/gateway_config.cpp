@@ -58,6 +58,23 @@ saiyan::Result<Unit> GatewayConfig::validate() const {
   if (limits.subscriber_queue == 0) {
     return bad_field("limits.subscriber_queue", "must be >= 1");
   }
+  if (watchdog.poll_ms == 0 || watchdog.poll_ms > 60'000) {
+    return bad_field("watchdog.poll_ms", "must be in [1, 60000]");
+  }
+  if (degradation.backlog_low > degradation.backlog_high) {
+    return bad_field("degradation.backlog_low",
+                     "must be <= degradation.backlog_high");
+  }
+  if (degradation.p99_low_us > degradation.p99_high_us) {
+    return bad_field("degradation.p99_low_us",
+                     "must be <= degradation.p99_high_us");
+  }
+  if (degradation.escalate_after == 0) {
+    return bad_field("degradation.escalate_after", "must be >= 1");
+  }
+  if (degradation.deescalate_after == 0) {
+    return bad_field("degradation.deescalate_after", "must be >= 1");
+  }
   return Unit{};
 }
 

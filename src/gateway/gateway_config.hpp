@@ -26,10 +26,14 @@
 // values instead of silently picking one.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "core/result.hpp"
+#include "gateway/degradation.hpp"
 #include "stream/streaming_demod.hpp"
 
 namespace saiyan::gateway {
@@ -48,6 +52,27 @@ struct GatewayLimits {
   /// Canonical home of stream.sic.max_rescan_queue (deprecated alias):
   /// hard cap on queued rescan regions. 0 = unbounded.
   std::size_t sic_max_rescan_queue = 0;
+};
+
+/// Watchdog: liveness supervision of the worker pool. A worker beats a
+/// per-worker heartbeat at every chunk boundary; the watchdog thread
+/// polls the heartbeats and per-job wall-clock ages and fires the
+/// worker's cooperative cancel token when either bound is exceeded.
+/// The cancelled job fails with a typed error (JobState::kCancelled)
+/// instead of wedging drain() forever; the worker itself survives and
+/// picks up the next job with a fresh demodulator. Fixed at
+/// Gateway::create() (like `workers`): reload() rejects changes.
+struct WatchdogConfig {
+  /// Supervision poll period. Also the degradation ladder's tick.
+  std::uint64_t poll_ms = 20;
+  /// Cancel a job whose worker has not beaten its heartbeat for this
+  /// long (a chunk wedged inside the demodulator). 0 = disabled.
+  std::uint64_t heartbeat_timeout_ms = 0;
+  /// Soft per-job deadline: cancel any job busy longer than this, even
+  /// one still making progress. 0 = disabled.
+  std::uint64_t job_deadline_ms = 0;
+
+  bool operator==(const WatchdogConfig&) const = default;
 };
 
 struct GatewayConfig {
@@ -76,6 +101,31 @@ struct GatewayConfig {
   std::uint64_t throttle_us = 0;
 
   GatewayLimits limits;
+
+  /// Liveness supervision (heartbeats + job deadlines). Disabled by
+  /// default; fixed at create().
+  WatchdogConfig watchdog;
+
+  /// Adaptive overload degradation (see gateway/degradation.hpp).
+  /// Disabled by default; fixed at create().
+  DegradationConfig degradation;
+
+  /// Operational event sink (ladder transitions, watchdog cancels).
+  /// Called from the watchdog thread; must be thread-safe and fast.
+  /// Null = events are counted but not reported.
+  std::function<void(const std::string&)> on_event;
+
+  /// Test-only instrumentation: invoked on the worker thread after
+  /// every ingested chunk, with the worker's own cancel token. The
+  /// chaos harness uses it to stall a worker mid-job and to verify a
+  /// watchdog cancel unsticks it; production configs leave it null.
+  struct ChunkHookInfo {
+    std::uint32_t worker = 0;
+    std::uint64_t job = 0;
+    std::uint64_t chunk_index = 0;                ///< within the job
+    const std::atomic<bool>* cancel = nullptr;    ///< worker cancel token
+  };
+  std::function<void(const ChunkHookInfo&)> chunk_hook;
 
   /// Check every field; on failure the Error message names the first
   /// bad field by its dotted path.

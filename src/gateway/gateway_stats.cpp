@@ -43,6 +43,10 @@ std::string GatewayStats::to_text() const {
   line(out, "latency_p50_us", latency_p50_us);
   line(out, "latency_p99_us", latency_p99_us);
   line(out, "latency_max_us", latency_max_us);
+  line(out, "watchdog_cancels", watchdog_cancels);
+  line(out, "deadline_cancels", deadline_cancels);
+  line(out, "degradation_level", static_cast<std::uint64_t>(degradation_level));
+  line(out, "degradation_transitions", degradation_transitions);
   line(out, "ingest.chunks_ok", ingest.chunks_ok);
   line(out, "ingest.chunks_corrupt", ingest.chunks_corrupt);
   line(out, "ingest.resyncs", ingest.resyncs);
@@ -54,8 +58,10 @@ std::string GatewayStats::to_text() const {
   line(out, "ingest.sic_shed", ingest.sic_shed);
   line(out, "ingest.rescans_dropped", ingest.rescans_dropped);
   line(out, "ingest.rescans_expired", ingest.rescans_expired);
+  line(out, "ingest.spans_shed", ingest.spans_shed);
   line(out, "ingest.frames_dropped_subscriber",
        ingest.frames_dropped_subscriber);
+  line(out, "ingest.jobs_cancelled", ingest.jobs_cancelled);
   line(out, "ingest.total_errors", ingest.total_errors());
   for (std::size_t i = 0; i < per_worker.size(); ++i) {
     const WorkerSnapshot& w = per_worker[i];
@@ -72,6 +78,39 @@ std::string GatewayStats::to_text() const {
     line(out, key, w.jobs);
     std::snprintf(key, sizeof(key), "worker.%zu.truncated", i);
     line(out, key, w.truncated);
+  }
+  return out;
+}
+
+std::string GatewayHealth::to_text() const {
+  std::string out;
+  out.reserve(512 + 192 * workers.size());
+  line(out, "degradation_level",
+       static_cast<std::uint64_t>(degradation_level));
+  out += "degradation_name ";
+  out += degradation_name;
+  out += '\n';
+  line(out, "degradation_transitions", degradation_transitions);
+  line(out, "watchdog_cancels", watchdog_cancels);
+  line(out, "deadline_cancels", deadline_cancels);
+  line(out, "jobs_cancelled", jobs_cancelled);
+  line(out, "rescan_backlog", rescan_backlog);
+  line(out, "window_p99_us", window_p99_us);
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerHealth& w = workers[i];
+    char key[64];
+    std::snprintf(key, sizeof(key), "worker.%zu.busy", i);
+    line(out, key, static_cast<std::uint64_t>(w.busy ? 1 : 0));
+    std::snprintf(key, sizeof(key), "worker.%zu.job", i);
+    line(out, key, w.job);
+    std::snprintf(key, sizeof(key), "worker.%zu.job_age_ms", i);
+    line(out, key, w.job_age_ms);
+    std::snprintf(key, sizeof(key), "worker.%zu.heartbeat_age_ms", i);
+    line(out, key, w.heartbeat_age_ms);
+    std::snprintf(key, sizeof(key), "worker.%zu.cancels", i);
+    line(out, key, w.cancels);
+    std::snprintf(key, sizeof(key), "worker.%zu.rescan_backlog", i);
+    line(out, key, w.rescan_backlog);
   }
   return out;
 }

@@ -48,15 +48,22 @@ class LatencyHistogram {
     }
   }
 
-  /// Upper edge (us) of the bucket holding quantile `q` of the
-  /// recorded samples; 0 when nothing was recorded.
-  std::uint64_t quantile_us(double q) const {
-    std::array<std::uint64_t, kBuckets> counts;
-    std::uint64_t total = 0;
+  /// Relaxed snapshot of the raw bucket counts. The degradation
+  /// controller diffs two snapshots to get a *windowed* histogram —
+  /// the cumulative one would never cool down after a single storm.
+  void snapshot_counts(std::array<std::uint64_t, kBuckets>& out) const {
     for (std::size_t i = 0; i < kBuckets; ++i) {
-      counts[i] = buckets_[i].load(std::memory_order_relaxed);
-      total += counts[i];
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
     }
+  }
+
+  /// Upper bucket edge (us) of quantile `q` over an explicit count
+  /// array; 0 when the array is empty. Shared by the cumulative
+  /// quantile below and the controller's windowed quantile.
+  static std::uint64_t quantile_from_counts(
+      const std::array<std::uint64_t, kBuckets>& counts, double q) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) total += counts[i];
     if (total == 0) return 0;
     const std::uint64_t rank = static_cast<std::uint64_t>(
         q * static_cast<double>(total - 1));
@@ -67,7 +74,15 @@ class LatencyHistogram {
         return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
       }
     }
-    return max_us();
+    return 0;
+  }
+
+  /// Upper edge (us) of the bucket holding quantile `q` of the
+  /// recorded samples; 0 when nothing was recorded.
+  std::uint64_t quantile_us(double q) const {
+    std::array<std::uint64_t, kBuckets> counts;
+    snapshot_counts(counts);
+    return quantile_from_counts(counts, q);
   }
 
   std::uint64_t max_us() const {
@@ -148,6 +163,14 @@ struct GatewayStats {
   std::uint64_t latency_p99_us = 0;
   std::uint64_t latency_max_us = 0;
 
+  /// Self-healing pillar (see docs/ROBUSTNESS.md): watchdog cancels by
+  /// cause, and the degradation ladder's current rung + lifetime
+  /// transition count.
+  std::uint64_t watchdog_cancels = 0;  ///< heartbeat-timeout cancels
+  std::uint64_t deadline_cancels = 0;  ///< job-deadline cancels
+  std::uint32_t degradation_level = 0;
+  std::uint64_t degradation_transitions = 0;
+
   /// Merged ingest health across workers (trace resyncs, gaps, SIC
   /// shedding, subscriber drops).
   stream::IngestStats ingest;
@@ -156,6 +179,35 @@ struct GatewayStats {
 
   /// Serialize as `key value` lines — the control protocol's stats
   /// payload (documented in docs/GATEWAY.md).
+  std::string to_text() const;
+};
+
+/// Liveness view of one worker, for the `health` op.
+struct WorkerHealth {
+  bool busy = false;
+  std::uint64_t job = 0;               ///< current job id (when busy)
+  std::uint64_t job_age_ms = 0;        ///< since the job started
+  std::uint64_t heartbeat_age_ms = 0;  ///< since the last heartbeat
+  std::uint64_t cancels = 0;           ///< watchdog cancels fired here
+  std::uint64_t rescan_backlog = 0;    ///< queued SIC rescan regions
+};
+
+/// Self-healing snapshot produced by Gateway::health() — the payload
+/// of the control protocol's `health` op. Cheaper and more pointed
+/// than a full stats snapshot: it answers "is anything stuck, and how
+/// degraded are we" rather than "how much was decoded".
+struct GatewayHealth {
+  std::uint32_t degradation_level = 0;
+  std::string degradation_name;  ///< to_string(DegradationLevel)
+  std::uint64_t degradation_transitions = 0;
+  std::uint64_t watchdog_cancels = 0;
+  std::uint64_t deadline_cancels = 0;
+  std::uint64_t jobs_cancelled = 0;   ///< jobs abandoned after a cancel
+  std::uint64_t rescan_backlog = 0;   ///< worst backlog across workers
+  std::uint64_t window_p99_us = 0;    ///< controller's last windowed p99
+  std::vector<WorkerHealth> workers;
+
+  /// `key value` lines, same dialect as GatewayStats::to_text().
   std::string to_text() const;
 };
 

@@ -57,12 +57,19 @@ struct IngestStats {
   std::uint64_t sic_shed = 0;        ///< cancellations skipped under backlog
   std::uint64_t rescans_dropped = 0; ///< rescan regions evicted (queue cap)
   std::uint64_t rescans_expired = 0; ///< rescan regions aged off the ring
+  /// Whole confirmed spans discarded undecoded by the degradation
+  /// ladder's last rung (gateway overload, not input damage).
+  std::uint64_t spans_shed = 0;
 
   // --- delivery layer (filled by gateway::Gateway) -----------------
   /// Decoded frames dropped because a subscriber's bounded queue was
   /// full (a slow consumer sheds its own frames; it never stalls the
   /// demodulator workers).
   std::uint64_t frames_dropped_subscriber = 0;
+  /// Jobs abandoned by the gateway watchdog (missed heartbeat or a
+  /// blown per-job deadline): the stuck job fails with a typed error
+  /// instead of hanging drain().
+  std::uint64_t jobs_cancelled = 0;
 
   /// Per-class rejection counts, indexed by IngestError.
   std::array<std::uint64_t, static_cast<std::size_t>(IngestError::kCount)>
@@ -87,8 +94,8 @@ struct IngestStats {
 
   bool clean() const {
     return total_errors() == 0 && gaps == 0 && sic_shed == 0 &&
-           rescans_dropped == 0 && rescans_expired == 0 &&
-           frames_dropped_subscriber == 0;
+           rescans_dropped == 0 && rescans_expired == 0 && spans_shed == 0 &&
+           frames_dropped_subscriber == 0 && jobs_cancelled == 0;
   }
 
   /// Fold another layer's (or shard's) counters into this one.
@@ -104,7 +111,9 @@ struct IngestStats {
     sic_shed += other.sic_shed;
     rescans_dropped += other.rescans_dropped;
     rescans_expired += other.rescans_expired;
+    spans_shed += other.spans_shed;
     frames_dropped_subscriber += other.frames_dropped_subscriber;
+    jobs_cancelled += other.jobs_cancelled;
     for (std::size_t i = 0; i < errors.size(); ++i) errors[i] += other.errors[i];
     if (other.last_error != IngestError::kNone) last_error = other.last_error;
   }

@@ -63,6 +63,14 @@ std::size_t StreamingDemodulator::push(std::span<const dsp::Complex> chunk) {
   const std::size_t before = packets_.size();
   std::size_t i = 0;
   while (i < chunk.size()) {
+    // Cooperative cancellation: one relaxed load per block iteration
+    // keeps the hot path unmeasurable while bounding the reaction
+    // time of a watchdog cancel to a single block of work.
+    if (cfg_.cancel != nullptr &&
+        cfg_.cancel->load(std::memory_order_relaxed)) {
+      cancelled_ = true;
+      break;
+    }
     const std::size_t filled =
         static_cast<std::size_t>(received_ - next_block_start_);
     const std::size_t take = std::min(chunk.size() - i, block_ - filled);
@@ -138,6 +146,8 @@ void StreamingDemodulator::reset() {
   rescans_.clear();
   rescan_head_ = 0;
   recent_count_ = 0;
+  cancelled_ = false;
+  degradation_ = 0;
   received_ = 0;
   next_block_start_ = 0;
   packet_counter_ = 0;
@@ -166,7 +176,14 @@ void StreamingDemodulator::decode_ready(bool flush) {
       const PacketSpan span = pending_[pending_head_];
       const std::uint64_t frame_end = span.packet_start + frame_len_;
       if (frame_end <= received_) {
-        decode_span(span);
+        if (degradation_ >= 3) {
+          // Last degradation rung: the span is complete but decode is
+          // the work being shed — drop it whole, visibly.
+          ++ingest_.spans_shed;
+          if (sic_) remember_start(span.packet_start);
+        } else {
+          decode_span(span);
+        }
         progress = true;
       } else if (flush) {
         ++truncated_;  // capture ended mid-frame
@@ -185,6 +202,12 @@ void StreamingDemodulator::decode_ready(bool flush) {
     if (!sic_) break;  // no rescan stage; a single decode pass suffices
     while (rescan_head_ < rescans_.size()) {
       const RescanRegion region = rescans_[rescan_head_];
+      if (degradation_ >= 2) {
+        // Ladder rung 2: the rescan backlog is the work being shed.
+        ++rescan_head_;
+        ++ingest_.rescans_dropped;
+        continue;
+      }
       if (region.ready_at > received_ && !flush) break;
       ++rescan_head_;
       if (process_rescan(region)) progress = true;
@@ -223,7 +246,8 @@ void StreamingDemodulator::decode_span(const PacketSpan& span) {
   if (sic_) {
     remember_start(span.packet_start);
     if (span.sic_depth > 0) ++collisions_resolved_;
-    if (span.sic_depth < cfg_.sic.depth) {
+    const std::size_t eff_depth = effective_sic_depth();
+    if (span.sic_depth < eff_depth) {
       // Pressure-based load shedding: under a rescan backlog the
       // cancel+rescan stage is the work that compounds (each cancel
       // can queue further rescans), so it is the work we shed. The
@@ -234,8 +258,20 @@ void StreamingDemodulator::decode_span(const PacketSpan& span) {
       } else {
         cancel_frame(span);
       }
+    } else if (span.sic_depth < cfg_.sic.depth) {
+      // The degradation ladder capped the chain below its configured
+      // depth — a shed cancellation, same counter as backlog shedding.
+      ++ingest_.sic_shed;
     }
   }
+}
+
+std::size_t StreamingDemodulator::effective_sic_depth() const {
+  // The ladder's first rung halves the most expensive work by capping
+  // cancellation chains at one pass; rung 2 sheds the stage entirely.
+  if (!sic_ || degradation_ >= 2) return 0;
+  if (degradation_ >= 1) return std::min<std::size_t>(cfg_.sic.depth, 1);
+  return cfg_.sic.depth;
 }
 
 void StreamingDemodulator::remember_start(std::uint64_t packet_start) {
@@ -318,7 +354,7 @@ bool StreamingDemodulator::process_rescan(const RescanRegion& region) {
   }
   // A pileup can bury several preambles under one frame; once the
   // revealed frame is cancelled in turn, look at this span again.
-  if (region.depth < cfg_.sic.depth) {
+  if (region.depth < effective_sic_depth()) {
     RescanRegion again = region;
     again.depth = region.depth + 1;
     again.ready_at = abs + frame_len_ + preamble_len_;

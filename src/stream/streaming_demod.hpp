@@ -61,6 +61,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -94,6 +95,12 @@ struct StreamConfig {
   /// against a clean run downstream of a recovered gap. Off by
   /// default: the index-keyed scheme is what batch equivalence pins.
   bool seed_by_offset = false;
+  /// Cooperative cancellation token (not owned; may be null). push()
+  /// polls it once per internal block iteration: when it reads true,
+  /// the push stops early, cancelled() latches, and the caller is
+  /// expected to abandon the job (a gateway watchdog unsticking a
+  /// wedged worker). reset() clears the latch, not the token.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One decoded packet. Symbols live in the demodulator's flat store —
@@ -167,6 +174,20 @@ class StreamingDemodulator {
     symbols_.clear();
   }
 
+  /// The cfg.cancel token fired during a push (latched until reset()).
+  /// Internal state may hold a partially ingested chunk — the instance
+  /// must be reset() (or rebuilt) before the next job.
+  bool cancelled() const { return cancelled_; }
+
+  /// Gateway degradation ladder (0 = healthy .. 3 = drop spans; see
+  /// gateway/degradation.hpp). Level >= 1 caps the SIC chain depth at
+  /// one cancellation; level >= 2 sheds all cancel/rescan work
+  /// (sic_shed / rescans_dropped); level >= 3 additionally discards
+  /// completed spans undecoded (spans_shed). Takes effect at the next
+  /// block boundary; cleared by reset().
+  void set_degradation(std::uint8_t level) { degradation_ = level; }
+  std::uint8_t degradation() const { return degradation_; }
+
   std::uint64_t samples_consumed() const { return received_; }
   std::size_t truncated_packets() const { return truncated_; }
   std::size_t frame_samples() const { return frame_len_; }
@@ -179,6 +200,9 @@ class StreamingDemodulator {
   std::size_t collisions_resolved() const { return collisions_resolved_; }
   /// Frames whose waveform was reconstructed and subtracted.
   std::size_t frames_cancelled() const { return frames_cancelled_; }
+  /// SIC rescan regions queued but not yet processed — the degradation
+  /// ladder's backlog signal.
+  std::size_t rescan_backlog() const { return rescans_.size() - rescan_head_; }
   /// Stream-side ingest health: gaps recovered, spans dropped, SIC
   /// work shed under backlog pressure.
   const IngestStats& ingest() const { return ingest_; }
@@ -203,6 +227,7 @@ class StreamingDemodulator {
   bool process_rescan(const RescanRegion& region);
   void queue_rescan(const RescanRegion& region);
   void remember_start(std::uint64_t packet_start);
+  std::size_t effective_sic_depth() const;
   void insert_span(const PacketSpan& span);
   bool near_known_span(std::uint64_t packet_start) const;
   void restore_pending_order(std::size_t appended_from);
@@ -228,6 +253,8 @@ class StreamingDemodulator {
   std::array<std::uint64_t, 8> recent_starts_{};  // decoded-frame dedupe
   std::size_t recent_count_ = 0;
 
+  bool cancelled_ = false;
+  std::uint8_t degradation_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t next_block_start_ = 0;
   std::uint64_t packet_counter_ = 0;

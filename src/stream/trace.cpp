@@ -136,6 +136,20 @@ void TraceWriter::write_chunk(std::span<const dsp::Complex> samples) {
   total_ += samples.size();
 }
 
+bool TraceWriter::flush() noexcept {
+  if (closed_) return last_error_.empty();
+  out_.flush();
+  if (!out_ && last_error_.empty()) {
+    try {
+      last_error_ = "TraceWriter: flush failed";
+    } catch (...) {
+      last_error_.clear();
+      last_error_ += '!';
+    }
+  }
+  return last_error_.empty();
+}
+
 void TraceWriter::close() {
   if (!try_close()) throw std::runtime_error(last_error_);
 }

@@ -105,6 +105,12 @@ class TraceWriter {
   /// Append one CRC-guarded sample chunk.
   void write_chunk(std::span<const dsp::Complex> samples);
 
+  /// Push buffered bytes to the OS (durability policies that fsync per
+  /// chunk need the stream flushed first). Returns false on I/O
+  /// failure with the description sticky in last_error(); a no-op
+  /// after close.
+  bool flush() noexcept;
+
   /// Patch total_samples into the header and flush. Idempotent;
   /// throws on I/O failure (the destructor closes via try_close()
   /// instead, recording any failure in last_error()).

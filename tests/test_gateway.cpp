@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -20,6 +21,8 @@
 #include "core/result.hpp"
 #include "daemon/control_protocol.hpp"
 #include "daemon/daemon_config.hpp"
+#include "fault/chaos.hpp"
+#include "gateway/degradation.hpp"
 #include "gateway/gateway.hpp"
 #include "sim/capture.hpp"
 #include "stream/streaming_demod.hpp"
@@ -541,6 +544,273 @@ TEST(GatewayStatsPrimitives, LatencyHistogramQuantiles) {
   EXPECT_EQ(h.quantile_us(0.5), 127u);
   EXPECT_GE(h.quantile_us(0.999), 100000u);
   EXPECT_EQ(h.max_us(), 200000u);
+}
+
+// ------------------------------------------------ watchdog + self-heal
+
+/// Shared skeleton for the two watchdog trip-wires: wedge one chosen
+/// job inside the chunk hook (spinning until the watchdog's cancel
+/// token fires, like a stuck DMA wait would), then assert the
+/// self-healing contract — drain() returns, the wedged job surfaces a
+/// typed kCancelled outcome, and every OTHER job's decode output is
+/// bit-identical to the offline reference.
+void watchdog_trip(const char* trace_path, bool via_deadline) {
+  gateway::GatewayConfig cfg;
+  cfg.stream.saiyan = core::SaiyanConfig::make(phy(), core::Mode::kSuper);
+  cfg.stream.payload_symbols = kPayload;
+  cfg.chunk_samples = 8192;
+  cfg.workers = 2;
+  cfg.watchdog.poll_ms = 10;
+  // Generous bounds: an honest job replays this trace in well under a
+  // second, so only the deliberately wedged job can trip them.
+  if (via_deadline) {
+    cfg.watchdog.job_deadline_ms = 1500;
+  } else {
+    cfg.watchdog.heartbeat_timeout_ms = 1500;
+  }
+  const std::vector<FrameKey> expected = offline_reference(trace_path, cfg);
+  ASSERT_FALSE(expected.empty());
+
+  // The first job to reach its hook claims itself as the victim and
+  // wedges until the watchdog's cancel token fires (job ids are not
+  // known before enqueue, and jobs start running immediately; id 0 is
+  // a real job, so the unclaimed sentinel must be out of band).
+  constexpr std::uint64_t kNoVictim = ~0ull;
+  std::atomic<std::uint64_t> victim{kNoVictim};
+  cfg.chunk_hook = [&](const gateway::GatewayConfig::ChunkHookInfo& info) {
+    if (info.chunk_index != 0) return;
+    std::uint64_t claimed = kNoVictim;
+    if (!victim.compare_exchange_strong(claimed, info.job) &&
+        claimed != info.job) {
+      return;  // another job already wedged
+    }
+    while (!info.cancel->load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  auto created = gateway::Gateway::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+  Collector col;
+  gw.subscribe(col.handler());
+
+  std::vector<std::uint64_t> job_ids;
+  for (int j = 0; j < 4; ++j) {
+    auto id = gw.enqueue_trace(trace_path);
+    ASSERT_TRUE(id.ok()) << id.message();
+    job_ids.push_back(id.value());
+  }
+  // Jobs were pre-assigned round-robin at enqueue, so the victim's
+  // worker already holds later jobs — exactly the wedge drain() must
+  // survive.
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(gw.drain().ok());
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_NE(victim.load(), kNoVictim) << "no job ever reached its hook";
+  EXPECT_LT(wall, 30.0) << "drain must return promptly after the cancel";
+
+  auto vs = gw.job_status(victim.load());
+  ASSERT_TRUE(vs.ok()) << vs.message();
+  EXPECT_EQ(vs.value().state, gateway::JobState::kCancelled);
+  EXPECT_NE(vs.value().message.find(via_deadline ? "deadline" : "heartbeat"),
+            std::string::npos)
+      << vs.value().message;
+
+  // Every other job decoded bit-identically to the offline pass.
+  const std::vector<gateway::FrameRecord> frames = col.take();
+  for (const std::uint64_t id : job_ids) {
+    if (id == victim.load()) continue;
+    auto st = gw.job_status(id);
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st.value().state, gateway::JobState::kDone) << "job " << id;
+    std::vector<FrameKey> got;
+    for (const gateway::FrameRecord& fr : frames) {
+      if (fr.job == id) got.emplace_back(fr.packet_start, fr.symbols);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "job " << id;
+  }
+
+  const gateway::GatewayStats st = gw.stats();
+  EXPECT_EQ(st.jobs_done, 3u);
+  EXPECT_EQ(st.jobs_failed, 1u) << "a cancelled job is not a done job";
+  EXPECT_EQ(st.ingest.jobs_cancelled, 1u);
+  if (via_deadline) {
+    EXPECT_EQ(st.deadline_cancels, 1u);
+    EXPECT_EQ(st.watchdog_cancels, 0u);
+  } else {
+    EXPECT_EQ(st.watchdog_cancels, 1u);
+  }
+}
+
+TEST_F(GatewayFile, JobDeadlineCancelsWedgedJobAndDrainReturns) {
+  watchdog_trip(path_, /*via_deadline=*/true);
+}
+
+TEST_F(GatewayFile, HeartbeatTimeoutCancelsWedgedJobAndDrainReturns) {
+  watchdog_trip(path_, /*via_deadline=*/false);
+}
+
+TEST_F(GatewayFile, JobStatusReportsTypedOutcomes) {
+  gateway::GatewayConfig cfg = base_config();
+  cfg.workers = 1;
+  // Hold job 1 at its first chunk until the main thread has deleted
+  // the trace — job 2 then deterministically opens a missing file.
+  std::atomic<bool> file_removed{false};
+  cfg.chunk_hook = [&](const gateway::GatewayConfig::ChunkHookInfo& info) {
+    if (info.chunk_index != 0) return;
+    while (!file_removed.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  auto created = gateway::Gateway::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+
+  auto first = gw.enqueue_trace(path_);
+  ASSERT_TRUE(first.ok());
+  auto second = gw.enqueue_trace(path_);
+  ASSERT_TRUE(second.ok());
+  // The second job was validated at enqueue; deleting the file before
+  // its worker reaches it forces the mid-flight failure path.
+  std::remove(path_);
+  file_removed.store(true);
+  ASSERT_TRUE(gw.drain().ok());
+
+  auto s1 = gw.job_status(first.value());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1.value().state, gateway::JobState::kDone);
+  auto s2 = gw.job_status(second.value());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2.value().state, gateway::JobState::kFailed);
+  EXPECT_EQ(s2.value().ingest, stream::IngestError::kBadHeader);
+  EXPECT_FALSE(s2.value().message.empty());
+
+  // Never-issued ids are a typed error, not kPending.
+  EXPECT_FALSE(gw.job_status(second.value() + 100).ok());
+  EXPECT_STREQ(gateway::to_string(gateway::JobState::kCancelled), "cancelled");
+
+  const gateway::GatewayStats st = gw.stats();
+  EXPECT_EQ(st.jobs_done, 1u);
+  EXPECT_EQ(st.jobs_failed, 1u);
+}
+
+TEST_F(GatewayFile, ReloadRejectedWhileDrainInProgress) {
+  gateway::GatewayConfig cfg = base_config();
+  cfg.workers = 1;
+  cfg.throttle_us = 5000;  // stretch the replay so drain() is caught live
+  auto created = gateway::Gateway::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+  ASSERT_TRUE(gw.enqueue_trace(path_).ok());
+
+  std::thread drainer([&] { EXPECT_TRUE(gw.drain().ok()); });
+  // Give drain() time to register; the job itself runs for much longer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto r = gw.reload(base_config());
+  drainer.join();
+  ASSERT_FALSE(r.ok()) << "reload during drain must be rejected, not racy";
+  EXPECT_NE(r.message().find("drain"), std::string::npos) << r.message();
+
+  // After the drain returns, reload works again.
+  EXPECT_TRUE(gw.reload(base_config()).ok());
+}
+
+TEST_F(GatewayFile, ReloadRejectsWatchdogAndDegradationChanges) {
+  auto created = gateway::Gateway::create(base_config());
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+
+  gateway::GatewayConfig wd = base_config();
+  wd.watchdog.job_deadline_ms = 1000;
+  auto r = gw.reload(wd);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.message().find("watchdog"), std::string::npos);
+
+  gateway::GatewayConfig dg = base_config();
+  dg.degradation.enabled = true;
+  r = gw.reload(dg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.message().find("degradation"), std::string::npos);
+}
+
+TEST_F(GatewayFile, SeededChaosStallsLeaveDecodeBitIdentical) {
+  gateway::GatewayConfig cfg = base_config();
+  cfg.workers = 2;
+  const std::vector<FrameKey> expected = offline_reference(path_, cfg);
+
+  fault::ChaosConfig chaos_cfg;
+  chaos_cfg.seed = 1234;
+  chaos_cfg.stall_rate = 0.3;
+  chaos_cfg.stall_min_ms = 1;
+  chaos_cfg.stall_max_ms = 3;
+  const fault::ChaosScheduler chaos(chaos_cfg);
+  std::atomic<std::size_t> stalls{0};
+  cfg.chunk_hook = [&](const gateway::GatewayConfig::ChunkHookInfo& info) {
+    const std::uint64_t ms = chaos.stall_ms(info.worker, info.chunk_index);
+    if (ms == 0) return;
+    stalls.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+  auto created = gateway::Gateway::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+  Collector col;
+  gw.subscribe(col.handler());
+  std::vector<std::uint64_t> job_ids;
+  for (int j = 0; j < 3; ++j) {
+    auto id = gw.enqueue_trace(path_);
+    ASSERT_TRUE(id.ok());
+    job_ids.push_back(id.value());
+  }
+  ASSERT_TRUE(gw.drain().ok());
+  EXPECT_GT(stalls.load(), 0u) << "the chaos schedule never fired";
+
+  const std::vector<gateway::FrameRecord> frames = col.take();
+  for (const std::uint64_t id : job_ids) {
+    std::vector<FrameKey> got;
+    for (const gateway::FrameRecord& fr : frames) {
+      if (fr.job == id) got.emplace_back(fr.packet_start, fr.symbols);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "job " << id;
+  }
+}
+
+TEST_F(GatewayFile, HealthSnapshotCarriesTheDocumentedKeys) {
+  gateway::GatewayConfig cfg = base_config();
+  cfg.workers = 2;
+  cfg.degradation.enabled = true;  // starts the supervisor thread
+  auto created = gateway::Gateway::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+  ASSERT_TRUE(gw.enqueue_trace(path_).ok());
+  ASSERT_TRUE(gw.drain().ok());
+
+  const gateway::GatewayHealth h = gw.health();
+  EXPECT_EQ(h.degradation_level, 0u);
+  EXPECT_EQ(h.degradation_name,
+            gateway::to_string(gateway::DegradationLevel::kHealthy));
+  ASSERT_EQ(h.workers.size(), 2u);
+  for (const gateway::WorkerHealth& w : h.workers) {
+    EXPECT_FALSE(w.busy);
+  }
+  const std::string text = h.to_text();
+  for (const char* key :
+       {"degradation_level", "degradation_name", "watchdog_cancels",
+        "deadline_cancels", "jobs_cancelled", "rescan_backlog",
+        "window_p99_us", "worker.0.busy", "worker.1.heartbeat_age_ms"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key << "\n" << text;
+  }
+
+  // The stats text grew the self-healing counters too.
+  const std::string stats_text = gw.stats().to_text();
+  for (const char* key : {"watchdog_cancels", "deadline_cancels",
+                          "degradation_level", "ingest.jobs_cancelled"}) {
+    EXPECT_NE(stats_text.find(key), std::string::npos) << key;
+  }
 }
 
 TEST(GatewayStatsPrimitives, StatsCellPublishesCoherentSnapshots) {
