@@ -15,6 +15,8 @@
 #include "frontend/saw_filter.hpp"
 #include "lora/modulator.hpp"
 #include "gateway/gateway.hpp"
+#include "obs/stage_metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "sim/capture.hpp"
 #include "sim/sweep_engine.hpp"
 #include "stream/streaming_demod.hpp"
@@ -320,6 +322,50 @@ void BM_StreamReplay(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(decoded));
 }
 BENCHMARK(BM_StreamReplay);
+
+void BM_TracingOverhead(benchmark::State& state) {
+  // The BM_StreamReplay workload with per-stage observability
+  // attached: range(0)==0 runs with stage histograms only (tracing
+  // disabled), range(0)==1 additionally enables the per-thread trace
+  // ring so every scan/decode stage emits a timeline event. Both arms
+  // attach StageMetrics so the delta isolates ring emission; the
+  // BENCH gate keeps the tracing-on arm within a few percent of off.
+  sim::CaptureConfig cfg;
+  cfg.saiyan = core::SaiyanConfig::make(phy(), core::Mode::kSuper);
+  cfg.payload_symbols = 16;
+  cfg.packets_per_tag = 3;
+  cfg.seed = 5;
+  cfg.tag_rss_dbm = {-55.0, -58.0};
+  const sim::Capture cap = sim::generate_capture(cfg);
+  obs::StageMetrics metrics;
+  stream::StreamConfig sc;
+  sc.saiyan = cfg.saiyan;
+  sc.payload_symbols = cfg.payload_symbols;
+  sc.stage_metrics = &metrics;
+  stream::StreamingDemodulator demod(sc);
+  obs::reset_for_test();
+  obs::set_enabled(state.range(0) == 1);
+  std::size_t decoded = 0;
+  for (auto _ : state) {
+    demod.reset();
+    demod.clear_packets();
+    std::span<const dsp::Complex> rest(cap.samples);
+    while (!rest.empty()) {
+      const std::size_t take = std::min<std::size_t>(16384, rest.size());
+      demod.push(rest.first(take));
+      rest = rest.subspan(take);
+    }
+    demod.finish();
+    decoded += demod.packets().size();
+    benchmark::DoNotOptimize(demod.packets().data());
+  }
+  obs::set_enabled(false);
+  state.SetItemsProcessed(static_cast<int64_t>(decoded));
+  state.counters["stage_samples"] =
+      static_cast<double>(metrics.histogram(obs::Stage::kScan).total() +
+                          metrics.histogram(obs::Stage::kDecode).total());
+}
+BENCHMARK(BM_TracingOverhead)->Arg(0)->Arg(1);
 
 void BM_GatewayReplay(benchmark::State& state) {
   // The same capture as BM_StreamReplay served through the

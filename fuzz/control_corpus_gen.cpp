@@ -72,6 +72,8 @@ int main(int argc, char** argv) {
   emit("req_reload.ctl", request(daemon::ControlOp::kReload));
   emit("req_drain.ctl", request(daemon::ControlOp::kDrain));
   emit("req_health.ctl", request(daemon::ControlOp::kHealth));
+  emit("req_metrics.ctl", request(daemon::ControlOp::kMetrics));
+  emit("req_dump_trace.ctl", request(daemon::ControlOp::kDumpTrace));
   emit("req_payload.ctl", request(daemon::ControlOp::kStats, "hello world"));
 
   // Responses: ok with a stats-shaped body, error with a message.

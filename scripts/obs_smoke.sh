@@ -1,0 +1,212 @@
+#!/usr/bin/env bash
+# Observability smoke (the ctest `obs_smoke` entry): drives the whole
+# flight-recorder surface end to end against a live daemon.
+#
+#   1. saiyand --record writes two deterministic traces;
+#   2. saiyand serves them on 2 workers, throttled, with --trace-out;
+#   3. `metrics` is scraped mid-replay and validated as Prometheus
+#      text exposition (HELP/TYPE before samples, numeric values,
+#      cumulative non-decreasing buckets, le="+Inf" == _count);
+#   4. `dump_trace` must be loadable JSON with >= 2 distinct worker
+#      threads that each recorded at least one event;
+#   5. `stats --json` must parse as a JSON object with numeric
+#      frames_decoded;
+#   6. after drain + SIGTERM the --trace-out file must be a loadable
+#      timeline too.
+#
+# Usage: obs_smoke.sh <saiyand> <saiyand-control>
+set -euo pipefail
+
+SAIYAND=${1:?usage: obs_smoke.sh <saiyand> <saiyand-control>}
+CONTROL=${2:?usage: obs_smoke.sh <saiyand> <saiyand-control>}
+PY=${PYTHON:-python3}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/saiyan_obs_smoke.XXXXXX")
+SOCK="$WORK/control.sock"
+DAEMON_PID=
+
+cleanup() {
+  [[ -n $DAEMON_PID ]] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+stat_value() {  # stat_value <key> <stats-text>
+  awk -v k="$1" '$1 == k { print $2; found = 1 } END { exit !found }' <<<"$2"
+}
+
+# --- 1. record two traces ----------------------------------------------
+"$SAIYAND" --record "$WORK/a.sytrc" --tags 2 --packets 3 --payload-symbols 16
+"$SAIYAND" --record "$WORK/b.sytrc" --tags 2 --packets 3 --payload-symbols 16
+
+# --- 2. serve both on two workers, throttled, recording a timeline -----
+"$SAIYAND" --trace "$WORK/a.sytrc" --trace "$WORK/b.sytrc" \
+  --socket "$SOCK" --workers 2 --throttle-us 2000 \
+  --trace-out "$WORK/timeline.json" \
+  >"$WORK/daemon.out" 2>"$WORK/daemon.err" &
+DAEMON_PID=$!
+
+STATS=
+for _ in $(seq 1 100); do
+  if STATS=$("$CONTROL" --socket "$SOCK" stats 2>/dev/null); then
+    break
+  fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon.err"; echo "daemon died before serving"; exit 1; }
+  sleep 0.1
+done
+[[ -n $STATS ]] || { echo "control socket never came up"; exit 1; }
+
+EXPECTED=$(stat_value markers_expected "$STATS")
+[[ $EXPECTED -gt 0 ]] || { echo "no markers expected?"; exit 1; }
+
+# --- 3. scrape metrics mid-replay and validate the exposition ----------
+"$CONTROL" --socket "$SOCK" metrics >"$WORK/metrics.prom"
+"$PY" - "$WORK/metrics.prom" <<'EOF'
+import re, sys
+
+path = sys.argv[1]
+helps, types, families_seen = {}, {}, []
+samples = {}          # full series name -> [(labels, value)]
+sample_re = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? '
+    r'(-?(?:[0-9]*\.)?[0-9]+(?:[eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN)$')
+
+def base_family(name):
+    for suffix in ('_bucket', '_sum', '_count'):
+        if name.endswith(suffix) and name[:-len(suffix)] in types \
+                and types[name[:-len(suffix)]] == 'histogram':
+            return name[:-len(suffix)]
+    return name
+
+for lineno, raw in enumerate(open(path), 1):
+    line = raw.rstrip('\n')
+    if not line:
+        continue
+    if line.startswith('# HELP '):
+        _, _, rest = line.split(' ', 2)[0], None, line[7:]
+        name = rest.split(' ', 1)[0]
+        assert name not in helps, f'line {lineno}: duplicate HELP {name}'
+        helps[name] = True
+        continue
+    if line.startswith('# TYPE '):
+        rest = line[7:]
+        name, mtype = rest.split(' ', 1)
+        assert name not in types, f'line {lineno}: duplicate TYPE {name}'
+        assert mtype in ('counter', 'gauge', 'histogram'), \
+            f'line {lineno}: bad type {mtype}'
+        assert name in helps, f'line {lineno}: TYPE {name} without HELP'
+        types[name] = mtype
+        families_seen.append(name)
+        continue
+    assert not line.startswith('#'), f'line {lineno}: stray comment'
+    m = sample_re.match(line)
+    assert m, f'line {lineno}: unparseable sample: {line!r}'
+    name = m.group(1)
+    fam = base_family(name)
+    assert fam in types, f'line {lineno}: sample {name} without TYPE'
+    samples.setdefault(name, []).append((m.group(3) or '', m.group(4)))
+
+assert 'saiyan_frames_decoded_total' in samples, 'missing frames counter'
+assert 'saiyan_uptime_seconds' in samples, 'missing uptime gauge'
+assert types.get('saiyan_frame_latency_microseconds') == 'histogram'
+assert types.get('saiyan_stage_latency_microseconds') == 'histogram'
+
+stages = set()
+for labels, _ in samples.get('saiyan_stage_latency_microseconds_count', []):
+    m = re.search(r'stage="([^"]*)"', labels)
+    if m:
+        stages.add(m.group(1))
+expected = {'scan', 'decode', 'sic_cancel', 'sic_rescan',
+            'gap_realign', 'deliver'}
+assert stages == expected, f'stage labels {stages} != {expected}'
+
+# Histogram discipline: per-series buckets are cumulative and
+# non-decreasing, and the +Inf bucket equals _count.
+for fam, mtype in types.items():
+    if mtype != 'histogram':
+        continue
+    by_series = {}
+    for labels, value in samples.get(fam + '_bucket', []):
+        le = re.search(r'le="([^"]*)"', labels).group(1)
+        key = re.sub(r'le="[^"]*",?', '', labels).strip(',')
+        by_series.setdefault(key, []).append((le, float(value)))
+    counts = {labels: float(v)
+              for labels, v in samples.get(fam + '_count', [])}
+    assert by_series, f'{fam}: no buckets'
+    for key, buckets in by_series.items():
+        prev = -1.0
+        inf = None
+        for le, v in buckets:  # emission order is ascending le
+            assert v >= prev, f'{fam}{{{key}}}: bucket regressed at le={le}'
+            prev = v
+            if le == '+Inf':
+                inf = v
+        assert inf is not None, f'{fam}{{{key}}}: no +Inf bucket'
+        assert inf == counts.get(key), \
+            f'{fam}{{{key}}}: +Inf {inf} != count {counts.get(key)}'
+print(f'metrics ok: {len(families_seen)} families, '
+      f'{sum(len(v) for v in samples.values())} samples')
+EOF
+
+# --- 4. dump the flight recorder mid-replay ----------------------------
+"$CONTROL" --socket "$SOCK" dump_trace >"$WORK/dump.json"
+"$PY" -m json.tool "$WORK/dump.json" >/dev/null
+"$PY" - "$WORK/dump.json" <<'EOF'
+import json, sys
+
+events = json.load(open(sys.argv[1]))['traceEvents']
+names = {e['args']['name']: e['tid'] for e in events
+         if e.get('ph') == 'M' and e.get('name') == 'thread_name'}
+workers = {name: tid for name, tid in names.items()
+           if name.startswith('worker')}
+assert len(workers) >= 2, f'expected >=2 worker threads, got {names}'
+per_tid = {}
+for e in events:
+    if e.get('ph') in ('B', 'E', 'X', 'i'):
+        per_tid[e['tid']] = per_tid.get(e['tid'], 0) + 1
+for name, tid in workers.items():
+    assert per_tid.get(tid, 0) >= 1, f'{name} (tid {tid}) has no events'
+assert any(e.get('name') in ('trace_job', 'scan', 'decode')
+           for e in events), 'no pipeline events in the dump'
+print(f'dump_trace ok: {len(events)} events from {len(names)} threads')
+EOF
+
+# --- 5. stats --json ----------------------------------------------------
+"$CONTROL" --socket "$SOCK" stats --json >"$WORK/stats.json"
+"$PY" - "$WORK/stats.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+assert isinstance(stats, dict) and stats, 'stats --json is not an object'
+assert isinstance(stats['frames_decoded'], (int, float)), stats
+assert isinstance(stats['uptime_s'], (int, float)), stats
+print(f'stats --json ok: {len(stats)} keys')
+EOF
+
+# --- 6. finish the replay, drain, stop; check --trace-out --------------
+DONE=0
+for _ in $(seq 1 300); do
+  STATS=$("$CONTROL" --socket "$SOCK" stats)
+  DECODED=$(stat_value frames_decoded "$STATS")
+  if [[ $DECODED -ge $EXPECTED ]]; then DONE=1; break; fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon.err"; echo "daemon died mid-replay"; exit 1; }
+  sleep 0.1
+done
+[[ $DONE -eq 1 ]] || { echo "timed out: decoded $DECODED of $EXPECTED"; exit 1; }
+
+"$CONTROL" --socket "$SOCK" drain
+kill -TERM "$DAEMON_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$DAEMON_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+  echo "daemon ignored SIGTERM"; exit 1
+fi
+wait "$DAEMON_PID" || { echo "daemon exited nonzero"; exit 1; }
+DAEMON_PID=
+
+[[ -s $WORK/timeline.json ]] || { echo "--trace-out wrote nothing"; exit 1; }
+"$PY" -m json.tool "$WORK/timeline.json" >/dev/null \
+  || { echo "--trace-out file is not valid JSON"; exit 1; }
+
+echo "obs_smoke: metrics + dump_trace + stats --json + --trace-out all valid"

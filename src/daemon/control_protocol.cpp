@@ -67,7 +67,9 @@ saiyan::Result<ControlRequest> decode_request(std::string_view frame) {
   if (op != static_cast<std::uint8_t>(ControlOp::kStats) &&
       op != static_cast<std::uint8_t>(ControlOp::kReload) &&
       op != static_cast<std::uint8_t>(ControlOp::kDrain) &&
-      op != static_cast<std::uint8_t>(ControlOp::kHealth)) {
+      op != static_cast<std::uint8_t>(ControlOp::kHealth) &&
+      op != static_cast<std::uint8_t>(ControlOp::kMetrics) &&
+      op != static_cast<std::uint8_t>(ControlOp::kDumpTrace)) {
     return fail("unknown control op " + std::to_string(op));
   }
   ControlRequest req;

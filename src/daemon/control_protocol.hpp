@@ -10,8 +10,12 @@
 // reload = 2 (re-read the config file and swap the serving config;
 // in-flight jobs are untouched), drain = 3 (block until every queued
 // job and subscriber queue is empty), health = 4 (response payload:
-// GatewayHealth::to_text() — watchdog liveness + degradation ladder).
-// status: 0 = ok, 1 = error (the payload is the error message).
+// GatewayHealth::to_text() — watchdog liveness + degradation ladder),
+// metrics = 5 (response payload: Prometheus text exposition of the
+// stats snapshot), dump_trace = 6 (response payload: Chrome
+// trace-event JSON from the flight recorder, trimmed to fit the
+// payload cap; "{\"traceEvents\":[]}" when tracing is off or compiled
+// out). status: 0 = ok, 1 = error (the payload is the error message).
 //
 // Hostile-input posture matches the trace reader: a declared length is
 // bounded (kMaxControlPayload) before anything is allocated, and a
@@ -34,6 +38,8 @@ enum class ControlOp : std::uint8_t {
   kReload = 2,
   kDrain = 3,
   kHealth = 4,
+  kMetrics = 5,
+  kDumpTrace = 6,
 };
 
 enum class ControlStatus : std::uint8_t {

@@ -41,6 +41,8 @@
 #include "daemon/control_server.hpp"
 #include "daemon/daemon_config.hpp"
 #include "gateway/gateway.hpp"
+#include "gateway/gateway_metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "sim/capture.hpp"
 #include "stream/trace_segments.hpp"
 
@@ -66,7 +68,7 @@ void usage(FILE* out) {
       "\n"
       "serve:  saiyand [--config FILE] [--socket PATH] [--trace FILE]...\n"
       "                [--workers N] [--chunk-samples N] [--throttle-us N]\n"
-      "                [--print-frames] [--oneshot]\n"
+      "                [--print-frames] [--oneshot] [--trace-out FILE]\n"
       "record: saiyand --record OUT.trace [--tags N] [--packets N]\n"
       "                [--payload-symbols N] [--seed N] [--float32]\n"
       "                [--segment-samples N] [--fsync none|seal|chunk]\n"
@@ -79,6 +81,8 @@ void usage(FILE* out) {
       "  --trace FILE       enqueue a trace replay job (repeatable)\n"
       "  --oneshot          drain queued jobs, print stats, exit\n"
       "  --print-frames     log every decoded frame to stdout\n"
+      "  --trace-out FILE   at exit, write the flight recorder's full\n"
+      "                     timeline as Chrome/Perfetto trace JSON\n"
       "  --record OUT       write a synthetic capture trace and exit\n"
       "  --segment-samples N  record into OUT/ as crash-safe segments\n"
       "                     sealed every N samples (see --recover)\n"
@@ -188,6 +192,7 @@ int main(int argc, char** argv) {
   RecordOptions rec;
   std::string recover_dir;
   std::string recover_out;
+  std::string trace_out;
   std::vector<std::string> cli_traces;
   // CLI overrides are applied after --config so flags win.
   long cli_workers = -1, cli_chunk = -1, cli_throttle = -1;
@@ -226,6 +231,8 @@ int main(int argc, char** argv) {
       oneshot = true;
     } else if (arg == "--print-frames") {
       print_frames = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
     } else if (arg == "--record") {
       rec.out_path = next();
     } else if (arg == "--tags") {
@@ -287,6 +294,31 @@ int main(int argc, char** argv) {
   // surface them in the daemon log.
   opt.gateway.on_event = [](const std::string& msg) {
     std::fprintf(stderr, "saiyand: %s\n", msg.c_str());
+  };
+
+  // Arm the flight recorder before any gateway thread starts, so the
+  // worker/watchdog/subscriber rings register under their real names.
+  // Library users pay nothing (default off); the daemon *is* the
+  // observability surface, so here it is on — BM_TracingOverhead keeps
+  // the cost honest (see docs/OBSERVABILITY.md).
+  saiyan::obs::set_enabled(true);
+
+  // Exit-path dump shared by oneshot and signal shutdown: the whole
+  // timeline (untrimmed — the control op's payload cap only exists for
+  // the socket), written before the gateway is torn down.
+  auto write_trace_out = [&trace_out]() {
+    if (trace_out.empty()) return;
+    const std::string json = saiyan::obs::chrome_trace_json();
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "saiyand: --trace-out %s: %s\n",
+                   trace_out.c_str(), std::strerror(errno));
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "saiyand: wrote trace (%zu bytes) -> %s\n",
+                 json.size(), trace_out.c_str());
   };
 
   auto created = saiyan::gateway::Gateway::create(opt.gateway);
@@ -357,6 +389,15 @@ int main(int argc, char** argv) {
           }
           case ControlOp::kHealth:
             return {ControlStatus::kOk, gw->health().to_text()};
+          case ControlOp::kMetrics:
+            return {ControlStatus::kOk,
+                    saiyan::gateway::to_prometheus(gw->stats())};
+          case ControlOp::kDumpTrace:
+            // Trimmed to fit one control frame; --trace-out gets the
+            // full timeline at exit.
+            return {ControlStatus::kOk,
+                    saiyan::obs::chrome_trace_json(
+                        saiyan::daemon::kMaxControlPayload - 4096)};
         }
         return {ControlStatus::kError, "unhandled op"};
       });
@@ -373,6 +414,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fputs(gw->stats().to_text().c_str(), stdout);
+    write_trace_out();
     return 0;
   }
 
@@ -418,5 +460,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "saiyand: drain: %s\n", r.message().c_str());
   }
   std::fputs(gw->stats().to_text().c_str(), stdout);
+  write_trace_out();
   return 0;
 }

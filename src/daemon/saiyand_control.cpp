@@ -1,23 +1,98 @@
 // saiyand-control — thin client for the saiyand control socket.
 //
-//   saiyand-control [--socket PATH] stats|reload|drain|health
+//   saiyand-control [--socket PATH]
+//                   stats [--json] | reload | drain | health
+//                   | metrics | dump_trace
 //
 // Prints the response payload to stdout; exits 0 on an ok status,
 // 1 on a daemon-reported error, 2 on usage/connection problems.
+// `stats --json` reformats the daemon's `key value` lines into one
+// flat JSON object client-side (the wire protocol is unchanged);
+// `metrics` is Prometheus text exposition, `dump_trace` is Chrome
+// trace-event JSON — both pass through verbatim.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "daemon/control_protocol.hpp"
 
+namespace {
+
+const char kUsage[] =
+    "usage: saiyand-control [--socket PATH] "
+    "stats [--json]|reload|drain|health|metrics|dump_trace\n";
+
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  std::strtod(s.c_str(), &end);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+/// `key value` lines -> one flat JSON object. Numeric values stay
+/// numeric; anything else (degradation_name) is a JSON string. The
+/// stats dialect guarantees one space between key and value and no
+/// spaces inside keys.
+std::string kv_to_json(const std::string& text) {
+  std::string out = "{";
+  bool first = true;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos) continue;  // not key/value; skip
+    const std::string key = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    if (!first) out += ',';
+    first = false;
+    out += "\n  ";
+    append_json_string(out, key);
+    out += ": ";
+    if (is_number(value)) {
+      out += value;
+    } else {
+      append_json_string(out, value);
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace saiyan::daemon;
   std::string socket_path = "/tmp/saiyand.sock";
   std::string command;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--socket") {
@@ -27,9 +102,10 @@ int main(int argc, char** argv) {
       }
       socket_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "usage: saiyand-control [--socket PATH] stats|reload|drain|health\n");
+      std::fputs(kUsage, stdout);
       return 0;
+    } else if (arg == "--json") {
+      json = true;
     } else if (command.empty()) {
       command = arg;
     } else {
@@ -48,10 +124,16 @@ int main(int argc, char** argv) {
     req.op = ControlOp::kDrain;
   } else if (command == "health") {
     req.op = ControlOp::kHealth;
+  } else if (command == "metrics") {
+    req.op = ControlOp::kMetrics;
+  } else if (command == "dump_trace" || command == "dump-trace") {
+    req.op = ControlOp::kDumpTrace;
   } else {
-    std::fprintf(
-        stderr,
-        "usage: saiyand-control [--socket PATH] stats|reload|drain|health\n");
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  if (json && req.op != ControlOp::kStats) {
+    std::fprintf(stderr, "saiyand-control: --json only applies to stats\n");
     return 2;
   }
 
@@ -87,7 +169,12 @@ int main(int argc, char** argv) {
                  resp.value().payload.c_str());
     rc = 1;
   } else {
-    std::fputs(resp.value().payload.c_str(), stdout);
+    const std::string& payload = resp.value().payload;
+    if (json) {
+      std::fputs(kv_to_json(payload).c_str(), stdout);
+    } else {
+      std::fputs(payload.c_str(), stdout);
+    }
     rc = 0;
   }
   ::close(fd);

@@ -13,6 +13,8 @@
 #include <variant>
 
 #include "gateway/degradation.hpp"
+#include "obs/stage_metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "stream/streaming_demod.hpp"
 #include "stream/trace.hpp"
 
@@ -105,6 +107,7 @@ struct alignas(64) WorkerCounters {
 struct Subscriber {
   SubscriberId id = 0;
   FrameHandler fn;
+  obs::StageMetrics* metrics = nullptr;  ///< owner: Gateway::Impl
   std::size_t cap = 256;
   std::mutex m;
   std::condition_variable cv;
@@ -123,7 +126,9 @@ struct Gateway::Impl {
   // ---- configuration -------------------------------------------------
   const GatewayConfig base_cfg;  ///< fixed fields (workers, limits)
   std::shared_ptr<const GatewayConfig> cfg;  ///< current (guarded by mu_)
-  std::uint64_t cfg_gen = 0;                 ///< bumped per reload (mu_)
+  /// Bumped per reload. Written under mu_; atomic so health() can
+  /// report the generation without taking the job-queue lock.
+  std::atomic<std::uint64_t> cfg_gen{0};
   std::atomic<std::uint64_t> config_reloads{0};
 
   // ---- scheduling ----------------------------------------------------
@@ -206,11 +211,18 @@ struct Gateway::Impl {
   std::atomic<std::size_t> n_subs{0};
 
   LatencyHistogram latency_;
+  /// Shared per-stage pipeline histograms (wait-free multi-writer):
+  /// workers record scan/decode/SIC/gap timings via
+  /// StreamConfig::stage_metrics, subscriber threads record delivery.
+  obs::StageMetrics stage_metrics_;
   const Clock::time_point start_ = Clock::now();
 
   // ---- worker body ---------------------------------------------------
 
   void worker_main(Worker& w) {
+    char tname[24];
+    std::snprintf(tname, sizeof(tname), "worker%u", w.index);
+    obs::set_thread_name(tname);
     for (;;) {
       Job job;
       std::shared_ptr<const GatewayConfig> job_cfg;
@@ -238,8 +250,15 @@ struct Gateway::Impl {
       const std::uint64_t t_start = now_ns();
       w.heartbeat_ns.store(t_start, std::memory_order_relaxed);
       w.job_start_ns.store(t_start, std::memory_order_release);
+      // Explicit B/E rather than a ScopedTimer: if the job wedges and a
+      // trace is dumped mid-flight, the dangling 'B' shows the open job.
+      obs::trace_begin(std::holds_alternative<StreamJob>(job)
+                           ? "stream_job"
+                           : "trace_job");
       JobStatus st = std::visit(
           [&](const auto& j) { return run_job(w, j, *job_cfg, gen); }, job);
+      obs::trace_end(std::holds_alternative<StreamJob>(job) ? "stream_job"
+                                                            : "trace_job");
       w.job_start_ns.store(0, std::memory_order_release);
       w.counters.jobs.fetch_add(1, std::memory_order_relaxed);
       if (st.state == JobState::kDone) {
@@ -328,6 +347,7 @@ struct Gateway::Impl {
         core::SaiyanConfig::make(reader.meta().phy, reader.meta().mode);
     sc.payload_symbols = reader.meta().payload_symbols;
     sc.cancel = &w.cancel;  // watchdog's lever into a wedged push()
+    sc.stage_metrics = &stage_metrics_;
     stream::StreamingDemodulator& demod = ensure_demod(
         w,
         DemodKey::make(gen, /*from_trace=*/true, reader.meta().phy,
@@ -395,6 +415,7 @@ struct Gateway::Impl {
                     std::uint64_t gen) {
     stream::StreamConfig sc = gcfg.worker_stream_config();
     sc.cancel = &w.cancel;  // watchdog's lever into a wedged push()
+    sc.stage_metrics = &stage_metrics_;
     stream::StreamingDemodulator& demod = ensure_demod(
         w,
         DemodKey::make(gen, /*from_trace=*/false, sc.saiyan.phy,
@@ -539,6 +560,7 @@ struct Gateway::Impl {
   }
 
   static void subscriber_main(Subscriber& s) {
+    obs::set_thread_name("subscriber");
     std::unique_lock<std::mutex> lk(s.m);
     for (;;) {
       s.cv.wait(lk, [&] { return s.stop || !s.q.empty(); });
@@ -548,6 +570,10 @@ struct Gateway::Impl {
       s.in_flight = true;
       lk.unlock();
       try {
+        obs::ScopedTimer t(
+            "deliver", s.metrics != nullptr
+                           ? &s.metrics->histogram(obs::Stage::kDeliver)
+                           : nullptr);
         s.fn(fr);
       } catch (...) {
         // A subscriber's exception must not take down delivery; the
@@ -573,6 +599,7 @@ struct Gateway::Impl {
   /// since the previous tick) and publishes the resulting level for
   /// workers to adopt at their next chunk.
   void watchdog_main() {
+    obs::set_thread_name("watchdog");
     DegradationLadder ladder(base_cfg.degradation);
     std::array<std::uint64_t, LatencyHistogram::kBuckets> prev{};
     std::array<std::uint64_t, LatencyHistogram::kBuckets> cur{};
@@ -620,6 +647,8 @@ struct Gateway::Impl {
         w.cancels.fetch_add(1, std::memory_order_relaxed);
         (kind == 1 ? watchdog_cancels_ : deadline_cancels_)
             .fetch_add(1, std::memory_order_relaxed);
+        obs::trace_instant(kind == 1 ? "watchdog_cancel"
+                                     : "deadline_cancel");
         if (base_cfg.on_event) {
           char buf[160];
           std::snprintf(buf, sizeof(buf),
@@ -646,6 +675,7 @@ struct Gateway::Impl {
                                    std::memory_order_relaxed);
           degradation_transitions_.store(ladder.transitions(),
                                          std::memory_order_relaxed);
+          obs::trace_instant("degradation_transition");
           if (base_cfg.on_event) {
             char buf[160];
             std::snprintf(
@@ -791,6 +821,7 @@ SubscriberId Gateway::subscribe(FrameHandler handler) {
   auto s = std::make_shared<Subscriber>();
   s->fn = std::move(handler);
   s->cap = impl_->base_cfg.limits.subscriber_queue;
+  s->metrics = &impl_->stage_metrics_;
   {
     std::lock_guard<std::mutex> lk(impl_->subs_mu_);
     s->id = impl_->next_sub_++;
@@ -938,17 +969,39 @@ GatewayStats Gateway::stats() const {
     s.msamples_per_sec =
         static_cast<double>(s.samples_consumed) / s.uptime_s / 1e6;
   }
-  // Quantiles report a log2 bucket's upper edge; clamp to the true max
+  // Quantiles interpolate inside a log2 bucket; clamp to the true max
   // so p99 never reads above the worst sample actually seen.
   s.latency_max_us = im.latency_.max_us();
   s.latency_p50_us = std::min(im.latency_.quantile_us(0.50), s.latency_max_us);
   s.latency_p99_us = std::min(im.latency_.quantile_us(0.99), s.latency_max_us);
+  im.latency_.snapshot_counts(s.latency_buckets);
+  s.latency_count = LatencyHistogram::total_from_counts(s.latency_buckets);
+  s.latency_sum_us = im.latency_.sum_us();
+  s.stages.reserve(obs::kStageCount);
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    const obs::LatencyHistogram& h = im.stage_metrics_.histogram(stage);
+    StageLatencySnapshot st;
+    st.stage = obs::to_string(stage);
+    h.snapshot_counts(st.buckets);
+    st.count = LatencyHistogram::total_from_counts(st.buckets);
+    st.sum_us = h.sum_us();
+    st.max_us = h.max_us();
+    st.p50_us = std::min(
+        LatencyHistogram::quantile_from_counts(st.buckets, 0.50), st.max_us);
+    st.p99_us = std::min(
+        LatencyHistogram::quantile_from_counts(st.buckets, 0.99), st.max_us);
+    s.stages.push_back(st);
+  }
+  s.trace_events_dropped = obs::events_dropped_total();
   return s;
 }
 
 GatewayHealth Gateway::health() const {
   const Impl& im = *impl_;
   GatewayHealth h;
+  h.uptime_s = std::chrono::duration<double>(Clock::now() - im.start_).count();
+  h.config_generation = im.cfg_gen.load(std::memory_order_relaxed);
   h.degradation_level = im.degradation_level_.load(std::memory_order_relaxed);
   h.degradation_name =
       to_string(static_cast<DegradationLevel>(h.degradation_level));
@@ -972,6 +1025,7 @@ GatewayHealth Gateway::health() const {
     }
     wh.cancels = w.cancels.load(std::memory_order_relaxed);
     wh.rescan_backlog = w.rescan_backlog.load(std::memory_order_relaxed);
+    wh.jobs_completed = w.counters.jobs.load(std::memory_order_relaxed);
     h.rescan_backlog = std::max(h.rescan_backlog, wh.rescan_backlog);
     h.jobs_cancelled += w.ingest_pub.read().jobs_cancelled;
     h.workers.push_back(wh);

@@ -1,0 +1,133 @@
+#include "gateway/gateway_metrics.hpp"
+
+#include <cstdio>
+
+#include "obs/prometheus.hpp"
+
+namespace saiyan::gateway {
+
+namespace {
+
+void counter(obs::PromWriter& w, const char* name, const char* help,
+             std::uint64_t v) {
+  w.family(name, help, "counter");
+  w.sample(name, {}, v);
+}
+
+void gauge_u(obs::PromWriter& w, const char* name, const char* help,
+             std::uint64_t v) {
+  w.family(name, help, "gauge");
+  w.sample(name, {}, v);
+}
+
+}  // namespace
+
+std::string to_prometheus(const GatewayStats& s) {
+  obs::PromWriter w;
+
+  w.family("saiyan_uptime_seconds", "Seconds since gateway start", "gauge");
+  w.sample("saiyan_uptime_seconds", {}, s.uptime_s);
+  gauge_u(w, "saiyan_workers", "Demodulation worker threads",
+          static_cast<std::uint64_t>(s.workers));
+  gauge_u(w, "saiyan_subscribers", "Registered frame subscribers",
+          static_cast<std::uint64_t>(s.subscribers));
+  gauge_u(w, "saiyan_streams_open", "Live push-streams not yet closed",
+          s.streams_open);
+  gauge_u(w, "saiyan_degradation_level",
+          "Current degradation ladder rung (0=healthy)",
+          s.degradation_level);
+
+  counter(w, "saiyan_jobs_enqueued_total", "Jobs accepted", s.jobs_enqueued);
+  counter(w, "saiyan_jobs_done_total", "Jobs completed", s.jobs_done);
+  counter(w, "saiyan_jobs_failed_total", "Jobs failed or cancelled",
+          s.jobs_failed);
+  counter(w, "saiyan_config_reloads_total", "Config reloads applied",
+          s.config_reloads);
+  counter(w, "saiyan_frames_decoded_total", "Frames decoded",
+          s.frames_decoded);
+  counter(w, "saiyan_symbols_decoded_total", "Payload symbols decoded",
+          s.symbols_decoded);
+  counter(w, "saiyan_truncated_frames_total",
+          "Frames cut off by capture end", s.truncated_frames);
+  counter(w, "saiyan_samples_consumed_total", "IQ samples consumed",
+          s.samples_consumed);
+  counter(w, "saiyan_chunks_ingested_total", "Capture chunks ingested",
+          s.chunks_ingested);
+  counter(w, "saiyan_markers_expected_total",
+          "Ground-truth frames promised by enqueued trace markers",
+          s.markers_expected);
+  counter(w, "saiyan_watchdog_cancels_total",
+          "Jobs cancelled for a missed heartbeat", s.watchdog_cancels);
+  counter(w, "saiyan_deadline_cancels_total",
+          "Jobs cancelled for a blown deadline", s.deadline_cancels);
+  counter(w, "saiyan_degradation_transitions_total",
+          "Degradation ladder level changes", s.degradation_transitions);
+
+  // Ingest health: event counters as one labeled family, rejection
+  // classes as another (label values are the enum's to_string names).
+  const char* kEvents = "saiyan_ingest_events_total";
+  w.family(kEvents, "Ingest recovery and shedding events by kind",
+           "counter");
+  w.sample(kEvents, "kind=\"chunks_ok\"", s.ingest.chunks_ok);
+  w.sample(kEvents, "kind=\"chunks_corrupt\"", s.ingest.chunks_corrupt);
+  w.sample(kEvents, "kind=\"resyncs\"", s.ingest.resyncs);
+  w.sample(kEvents, "kind=\"bytes_skipped\"", s.ingest.bytes_skipped);
+  w.sample(kEvents, "kind=\"samples_lost\"", s.ingest.samples_lost);
+  w.sample(kEvents, "kind=\"gaps\"", s.ingest.gaps);
+  w.sample(kEvents, "kind=\"gap_samples\"", s.ingest.gap_samples);
+  w.sample(kEvents, "kind=\"spans_dropped\"", s.ingest.spans_dropped);
+  w.sample(kEvents, "kind=\"sic_shed\"", s.ingest.sic_shed);
+  w.sample(kEvents, "kind=\"rescans_dropped\"", s.ingest.rescans_dropped);
+  w.sample(kEvents, "kind=\"rescans_expired\"", s.ingest.rescans_expired);
+  w.sample(kEvents, "kind=\"spans_shed\"", s.ingest.spans_shed);
+  w.sample(kEvents, "kind=\"frames_dropped_subscriber\"",
+           s.ingest.frames_dropped_subscriber);
+  w.sample(kEvents, "kind=\"jobs_cancelled\"", s.ingest.jobs_cancelled);
+
+  const char* kErrors = "saiyan_ingest_errors_total";
+  w.family(kErrors, "Rejected input by classification", "counter");
+  for (std::size_t i = 1;
+       i < static_cast<std::size_t>(stream::IngestError::kCount); ++i) {
+    const auto err = static_cast<stream::IngestError>(i);
+    char labels[64];
+    std::snprintf(labels, sizeof(labels), "class=\"%s\"",
+                  stream::to_string(err));
+    w.sample(kErrors, labels, s.ingest.error_count(err));
+  }
+
+  w.family("saiyan_frame_latency_microseconds",
+           "Chunk-arrival to frame-decode latency", "histogram");
+  w.histogram("saiyan_frame_latency_microseconds", {}, s.latency_buckets,
+              s.latency_sum_us);
+
+  const char* kStage = "saiyan_stage_latency_microseconds";
+  w.family(kStage, "Per-stage pipeline latency", "histogram");
+  for (const StageLatencySnapshot& st : s.stages) {
+    char labels[64];
+    std::snprintf(labels, sizeof(labels), "stage=\"%s\"", st.stage);
+    w.histogram(kStage, labels, st.buckets, st.sum_us);
+  }
+
+  counter(w, "saiyan_trace_events_dropped_total",
+          "Flight-recorder events overwritten before a dump",
+          s.trace_events_dropped);
+
+  const char* kWFrames = "saiyan_worker_frames_total";
+  w.family(kWFrames, "Frames decoded per worker", "counter");
+  for (std::size_t i = 0; i < s.per_worker.size(); ++i) {
+    char labels[32];
+    std::snprintf(labels, sizeof(labels), "worker=\"%zu\"", i);
+    w.sample(kWFrames, labels, s.per_worker[i].frames);
+  }
+  const char* kWJobs = "saiyan_worker_jobs_total";
+  w.family(kWJobs, "Jobs completed per worker", "counter");
+  for (std::size_t i = 0; i < s.per_worker.size(); ++i) {
+    char labels[32];
+    std::snprintf(labels, sizeof(labels), "worker=\"%zu\"", i);
+    w.sample(kWJobs, labels, s.per_worker[i].jobs);
+  }
+
+  return w.str();
+}
+
+}  // namespace saiyan::gateway

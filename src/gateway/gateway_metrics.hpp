@@ -1,0 +1,19 @@
+// Prometheus rendering of a GatewayStats snapshot.
+//
+// Pure function of the snapshot — no gateway access, so it is testable
+// against golden output and usable from both the daemon's `metrics`
+// control op and anything else that already holds a snapshot. Every
+// series carries the `saiyan_` prefix; the metric inventory is
+// documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <string>
+
+#include "gateway/gateway_stats.hpp"
+
+namespace saiyan::gateway {
+
+/// Render `s` as Prometheus text exposition format (version 0.0.4).
+std::string to_prometheus(const GatewayStats& s);
+
+}  // namespace saiyan::gateway

@@ -43,6 +43,22 @@ std::string GatewayStats::to_text() const {
   line(out, "latency_p50_us", latency_p50_us);
   line(out, "latency_p99_us", latency_p99_us);
   line(out, "latency_max_us", latency_max_us);
+  line(out, "latency_count", latency_count);
+  line(out, "latency_sum_us", latency_sum_us);
+  for (const StageLatencySnapshot& st : stages) {
+    char key[96];
+    std::snprintf(key, sizeof(key), "stage.%s.count", st.stage);
+    line(out, key, st.count);
+    std::snprintf(key, sizeof(key), "stage.%s.sum_us", st.stage);
+    line(out, key, st.sum_us);
+    std::snprintf(key, sizeof(key), "stage.%s.p50_us", st.stage);
+    line(out, key, st.p50_us);
+    std::snprintf(key, sizeof(key), "stage.%s.p99_us", st.stage);
+    line(out, key, st.p99_us);
+    std::snprintf(key, sizeof(key), "stage.%s.max_us", st.stage);
+    line(out, key, st.max_us);
+  }
+  line(out, "trace_events_dropped", trace_events_dropped);
   line(out, "watchdog_cancels", watchdog_cancels);
   line(out, "deadline_cancels", deadline_cancels);
   line(out, "degradation_level", static_cast<std::uint64_t>(degradation_level));
@@ -85,6 +101,8 @@ std::string GatewayStats::to_text() const {
 std::string GatewayHealth::to_text() const {
   std::string out;
   out.reserve(512 + 192 * workers.size());
+  line(out, "uptime_s", uptime_s);
+  line(out, "config_generation", config_generation);
   line(out, "degradation_level",
        static_cast<std::uint64_t>(degradation_level));
   out += "degradation_name ";
@@ -111,6 +129,8 @@ std::string GatewayHealth::to_text() const {
     line(out, key, w.cancels);
     std::snprintf(key, sizeof(key), "worker.%zu.rescan_backlog", i);
     line(out, key, w.rescan_backlog);
+    std::snprintf(key, sizeof(key), "worker.%zu.jobs_completed", i);
+    line(out, key, w.jobs_completed);
   }
   return out;
 }

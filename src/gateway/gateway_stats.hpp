@@ -14,85 +14,28 @@
 //     wait; readers retry, which only matters while a worker is
 //     mid-publish.
 //
-// Latency is tracked as a log2 histogram over microseconds (bucket i
-// holds samples with bit_width(us) == i), so p50/p99 come out of 48
-// counters with ~2x resolution and no per-sample allocation.
+// Latency is tracked as a log2 histogram over microseconds (see
+// obs/latency_histogram.hpp, where the histogram moved when every
+// pipeline stage grew one), so p50/p99 come out of 48 counters with
+// ~2x resolution and no per-sample allocation.
 #pragma once
 
-#include <algorithm>
 #include <array>
 #include <atomic>
-#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/latency_histogram.hpp"
+#include "obs/stage_metrics.hpp"
 #include "stream/ingest_stats.hpp"
 
 namespace saiyan::gateway {
 
-/// Log2-bucketed latency histogram (microseconds). record() is
-/// wait-free; quantiles are computed at snapshot time.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 48;
-
-  void record(std::uint64_t us) {
-    const std::size_t b =
-        std::min<std::size_t>(std::bit_width(us), kBuckets - 1);
-    buckets_[b].fetch_add(1, std::memory_order_relaxed);
-    std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
-    while (us > prev &&
-           !max_us_.compare_exchange_weak(prev, us,
-                                          std::memory_order_relaxed)) {
-    }
-  }
-
-  /// Relaxed snapshot of the raw bucket counts. The degradation
-  /// controller diffs two snapshots to get a *windowed* histogram —
-  /// the cumulative one would never cool down after a single storm.
-  void snapshot_counts(std::array<std::uint64_t, kBuckets>& out) const {
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-      out[i] = buckets_[i].load(std::memory_order_relaxed);
-    }
-  }
-
-  /// Upper bucket edge (us) of quantile `q` over an explicit count
-  /// array; 0 when the array is empty. Shared by the cumulative
-  /// quantile below and the controller's windowed quantile.
-  static std::uint64_t quantile_from_counts(
-      const std::array<std::uint64_t, kBuckets>& counts, double q) {
-    std::uint64_t total = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) total += counts[i];
-    if (total == 0) return 0;
-    const std::uint64_t rank = static_cast<std::uint64_t>(
-        q * static_cast<double>(total - 1));
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-      seen += counts[i];
-      if (seen > rank) {
-        return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
-      }
-    }
-    return 0;
-  }
-
-  /// Upper edge (us) of the bucket holding quantile `q` of the
-  /// recorded samples; 0 when nothing was recorded.
-  std::uint64_t quantile_us(double q) const {
-    std::array<std::uint64_t, kBuckets> counts;
-    snapshot_counts(counts);
-    return quantile_from_counts(counts, q);
-  }
-
-  std::uint64_t max_us() const {
-    return max_us_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> max_us_{0};
-};
+/// Log2-bucketed wait-free latency histogram, promoted to src/obs/ so
+/// the per-stage pipeline timers and the Prometheus exporter can share
+/// it. The alias keeps the historical gateway-side name alive.
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// Single-writer seqlock publishing a composite stats block to
 /// concurrent snapshot readers without making the writer wait.
@@ -121,6 +64,21 @@ class StatsCell {
  private:
   std::atomic<std::uint32_t> seq_{0};
   T data_{};
+};
+
+/// One pipeline stage's latency distribution as seen in a snapshot
+/// (source: the shared obs::StageMetrics every worker records into).
+struct StageLatencySnapshot {
+  const char* stage = "?";  ///< obs::to_string(Stage) — stable literal
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
+  /// Raw log2 bucket counts (bucket edges are
+  /// obs::LatencyHistogram::bucket_upper_us) — what the Prometheus
+  /// exporter renders as cumulative le="..." series.
+  std::array<std::uint64_t, obs::LatencyHistogram::kBuckets> buckets{};
 };
 
 /// Per-worker counters as seen in a snapshot.
@@ -162,6 +120,20 @@ struct GatewayStats {
   std::uint64_t latency_p50_us = 0;  ///< chunk-to-frame decode latency
   std::uint64_t latency_p99_us = 0;
   std::uint64_t latency_max_us = 0;
+  /// Raw chunk-to-frame histogram, for the Prometheus exporter.
+  std::array<std::uint64_t, obs::LatencyHistogram::kBuckets>
+      latency_buckets{};
+  std::uint64_t latency_count = 0;
+  std::uint64_t latency_sum_us = 0;
+
+  /// Per-stage pipeline latency (scan, decode, sic_cancel, sic_rescan,
+  /// gap_realign, deliver), in obs::Stage order.
+  std::vector<StageLatencySnapshot> stages;
+
+  /// Flight-recorder events overwritten before any dump read them
+  /// (obs::events_dropped_total); 0 when tracing is off or compiled
+  /// out.
+  std::uint64_t trace_events_dropped = 0;
 
   /// Self-healing pillar (see docs/ROBUSTNESS.md): watchdog cancels by
   /// cause, and the degradation ladder's current rung + lifetime
@@ -190,6 +162,7 @@ struct WorkerHealth {
   std::uint64_t heartbeat_age_ms = 0;  ///< since the last heartbeat
   std::uint64_t cancels = 0;           ///< watchdog cancels fired here
   std::uint64_t rescan_backlog = 0;    ///< queued SIC rescan regions
+  std::uint64_t jobs_completed = 0;    ///< lifetime jobs finished here
 };
 
 /// Self-healing snapshot produced by Gateway::health() — the payload
@@ -197,6 +170,8 @@ struct WorkerHealth {
 /// than a full stats snapshot: it answers "is anything stuck, and how
 /// degraded are we" rather than "how much was decoded".
 struct GatewayHealth {
+  double uptime_s = 0.0;              ///< since Gateway construction
+  std::uint64_t config_generation = 0;  ///< bumps on every reload
   std::uint32_t degradation_level = 0;
   std::string degradation_name;  ///< to_string(DegradationLevel)
   std::uint64_t degradation_transitions = 0;

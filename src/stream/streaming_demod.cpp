@@ -4,6 +4,20 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace_ring.hpp"
+
+namespace {
+
+/// Stage timer target, or null when the owner wired no metrics (the
+/// ScopedTimer then costs two loads and times nothing).
+saiyan::obs::LatencyHistogram* stage_hist(
+    const saiyan::stream::StreamConfig& cfg, saiyan::obs::Stage s) {
+  return cfg.stage_metrics != nullptr ? &cfg.stage_metrics->histogram(s)
+                                      : nullptr;
+}
+
+}  // namespace
+
 namespace saiyan::stream {
 
 namespace {
@@ -106,6 +120,12 @@ std::size_t StreamingDemodulator::finish() {
 
 void StreamingDemodulator::note_gap(std::uint64_t lost_samples) {
   if (lost_samples == 0) return;
+  // Whole-stage span: salvage decodes, span drops and the zero-fill
+  // pushes all nest inside it (the nested scan/decode stages also time
+  // themselves — the timeline shows the nesting, the histograms
+  // overlap by design).
+  obs::ScopedTimer timer("gap_realign",
+                         stage_hist(cfg_, obs::Stage::kGapRealign));
   ++ingest_.gaps;
   ingest_.gap_samples += lost_samples;
   // Frames whose last sample already arrived decode normally first —
@@ -161,9 +181,14 @@ void StreamingDemodulator::reset() {
 void StreamingDemodulator::process_block(std::uint64_t block_start,
                                          std::size_t len) {
   const std::span<const dsp::Complex> rf_block = rf_.view(block_start, len);
-  scan_chain_.reference_envelope_into(rf_block, scan_ws_);
   const std::size_t appended_from = pending_.size();
-  scanner_.push_block(scan_ws_.env, pending_);
+  {
+    // The scan stage proper: envelope + incremental preamble scan.
+    // Decode work triggered below times itself.
+    obs::ScopedTimer t("scan", stage_hist(cfg_, obs::Stage::kScan));
+    scan_chain_.reference_envelope_into(rf_block, scan_ws_);
+    scanner_.push_block(scan_ws_.env, pending_);
+  }
   if (sic_) restore_pending_order(appended_from);
   decode_ready(/*flush=*/false);
 }
@@ -229,9 +254,13 @@ void StreamingDemodulator::decode_span(const PacketSpan& span) {
       (sic_ ? residual_ : rf_).view(span.packet_start, frame_len_);
   const std::uint64_t seed_index =
       cfg_.seed_by_offset ? span.packet_start : packet_counter_;
-  const std::span<const std::uint32_t> syms = batch_.decode_aligned(
-      frame, preamble_len_, cfg_.payload_symbols,
-      dsp::derive_stream_seed(cfg_.seed, seed_index));
+  std::span<const std::uint32_t> syms;
+  {
+    obs::ScopedTimer t("decode", stage_hist(cfg_, obs::Stage::kDecode));
+    syms = batch_.decode_aligned(frame, preamble_len_, cfg_.payload_symbols,
+                                 dsp::derive_stream_seed(cfg_.seed,
+                                                         seed_index));
+  }
   DecodedPacket p;
   p.packet_start = span.packet_start;
   p.payload_start = span.payload_start;
@@ -292,6 +321,8 @@ void StreamingDemodulator::queue_rescan(const RescanRegion& region) {
 }
 
 void StreamingDemodulator::cancel_frame(const PacketSpan& span) {
+  obs::ScopedTimer timer("sic_cancel",
+                         stage_hist(cfg_, obs::Stage::kSicCancel));
   // Copy the frame span (with alignment padding where available) out
   // of the residual ring, subtract the reconstructed waveform, write
   // the residual back.
@@ -322,6 +353,8 @@ void StreamingDemodulator::cancel_frame(const PacketSpan& span) {
 }
 
 bool StreamingDemodulator::process_rescan(const RescanRegion& region) {
+  obs::ScopedTimer timer("sic_rescan",
+                         stage_hist(cfg_, obs::Stage::kSicRescan));
   // A region flushed before its ready_at simply scans the clamped span.
   const std::uint64_t start = std::max(region.start, residual_.begin());
   const std::uint64_t end =

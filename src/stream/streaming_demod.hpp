@@ -68,6 +68,7 @@
 #include <vector>
 
 #include "core/batch_demod.hpp"
+#include "obs/stage_metrics.hpp"
 #include "sic/collision_resolver.hpp"
 #include "stream/ingest_stats.hpp"
 #include "stream/packet_scanner.hpp"
@@ -95,6 +96,12 @@ struct StreamConfig {
   /// against a clean run downstream of a recovered gap. Off by
   /// default: the index-keyed scheme is what batch equivalence pins.
   bool seed_by_offset = false;
+  /// Per-stage latency histograms to record into (not owned; may be
+  /// null = no stage timing). The gateway points every worker at one
+  /// shared obs::StageMetrics; recording is wait-free, so sharing is
+  /// safe. Timing never changes decode behaviour — output is
+  /// bit-identical with or without it.
+  obs::StageMetrics* stage_metrics = nullptr;
   /// Cooperative cancellation token (not owned; may be null). push()
   /// polls it once per internal block iteration: when it reads true,
   /// the push stops early, cancelled() latches, and the caller is

@@ -538,12 +538,18 @@ TEST_F(GatewayFile, StatsTextCarriesTheDocumentedKeys) {
 
 TEST(GatewayStatsPrimitives, LatencyHistogramQuantiles) {
   gateway::LatencyHistogram h;
-  for (int i = 0; i < 98; ++i) h.record(100);   // bucket of 127
+  for (int i = 0; i < 98; ++i) h.record(100);   // bucket [64, 127]
   h.record(100000);
   h.record(200000);
-  EXPECT_EQ(h.quantile_us(0.5), 127u);
+  // The median interpolates inside the landing bucket instead of
+  // reporting its upper edge: rank 50 of 98 in [64, 127] ≈ 96.
+  EXPECT_GE(h.quantile_us(0.5), 64u);
+  EXPECT_LE(h.quantile_us(0.5), 127u);
+  EXPECT_EQ(h.quantile_us(0.5), 96u);
   EXPECT_GE(h.quantile_us(0.999), 100000u);
   EXPECT_EQ(h.max_us(), 200000u);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.sum_us(), 98u * 100 + 100000 + 200000);
 }
 
 // ------------------------------------------------ watchdog + self-heal
