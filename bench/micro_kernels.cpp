@@ -15,6 +15,7 @@
 #include "frontend/saw_filter.hpp"
 #include "lora/modulator.hpp"
 #include "gateway/gateway.hpp"
+#include "obs/link_telemetry.hpp"
 #include "obs/stage_metrics.hpp"
 #include "obs/trace_ring.hpp"
 #include "sim/capture.hpp"
@@ -366,6 +367,62 @@ void BM_TracingOverhead(benchmark::State& state) {
                           metrics.histogram(obs::Stage::kDecode).total());
 }
 BENCHMARK(BM_TracingOverhead)->Arg(0)->Arg(1);
+
+void BM_LinkTelemetryOverhead(benchmark::State& state) {
+  // The BM_StreamReplay workload with the link-telescope sink:
+  // range(0)==0 runs without a LinkTelemetry attached (baseline),
+  // range(0)==1 attaches one, so every block considers noise sampling
+  // and every decode fills the per-frame diag (SNR, CFO, timing,
+  // margin) and folds it into the registry. The BENCH gate keeps the
+  // on arm within noise of off — per-frame diagnostics must stay
+  // invisible next to the decode FFTs.
+  sim::CaptureConfig cfg;
+  cfg.saiyan = core::SaiyanConfig::make(phy(), core::Mode::kSuper);
+  cfg.payload_symbols = 16;
+  cfg.packets_per_tag = 3;
+  cfg.seed = 5;
+  cfg.tag_rss_dbm = {-55.0, -58.0};
+  const sim::Capture cap = sim::generate_capture(cfg);
+  obs::LinkTelemetry telemetry;
+  stream::StreamConfig sc;
+  sc.saiyan = cfg.saiyan;
+  sc.payload_symbols = cfg.payload_symbols;
+  sc.link_telemetry = state.range(0) == 1 ? &telemetry : nullptr;
+  stream::StreamingDemodulator demod(sc);
+  std::size_t decoded = 0;
+  for (auto _ : state) {
+    demod.reset();
+    demod.clear_packets();
+    std::span<const dsp::Complex> rest(cap.samples);
+    while (!rest.empty()) {
+      const std::size_t take = std::min<std::size_t>(16384, rest.size());
+      demod.push(rest.first(take));
+      rest = rest.subspan(take);
+    }
+    demod.finish();
+    // Fold the diags like the gateway's emit_frames does, so the on
+    // arm pays the registry write too, not just the estimators.
+    if (state.range(0) == 1) {
+      for (const stream::DecodedPacket& p : demod.packets()) {
+        const auto syms = demod.symbols(p);
+        obs::FrameDiag d;
+        d.tag_id = syms.empty() ? 0 : syms[0];
+        d.snr_db = p.snr_db;
+        d.cfo_hz = p.cfo_hz;
+        d.timing_offset = p.timing_offset;
+        d.corr_margin = p.corr_margin;
+        d.packet_start = p.packet_start;
+        telemetry.record_frame(d);
+      }
+    }
+    decoded += demod.packets().size();
+    benchmark::DoNotOptimize(demod.packets().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(decoded));
+  state.counters["frames_recorded"] =
+      static_cast<double>(telemetry.frames_total());
+}
+BENCHMARK(BM_LinkTelemetryOverhead)->Arg(0)->Arg(1);
 
 void BM_GatewayReplay(benchmark::State& state) {
   // The same capture as BM_StreamReplay served through the

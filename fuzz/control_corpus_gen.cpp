@@ -76,6 +76,20 @@ int main(int argc, char** argv) {
   emit("req_dump_trace.ctl", request(daemon::ControlOp::kDumpTrace));
   emit("req_payload.ctl", request(daemon::ControlOp::kStats, "hello world"));
 
+  // links carries a real option grammar ("top=N sort=KEY") parsed by
+  // the daemon — seed the fuzzer with well-formed, partial, and broken
+  // variants so mutation explores the parser, not just the framing.
+  emit("req_links.ctl", request(daemon::ControlOp::kLinks));
+  emit("req_links_opts.ctl",
+       request(daemon::ControlOp::kLinks, "top=5 sort=snr"));
+  emit("req_links_sort_only.ctl",
+       request(daemon::ControlOp::kLinks, "sort=last_seen"));
+  emit("req_links_bad_top.ctl",
+       request(daemon::ControlOp::kLinks, "top=~~ sort="));
+  emit("req_links_bad_key.ctl",
+       request(daemon::ControlOp::kLinks, "limit=3"));
+  emit("req_links_no_eq.ctl", request(daemon::ControlOp::kLinks, "top 3"));
+
   // Responses: ok with a stats-shaped body, error with a message.
   emit("resp_ok.ctl",
        response(daemon::ControlStatus::kOk,

@@ -11,7 +11,12 @@
 #      threads that each recorded at least one event;
 #   5. `stats --json` must parse as a JSON object with numeric
 #      frames_decoded;
-#   6. after drain + SIGTERM the --trace-out file must be a loadable
+#   6. the link telescope: post-replay `metrics` must carry the link
+#      families within the top-K cardinality bound with per-link frame
+#      counts summing to frames_decoded, `links` must list the
+#      registry, `links --json` must round-trip through json.tool, and
+#      sort/limit options must apply (bad options are a clean error);
+#   7. after drain + SIGTERM the --trace-out file must be a loadable
 #      timeline too.
 #
 # Usage: obs_smoke.sh <saiyand> <saiyand-control>
@@ -111,6 +116,25 @@ assert 'saiyan_uptime_seconds' in samples, 'missing uptime gauge'
 assert types.get('saiyan_frame_latency_microseconds') == 'histogram'
 assert types.get('saiyan_stage_latency_microseconds') == 'histogram'
 
+# Link telescope families: declared with the right types, the frames
+# family always has its tag="other" aggregate (never sample-less), and
+# per-link series respect the top-K cardinality bound (default 10,
+# plus the "other" bucket).
+assert types.get('saiyan_links_tracked') == 'gauge'
+assert types.get('saiyan_link_evictions_total') == 'counter'
+assert types.get('saiyan_noise_floor_valid') == 'gauge'
+assert types.get('saiyan_noise_floor_db') == 'gauge'
+assert types.get('saiyan_link_frames_total') == 'counter'
+assert types.get('saiyan_link_snr_db') == 'gauge'
+assert types.get('saiyan_frame_latency_saturated_total') == 'counter'
+assert types.get('saiyan_stage_latency_saturated_total') == 'counter'
+link_frames = samples['saiyan_link_frames_total']
+assert any('tag="other"' in labels for labels, _ in link_frames), \
+    'saiyan_link_frames_total missing the tag="other" aggregate'
+assert len(link_frames) <= 10 + 1, \
+    f'link cardinality bound blown: {len(link_frames)} series'
+assert len(samples.get('saiyan_link_snr_db', [])) <= 10
+
 stages = set()
 for labels, _ in samples.get('saiyan_stage_latency_microseconds_count', []):
     m = re.search(r'stage="([^"]*)"', labels)
@@ -182,7 +206,7 @@ assert isinstance(stats['uptime_s'], (int, float)), stats
 print(f'stats --json ok: {len(stats)} keys')
 EOF
 
-# --- 6. finish the replay, drain, stop; check --trace-out --------------
+# --- finish the replay --------------------------------------------------
 DONE=0
 for _ in $(seq 1 300); do
   STATS=$("$CONTROL" --socket "$SOCK" stats)
@@ -194,6 +218,54 @@ done
 [[ $DONE -eq 1 ]] || { echo "timed out: decoded $DECODED of $EXPECTED"; exit 1; }
 
 "$CONTROL" --socket "$SOCK" drain
+
+# --- 6. link telescope: metrics families, links op, --json, options ----
+# With the replay drained the registry is settled: per-link frame
+# counts must sum exactly to the decode counter.
+"$CONTROL" --socket "$SOCK" metrics >"$WORK/metrics_drained.prom"
+"$PY" - "$WORK/metrics_drained.prom" <<'EOF'
+import re, sys
+
+link_sum, decoded, tracked = 0.0, None, None
+for line in open(sys.argv[1]):
+    line = line.rstrip('\n')
+    if line.startswith('saiyan_link_frames_total{'):
+        link_sum += float(line.rsplit(' ', 1)[1])
+    elif line.startswith('saiyan_frames_decoded_total '):
+        decoded = float(line.rsplit(' ', 1)[1])
+    elif line.startswith('saiyan_links_tracked '):
+        tracked = float(line.rsplit(' ', 1)[1])
+assert decoded is not None and decoded > 0, 'no frames decoded'
+assert link_sum == decoded, \
+    f'link frame sum {link_sum} != frames_decoded {decoded}'
+assert tracked is not None and tracked >= 1, f'links_tracked {tracked}'
+print(f'link metrics ok: {link_sum:.0f} frames across {tracked:.0f} links')
+EOF
+
+LINKS=$("$CONTROL" --socket "$SOCK" links)
+stat_value links_tracked "$LINKS" >/dev/null \
+  || { echo "links payload missing links_tracked"; exit 1; }
+FRAMES_TOTAL=$(stat_value frames_total "$LINKS")
+[[ $FRAMES_TOTAL -gt 0 ]] || { echo "links frames_total is zero"; exit 1; }
+
+"$CONTROL" --socket "$SOCK" links --json >"$WORK/links.json"
+"$PY" - "$WORK/links.json" <<'EOF'
+import json, sys
+links = json.load(open(sys.argv[1]))
+assert isinstance(links, dict) and links, 'links --json is not an object'
+assert isinstance(links['links_tracked'], (int, float)), links
+assert isinstance(links['frames_total'], (int, float)), links
+print(f'links --json ok: {len(links)} keys')
+EOF
+
+TOP1=$("$CONTROL" --socket "$SOCK" links --top 1 --sort snr)
+LISTED=$(stat_value links_listed "$TOP1")
+[[ $LISTED -le 1 ]] || { echo "links --top 1 listed $LISTED"; exit 1; }
+if "$CONTROL" --socket "$SOCK" links --sort bogus 2>/dev/null; then
+  echo "links --sort bogus should be a daemon-reported error"; exit 1
+fi
+
+# --- 7. stop; check --trace-out ----------------------------------------
 kill -TERM "$DAEMON_PID"
 for _ in $(seq 1 100); do
   kill -0 "$DAEMON_PID" 2>/dev/null || break
@@ -209,4 +281,4 @@ DAEMON_PID=
 "$PY" -m json.tool "$WORK/timeline.json" >/dev/null \
   || { echo "--trace-out file is not valid JSON"; exit 1; }
 
-echo "obs_smoke: metrics + dump_trace + stats --json + --trace-out all valid"
+echo "obs_smoke: metrics + dump_trace + stats --json + links + --trace-out all valid"

@@ -69,7 +69,8 @@ saiyan::Result<ControlRequest> decode_request(std::string_view frame) {
       op != static_cast<std::uint8_t>(ControlOp::kDrain) &&
       op != static_cast<std::uint8_t>(ControlOp::kHealth) &&
       op != static_cast<std::uint8_t>(ControlOp::kMetrics) &&
-      op != static_cast<std::uint8_t>(ControlOp::kDumpTrace)) {
+      op != static_cast<std::uint8_t>(ControlOp::kDumpTrace) &&
+      op != static_cast<std::uint8_t>(ControlOp::kLinks)) {
     return fail("unknown control op " + std::to_string(op));
   }
   ControlRequest req;

@@ -15,7 +15,11 @@
 // stats snapshot), dump_trace = 6 (response payload: Chrome
 // trace-event JSON from the flight recorder, trimmed to fit the
 // payload cap; "{\"traceEvents\":[]}" when tracing is off or compiled
-// out). status: 0 = ok, 1 = error (the payload is the error message).
+// out), links = 7 (request payload: optional "top=N sort=KEY" options
+// parsed by gateway::parse_link_query; response payload:
+// gateway::links_to_text() `key value` lines of the link-telescope
+// registry). status: 0 = ok, 1 = error (the payload is the error
+// message).
 //
 // Hostile-input posture matches the trace reader: a declared length is
 // bounded (kMaxControlPayload) before anything is allocated, and a
@@ -40,6 +44,7 @@ enum class ControlOp : std::uint8_t {
   kHealth = 4,
   kMetrics = 5,
   kDumpTrace = 6,
+  kLinks = 7,
 };
 
 enum class ControlStatus : std::uint8_t {

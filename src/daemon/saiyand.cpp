@@ -398,6 +398,12 @@ int main(int argc, char** argv) {
             return {ControlStatus::kOk,
                     saiyan::obs::chrome_trace_json(
                         saiyan::daemon::kMaxControlPayload - 4096)};
+          case ControlOp::kLinks: {
+            auto q = saiyan::gateway::parse_link_query(req.payload);
+            if (!q.ok()) return {ControlStatus::kError, q.message()};
+            return {ControlStatus::kOk,
+                    saiyan::gateway::links_to_text(gw->links(), q.value())};
+          }
         }
         return {ControlStatus::kError, "unhandled op"};
       });

@@ -3,13 +3,16 @@
 //   saiyand-control [--socket PATH]
 //                   stats [--json] | reload | drain | health
 //                   | metrics | dump_trace
+//                   | links [--json] [--top N] [--sort KEY]
 //
 // Prints the response payload to stdout; exits 0 on an ok status,
 // 1 on a daemon-reported error, 2 on usage/connection problems.
-// `stats --json` reformats the daemon's `key value` lines into one
-// flat JSON object client-side (the wire protocol is unchanged);
-// `metrics` is Prometheus text exposition, `dump_trace` is Chrome
-// trace-event JSON — both pass through verbatim.
+// `stats --json` and `links --json` reformat the daemon's `key value`
+// lines into one flat JSON object client-side (the wire protocol is
+// unchanged); `metrics` is Prometheus text exposition, `dump_trace`
+// is Chrome trace-event JSON — both pass through verbatim. `links`
+// sorts server-side: --sort frames|snr|last_seen|tag, --top N caps
+// the listing.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -26,7 +29,8 @@ namespace {
 
 const char kUsage[] =
     "usage: saiyand-control [--socket PATH] "
-    "stats [--json]|reload|drain|health|metrics|dump_trace\n";
+    "stats [--json]|reload|drain|health|metrics|dump_trace\n"
+    "       |links [--json] [--top N] [--sort frames|snr|last_seen|tag]\n";
 
 bool is_number(const std::string& s) {
   if (s.empty()) return false;
@@ -93,6 +97,8 @@ int main(int argc, char** argv) {
   std::string socket_path = "/tmp/saiyand.sock";
   std::string command;
   bool json = false;
+  std::string links_top;
+  std::string links_sort;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--socket") {
@@ -106,6 +112,18 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--top") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "saiyand-control: --top needs a value\n");
+        return 2;
+      }
+      links_top = argv[++i];
+    } else if (arg == "--sort") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "saiyand-control: --sort needs a value\n");
+        return 2;
+      }
+      links_sort = argv[++i];
     } else if (command.empty()) {
       command = arg;
     } else {
@@ -128,12 +146,28 @@ int main(int argc, char** argv) {
     req.op = ControlOp::kMetrics;
   } else if (command == "dump_trace" || command == "dump-trace") {
     req.op = ControlOp::kDumpTrace;
+  } else if (command == "links") {
+    req.op = ControlOp::kLinks;
+    // Options travel as the request payload; the daemon parses (and
+    // rejects) them, so client and server never disagree on syntax.
+    if (!links_top.empty()) req.payload += "top=" + links_top;
+    if (!links_sort.empty()) {
+      if (!req.payload.empty()) req.payload += ' ';
+      req.payload += "sort=" + links_sort;
+    }
   } else {
     std::fputs(kUsage, stderr);
     return 2;
   }
-  if (json && req.op != ControlOp::kStats) {
-    std::fprintf(stderr, "saiyand-control: --json only applies to stats\n");
+  if (json && req.op != ControlOp::kStats && req.op != ControlOp::kLinks) {
+    std::fprintf(stderr,
+                 "saiyand-control: --json only applies to stats and links\n");
+    return 2;
+  }
+  if ((!links_top.empty() || !links_sort.empty()) &&
+      req.op != ControlOp::kLinks) {
+    std::fprintf(stderr,
+                 "saiyand-control: --top/--sort only apply to links\n");
     return 2;
   }
 

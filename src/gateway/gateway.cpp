@@ -121,7 +121,9 @@ struct Subscriber {
 
 struct Gateway::Impl {
   explicit Impl(const GatewayConfig& c)
-      : base_cfg(c), cfg(std::make_shared<const GatewayConfig>(c)) {}
+      : base_cfg(c),
+        cfg(std::make_shared<const GatewayConfig>(c)),
+        link_telemetry_(c.link.capacity) {}
 
   // ---- configuration -------------------------------------------------
   const GatewayConfig base_cfg;  ///< fixed fields (workers, limits)
@@ -215,6 +217,11 @@ struct Gateway::Impl {
   /// workers record scan/decode/SIC/gap timings via
   /// StreamConfig::stage_metrics, subscriber threads record delivery.
   obs::StageMetrics stage_metrics_;
+  /// Link telescope: every worker's demodulator computes per-frame RF
+  /// diagnostics into this shared registry (StreamConfig::link_telemetry)
+  /// and emit_frames folds in the decoded identity. Fixed at create();
+  /// snapshots never block the workers.
+  obs::LinkTelemetry link_telemetry_;
   const Clock::time_point start_ = Clock::now();
 
   // ---- worker body ---------------------------------------------------
@@ -348,6 +355,7 @@ struct Gateway::Impl {
     sc.payload_symbols = reader.meta().payload_symbols;
     sc.cancel = &w.cancel;  // watchdog's lever into a wedged push()
     sc.stage_metrics = &stage_metrics_;
+    sc.link_telemetry = gcfg.link.enabled ? &link_telemetry_ : nullptr;
     stream::StreamingDemodulator& demod = ensure_demod(
         w,
         DemodKey::make(gen, /*from_trace=*/true, reader.meta().phy,
@@ -377,7 +385,7 @@ struct Gateway::Impl {
         }
         w.counters.chunks.fetch_add(1, std::memory_order_relaxed);
         w.counters.samples.fetch_add(chunk.size(), std::memory_order_relaxed);
-        emit_frames(w, demod, job.job_id, t0);
+        emit_frames(w, demod, gcfg, job.job_id, t0);
         publish_transient(w, &reader, &demod);
         chunk_tick(w, demod, gcfg, job.job_id, chunk_index++);
         if (demod.cancelled() ||
@@ -399,7 +407,7 @@ struct Gateway::Impl {
     }
     const Clock::time_point t_flush = Clock::now();
     demod.finish();
-    emit_frames(w, demod, job.job_id, t_flush);
+    emit_frames(w, demod, gcfg, job.job_id, t_flush);
     w.counters.truncated.fetch_add(demod.truncated_packets() -
                                        truncated_before,
                                    std::memory_order_relaxed);
@@ -416,6 +424,7 @@ struct Gateway::Impl {
     stream::StreamConfig sc = gcfg.worker_stream_config();
     sc.cancel = &w.cancel;  // watchdog's lever into a wedged push()
     sc.stage_metrics = &stage_metrics_;
+    sc.link_telemetry = gcfg.link.enabled ? &link_telemetry_ : nullptr;
     stream::StreamingDemodulator& demod = ensure_demod(
         w,
         DemodKey::make(gen, /*from_trace=*/false, sc.saiyan.phy,
@@ -464,7 +473,7 @@ struct Gateway::Impl {
         }
         w.counters.chunks.fetch_add(1, std::memory_order_relaxed);
         w.counters.samples.fetch_add(chunk.size(), std::memory_order_relaxed);
-        emit_frames(w, demod, job.job_id, t0);
+        emit_frames(w, demod, gcfg, job.job_id, t0);
         publish_transient(w, nullptr, &demod);
         chunk_tick(w, demod, gcfg, job.job_id, chunk_index++);
         cancelled =
@@ -492,7 +501,7 @@ struct Gateway::Impl {
     }
     const Clock::time_point t_flush = Clock::now();
     demod.finish();
-    emit_frames(w, demod, job.job_id, t_flush);
+    emit_frames(w, demod, gcfg, job.job_id, t_flush);
     w.counters.truncated.fetch_add(demod.truncated_packets() -
                                        truncated_before,
                                    std::memory_order_relaxed);
@@ -518,10 +527,14 @@ struct Gateway::Impl {
   }
 
   void emit_frames(Worker& w, stream::StreamingDemodulator& demod,
-                   std::uint64_t job_id, Clock::time_point t_chunk) {
+                   const GatewayConfig& gcfg, std::uint64_t job_id,
+                   Clock::time_point t_chunk) {
     const std::span<const stream::DecodedPacket> pkts = demod.packets();
     if (pkts.empty()) return;
     const std::uint64_t lat = us_since(t_chunk);
+    const std::uint32_t channel = demod.config().channel;
+    const std::uint32_t alphabet =
+        demod.config().saiyan.phy.symbol_alphabet();
     for (const stream::DecodedPacket& p : pkts) {
       latency_.record(lat);
       w.counters.frames.fetch_add(1, std::memory_order_relaxed);
@@ -537,6 +550,40 @@ struct Gateway::Impl {
       fr.latency_us = lat;
       const std::span<const std::uint32_t> syms = demod.symbols(p);
       fr.symbols.assign(syms.begin(), syms.end());
+      fr.channel = channel;
+      fr.sic_depth = p.sic_depth;
+      if (gcfg.link.enabled) {
+        // Link identity: the first payload symbol is the address/link
+        // symbol by convention (sim captures encode it with
+        // CaptureConfig::link_headers; unkeyed traffic just groups by
+        // its first symbol, which is harmless).
+        fr.tag_id = syms.empty() ? 0 : syms[0];
+        fr.snr_db = p.snr_db;
+        fr.cfo_hz = p.cfo_hz;
+        obs::FrameDiag d;
+        d.tag_id = fr.tag_id;
+        d.channel = channel;
+        d.snr_db = p.snr_db;
+        d.cfo_hz = p.cfo_hz;
+        d.timing_offset = p.timing_offset;
+        d.corr_margin = p.corr_margin;
+        d.noise_floor_dbm = p.noise_floor_dbm;
+        d.sic_depth = p.sic_depth;
+        d.sic_assisted = p.sic_assisted;
+        d.collided = p.collided;
+        d.latency_us = lat;
+        d.packet_start = p.packet_start;
+        d.seen_us = us_since(start_);
+        if (gcfg.link.sequence_symbol && syms.size() > 1) {
+          d.seq = syms[1];
+          d.seq_modulus = alphabet;
+          d.has_seq = true;
+        }
+        link_telemetry_.record_frame(d);
+        // Optional timeline marker so a Perfetto view can align SNR
+        // dips with stage latency spikes.
+        if (gcfg.link.trace_frames) obs::trace_instant("frame_diag");
+      }
       deliver(w, fr);
     }
     demod.clear_packets();
@@ -868,6 +915,11 @@ saiyan::Result<Unit> Gateway::reload(const GatewayConfig& cfg) {
   if (!(cfg.degradation == impl_->base_cfg.degradation)) {
     return fail("reload: degradation config is fixed at create()");
   }
+  if (!(cfg.link == impl_->base_cfg.link)) {
+    // The registry is sized once and shared by every worker; resizing
+    // or re-keying it mid-serve would tear live seqlock slots.
+    return fail("reload: link telemetry config is fixed at create()");
+  }
   {
     std::lock_guard<std::mutex> lk(impl_->mu_);
     if (impl_->draining_ > 0) {
@@ -977,6 +1029,8 @@ GatewayStats Gateway::stats() const {
   im.latency_.snapshot_counts(s.latency_buckets);
   s.latency_count = LatencyHistogram::total_from_counts(s.latency_buckets);
   s.latency_sum_us = im.latency_.sum_us();
+  s.latency_saturated =
+      LatencyHistogram::saturated_from_counts(s.latency_buckets);
   s.stages.reserve(obs::kStageCount);
   for (std::size_t i = 0; i < obs::kStageCount; ++i) {
     const auto stage = static_cast<obs::Stage>(i);
@@ -991,10 +1045,17 @@ GatewayStats Gateway::stats() const {
         LatencyHistogram::quantile_from_counts(st.buckets, 0.50), st.max_us);
     st.p99_us = std::min(
         LatencyHistogram::quantile_from_counts(st.buckets, 0.99), st.max_us);
+    st.saturated = LatencyHistogram::saturated_from_counts(st.buckets);
     s.stages.push_back(st);
   }
   s.trace_events_dropped = obs::events_dropped_total();
+  s.links = im.link_telemetry_.snapshot();
+  s.link_top_k = im.base_cfg.link.prom_top_k;
   return s;
+}
+
+obs::LinkRegistrySnapshot Gateway::links() const {
+  return impl_->link_telemetry_.snapshot();
 }
 
 GatewayHealth Gateway::health() const {

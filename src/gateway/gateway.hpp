@@ -61,6 +61,13 @@ struct FrameRecord {
   bool sic_assisted = false;        ///< decoded from a cancelled residual
   std::uint64_t latency_us = 0;     ///< chunk ingest -> frame decoded
   std::vector<std::uint32_t> symbols;
+  // Link-telescope diagnostics (all 0.0 when cfg.link.enabled is
+  // false; see obs/link_telemetry.hpp).
+  std::uint32_t tag_id = 0;         ///< link id (first payload symbol)
+  std::uint32_t channel = 0;        ///< stream channel index
+  double snr_db = 0.0;              ///< frame power over noise floor
+  double cfo_hz = 0.0;              ///< preamble carrier offset
+  std::uint32_t sic_depth = 0;      ///< cancellation depth at decode
 };
 
 using SubscriberId = std::uint64_t;
@@ -158,6 +165,12 @@ class Gateway {
   /// Self-healing snapshot (watchdog liveness + degradation ladder);
   /// wait-free for the workers. The `health` control op serves this.
   GatewayHealth health() const;
+
+  /// Full link-telescope registry snapshot (per-tag/channel rolling
+  /// windows + noise floor); readers never block workers. Empty when
+  /// cfg.link.enabled is false. The `links` control op serves this
+  /// through links_to_text().
+  obs::LinkRegistrySnapshot links() const;
 
   const GatewayConfig& config() const;
 

@@ -75,6 +75,13 @@ saiyan::Result<Unit> GatewayConfig::validate() const {
   if (degradation.deescalate_after == 0) {
     return bad_field("degradation.deescalate_after", "must be >= 1");
   }
+  if (link.capacity == 0 || link.capacity > (1u << 20)) {
+    return bad_field("link.capacity", "must be in [1, 1048576]");
+  }
+  if (link.prom_top_k == 0 || link.prom_top_k > 64) {
+    return bad_field("link.prom_top_k",
+                     "must be in [1, 64] (scrape cardinality bound)");
+  }
   return Unit{};
 }
 

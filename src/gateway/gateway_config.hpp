@@ -75,6 +75,31 @@ struct WatchdogConfig {
   bool operator==(const WatchdogConfig&) const = default;
 };
 
+/// Link telescope: per-tag/channel RF diagnostics registry (see
+/// obs/link_telemetry.hpp). Fixed at Gateway::create() — the registry
+/// is shared state the workers write into; reload() rejects changes.
+struct LinkTelemetryConfig {
+  /// Record per-frame diagnostics into the link registry. Purely
+  /// observational: decode output is bit-identical on or off.
+  bool enabled = true;
+  /// Max simultaneously tracked links (tag × channel); the
+  /// least-recently-seen link is evicted beyond this.
+  std::size_t capacity = 256;
+  /// Links exported as labeled Prometheus series, by frame count;
+  /// the rest aggregate into a tag="other" bucket so scrape
+  /// cardinality stays bounded.
+  std::size_t prom_top_k = 10;
+  /// Payload symbol 1 is a per-link wrapping sequence counter: infer
+  /// lost frames from gaps. Off unless the deployment's tags actually
+  /// encode one (sim captures do with CaptureConfig::link_headers).
+  bool sequence_symbol = false;
+  /// Emit a per-frame instant marker into the trace-event ring so
+  /// Perfetto timelines align SNR dips with stage latency spikes.
+  bool trace_frames = false;
+
+  bool operator==(const LinkTelemetryConfig&) const = default;
+};
+
 struct GatewayConfig {
   /// Per-worker demodulation pipeline: PHY + receiver mode, frame
   /// length, scanner threshold, decode seeds, SIC policy. Every worker
@@ -109,6 +134,10 @@ struct GatewayConfig {
   /// Adaptive overload degradation (see gateway/degradation.hpp).
   /// Disabled by default; fixed at create().
   DegradationConfig degradation;
+
+  /// Per-link RF diagnostics registry. Enabled by default (near-zero
+  /// hot-path cost); fixed at create().
+  LinkTelemetryConfig link;
 
   /// Operational event sink (ladder transitions, watchdog cancels).
   /// Called from the watchdog thread; must be thread-safe and fast.

@@ -1,6 +1,8 @@
 #include "gateway/gateway_metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "obs/prometheus.hpp"
 
@@ -108,9 +110,82 @@ std::string to_prometheus(const GatewayStats& s) {
     w.histogram(kStage, labels, st.buckets, st.sum_us);
   }
 
+  counter(w, "saiyan_frame_latency_saturated_total",
+          "Chunk-to-frame samples in the open-ended histogram bucket "
+          "(nonzero means quantiles clamp low)",
+          s.latency_saturated);
+  const char* kStageSat = "saiyan_stage_latency_saturated_total";
+  w.family(kStageSat,
+           "Per-stage samples in the open-ended histogram bucket",
+           "counter");
+  for (const StageLatencySnapshot& st : s.stages) {
+    char labels[64];
+    std::snprintf(labels, sizeof(labels), "stage=\"%s\"", st.stage);
+    w.sample(kStageSat, labels, st.saturated);
+  }
+
   counter(w, "saiyan_trace_events_dropped_total",
           "Flight-recorder events overwritten before a dump",
           s.trace_events_dropped);
+
+  // Link telescope. Per-link series are capped at link.prom_top_k
+  // busiest links (scrape cardinality bound); everything past the cap
+  // folds into tag="other" so frame totals still sum correctly.
+  gauge_u(w, "saiyan_links_tracked",
+          "Distinct tag/channel links in the registry",
+          static_cast<std::uint64_t>(s.links.links.size()));
+  counter(w, "saiyan_link_evictions_total",
+          "Links LRU-evicted from the bounded registry",
+          s.links.evictions);
+  w.family("saiyan_noise_floor_valid",
+           "1 once an idle-air noise estimate exists", "gauge");
+  w.sample("saiyan_noise_floor_valid", {},
+           std::uint64_t{s.links.noise_floor_valid ? 1u : 0u});
+  w.family("saiyan_noise_floor_db",
+           "Rolling idle-air noise floor, dBm (-200 until valid)",
+           "gauge");
+  w.sample("saiyan_noise_floor_db", {},
+           s.links.noise_floor_valid ? s.links.noise_floor_dbm : -200.0);
+
+  std::vector<const obs::LinkSnapshot*> busiest;
+  busiest.reserve(s.links.links.size());
+  for (const obs::LinkSnapshot& l : s.links.links) busiest.push_back(&l);
+  std::stable_sort(busiest.begin(), busiest.end(),
+                   [](const obs::LinkSnapshot* a, const obs::LinkSnapshot* b) {
+                     if (a->frames != b->frames) return a->frames > b->frames;
+                     return a->tag_id != b->tag_id ? a->tag_id < b->tag_id
+                                                   : a->channel < b->channel;
+                   });
+  const std::size_t top =
+      std::min(s.link_top_k, busiest.size());
+  const char* kLinkFrames = "saiyan_link_frames_total";
+  w.family(kLinkFrames,
+           "Frames decoded per link (top-K by frames; rest in "
+           "tag=\"other\")",
+           "counter");
+  char labels[64];
+  std::uint64_t other = 0;
+  for (std::size_t i = 0; i < busiest.size(); ++i) {
+    if (i < top) {
+      std::snprintf(labels, sizeof(labels), "tag=\"%lu\",channel=\"%lu\"",
+                    static_cast<unsigned long>(busiest[i]->tag_id),
+                    static_cast<unsigned long>(busiest[i]->channel));
+      w.sample(kLinkFrames, labels, busiest[i]->frames);
+    } else {
+      other += busiest[i]->frames;
+    }
+  }
+  // Always emitted so the family is never sample-less and sums stay
+  // complete even when every link fits in the top-K budget.
+  w.sample(kLinkFrames, "tag=\"other\",channel=\"all\"", other);
+  const char* kLinkSnr = "saiyan_link_snr_db";
+  w.family(kLinkSnr, "EWMA frame SNR per link (top-K by frames)", "gauge");
+  for (std::size_t i = 0; i < top; ++i) {
+    std::snprintf(labels, sizeof(labels), "tag=\"%lu\",channel=\"%lu\"",
+                  static_cast<unsigned long>(busiest[i]->tag_id),
+                  static_cast<unsigned long>(busiest[i]->channel));
+    w.sample(kLinkSnr, labels, busiest[i]->ewma_snr_db);
+  }
 
   const char* kWFrames = "saiyan_worker_frames_total";
   w.family(kWFrames, "Frames decoded per worker", "counter");

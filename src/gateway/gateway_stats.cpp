@@ -1,5 +1,7 @@
 #include "gateway/gateway_stats.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdio>
 
 namespace saiyan::gateway {
@@ -45,6 +47,7 @@ std::string GatewayStats::to_text() const {
   line(out, "latency_max_us", latency_max_us);
   line(out, "latency_count", latency_count);
   line(out, "latency_sum_us", latency_sum_us);
+  line(out, "latency_saturated", latency_saturated);
   for (const StageLatencySnapshot& st : stages) {
     char key[96];
     std::snprintf(key, sizeof(key), "stage.%s.count", st.stage);
@@ -57,6 +60,14 @@ std::string GatewayStats::to_text() const {
     line(out, key, st.p99_us);
     std::snprintf(key, sizeof(key), "stage.%s.max_us", st.stage);
     line(out, key, st.max_us);
+    std::snprintf(key, sizeof(key), "stage.%s.saturated", st.stage);
+    line(out, key, st.saturated);
+  }
+  line(out, "links_tracked", static_cast<std::uint64_t>(links.links.size()));
+  line(out, "link_frames_total", links.frames_total);
+  line(out, "link_evictions", links.evictions);
+  if (links.noise_floor_valid) {
+    line(out, "noise_floor_dbm", links.noise_floor_dbm);
   }
   line(out, "trace_events_dropped", trace_events_dropped);
   line(out, "watchdog_cancels", watchdog_cancels);
@@ -94,6 +105,135 @@ std::string GatewayStats::to_text() const {
     line(out, key, w.jobs);
     std::snprintf(key, sizeof(key), "worker.%zu.truncated", i);
     line(out, key, w.truncated);
+  }
+  return out;
+}
+
+saiyan::Result<LinkQuery> parse_link_query(std::string_view text) {
+  LinkQuery q;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           (text[i] == ' ' || text[i] == '\t' || text[i] == '\n')) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < text.size() && text[j] != ' ' && text[j] != '\t' &&
+           text[j] != '\n') {
+      ++j;
+    }
+    if (j == i) break;
+    const std::string_view tok = text.substr(i, j - i);
+    i = j;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos) {
+      return saiyan::Error{"links: expected key=value, got '" +
+                           std::string(tok) + "'"};
+    }
+    const std::string_view key = tok.substr(0, eq);
+    const std::string_view val = tok.substr(eq + 1);
+    if (key == "top") {
+      std::size_t n = 0;
+      const auto [ptr, ec] =
+          std::from_chars(val.data(), val.data() + val.size(), n);
+      if (ec != std::errc{} || ptr != val.data() + val.size()) {
+        return saiyan::Error{"links: bad top '" + std::string(val) + "'"};
+      }
+      q.top = n;
+    } else if (key == "sort") {
+      if (val == "frames") {
+        q.sort = LinkQuery::Sort::kFrames;
+      } else if (val == "snr") {
+        q.sort = LinkQuery::Sort::kSnr;
+      } else if (val == "last_seen") {
+        q.sort = LinkQuery::Sort::kLastSeen;
+      } else if (val == "tag") {
+        q.sort = LinkQuery::Sort::kTag;
+      } else {
+        return saiyan::Error{"links: unknown sort '" + std::string(val) +
+                             "' (frames|snr|last_seen|tag)"};
+      }
+    } else {
+      return saiyan::Error{"links: unknown option '" + std::string(key) +
+                           "' (top, sort)"};
+    }
+  }
+  return q;
+}
+
+std::string links_to_text(const obs::LinkRegistrySnapshot& snap,
+                          const LinkQuery& q) {
+  std::vector<const obs::LinkSnapshot*> order;
+  order.reserve(snap.links.size());
+  for (const obs::LinkSnapshot& l : snap.links) order.push_back(&l);
+  const auto tag_lt = [](const obs::LinkSnapshot* a,
+                         const obs::LinkSnapshot* b) {
+    return a->tag_id != b->tag_id ? a->tag_id < b->tag_id
+                                  : a->channel < b->channel;
+  };
+  switch (q.sort) {
+    case LinkQuery::Sort::kFrames:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](const obs::LinkSnapshot* a,
+                           const obs::LinkSnapshot* b) {
+                         return a->frames != b->frames ? a->frames > b->frames
+                                                       : tag_lt(a, b);
+                       });
+      break;
+    case LinkQuery::Sort::kSnr:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](const obs::LinkSnapshot* a,
+                           const obs::LinkSnapshot* b) {
+                         return a->ewma_snr_db != b->ewma_snr_db
+                                    ? a->ewma_snr_db < b->ewma_snr_db
+                                    : tag_lt(a, b);
+                       });
+      break;
+    case LinkQuery::Sort::kLastSeen:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](const obs::LinkSnapshot* a,
+                           const obs::LinkSnapshot* b) {
+                         return a->last_seen_us != b->last_seen_us
+                                    ? a->last_seen_us > b->last_seen_us
+                                    : tag_lt(a, b);
+                       });
+      break;
+    case LinkQuery::Sort::kTag:
+      std::stable_sort(order.begin(), order.end(), tag_lt);
+      break;
+  }
+  if (q.top != 0 && order.size() > q.top) order.resize(q.top);
+
+  std::string out;
+  out.reserve(256 + 320 * order.size());
+  line(out, "links_tracked", static_cast<std::uint64_t>(snap.links.size()));
+  line(out, "links_listed", static_cast<std::uint64_t>(order.size()));
+  line(out, "link_capacity", static_cast<std::uint64_t>(snap.capacity));
+  line(out, "link_evictions", snap.evictions);
+  line(out, "frames_total", snap.frames_total);
+  if (snap.noise_floor_valid) {
+    line(out, "noise_floor_dbm", snap.noise_floor_dbm);
+  }
+  for (const obs::LinkSnapshot* l : order) {
+    char key[96];
+    const unsigned long t = static_cast<unsigned long>(l->tag_id);
+    const unsigned long c = static_cast<unsigned long>(l->channel);
+    const auto field = [&](const char* name) {
+      std::snprintf(key, sizeof(key), "link.%lu.%lu.%s", t, c, name);
+      return key;
+    };
+    line(out, field("frames"), l->frames);
+    line(out, field("collided"), l->collided_frames);
+    line(out, field("sic_rescued"), l->sic_rescued);
+    line(out, field("lost"), l->lost_frames);
+    line(out, field("snr_db"), l->ewma_snr_db);
+    line(out, field("cfo_hz"), l->ewma_cfo_hz);
+    line(out, field("timing"), l->ewma_timing);
+    line(out, field("margin"), l->ewma_margin);
+    line(out, field("latency_us"), l->ewma_latency_us);
+    line(out, field("last_snr_db"), l->last_snr_db);
+    line(out, field("last_seen_us"), l->last_seen_us);
+    line(out, field("last_packet_start"), l->last_packet_start);
   }
   return out;
 }

@@ -24,9 +24,12 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/result.hpp"
 #include "obs/latency_histogram.hpp"
+#include "obs/link_telemetry.hpp"
 #include "obs/stage_metrics.hpp"
 #include "stream/ingest_stats.hpp"
 
@@ -75,6 +78,10 @@ struct StageLatencySnapshot {
   std::uint64_t p50_us = 0;
   std::uint64_t p99_us = 0;
   std::uint64_t max_us = 0;
+  /// Samples in the open-ended last bucket: quantiles that land there
+  /// clamp to the bucket's lower edge, so a nonzero count means the
+  /// p50/p99/max above may silently understate the truth.
+  std::uint64_t saturated = 0;
   /// Raw log2 bucket counts (bucket edges are
   /// obs::LatencyHistogram::bucket_upper_us) — what the Prometheus
   /// exporter renders as cumulative le="..." series.
@@ -125,6 +132,9 @@ struct GatewayStats {
       latency_buckets{};
   std::uint64_t latency_count = 0;
   std::uint64_t latency_sum_us = 0;
+  /// Chunk-to-frame samples in the open-ended bucket (quantile clamp
+  /// flag — see StageLatencySnapshot::saturated).
+  std::uint64_t latency_saturated = 0;
 
   /// Per-stage pipeline latency (scan, decode, sic_cancel, sic_rescan,
   /// gap_realign, deliver), in obs::Stage order.
@@ -149,10 +159,42 @@ struct GatewayStats {
 
   std::vector<WorkerSnapshot> per_worker;
 
+  /// Link telescope summary (full per-link windows live behind the
+  /// `links` control op / Gateway::links()).
+  obs::LinkRegistrySnapshot links;
+  /// Labeled-series budget the Prometheus exporter applies to `links`
+  /// (GatewayConfig::link.prom_top_k).
+  std::size_t link_top_k = 10;
+
   /// Serialize as `key value` lines — the control protocol's stats
   /// payload (documented in docs/GATEWAY.md).
   std::string to_text() const;
 };
+
+/// Ordering/limit options for the `links` control op.
+struct LinkQuery {
+  enum class Sort {
+    kFrames,    ///< busiest first
+    kSnr,       ///< worst EWMA SNR first (triage order)
+    kLastSeen,  ///< most recently seen first
+    kTag,       ///< tag id, then channel
+  };
+  Sort sort = Sort::kFrames;
+  std::size_t top = 0;  ///< 0 = all links
+};
+
+/// Parse a `links` op request payload: whitespace-separated
+/// "top=N sort=frames|snr|last_seen|tag" tokens (both optional; empty
+/// payload = defaults). Unknown keys/values are an error — the daemon
+/// answers kError with the message.
+saiyan::Result<LinkQuery> parse_link_query(std::string_view text);
+
+/// Serialize a registry snapshot as `key value` lines: global counters
+/// (links_tracked, link_evictions, frames_total, noise_floor_dbm) then
+/// per-link `link.<tag>.<channel>.<field>` lines ordered/limited per
+/// `q` — the `links` op payload (same dialect as GatewayStats).
+std::string links_to_text(const obs::LinkRegistrySnapshot& snap,
+                          const LinkQuery& q = {});
 
 /// Liveness view of one worker, for the `health` op.
 struct WorkerHealth {

@@ -72,6 +72,22 @@ class LatencyHistogram {
     return total;
   }
 
+  /// Samples that landed in the open-ended last bucket. Quantiles that
+  /// land there can only report the bucket's lower edge (there is no
+  /// upper edge to interpolate toward), silently truncating the true
+  /// value — so snapshots carry this count as a `saturated` flag and
+  /// the exporter surfaces it as a `*_saturated_total` counter instead
+  /// of letting the clamp pass unnoticed.
+  static std::uint64_t saturated_from_counts(
+      const std::array<std::uint64_t, kBuckets>& counts) {
+    return counts[kBuckets - 1];
+  }
+
+  /// Cumulative count of samples in the open-ended bucket.
+  std::uint64_t saturated_count() const {
+    return buckets_[kBuckets - 1].load(std::memory_order_relaxed);
+  }
+
   /// Quantile `q` over an explicit count array, linearly interpolated
   /// inside the landing bucket; 0 when the array is empty. Shared by
   /// the cumulative quantile below and the gateway controller's
@@ -89,7 +105,10 @@ class LatencyHistogram {
       seen += counts[i];
       if (static_cast<double>(seen) < target) continue;
       const std::uint64_t lower = bucket_lower_us(i);
-      if (i + 1 >= kBuckets) return lower;  // open-ended: report the edge
+      // Open-ended bucket: the lower edge is the best defensible
+      // answer, but it truncates — saturated_from_counts() lets
+      // callers flag the clamp instead of trusting the number.
+      if (i + 1 >= kBuckets) return lower;
       const std::uint64_t upper = (std::uint64_t{1} << i) - 1;
       const double frac = (target - static_cast<double>(before)) /
                           static_cast<double>(counts[i]);

@@ -65,6 +65,10 @@ Capture generate_capture(const CaptureConfig& cfg) {
       cfg.tag_phase_rad.size() != cfg.tag_rss_dbm.size()) {
     throw std::invalid_argument("generate_capture: tag_phase_rad size");
   }
+  if (!cfg.tag_cfo_hz.empty() &&
+      cfg.tag_cfo_hz.size() != cfg.tag_rss_dbm.size()) {
+    throw std::invalid_argument("generate_capture: tag_cfo_hz size");
+  }
   const lora::PhyParams& phy = cfg.saiyan.phy;
   const std::size_t spsym = phy.samples_per_symbol();
   const std::size_t n_tags = cfg.tag_rss_dbm.size();
@@ -102,6 +106,16 @@ Capture generate_capture(const CaptureConfig& cfg) {
       v = static_cast<std::uint32_t>(
           rng.uniform_int(0, phy.symbol_alphabet() - 1));
     }
+    if (cfg.link_headers) {
+      // Overwrite *after* the draws so the Rng stream — and with it
+      // the schedule and every other symbol — matches a header-less
+      // capture bit for bit.
+      m.symbols[0] = m.tag_id % phy.symbol_alphabet();
+      if (m.symbols.size() > 1) {
+        m.symbols[1] = static_cast<std::uint32_t>(
+            (p / n_tags) % phy.symbol_alphabet());
+      }
+    }
     cap.markers.push_back(std::move(m));
     if (!scheduled) {
       cursor += lay.total_samples + rng.uniform_int(gap_lo, gap_hi);
@@ -127,12 +141,27 @@ Capture generate_capture(const CaptureConfig& cfg) {
             ? std::sqrt(dsp::dbm_to_watts(cfg.tag_rss_dbm[m.tag_id]) / p_avg)
             : 1.0;
     dsp::Complex* dst = cap.samples.data() + m.sample_offset;
-    if (cfg.tag_phase_rad.empty()) {
+    const double ph =
+        cfg.tag_phase_rad.empty() ? 0.0 : cfg.tag_phase_rad[m.tag_id];
+    const double cfo =
+        cfg.tag_cfo_hz.empty() ? 0.0 : cfg.tag_cfo_hz[m.tag_id];
+    if (ph == 0.0 && cfo == 0.0) {
       for (std::size_t i = 0; i < wave.size(); ++i) dst[i] += scale * wave[i];
-    } else {
-      const double ph = cfg.tag_phase_rad[m.tag_id];
+    } else if (cfo == 0.0) {
       const dsp::Complex amp = scale * dsp::Complex(std::cos(ph), std::sin(ph));
       for (std::size_t i = 0; i < wave.size(); ++i) dst[i] += amp * wave[i];
+    } else {
+      // Carrier offset: rotate the packet by exp(i·2π·f·n/fs) with the
+      // phase origin at the packet start (the CFO estimator is
+      // phase-difference based, so the origin is immaterial).
+      const double w = dsp::kTwoPi * cfo / phy.sample_rate_hz;
+      const dsp::Complex amp = scale * dsp::Complex(std::cos(ph), std::sin(ph));
+      const dsp::Complex rot(std::cos(w), std::sin(w));
+      dsp::Complex osc(1.0, 0.0);
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        dst[i] += amp * osc * wave[i];
+        osc *= rot;
+      }
     }
   }
   // Thermal floor over the whole capture — gaps carry noise too, like

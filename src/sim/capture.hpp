@@ -47,6 +47,18 @@ struct CaptureConfig {
   /// exp(i·tag_phase_rad[t]), exercising the complex amplitude fit of
   /// the SIC least-squares cancellation.
   std::vector<double> tag_phase_rad;
+  /// Optional per-tag carrier-frequency offset in Hz (empty, or one
+  /// entry per tag): every packet of tag t is injected rotated by
+  /// exp(i·2π·f·n/fs) across its span — ground truth for the link
+  /// telemetry CFO estimator. Zero/empty leaves the waveform
+  /// bit-identical to a pre-CFO capture.
+  std::vector<double> tag_cfo_hz;
+  /// Link-header convention for telemetry ground truth: overwrite
+  /// payload symbol 0 with the tag id and symbol 1 with a per-tag
+  /// wrapping sequence counter (both mod the symbol alphabet) *after*
+  /// the random payload draws, so the schedule, the remaining symbols
+  /// and the noise fill stay bit-identical to a header-less capture.
+  bool link_headers = false;
 };
 
 struct Capture {

@@ -37,12 +37,16 @@ void PacketScanner::reset() {
   suppress_before_ = 0;
   have_candidate_ = false;
   candidate_ = {};
+  prev_score_ = 0.0;
+  next_score_pending_ = false;
 }
 
 void PacketScanner::desync(std::uint64_t resume_lag) {
   have_candidate_ = false;
   candidate_ = {};
   suppress_before_ = std::max(suppress_before_, resume_lag);
+  prev_score_ = 0.0;
+  next_score_pending_ = false;
 }
 
 std::size_t PacketScanner::push_block(std::span<const double> env_block,
@@ -99,13 +103,26 @@ std::size_t PacketScanner::push_block(std::span<const double> env_block,
     const double var_floor = sum2 * 1e-9 + 1e-300;
     const double score =
         corr_[j] / std::sqrt(std::max(var, var_floor) * tmpl_energy_);
+    // Telemetry neighbor capture: the lag right after the candidate
+    // peak fills score_next (the refractory is > one symbol, so this
+    // always lands before the candidate can confirm). Never read by
+    // the detection logic below.
+    if (next_score_pending_ && have_candidate_ &&
+        lag == candidate_.packet_start + 1) {
+      candidate_.score_next = score;
+      next_score_pending_ = false;
+    }
     if (score >= min_score_ && lag >= suppress_before_ &&
         (!have_candidate_ || score > candidate_.score)) {
       candidate_.packet_start = lag;
       candidate_.payload_start = lag + w;
       candidate_.score = score;
+      candidate_.score_prev = prev_score_;
+      candidate_.score_next = 0.0;
+      next_score_pending_ = true;
       have_candidate_ = true;
     }
+    prev_score_ = score;
     if (j + w < window.size()) {
       sum += window[j + w] - window[j];
       sum2 += window[j + w] * window[j + w] - window[j] * window[j];

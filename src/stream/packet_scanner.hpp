@@ -47,6 +47,12 @@ struct PacketSpan {
   /// detections in the mixed stream, d+1 for preambles re-detected on
   /// a residual after cancelling a depth-d frame.
   std::uint32_t sic_depth = 0;
+  /// Correlation scores one lag before/after the peak (0.0 when the
+  /// neighbor never scored — stream start, rescan hits). Telemetry
+  /// only: link diagnostics fit a parabola through the peak for a
+  /// fractional-sample timing offset. Decode never reads them.
+  double score_prev = 0.0;
+  double score_next = 0.0;
 };
 
 class PacketScanner {
@@ -83,6 +89,11 @@ class PacketScanner {
   /// Envelope samples consumed so far.
   std::uint64_t samples_consumed() const { return env_.end(); }
 
+  /// An unconfirmed candidate peak is pending — i.e. a preamble may be
+  /// rising under the scan head. Noise-floor sampling treats such
+  /// blocks as busy, never idle.
+  bool has_candidate() const { return have_candidate_; }
+
   /// Preamble+sync template length in samples — the payload offset
   /// within a framed packet.
   std::size_t template_size() const { return tmpl_len_; }
@@ -100,6 +111,11 @@ class PacketScanner {
   std::uint64_t suppress_before_ = 0;  // lags inside an emitted preamble
   bool have_candidate_ = false;
   PacketSpan candidate_;
+  // Telemetry-only carry state for PacketSpan::score_prev/score_next:
+  // the previous lag's score (survives block boundaries) and whether
+  // the current candidate still awaits its successor-lag score.
+  double prev_score_ = 0.0;
+  bool next_score_pending_ = false;
 };
 
 }  // namespace saiyan::stream

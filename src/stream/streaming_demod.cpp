@@ -1,9 +1,12 @@
 #include "stream/streaming_demod.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <complex>
 #include <cstring>
 #include <stdexcept>
 
+#include "dsp/utils.hpp"
 #include "obs/trace_ring.hpp"
 
 namespace {
@@ -168,6 +171,7 @@ void StreamingDemodulator::reset() {
   recent_count_ = 0;
   cancelled_ = false;
   degradation_ = 0;
+  last_frame_end_ = 0;
   received_ = 0;
   next_block_start_ = 0;
   packet_counter_ = 0;
@@ -190,6 +194,17 @@ void StreamingDemodulator::process_block(std::uint64_t block_start,
     scanner_.push_block(scan_ws_.env, pending_);
   }
   if (sic_) restore_pending_order(appended_from);
+  if (cfg_.link_telemetry != nullptr) {
+    // Noise-floor sampling from inter-frame idle spans: a block is
+    // idle when no confirmed span is in flight, the scanner holds no
+    // rising candidate, and every decoded frame ended before it. An
+    // undetected preamble onset can slip through; the tracker's power
+    // gate rejects it. Purely observational — decode never sees this.
+    const bool idle = pending_head_ == pending_.size() &&
+                      !scanner_.has_candidate() &&
+                      block_start >= last_frame_end_;
+    if (idle) cfg_.link_telemetry->sample_noise(dsp::signal_power(rf_block));
+  }
   decode_ready(/*flush=*/false);
 }
 
@@ -269,6 +284,12 @@ void StreamingDemodulator::decode_span(const PacketSpan& span) {
   p.n_symbols = static_cast<std::uint32_t>(syms.size());
   p.collided = span.sic_depth > 0;
   p.sic_assisted = span.sic_depth > 0;
+  p.sic_depth = span.sic_depth;
+  if (cfg_.link_telemetry != nullptr) {
+    fill_diag(span, frame, p);
+    last_frame_end_ =
+        std::max(last_frame_end_, span.packet_start + frame_len_);
+  }
   symbols_.insert(symbols_.end(), syms.begin(), syms.end());
   packets_.push_back(p);
   ++packet_counter_;
@@ -293,6 +314,54 @@ void StreamingDemodulator::decode_span(const PacketSpan& span) {
       ++ingest_.sic_shed;
     }
   }
+}
+
+void StreamingDemodulator::fill_diag(const PacketSpan& span,
+                                     std::span<const dsp::Complex> frame,
+                                     DecodedPacket& p) const {
+  obs::LinkTelemetry& lt = *cfg_.link_telemetry;
+
+  // SNR: mean frame power against the tracked noise floor, with the
+  // noise contribution inside the frame subtracted back out. Clamped
+  // to [-100, +100] dB; 0 until the floor tracker has primed.
+  const double noise_w = lt.noise_floor_watts();
+  if (noise_w > 0.0) {
+    const double frame_w = dsp::signal_power(frame);
+    const double sig_w = std::max(frame_w - noise_w, noise_w * 1e-10);
+    p.snr_db = std::clamp(10.0 * std::log10(sig_w / noise_w), -100.0, 100.0);
+    p.noise_floor_dbm = lt.noise_floor_dbm();
+  }
+
+  // CFO: one-symbol-lag autocorrelation over the repeated upchirps of
+  // the preamble. Each term r[n+spsym]·conj(r[n]) cancels the chirp
+  // and leaves e^{j2πf·Tsym}; the accumulated phase over one symbol
+  // time is the carrier offset. O(preamble) — noise-level cost next
+  // to the decode FFTs.
+  const std::size_t spsym = cfg_.saiyan.phy.samples_per_symbol();
+  const std::size_t up_len = std::min<std::size_t>(
+      preamble_len_,
+      static_cast<std::size_t>(cfg_.saiyan.phy.preamble_symbols) * spsym);
+  if (up_len > spsym) {
+    dsp::Complex acc{};
+    for (std::size_t n = 0; n + spsym < up_len; ++n) {
+      acc += frame[n + spsym] * std::conj(frame[n]);
+    }
+    const double t_sym =
+        static_cast<double>(spsym) / cfg_.saiyan.phy.sample_rate_hz;
+    if (std::abs(acc) > 0.0) p.cfo_hz = std::arg(acc) / (dsp::kTwoPi * t_sym);
+  }
+
+  // Timing: parabolic interpolation through the scanner peak and its
+  // one-lag neighbors gives a fractional-sample offset. Rescan hits
+  // and stream-head peaks have no neighbors recorded — offset 0.
+  const double sp = span.score_prev;
+  const double sn = span.score_next;
+  const double denom = sp - 2.0 * span.score + sn;
+  if (sp > 0.0 && sn > 0.0 && denom < 0.0) {
+    p.timing_offset = std::clamp(0.5 * (sp - sn) / denom, -1.0, 1.0);
+  }
+
+  p.corr_margin = span.score - cfg_.min_score;
 }
 
 std::size_t StreamingDemodulator::effective_sic_depth() const {

@@ -68,6 +68,7 @@
 #include <vector>
 
 #include "core/batch_demod.hpp"
+#include "obs/link_telemetry.hpp"
 #include "obs/stage_metrics.hpp"
 #include "sic/collision_resolver.hpp"
 #include "stream/ingest_stats.hpp"
@@ -102,6 +103,17 @@ struct StreamConfig {
   /// safe. Timing never changes decode behaviour — output is
   /// bit-identical with or without it.
   obs::StageMetrics* stage_metrics = nullptr;
+  /// Link-telemetry sink (not owned; may be null = no RF diagnostics).
+  /// When set, each decoded packet carries SNR/CFO/timing/margin
+  /// diagnostics and idle blocks feed the sink's noise-floor tracker.
+  /// Purely observational: decode output is bit-identical with the
+  /// sink attached or not. The gateway points every worker at one
+  /// shared obs::LinkTelemetry.
+  obs::LinkTelemetry* link_telemetry = nullptr;
+  /// Operator-assigned channel index stamped on this stream's link
+  /// diagnostics (a wideband channelizer front end would assign one
+  /// per sub-band; a single-channel gateway leaves it 0).
+  std::uint32_t channel = 0;
   /// Cooperative cancellation token (not owned; may be null). push()
   /// polls it once per internal block iteration: when it reads true,
   /// the push stops early, cancelled() latches, and the caller is
@@ -124,6 +136,15 @@ struct DecodedPacket {
   bool collided = false;
   /// Decoded from a residual a stronger frame was cancelled out of.
   bool sic_assisted = false;
+  /// SIC cancellation depth the frame decoded at (0 = mixed stream).
+  std::uint32_t sic_depth = 0;
+  // RF diagnostics, computed only when cfg.link_telemetry is set
+  // (all 0.0 otherwise). Never consumed by decode.
+  double snr_db = 0.0;          ///< frame power over tracked noise floor
+  double cfo_hz = 0.0;          ///< preamble carrier-frequency offset
+  double timing_offset = 0.0;   ///< fractional-sample peak offset [-1, 1]
+  double corr_margin = 0.0;     ///< preamble score minus min_score
+  double noise_floor_dbm = 0.0; ///< floor estimate at decode time
 };
 
 class StreamingDemodulator {
@@ -230,6 +251,8 @@ class StreamingDemodulator {
   void process_block(std::uint64_t block_start, std::size_t len);
   void decode_ready(bool flush);
   void decode_span(const PacketSpan& span);
+  void fill_diag(const PacketSpan& span, std::span<const dsp::Complex> frame,
+                 DecodedPacket& p) const;
   void cancel_frame(const PacketSpan& span);
   bool process_rescan(const RescanRegion& region);
   void queue_rescan(const RescanRegion& region);
@@ -262,6 +285,9 @@ class StreamingDemodulator {
 
   bool cancelled_ = false;
   std::uint8_t degradation_ = 0;
+  // Telemetry only: end of the furthest frame decoded so far — blocks
+  // at or before it are never treated as idle for noise sampling.
+  std::uint64_t last_frame_end_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t next_block_start_ = 0;
   std::uint64_t packet_counter_ = 0;

@@ -24,6 +24,7 @@
 #include "fault/chaos.hpp"
 #include "gateway/degradation.hpp"
 #include "gateway/gateway.hpp"
+#include "gateway/gateway_metrics.hpp"
 #include "sim/capture.hpp"
 #include "stream/streaming_demod.hpp"
 #include "stream/trace.hpp"
@@ -534,6 +535,71 @@ TEST_F(GatewayFile, StatsTextCarriesTheDocumentedKeys) {
   EXPECT_EQ(st.frames_decoded, capture().markers.size());
   EXPECT_GT(st.latency_max_us, 0u);
   EXPECT_GE(st.latency_p99_us, st.latency_p50_us);
+}
+
+TEST(GatewayLinks, RegistryTracksTagsEndToEnd) {
+  // link_headers capture: payload symbol 0 carries the tag id, symbol
+  // 1 a per-tag sequence counter — the telescope's ground truth.
+  sim::CaptureConfig ccfg = capture_cfg();
+  ccfg.link_headers = true;
+  const sim::Capture cap = sim::generate_capture(ccfg);
+  char path[128];
+  std::snprintf(path, sizeof(path), "saiyan_gw_links_%d.sytrc",
+                static_cast<int>(::getpid()));
+  sim::write_capture(cap, ccfg, path);
+
+  gateway::GatewayConfig cfg = base_config();
+  cfg.link.sequence_symbol = true;
+  auto created = gateway::Gateway::create(cfg);
+  ASSERT_TRUE(created.ok()) << created.message();
+  auto& gw = *created.value();
+  Collector sink;
+  gw.subscribe(sink.handler());
+  ASSERT_TRUE(gw.enqueue_trace(path).ok());
+  ASSERT_TRUE(gw.drain().ok());
+  std::remove(path);
+
+  // Registry: one link per tag, every frame attributed, no inferred
+  // losses (each tag's counter is consecutive), frames_total matches.
+  const obs::LinkRegistrySnapshot links = gw.links();
+  const std::size_t n_tags = ccfg.tag_rss_dbm.size();
+  ASSERT_EQ(links.links.size(), n_tags);
+  EXPECT_EQ(links.frames_total, cap.markers.size());
+  EXPECT_EQ(links.evictions, 0u);
+  for (const obs::LinkSnapshot& l : links.links) {
+    EXPECT_LT(l.tag_id, n_tags);
+    EXPECT_EQ(l.channel, 0u);
+    EXPECT_EQ(l.frames, ccfg.packets_per_tag);
+    EXPECT_EQ(l.lost_frames, 0u);
+    EXPECT_GT(l.last_seen_us, 0u);
+  }
+
+  // Delivered frames carry the identity, and stats()/Prometheus/the
+  // links-op text all agree with the registry.
+  for (const gateway::FrameRecord& fr : sink.take()) {
+    EXPECT_LT(fr.tag_id, n_tags);
+    EXPECT_EQ(fr.channel, 0u);
+  }
+  const gateway::GatewayStats st = gw.stats();
+  EXPECT_EQ(st.links.links.size(), n_tags);
+  EXPECT_NE(st.to_text().find("links_tracked 3"), std::string::npos);
+  const std::string prom = gateway::to_prometheus(st);
+  EXPECT_NE(prom.find("saiyan_link_frames_total"), std::string::npos);
+  EXPECT_NE(prom.find("tag=\"other\",channel=\"all\""), std::string::npos);
+  EXPECT_NE(prom.find("saiyan_noise_floor_db"), std::string::npos);
+  EXPECT_NE(prom.find("saiyan_frame_latency_saturated_total"),
+            std::string::npos);
+  const std::string listing =
+      gateway::links_to_text(links, gateway::LinkQuery{});
+  EXPECT_NE(listing.find("links_tracked 3"), std::string::npos);
+  EXPECT_NE(listing.find("link.0.0.frames 3"), std::string::npos);
+
+  // Link telemetry config is create()-time only.
+  gateway::GatewayConfig changed = cfg;
+  changed.link.capacity *= 2;
+  auto r = gw.reload(changed);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.message().find("link"), std::string::npos);
 }
 
 TEST(GatewayStatsPrimitives, LatencyHistogramQuantiles) {

@@ -101,6 +101,23 @@ TEST(LatencyHistogram, QuantileEdgeCases) {
   EXPECT_EQ(huge.quantile_us(2.0), huge.quantile_us(1.0));
 }
 
+TEST(LatencyHistogram, SaturationFlagCountsOpenEndedBucket) {
+  // The open-ended bucket silently clamps quantiles to its lower edge
+  // (previous test); saturated_count() is the operator-visible flag
+  // that this clamping is happening.
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.saturated_count(), 0u);
+  for (int i = 0; i < 100; ++i) h.record(100);
+  EXPECT_EQ(h.saturated_count(), 0u);
+  h.record(~std::uint64_t{0});
+  h.record(obs::LatencyHistogram::bucket_lower_us(
+      obs::LatencyHistogram::kBuckets - 1));
+  EXPECT_EQ(h.saturated_count(), 2u);
+  std::array<std::uint64_t, obs::LatencyHistogram::kBuckets> counts;
+  h.snapshot_counts(counts);
+  EXPECT_EQ(obs::LatencyHistogram::saturated_from_counts(counts), 2u);
+}
+
 TEST(StageMetrics, NamesAndRouting) {
   obs::StageMetrics m;
   m.record(obs::Stage::kScan, 5);
